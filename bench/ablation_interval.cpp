@@ -1,0 +1,58 @@
+// Ablation: checkpoint-interval trade-off (paper §V, citing Young 1974).
+//
+// Sweeps the checkpoint interval for a fixed failure schedule and prints
+// the total runtime split into compute, checkpoint and restore time —
+// short intervals pay checkpointing, long intervals pay re-execution after
+// rollback. Young's formula, fed with the measured checkpoint cost and the
+// schedule's MTTF, should land near the measured optimum.
+#include <cstdio>
+
+#include "apps/linreg.h"
+#include "apps/linreg_resilient.h"
+#include "bench_util.h"
+#include "framework/checkpoint_interval.h"
+
+int main() {
+  using namespace rgml;
+  using framework::RestoreMode;
+
+  auto config = apps::benchLinRegConfig();
+  config.iterations = 60;
+  constexpr int kPlaces = 16;
+  constexpr long kFailAt = 45;
+
+  std::printf("# Ablation: checkpoint interval, LinReg, %d places, "
+              "one failure at iteration %ld of %ld\n",
+              kPlaces, kFailAt, config.iterations);
+  std::printf("%10s %10s %12s %12s %10s\n", "interval", "total(s)",
+              "checkpoint(s)", "restore(s)", "steps");
+
+  double measuredCheckpoint = 0.0;
+  double measuredIteration = 0.0;
+  // Intervals beyond the failure iteration are unrecoverable by design
+  // (no committed checkpoint yet), so the sweep stops at 40.
+  for (long interval : {2L, 5L, 10L, 20L, 40L}) {
+    const auto stats = bench::runWithFailure<apps::LinRegResilient>(
+        config, kPlaces, RestoreMode::Shrink, interval, kFailAt);
+    std::printf("%10ld %10.2f %12.2f %12.2f %10ld\n", interval,
+                stats.totalTime, stats.checkpointTime, stats.restoreTime,
+                stats.stepsExecuted);
+    if (interval == 10) {
+      measuredCheckpoint =
+          stats.checkpointTime / static_cast<double>(stats.checkpointsTaken);
+      measuredIteration =
+          (stats.totalTime - stats.checkpointTime - stats.restoreTime) /
+          static_cast<double>(stats.stepsExecuted);
+    }
+  }
+
+  // Young's recommendation for this schedule (one failure per run of ~60
+  // iterations => MTTF ~ half the failure-free runtime).
+  const double mttf = measuredIteration * static_cast<double>(kFailAt);
+  const long young = framework::youngIntervalIterations(
+      measuredCheckpoint, mttf, measuredIteration);
+  std::printf("# Young's interval for ckpt=%.3fs, mttf=%.1fs, iter=%.3fs: "
+              "%ld iterations\n",
+              measuredCheckpoint, mttf, measuredIteration, young);
+  return 0;
+}

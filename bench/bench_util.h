@@ -1,0 +1,79 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Each figN_*/tableN_* binary replays one experiment of the paper's §VII
+// and prints the same rows/series the paper reports. Times are simulated
+// milliseconds from the APGAS cost model (see DESIGN.md §2); the
+// reproduction target is the curve *shape*, not absolute numbers.
+#pragma once
+
+#include <cstdio>
+
+#include "apgas/cost_model.h"
+#include "apgas/fault_injector.h"
+#include "apgas/place_group.h"
+#include "apgas/runtime.h"
+#include "apps/workloads.h"
+#include "framework/resilient_executor.h"
+
+namespace rgml::bench {
+
+/// Time per iteration (simulated ms) of `makeAndRun` over `iterations`
+/// steps, under the given finish mode.
+template <typename App, typename Config>
+double timePerIterationMs(const Config& config, int places,
+                          bool resilientFinish) {
+  apgas::Runtime::init(places, apgas::paperCalibratedCostModel(),
+                       resilientFinish);
+  App app(config, apgas::PlaceGroup::world());
+  app.init();
+  apgas::Runtime& rt = apgas::Runtime::world();
+  const double t0 = rt.time();
+  long iterations = 0;
+  while (!app.isFinished()) {
+    app.step();
+    ++iterations;
+  }
+  return (rt.time() - t0) / static_cast<double>(iterations) * 1e3;
+}
+
+/// One run of the paper's restore experiment: `iterations` steps with a
+/// checkpoint every `interval`, one place killed at iteration 15, under
+/// the given restoration mode. Returns the executor stats.
+template <typename ResilientApp, typename Config>
+framework::RunStats runWithFailure(const Config& config, int places,
+                                   framework::RestoreMode mode,
+                                   long interval = 10,
+                                   long failAtIteration = 15) {
+  // Two spare places beyond the working group for replace-redundant.
+  apgas::Runtime::init(places + 2, apgas::paperCalibratedCostModel(), true);
+  auto pg = apgas::PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+  ResilientApp app(config, pg);
+  app.init();
+
+  apgas::FaultInjector injector;
+  // Kill a mid-group place (never place 0; paper assumes it immortal).
+  injector.killOnIteration(failAtIteration, places / 2);
+
+  framework::ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.spares = {places, places + 1};
+  cfg.checkpointInterval = interval;
+  cfg.mode = mode;
+  framework::ResilientExecutor executor(cfg);
+  return executor.run(app, &injector);
+}
+
+/// Total (simulated) seconds of a non-resilient, failure-free run — the
+/// baseline series of Figs. 5-7.
+template <typename App, typename Config>
+double nonResilientTotalSeconds(const Config& config, int places) {
+  apgas::Runtime::init(places, apgas::paperCalibratedCostModel(), false);
+  App app(config, apgas::PlaceGroup::world());
+  app.init();
+  apgas::Runtime& rt = apgas::Runtime::world();
+  const double t0 = rt.time();
+  while (!app.isFinished()) app.step();
+  return rt.time() - t0;
+}
+
+}  // namespace rgml::bench

@@ -1,0 +1,32 @@
+// Figure 2 reproduction: Linear Regression time per iteration under
+// non-resilient vs resilient finish, weak scaling over 2-44 places.
+//
+// Paper: non-resilient grows 60 -> 180 ms; resilient 60 -> 400 ms
+// (up to ~120% overhead), driven by place-0 bookkeeping.
+#include <cstdio>
+
+#include "apps/linreg.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace rgml;
+  auto config = apps::benchLinRegConfig();
+  // Every iteration costs identical simulated time (the model is
+  // deterministic and state-independent), so 10 iterations measure the
+  // same ms/iter as the paper's 30 at a third of the wall time.
+  config.iterations = 10;
+  std::printf("# Figure 2: Linear Regression, resilient X10 overhead\n");
+  std::printf("# weak scaling: %ld features, %ld rows/place, %ld iters\n",
+              config.features, config.rowsPerPlace, config.iterations);
+  std::printf("%8s %24s %22s %10s\n", "places", "non-resilient(ms/iter)",
+              "resilient(ms/iter)", "overhead");
+  for (int places : apps::paperPlaceCounts()) {
+    const double plain =
+        bench::timePerIterationMs<apps::LinReg>(config, places, false);
+    const double resilient =
+        bench::timePerIterationMs<apps::LinReg>(config, places, true);
+    std::printf("%8d %24.1f %22.1f %9.0f%%\n", places, plain, resilient,
+                (resilient / plain - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6 reproduction: Logistic Regression total runtime for 30
+// iterations with checkpoints every 10 iterations and a single place
+// failure at iteration 15, under the three restoration modes, against the
+// non-resilient no-failure baseline.
+#include <cstdio>
+
+#include "apps/logreg.h"
+#include "apps/logreg_resilient.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace rgml;
+  using framework::RestoreMode;
+  const auto config = apps::benchLogRegConfig();
+  std::printf("# Figure 6: LogReg total runtime with one failure (s)\n");
+  std::printf("%8s %18s %10s %18s %15s\n", "places", "shrink-rebalance",
+              "shrink", "replace-redundant", "non-resilient");
+  // Same protocol per point as the paper; a 6-point place grid keeps
+  // the full sweep's wall time within budget on one core.
+  for (int places : {2, 8, 16, 24, 32, 44}) {
+    const double rebalance =
+        bench::runWithFailure<apps::LogRegResilient>(
+            config, places, RestoreMode::ShrinkRebalance)
+            .totalTime;
+    const double shrink = bench::runWithFailure<apps::LogRegResilient>(
+                              config, places, RestoreMode::Shrink)
+                              .totalTime;
+    const double redundant =
+        bench::runWithFailure<apps::LogRegResilient>(
+            config, places, RestoreMode::ReplaceRedundant)
+            .totalTime;
+    const double baseline =
+        bench::nonResilientTotalSeconds<apps::LogReg>(config, places);
+    std::printf("%8d %18.2f %10.2f %18.2f %15.2f\n", places, rebalance,
+                shrink, redundant, baseline);
+  }
+  return 0;
+}

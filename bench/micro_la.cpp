@@ -1,0 +1,86 @@
+// Micro-benchmarks (real wall time) for the local linear algebra kernels —
+// the OpenBLAS substitute underlying every distributed operation.
+#include <benchmark/benchmark.h>
+
+#include "la/kernels.h"
+#include "la/rand.h"
+
+namespace {
+
+using namespace rgml::la;
+
+void BM_Gemv(benchmark::State& state) {
+  const long m = state.range(0);
+  const long n = state.range(1);
+  DenseMatrix a = makeUniformDense(m, n, 1);
+  Vector x = makeUniformVector(n, 2);
+  Vector y(m);
+  for (auto _ : state) {
+    gemv(a, x.span(), y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * 2);
+}
+BENCHMARK(BM_Gemv)->Args({1000, 100})->Args({5000, 100})->Args({5000, 500});
+
+void BM_GemvTrans(benchmark::State& state) {
+  const long m = state.range(0);
+  const long n = state.range(1);
+  DenseMatrix a = makeUniformDense(m, n, 3);
+  Vector x = makeUniformVector(m, 4);
+  Vector y(n);
+  for (auto _ : state) {
+    gemvTrans(a, x.span(), y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * 2);
+}
+BENCHMARK(BM_GemvTrans)->Args({1000, 100})->Args({5000, 100});
+
+void BM_SpmvCSR(benchmark::State& state) {
+  const long n = state.range(0);
+  const long nnzPerRow = state.range(1);
+  SparseCSR a = makeUniformSparse(n, n, nnzPerRow, 5);
+  Vector x = makeUniformVector(n, 6);
+  Vector y(n);
+  for (auto _ : state) {
+    spmv(a, x.span(), y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 2);
+}
+BENCHMARK(BM_SpmvCSR)->Args({10000, 8})->Args({10000, 32})->Args({100000, 8});
+
+void BM_Dot(benchmark::State& state) {
+  const long n = state.range(0);
+  Vector x = makeUniformVector(n, 7);
+  Vector y = makeUniformVector(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot(x.span(), y.span()));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_Dot)->Arg(1000)->Arg(100000);
+
+void BM_SparseSubMatrix(benchmark::State& state) {
+  const long n = state.range(0);
+  SparseCSR a = makeUniformSparse(n, n, 8, 9);
+  for (auto _ : state) {
+    auto sub = a.subMatrix(n / 4, n / 4, n / 2, n / 2);
+    benchmark::DoNotOptimize(sub.nnz());
+  }
+}
+BENCHMARK(BM_SparseSubMatrix)->Arg(1000)->Arg(10000);
+
+void BM_SparseNnzCount(benchmark::State& state) {
+  const long n = state.range(0);
+  SparseCSR a = makeUniformSparse(n, n, 8, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.countNonZerosIn(n / 4, n / 4, n / 2, n / 2));
+  }
+}
+BENCHMARK(BM_SparseNnzCount)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

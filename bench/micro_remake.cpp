@@ -1,0 +1,90 @@
+// Ablation micro-benchmarks for the remake/restore paths, in simulated
+// time: same-grid block-by-block restore vs re-grid overlapping-region
+// restore, dense vs sparse — the design choice behind the shrink vs
+// shrink-rebalance modes (DESIGN.md §5).
+#include <benchmark/benchmark.h>
+
+#include "apgas/runtime.h"
+#include "gml/dist_block_matrix.h"
+
+namespace {
+
+using namespace rgml;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+void BM_RestoreBlockByBlock(benchmark::State& state) {
+  const int places = static_cast<int>(state.range(0));
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    Runtime::init(places + 1);
+    auto pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+    auto a = gml::DistBlockMatrix::makeDense(500L * places, 100,
+                                             2L * places, 1, places, 1, pg);
+    a.initRandom(1);
+    auto snap = a.makeSnapshot();
+    Runtime::world().kill(places / 2);
+    a.remakeShrink(pg.filterDead());
+    Runtime& rt = Runtime::world();
+    const double t0 = rt.time();
+    a.restoreSnapshot(*snap);  // same grid: block-by-block
+    simTotal += rt.time() - t0;
+    ++ops;
+  }
+  state.counters["sim_ms_per_restore"] =
+      simTotal / static_cast<double>(ops) * 1e3;
+}
+BENCHMARK(BM_RestoreBlockByBlock)->Arg(4)->Arg(16)->Arg(44);
+
+void BM_RestoreRepartitioned(benchmark::State& state) {
+  const int places = static_cast<int>(state.range(0));
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    Runtime::init(places + 1);
+    auto pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+    auto a = gml::DistBlockMatrix::makeDense(500L * places, 100,
+                                             2L * places, 1, places, 1, pg);
+    a.initRandom(1);
+    auto snap = a.makeSnapshot();
+    Runtime::world().kill(places / 2);
+    a.remakeRebalance(pg.filterDead());
+    Runtime& rt = Runtime::world();
+    const double t0 = rt.time();
+    a.restoreSnapshot(*snap);  // new grid: overlapping regions
+    simTotal += rt.time() - t0;
+    ++ops;
+  }
+  state.counters["sim_ms_per_restore"] =
+      simTotal / static_cast<double>(ops) * 1e3;
+}
+BENCHMARK(BM_RestoreRepartitioned)->Arg(4)->Arg(16)->Arg(44);
+
+void BM_RestoreRepartitionedSparse(benchmark::State& state) {
+  const int places = static_cast<int>(state.range(0));
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    Runtime::init(places + 1);
+    auto pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+    auto a = gml::DistBlockMatrix::makeSparse(
+        2000L * places, 2000L * places, 2L * places, 1, places, 1, 8, pg);
+    a.initRandom(1);
+    auto snap = a.makeSnapshot();
+    Runtime::world().kill(places / 2);
+    a.remakeRebalance(pg.filterDead());
+    Runtime& rt = Runtime::world();
+    const double t0 = rt.time();
+    a.restoreSnapshot(*snap);  // sparse path: nnz pre-count + paste
+    simTotal += rt.time() - t0;
+    ++ops;
+  }
+  state.counters["sim_ms_per_restore"] =
+      simTotal / static_cast<double>(ops) * 1e3;
+}
+BENCHMARK(BM_RestoreRepartitionedSparse)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

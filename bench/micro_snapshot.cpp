@@ -1,0 +1,113 @@
+// Ablation micro-benchmarks for the snapshot store, in *simulated* time:
+// separates the local-copy and backup-transfer components of a save, and
+// the local vs remote components of a load (paper §IV-B1: save cost is
+// uniform, load cost is not).
+#include <benchmark/benchmark.h>
+
+#include "apgas/runtime.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dup_vector.h"
+#include "resilient/snapshot.h"
+
+namespace {
+
+using namespace rgml;
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+/// Reports simulated microseconds per operation via a counter.
+void BM_SnapshotSave(benchmark::State& state) {
+  const long n = state.range(0);
+  Runtime::init(4);
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    resilient::Snapshot snap(PlaceGroup::world());
+    la::Vector v(n);
+    Runtime& rt = Runtime::world();
+    rt.at(Place(1), [&] {
+      const double t0 = rt.clock(1);
+      snap.save(1, std::make_shared<resilient::VectorValue>(v, 0));
+      simTotal += rt.clock(1) - t0;
+    });
+    ++ops;
+  }
+  state.counters["sim_us_per_op"] =
+      simTotal / static_cast<double>(ops) * 1e6;
+}
+BENCHMARK(BM_SnapshotSave)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_SnapshotLoadLocal(benchmark::State& state) {
+  const long n = state.range(0);
+  Runtime::init(4);
+  resilient::Snapshot snap(PlaceGroup::world());
+  la::Vector v(n);
+  Runtime& rt = Runtime::world();
+  rt.at(Place(1), [&] {
+    snap.save(1, std::make_shared<resilient::VectorValue>(v, 0));
+  });
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    rt.at(Place(1), [&] {
+      const double t0 = rt.clock(1);
+      benchmark::DoNotOptimize(snap.load(1));
+      simTotal += rt.clock(1) - t0;
+    });
+    ++ops;
+  }
+  state.counters["sim_us_per_op"] =
+      simTotal / static_cast<double>(ops) * 1e6;
+}
+BENCHMARK(BM_SnapshotLoadLocal)->Arg(100000)->Arg(1000000);
+
+void BM_SnapshotLoadRemote(benchmark::State& state) {
+  const long n = state.range(0);
+  Runtime::init(4);
+  resilient::Snapshot snap(PlaceGroup::world());
+  la::Vector v(n);
+  Runtime& rt = Runtime::world();
+  rt.at(Place(1), [&] {
+    snap.save(1, std::make_shared<resilient::VectorValue>(v, 0));
+  });
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    rt.at(Place(3), [&] {  // neither primary (1) nor backup (2)
+      const double t0 = rt.clock(3);
+      benchmark::DoNotOptimize(snap.load(1));
+      simTotal += rt.clock(3) - t0;
+    });
+    ++ops;
+  }
+  state.counters["sim_us_per_op"] =
+      simTotal / static_cast<double>(ops) * 1e6;
+}
+BENCHMARK(BM_SnapshotLoadRemote)->Arg(100000)->Arg(1000000);
+
+void BM_DistBlockMatrixCheckpoint(benchmark::State& state) {
+  const int places = static_cast<int>(state.range(0));
+  Runtime::init(places);
+  auto pg = PlaceGroup::world();
+  auto a = gml::DistBlockMatrix::makeDense(1000L * places, 100,
+                                           2L * places, 1, places, 1, pg);
+  a.initRandom(1);
+  Runtime& rt = Runtime::world();
+  double simTotal = 0.0;
+  long ops = 0;
+  for (auto _ : state) {
+    const double t0 = rt.time();
+    auto snap = a.makeSnapshot();
+    simTotal += rt.time() - t0;
+    benchmark::DoNotOptimize(snap->numEntries());
+    ++ops;
+  }
+  state.counters["sim_ms_per_ckpt"] =
+      simTotal / static_cast<double>(ops) * 1e3;
+}
+BENCHMARK(BM_DistBlockMatrixCheckpoint)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table IV reproduction: percentage of total runtime consumed by the
+// checkpoint (C%) and restore (R%) operations at 44 places, for each
+// application under each restoration mode (the Figs. 5-7 experiment).
+//
+// Paper at 44 places:
+//            shrink      shrink-rebal  replace-redundant
+//   LinReg   C32 R18     C25 R22       C36 R7
+//   LogReg   C26 R15     C19 R22       C27 R16
+//   PageRank C10 R7      C10 R10       C11 R4
+// Key shape: shrink-rebalance has the highest R%; replace-redundant the
+// lowest.
+#include <cstdio>
+
+#include "apps/linreg_resilient.h"
+#include "apps/logreg_resilient.h"
+#include "apps/pagerank_resilient.h"
+#include "bench_util.h"
+
+namespace {
+
+constexpr int kPlaces = 44;
+
+template <typename ResilientApp, typename Config>
+void printRow(const char* name, const Config& config) {
+  using rgml::framework::RestoreMode;
+  std::printf("%-10s", name);
+  for (RestoreMode mode : {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
+                           RestoreMode::ReplaceRedundant}) {
+    const auto stats = rgml::bench::runWithFailure<ResilientApp>(
+        config, kPlaces, mode);
+    std::printf(" %7.0f %7.0f", stats.checkpointTime / stats.totalTime * 100,
+                stats.restoreTime / stats.totalTime * 100);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace rgml;
+  std::printf(
+      "# Table IV: %% of total time in checkpoint (C) / restore (R), "
+      "%d places\n",
+      kPlaces);
+  std::printf("%-10s %15s %15s %15s\n", "", "shrink", "shrink-rebal",
+              "repl-redundant");
+  std::printf("%-10s %7s %7s %7s %7s %7s %7s\n", "app", "C%", "R%", "C%",
+              "R%", "C%", "R%");
+  printRow<apps::LinRegResilient>("LinReg", apps::benchLinRegConfig());
+  printRow<apps::LogRegResilient>("LogReg", apps::benchLogRegConfig());
+  printRow<apps::PageRankResilient>("PageRank", apps::benchPageRankConfig());
+  return 0;
+}

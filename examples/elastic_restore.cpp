@@ -1,0 +1,53 @@
+// Replace-Elastic restoration — the paper's proposed future work
+// (§V-B / §VIII), implemented here: instead of pre-allocating redundant
+// places, a brand-new place is created on demand when one dies, so no
+// resources idle and the distribution never degrades.
+//
+// Build & run:  ./build/examples/elastic_restore
+#include <cstdio>
+
+#include "apgas/fault_injector.h"
+#include "apgas/runtime.h"
+#include "apps/logreg_resilient.h"
+#include "framework/resilient_executor.h"
+
+int main() {
+  using namespace rgml;
+  using apgas::PlaceGroup;
+  using apgas::Runtime;
+
+  apps::LogRegConfig config;
+  config.features = 40;
+  config.rowsPerPlace = 1000;
+  config.iterations = 30;
+
+  // Exactly 4 places, no spares: elasticity provides replacements.
+  Runtime::init(4, apgas::CostModel{}, /*resilientFinish=*/true);
+  auto pg = PlaceGroup::world();
+
+  apps::LogRegResilient app(config, pg);
+  app.init();
+
+  apgas::FaultInjector injector;
+  injector.killOnIteration(12, 1);
+  injector.killOnIteration(22, 3);
+
+  framework::ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = framework::RestoreMode::ReplaceElastic;
+  framework::ResilientExecutor executor(cfg);
+  auto stats = executor.run(app, &injector);
+
+  std::printf("logistic regression finished: loss %.6f after %ld "
+              "iterations\n",
+              app.loss(), app.iteration());
+  std::printf("failures handled: %ld\n", stats.failuresHandled);
+  std::printf("world grew from 4 to %d places; working group stayed at "
+              "%zu:",
+              Runtime::world().numPlaces(), stats.finalPlaces.size());
+  for (auto id : stats.finalPlaces.ids()) std::printf(" %d", id);
+  std::printf("\n");
+  std::printf("elastically created places took over ids >= 4\n");
+  return stats.finalPlaces.size() == 4 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Training a linear model with CG under churn: two place failures during
+// one training run, handled with the replace-redundant mode (spare places
+// stand in for the dead ones, so the data distribution never changes).
+//
+// Also demonstrates Young's formula for picking the checkpoint interval
+// from a measured checkpoint cost and an assumed MTTF.
+//
+// Build & run:  ./build/examples/linreg_training
+#include <cmath>
+#include <cstdio>
+
+#include "apgas/fault_injector.h"
+#include "apgas/runtime.h"
+#include "apps/linreg_resilient.h"
+#include "framework/checkpoint_interval.h"
+#include "framework/resilient_executor.h"
+
+int main() {
+  using namespace rgml;
+  using apgas::PlaceGroup;
+  using apgas::Runtime;
+
+  apps::LinRegConfig config;
+  config.features = 50;
+  config.rowsPerPlace = 2000;
+  config.iterations = 40;
+
+  // 6 working places + 2 spares.
+  Runtime::init(8, apgas::CostModel{}, /*resilientFinish=*/true);
+  auto workers = PlaceGroup::firstPlaces(6);
+
+  apps::LinRegResilient app(config, workers);
+  app.init();
+  std::printf("training: %ld features, %ld examples, %ld CG iterations\n",
+              config.features, config.rowsPerPlace * 6, config.iterations);
+  std::printf("initial residual^2: %.3e\n", app.residualNormSq());
+
+  // Measure one checkpoint to feed Young's formula.
+  Runtime& rt = Runtime::world();
+  {
+    resilient::AppResilientStore probe;
+    probe.setIteration(0);
+    const double t0 = rt.time();
+    app.checkpoint(probe);
+    const double checkpointCost = rt.time() - t0;
+    const double assumedMttf = 2.0;  // simulated seconds, pessimistic
+    const double perIteration = 0.02;
+    const long interval = framework::youngIntervalIterations(
+        checkpointCost, assumedMttf, perIteration);
+    std::printf("checkpoint costs %.3f ms -> Young interval: every %ld "
+                "iterations\n",
+                checkpointCost * 1e3, interval);
+  }
+
+  apgas::FaultInjector injector;
+  injector.killOnIteration(13, 2);
+  injector.killOnIteration(27, 4);
+
+  framework::ExecutorConfig cfg;
+  cfg.places = workers;
+  cfg.spares = {6, 7};
+  cfg.checkpointInterval = 10;
+  cfg.mode = framework::RestoreMode::ReplaceRedundant;
+  framework::ResilientExecutor executor(cfg);
+  auto stats = executor.run(app, &injector);
+
+  std::printf("survived %ld failures; final group:", stats.failuresHandled);
+  for (auto id : stats.finalPlaces.ids()) std::printf(" %d", id);
+  std::printf("\n");
+  std::printf("steps executed %ld (30 logical + rollback re-execution)\n",
+              stats.stepsExecuted);
+  std::printf("final residual^2: %.3e after %ld iterations\n",
+              app.residualNormSq(), app.iteration());
+  return app.residualNormSq() < 1e-3 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+#include "apgas/cost_model.h"
+
+namespace rgml::apgas {
+
+CostModel paperCalibratedCostModel() {
+  // Calibration rationale. The benchmark harness runs the paper's
+  // per-place data sizes (50k examples/place, 2M edges/place) with
+  // realistic single-thread rates, so data-movement costs (snapshots,
+  // restores, collectives) carry their true weight against compute.
+  // Targets:
+  //   * LinReg, 2 places: ~60 ms/iteration (paper Fig. 2);
+  //   * LogReg, 2 places: ~110 ms/iteration (Fig. 3);
+  //   * PageRank, 2 places: ~38 ms/iteration (Fig. 4);
+  //   * baseline weak-scaling growth driven by serialised fan-out and
+  //     flat collectives (x2-3 dense, x9 PageRank at 44 places);
+  //   * resilient-finish bookkeeping at ~0.4 ms per control message on
+  //     the place-0 control processor, reproducing the ~2x overhead of
+  //     the dense apps and the small PageRank overhead.
+  CostModel cm;
+  cm.alpha = 300e-6;             // socket transport end-to-end latency
+  cm.betaPerByte = 0.8e-9;       // ~1.25 GB/s links
+  cm.memcpyPerByte = 0.2e-9;     // ~5 GB/s local copies
+  // X10's deep-copy serialisation rate, backed out of the paper's own
+  // Table III: a 200 MB/place read-only matrix costs ~7 s to checkpoint
+  // (mean 2.46 s over 3 checkpoints), i.e. ~60 MB/s per copy.
+  cm.serializationPerByte = 16e-9;
+  cm.denseFlop = 2.9e-9;         // ~0.7 GFLOP/s single-thread dense
+  cm.sparseFlop = 9e-9;          // spmv is memory bound
+  cm.asyncSpawn = 1.0e-6;
+  cm.taskSendOverhead = 120e-6;  // closure serialisation + socket push
+  cm.taskRecvOverhead = 100e-6;  // termination message handling
+  cm.finishSetup = 2.0e-6;
+  cm.resilientBookkeeping = 400e-6;
+  return cm;
+}
+
+}  // namespace rgml::apgas

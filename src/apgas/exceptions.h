@@ -1,0 +1,132 @@
+// Exception types mirroring the failure model of Resilient X10.
+//
+// In Resilient X10, the `finish` construct detects the death of places and
+// surfaces it to the application as a DeadPlaceException; several failures
+// within one finish scope are aggregated into a MultipleExceptions value.
+// This header reproduces that contract for the simulated runtime.
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rgml::apgas {
+
+/// Identifier of a place (an abstraction of an OS process in X10).
+/// Identifiers are stable for the lifetime of the simulated world: a dead
+/// place's id is never reused, mirroring X10 where `Place.id` of a failed
+/// place remains distinguishable from live places.
+using PlaceId = int;
+
+/// Sentinel for "no place".
+inline constexpr PlaceId kInvalidPlace = -1;
+
+/// Thrown when a task attempts to interact with a failed place, or when a
+/// `finish` observes that a place executing one of its tasks has died.
+class DeadPlaceException : public std::runtime_error {
+ public:
+  explicit DeadPlaceException(PlaceId place)
+      : std::runtime_error("DeadPlaceException: place " +
+                           std::to_string(place) + " is dead"),
+        place_(place) {}
+
+  /// The place whose death triggered this exception.
+  [[nodiscard]] PlaceId place() const noexcept { return place_; }
+
+ private:
+  PlaceId place_;
+};
+
+/// Aggregates all exceptions observed by a single `finish` scope, matching
+/// the `x10.lang.MultipleExceptions` semantics: a finish rethrows every
+/// exception raised by its (transitively) spawned tasks.
+class MultipleExceptions : public std::runtime_error {
+ public:
+  explicit MultipleExceptions(std::vector<std::exception_ptr> exceptions)
+      : std::runtime_error("MultipleExceptions: " +
+                           std::to_string(exceptions.size()) +
+                           " exception(s) in finish"),
+        exceptions_(std::move(exceptions)) {}
+
+  [[nodiscard]] const std::vector<std::exception_ptr>& exceptions() const
+      noexcept {
+    return exceptions_;
+  }
+
+  /// True if at least one of the aggregated exceptions is a
+  /// DeadPlaceException (directly or nested in a MultipleExceptions).
+  [[nodiscard]] bool containsDeadPlace() const;
+
+  /// The first DeadPlaceException found, if any; kInvalidPlace otherwise.
+  [[nodiscard]] PlaceId firstDeadPlace() const;
+
+  /// True if at least one aggregated exception is a SnapshotLostException
+  /// (directly or nested).
+  [[nodiscard]] bool containsSnapshotLoss() const;
+
+ private:
+  std::vector<std::exception_ptr> exceptions_;
+};
+
+/// Thrown when a snapshot value is unrecoverable because both its primary
+/// copy and its backup copy were held by places that have since died
+/// (e.g. two adjacent places failing between checkpoints).
+class SnapshotLostException : public std::runtime_error {
+ public:
+  explicit SnapshotLostException(long key)
+      : std::runtime_error("SnapshotLostException: key " +
+                           std::to_string(key) +
+                           " lost (primary and backup copies both dead)"),
+        key_(key) {}
+
+  [[nodiscard]] long key() const noexcept { return key_; }
+
+ private:
+  long key_;
+};
+
+/// Raised on misuse of the runtime API (accessing a GlobalRef away from its
+/// home, reading a PlaceLocalHandle with no local object, ...). These are
+/// programming errors, not recoverable failures.
+class ApgasError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+inline bool MultipleExceptions::containsDeadPlace() const {
+  return firstDeadPlace() != kInvalidPlace;
+}
+
+inline bool MultipleExceptions::containsSnapshotLoss() const {
+  for (const auto& ep : exceptions_) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const SnapshotLostException&) {
+      return true;
+    } catch (const MultipleExceptions& me) {
+      if (me.containsSnapshotLoss()) return true;
+    } catch (...) {
+      // Keep scanning.
+    }
+  }
+  return false;
+}
+
+inline PlaceId MultipleExceptions::firstDeadPlace() const {
+  for (const auto& ep : exceptions_) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const DeadPlaceException& dpe) {
+      return dpe.place();
+    } catch (const MultipleExceptions& me) {
+      if (PlaceId p = me.firstDeadPlace(); p != kInvalidPlace) return p;
+    } catch (...) {
+      // Not a dead-place failure; keep scanning.
+    }
+  }
+  return kInvalidPlace;
+}
+
+}  // namespace rgml::apgas

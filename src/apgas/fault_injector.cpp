@@ -1,0 +1,55 @@
+#include "apgas/fault_injector.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apgas/runtime.h"
+
+namespace rgml::apgas {
+
+void FaultInjector::killNow(PlaceId p) { Runtime::world().kill(p); }
+
+void FaultInjector::killAtDispatch(long n, PlaceId victim) {
+  if (n < 1) throw ApgasError("killAtDispatch: n must be >= 1");
+  Runtime& rt = Runtime::world();
+  // Count dispatches from now; fire once, then self-disarm. State lives in
+  // a shared_ptr because the runtime invokes a *copy* of the hook.
+  auto remaining = std::make_shared<long>(n);
+  rt.setDispatchHook([&rt, remaining, victim](long) {
+    if (*remaining > 0 && --*remaining == 0) {
+      rt.setDispatchHook({});
+      rt.kill(victim);
+    }
+  });
+  dispatchHookInstalled_ = true;
+}
+
+void FaultInjector::killOnIteration(long iter, PlaceId victim) {
+  iterKills_.push_back(IterKill{iter, victim});
+}
+
+std::vector<PlaceId> FaultInjector::onIterationCompleted(long iter) {
+  std::vector<PlaceId> victims;
+  auto it = iterKills_.begin();
+  while (it != iterKills_.end()) {
+    if (it->iter == iter) {
+      victims.push_back(it->victim);
+      it = iterKills_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Runtime& rt = Runtime::world();
+  for (PlaceId v : victims) rt.kill(v);
+  return victims;
+}
+
+void FaultInjector::reset() {
+  iterKills_.clear();
+  if (dispatchHookInstalled_ && Runtime::initialized()) {
+    Runtime::world().setDispatchHook({});
+  }
+  dispatchHookInstalled_ = false;
+}
+
+}  // namespace rgml::apgas

@@ -1,0 +1,55 @@
+// FaultInjector: deterministic place-failure injection.
+//
+// The paper's restore experiments kill one place at iteration 15 of 30.
+// On a real cluster this means SIGKILLing a process and waiting for the
+// socket layer to notice; here failures are injected at precise,
+// reproducible points:
+//
+//   * killNow(p)                 — immediate failure (between steps);
+//   * killAtDispatch(n, p)       — failure when the runtime performs its
+//                                  n-th task dispatch from now (mid-step,
+//                                  exercising partial-update rollback);
+//   * killOnIteration(iter, p)   — cooperative: the resilient executor
+//                                  calls onIterationCompleted(iter) after
+//                                  each step and the injector fires there.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apgas/place.h"
+
+namespace rgml::apgas {
+
+class FaultInjector {
+ public:
+  /// Kill `p` immediately.
+  static void killNow(PlaceId p);
+
+  /// Arm a kill of `victim` triggered on the n-th asyncAt dispatch counted
+  /// from this call (n >= 1). Replaces any previously armed dispatch kill.
+  void killAtDispatch(long n, PlaceId victim);
+
+  /// Arm a kill of `victim` fired when onIterationCompleted(iter) is
+  /// called. Multiple iteration kills may be armed at once.
+  void killOnIteration(long iter, PlaceId victim);
+
+  /// To be invoked by the driving loop after each completed iteration.
+  /// Fires any kills armed for `iter`. Returns the victims killed.
+  std::vector<PlaceId> onIterationCompleted(long iter);
+
+  /// Disarm everything and detach from the runtime.
+  void reset();
+
+  ~FaultInjector() { reset(); }
+
+ private:
+  struct IterKill {
+    long iter;
+    PlaceId victim;
+  };
+  std::vector<IterKill> iterKills_;
+  bool dispatchHookInstalled_ = false;
+};
+
+}  // namespace rgml::apgas

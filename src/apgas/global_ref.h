@@ -1,0 +1,58 @@
+// GlobalRef: a place-checked reference to an object on its home place
+// (x10.lang.GlobalRef).
+//
+// The referenced object lives in the home place's heap; dereferencing is
+// only legal when the current task is executing at the home place, which
+// makes the cost of remote access explicit (the caller must `at(home)`
+// first). If the home place dies, the object is destroyed with its heap
+// and any later dereference throws.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "apgas/runtime.h"
+
+namespace rgml::apgas {
+
+template <typename T>
+class GlobalRef {
+ public:
+  GlobalRef() = default;
+
+  /// Captures `obj` into the *current* place's heap.
+  explicit GlobalRef(std::shared_ptr<T> obj)
+      : home_(Runtime::world().here().id()),
+        key_(Runtime::world().allocHandleId()) {
+    Runtime::world().heapPut(home_, key_, std::move(obj));
+  }
+
+  [[nodiscard]] Place home() const noexcept { return Place(home_); }
+  [[nodiscard]] bool valid() const noexcept { return key_ != 0; }
+
+  /// Dereference; legal only at the home place (X10's `gr()` operator).
+  [[nodiscard]] T& operator()() const {
+    Runtime& rt = Runtime::world();
+    if (rt.here().id() != home_) {
+      throw ApgasError("GlobalRef dereferenced away from its home place");
+    }
+    if (rt.isDead(home_)) throw DeadPlaceException(home_);
+    auto obj = std::static_pointer_cast<T>(rt.heapGet(home_, key_));
+    if (!obj) throw ApgasError("GlobalRef: object destroyed");
+    return *obj;
+  }
+
+  /// Release the referenced object from the home heap.
+  void forget() {
+    if (key_ != 0 && !Runtime::world().isDead(home_)) {
+      Runtime::world().heapErase(home_, key_);
+    }
+    key_ = 0;
+  }
+
+ private:
+  PlaceId home_ = kInvalidPlace;
+  std::uint64_t key_ = 0;
+};
+
+}  // namespace rgml::apgas

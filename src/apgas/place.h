@@ -1,0 +1,38 @@
+// The Place abstraction of the APGAS model (x10.lang.Place).
+#pragma once
+
+#include "apgas/exceptions.h"
+
+namespace rgml::apgas {
+
+/// A place is an abstraction for an OS process holding data and tasks.
+/// This is a lightweight value type; liveness is a property of the world
+/// (see Runtime::isDead) because a place can die at any time.
+class Place {
+ public:
+  constexpr Place() noexcept : id_(kInvalidPlace) {}
+  constexpr explicit Place(PlaceId id) noexcept : id_(id) {}
+
+  [[nodiscard]] constexpr PlaceId id() const noexcept { return id_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return id_ != kInvalidPlace;
+  }
+
+  /// Queries the world for liveness. Declared here, defined with Runtime.
+  [[nodiscard]] bool isDead() const;
+
+  friend constexpr bool operator==(Place a, Place b) noexcept {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Place a, Place b) noexcept {
+    return a.id_ != b.id_;
+  }
+  friend constexpr bool operator<(Place a, Place b) noexcept {
+    return a.id_ < b.id_;
+  }
+
+ private:
+  PlaceId id_;
+};
+
+}  // namespace rgml::apgas

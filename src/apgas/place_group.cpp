@@ -1,0 +1,90 @@
+#include "apgas/place_group.h"
+
+#include <algorithm>
+
+#include "apgas/runtime.h"
+
+namespace rgml::apgas {
+
+PlaceGroup::PlaceGroup(std::vector<PlaceId> ids) : ids_(std::move(ids)) {}
+
+PlaceGroup::PlaceGroup(std::initializer_list<PlaceId> ids) : ids_(ids) {}
+
+PlaceGroup PlaceGroup::world() {
+  return firstPlaces(static_cast<std::size_t>(Runtime::world().numPlaces()));
+}
+
+PlaceGroup PlaceGroup::firstPlaces(std::size_t n) {
+  std::vector<PlaceId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<PlaceId>(i);
+  return PlaceGroup(std::move(ids));
+}
+
+Place PlaceGroup::operator()(std::size_t i) const {
+  if (i >= ids_.size()) throw ApgasError("PlaceGroup: index out of range");
+  return Place(ids_[i]);
+}
+
+long PlaceGroup::indexOf(Place p) const noexcept { return indexOf(p.id()); }
+
+long PlaceGroup::indexOf(PlaceId id) const noexcept {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  return it == ids_.end() ? -1 : static_cast<long>(it - ids_.begin());
+}
+
+Place PlaceGroup::next(Place p) const {
+  const long i = indexOf(p);
+  if (i < 0) throw ApgasError("PlaceGroup::next: place not in group");
+  return Place(ids_[(static_cast<std::size_t>(i) + 1) % ids_.size()]);
+}
+
+PlaceGroup PlaceGroup::filterDead() const {
+  const Runtime& rt = Runtime::world();
+  std::vector<PlaceId> live;
+  live.reserve(ids_.size());
+  for (PlaceId id : ids_) {
+    if (!rt.isDead(id)) live.push_back(id);
+  }
+  return PlaceGroup(std::move(live));
+}
+
+bool PlaceGroup::hasDeadPlaces() const {
+  const Runtime& rt = Runtime::world();
+  return std::any_of(ids_.begin(), ids_.end(),
+                     [&](PlaceId id) { return rt.isDead(id); });
+}
+
+std::vector<PlaceId> PlaceGroup::deadPlaces() const {
+  const Runtime& rt = Runtime::world();
+  std::vector<PlaceId> dead;
+  for (PlaceId id : ids_) {
+    if (rt.isDead(id)) dead.push_back(id);
+  }
+  return dead;
+}
+
+PlaceGroup PlaceGroup::replaceDead(const std::vector<PlaceId>& spares) const {
+  const Runtime& rt = Runtime::world();
+  std::vector<PlaceId> result;
+  result.reserve(ids_.size());
+  std::size_t nextSpare = 0;
+  for (PlaceId id : ids_) {
+    if (!rt.isDead(id)) {
+      result.push_back(id);
+      continue;
+    }
+    // Find the next live spare not already in the group.
+    while (nextSpare < spares.size() &&
+           (rt.isDead(spares[nextSpare]) || indexOf(spares[nextSpare]) >= 0)) {
+      ++nextSpare;
+    }
+    if (nextSpare < spares.size()) {
+      result.push_back(spares[nextSpare++]);
+    }
+    // Out of spares: the dead member is dropped (caller falls back to a
+    // shrink-style restore, as the paper specifies).
+  }
+  return PlaceGroup(std::move(result));
+}
+
+}  // namespace rgml::apgas

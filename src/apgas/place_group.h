@@ -1,0 +1,81 @@
+// PlaceGroup: an ordered collection of places (x10.lang.PlaceGroup).
+//
+// Resilient GML constructs every multi-place object over a PlaceGroup and,
+// after a failure, `remake()`s it over a new group. The essential
+// operations for resilience are:
+//   * indexOf()    — the paper's snapshot keys are *indices* into the group,
+//                    not place ids; after filtering dead places the ids of
+//                    survivors are unchanged but their indices shift.
+//   * filterDead() — the "shrink" restoration modes build the new group by
+//                    dropping dead places while preserving order.
+//   * replacing a dead place by a spare ("replace-redundant" mode).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "apgas/place.h"
+
+namespace rgml::apgas {
+
+class PlaceGroup {
+ public:
+  PlaceGroup() = default;
+  explicit PlaceGroup(std::vector<PlaceId> ids);
+  PlaceGroup(std::initializer_list<PlaceId> ids);
+
+  /// The group of all places currently in the world (live and dead).
+  static PlaceGroup world();
+
+  /// The first `n` places of the world: { 0, 1, ..., n-1 }.
+  static PlaceGroup firstPlaces(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  /// X10-style indexing: pg(i) is the i-th place of the group.
+  [[nodiscard]] Place operator()(std::size_t i) const;
+
+  /// Index of `p` in this group, or -1 if absent.
+  [[nodiscard]] long indexOf(Place p) const noexcept;
+  [[nodiscard]] long indexOf(PlaceId id) const noexcept;
+  [[nodiscard]] bool contains(Place p) const noexcept {
+    return indexOf(p) >= 0;
+  }
+
+  /// The place following `p` in ring order within this group. Used by the
+  /// snapshot store to pick the backup location for a place's data.
+  [[nodiscard]] Place next(Place p) const;
+
+  /// A new group with all currently-dead places removed, order preserved.
+  [[nodiscard]] PlaceGroup filterDead() const;
+
+  /// True if any member of the group is currently dead.
+  [[nodiscard]] bool hasDeadPlaces() const;
+
+  /// Ids of the currently-dead members (order preserved).
+  [[nodiscard]] std::vector<PlaceId> deadPlaces() const;
+
+  /// A new group where each dead member is substituted (in order) by the
+  /// next unused spare from `spares`; remaining dead members (if spares run
+  /// out) are dropped. Implements the "replace-redundant" restoration mode.
+  [[nodiscard]] PlaceGroup replaceDead(const std::vector<PlaceId>& spares)
+      const;
+
+  [[nodiscard]] const std::vector<PlaceId>& ids() const noexcept {
+    return ids_;
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return ids_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ids_.end(); }
+
+  friend bool operator==(const PlaceGroup& a, const PlaceGroup& b) noexcept {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  std::vector<PlaceId> ids_;
+};
+
+}  // namespace rgml::apgas

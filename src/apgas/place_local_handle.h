@@ -1,0 +1,86 @@
+// PlaceLocalHandle (PLH): a handle resolving to one object per place of a
+// PlaceGroup (x10.lang.PlaceLocalHandle).
+//
+// Every distributed GML object stores its per-place data behind a PLH.
+// When a place dies its heap is destroyed, leaving the PLH with a dangling
+// entry for that place — exactly the failure mode the paper describes for
+// pre-resilient GML. `remake()` on the GML classes rebuilds the PLH over a
+// new place group.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "apgas/place_group.h"
+#include "apgas/runtime.h"
+
+namespace rgml::apgas {
+
+template <typename T>
+class PlaceLocalHandle {
+ public:
+  PlaceLocalHandle() = default;
+
+  /// Creates one T per place of `pg` by running `init` at each place
+  /// (inside a finish, as X10's PlaceLocalHandle.make does).
+  static PlaceLocalHandle make(
+      const PlaceGroup& pg,
+      const std::function<std::shared_ptr<T>(Place)>& init) {
+    PlaceLocalHandle h;
+    h.key_ = Runtime::world().allocHandleId();
+    h.pg_ = pg;
+    ateach(pg, [&](Place p) {
+      Runtime::world().heapPut(p.id(), h.key_, init(p));
+    });
+    return h;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return key_ != 0; }
+  [[nodiscard]] const PlaceGroup& placeGroup() const noexcept { return pg_; }
+
+  /// The object at the current place; throws if none exists here.
+  [[nodiscard]] T& local() const {
+    Runtime& rt = Runtime::world();
+    const PlaceId p = rt.here().id();
+    auto obj = std::static_pointer_cast<T>(rt.heapGet(p, key_));
+    if (!obj) {
+      throw ApgasError("PlaceLocalHandle: no local object at place " +
+                       std::to_string(p));
+    }
+    return *obj;
+  }
+
+  /// Shared ownership of the object at the current place (nullptr if none).
+  [[nodiscard]] std::shared_ptr<T> localPtr() const {
+    Runtime& rt = Runtime::world();
+    return std::static_pointer_cast<T>(rt.heapGet(rt.here().id(), key_));
+  }
+
+  /// True if the current place holds an object for this handle.
+  [[nodiscard]] bool hasLocal() const {
+    Runtime& rt = Runtime::world();
+    return rt.heapGet(rt.here().id(), key_) != nullptr;
+  }
+
+  /// Simulation-internal: the object stored at place `p` (nullptr if the
+  /// place is dead or holds none). Models X10's closure capture of remote
+  /// data; callers must charge the corresponding communication cost
+  /// (Runtime::chargeComm) for any bytes read or written through it.
+  [[nodiscard]] std::shared_ptr<T> atPlace(PlaceId p) const {
+    return std::static_pointer_cast<T>(Runtime::world().heapGet(p, key_));
+  }
+
+  /// Destroys the per-place objects everywhere (used by remake()).
+  void destroy() {
+    if (key_ != 0) Runtime::world().heapEraseAll(key_);
+    key_ = 0;
+    pg_ = PlaceGroup{};
+  }
+
+ private:
+  std::uint64_t key_ = 0;
+  PlaceGroup pg_;
+};
+
+}  // namespace rgml::apgas

@@ -1,0 +1,305 @@
+#include "apgas/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgml::apgas {
+
+namespace {
+/// Modelled size of a task/control envelope (headers, closure id, ...).
+constexpr std::uint64_t kEnvelopeBytes = 64;
+/// Modelled size of a resilient-finish control message.
+constexpr std::uint64_t kCtrlBytes = 48;
+}  // namespace
+
+std::unique_ptr<Runtime> Runtime::instance_;
+
+Runtime::Runtime(int numPlaces, const CostModel& cm, bool resilient)
+    : cm_(cm),
+      resilient_(resilient),
+      clocks_(static_cast<std::size_t>(numPlaces), 0.0),
+      heaps_(static_cast<std::size_t>(numPlaces)) {
+  hereStack_.push_back(0);
+}
+
+void Runtime::init(int numPlaces, const CostModel& cm, bool resilientFinish) {
+  if (numPlaces < 1) throw ApgasError("Runtime::init: need at least 1 place");
+  instance_.reset(new Runtime(numPlaces, cm, resilientFinish));
+}
+
+Runtime& Runtime::world() {
+  if (!instance_) throw ApgasError("Runtime not initialised; call init()");
+  return *instance_;
+}
+
+bool Runtime::initialized() { return static_cast<bool>(instance_); }
+
+std::vector<PlaceId> Runtime::addPlaces(int n) {
+  // Joining places start "now": at the maximum clock over live places, as a
+  // real dynamically-created process would.
+  double now = 0.0;
+  for (int p = 0; p < numPlaces(); ++p) {
+    if (!isDead(p)) now = std::max(now, clocks_[p]);
+  }
+  std::vector<PlaceId> fresh;
+  fresh.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fresh.push_back(numPlaces());
+    clocks_.push_back(now);
+    heaps_.emplace_back();
+  }
+  return fresh;
+}
+
+void Runtime::kill(PlaceId p) {
+  if (p == 0) {
+    throw ApgasError(
+        "kill(0): place zero is immortal in the paper's failure model");
+  }
+  if (p < 0 || p >= numPlaces()) throw ApgasError("kill: no such place");
+  if (dead_.contains(p)) return;
+  dead_.insert(p);
+  heaps_[static_cast<std::size_t>(p)].clear();
+  ++stats_.placesKilled;
+  // Copy: a listener may (un)register other listeners.
+  auto listeners = killListeners_;
+  for (auto& [token, fn] : listeners) fn(p);
+}
+
+std::uint64_t Runtime::addKillListener(std::function<void(PlaceId)> fn) {
+  const std::uint64_t token = nextListener_++;
+  killListeners_.emplace(token, std::move(fn));
+  return token;
+}
+
+void Runtime::removeKillListener(std::uint64_t token) {
+  killListeners_.erase(token);
+}
+
+double Runtime::chargeBookkeeping(double sendTime) {
+  ++stats_.bookkeepingMsgs;
+  const double arrival = sendTime + cm_.commTime(kCtrlBytes);
+  ctrlClock_ = std::max(ctrlClock_, arrival) + cm_.resilientBookkeeping;
+  return ctrlClock_;
+}
+
+void Runtime::finish(const std::function<void()>& body) {
+  ++stats_.finishes;
+  const PlaceId home = hereStack_.back();
+  clocks_[home] += cm_.finishSetup;
+  finishStack_.push_back(FinishFrame{home, clocks_[home], 0, {}});
+  const std::size_t idx = finishStack_.size() - 1;
+  if (resilient_) {
+    chargeBookkeeping(clocks_[home]);  // finish registration
+  }
+  try {
+    body();
+  } catch (...) {
+    finishStack_[idx].exceptions.push_back(std::current_exception());
+  }
+  // Drain same-place tasks: they run now that the spawner has blocked at
+  // the finish. A drained task may defer further local tasks.
+  while (!finishStack_[idx].deferred.empty()) {
+    DeferredTask task = std::move(finishStack_[idx].deferred.front());
+    finishStack_[idx].deferred.erase(finishStack_[idx].deferred.begin());
+    runTask(idx, task.target, task.spawnTime, task.body);
+  }
+  FinishFrame frame = std::move(finishStack_[idx]);
+  finishStack_.pop_back();
+
+  // The home processes one termination notification per task.
+  clocks_[home] = std::max(clocks_[home], frame.maxChildEnd) +
+                  static_cast<double>(frame.tasks) * cm_.taskRecvOverhead;
+  if (resilient_) {
+    // The finish cannot complete until the place-0 control processor has
+    // drained every spawn/termination message and acknowledged completion.
+    const double ack = chargeBookkeeping(clocks_[home]);
+    const double ackLatency = home == 0 ? 0.0 : cm_.commTime(kEnvelopeBytes);
+    clocks_[home] = std::max(clocks_[home], ack + ackLatency);
+  }
+  throwCollected(frame);
+}
+
+void Runtime::throwCollected(FinishFrame& frame) {
+  if (frame.exceptions.empty()) return;
+  if (frame.exceptions.size() == 1) {
+    std::rethrow_exception(frame.exceptions.front());
+  }
+  throw MultipleExceptions(std::move(frame.exceptions));
+}
+
+void Runtime::asyncAt(Place p, const std::function<void()>& body) {
+  if (finishStack_.empty()) {
+    throw ApgasError("asyncAt outside any finish scope");
+  }
+  ++dispatchCount_;
+  if (dispatchHook_) {
+    // Invoke a copy: the hook may disarm itself via setDispatchHook({}),
+    // which would otherwise destroy the closure mid-call.
+    auto hook = dispatchHook_;
+    hook(dispatchCount_);
+  }
+
+  ++stats_.asyncsSpawned;
+  const PlaceId spawner = hereStack_.back();
+  const PlaceId target = p.id();
+  if (target < 0 || target >= numPlaces()) {
+    throw ApgasError("asyncAt: no such place");
+  }
+  // The spawner pays the local spawn bookkeeping plus, for a remote task,
+  // the serialisation/push cost — so a flat fan-out over P places costs
+  // the home O(P), as on the real socket transport.
+  clocks_[spawner] += cm_.asyncSpawn;
+  if (target != spawner) clocks_[spawner] += cm_.taskSendOverhead;
+  const double spawnTime = clocks_[spawner];
+  const std::size_t idx = finishStack_.size() - 1;
+  ++finishStack_[idx].tasks;
+
+  if (resilient_) {
+    chargeBookkeeping(spawnTime);
+  }
+
+  if (target == spawner) {
+    // Same-place task: with one worker per place it cannot run until the
+    // spawner blocks; defer to the enclosing finish boundary.
+    finishStack_[idx].deferred.push_back(
+        DeferredTask{target, spawnTime, body});
+    return;
+  }
+
+  runTask(idx, target, spawnTime + cm_.commTime(kEnvelopeBytes), body);
+}
+
+void Runtime::runTask(std::size_t idx, PlaceId target, double spawnTime,
+                      const std::function<void()>& body) {
+  if (isDead(target)) {
+    finishStack_[idx].exceptions.push_back(
+        std::make_exception_ptr(DeadPlaceException(target)));
+    return;
+  }
+
+  clocks_[target] = std::max(clocks_[target], spawnTime);
+
+  hereStack_.push_back(target);
+  try {
+    body();
+  } catch (...) {
+    finishStack_[idx].exceptions.push_back(std::current_exception());
+  }
+  hereStack_.pop_back();
+
+  if (isDead(target)) {
+    // The place died while (conceptually) running this task: its effects
+    // are gone (kill() cleared the heap) and the finish must observe the
+    // failure.
+    finishStack_[idx].exceptions.push_back(
+        std::make_exception_ptr(DeadPlaceException(target)));
+    return;
+  }
+
+  const double taskEnd = clocks_[target];
+  const PlaceId home = finishStack_[idx].home;
+  const double notify = target == home ? 0.0 : cm_.commTime(kEnvelopeBytes);
+  finishStack_[idx].maxChildEnd =
+      std::max(finishStack_[idx].maxChildEnd, taskEnd + notify);
+  if (resilient_) {
+    chargeBookkeeping(taskEnd);
+  }
+}
+
+void Runtime::at(Place p, const std::function<void()>& body) {
+  const PlaceId target = p.id();
+  if (target < 0 || target >= numPlaces()) {
+    throw ApgasError("at: no such place");
+  }
+  if (isDead(target)) throw DeadPlaceException(target);
+
+  const PlaceId origin = hereStack_.back();
+  if (target != origin) {
+    clocks_[target] = std::max(
+        clocks_[target], clocks_[origin] + cm_.commTime(kEnvelopeBytes));
+  }
+  hereStack_.push_back(target);
+  struct PopGuard {
+    std::vector<PlaceId>& stack;
+    ~PopGuard() { stack.pop_back(); }
+  } guard{hereStack_};
+  body();
+  // `guard` pops on scope exit (also on exception propagation).
+  if (isDead(target)) throw DeadPlaceException(target);
+  if (target != origin) {
+    clocks_[origin] = std::max(
+        clocks_[origin], clocks_[target] + cm_.commTime(kEnvelopeBytes));
+  }
+}
+
+void Runtime::chargeDenseFlops(double flops) {
+  const PlaceId p = hereStack_.back();
+  if (isDead(p)) return;
+  clocks_[p] += cm_.denseComputeTime(flops);
+}
+
+void Runtime::chargeSparseFlops(double flops) {
+  const PlaceId p = hereStack_.back();
+  if (isDead(p)) return;
+  clocks_[p] += cm_.sparseComputeTime(flops);
+}
+
+void Runtime::chargeLocalCopy(std::uint64_t bytes) {
+  const PlaceId p = hereStack_.back();
+  if (isDead(p)) return;
+  clocks_[p] += cm_.copyTime(bytes);
+}
+
+void Runtime::chargeSerialization(std::uint64_t bytes) {
+  const PlaceId p = hereStack_.back();
+  if (isDead(p)) return;
+  clocks_[p] += cm_.serializeTime(bytes);
+}
+
+void Runtime::chargeComm(Place to, std::uint64_t bytes) {
+  const PlaceId from = hereStack_.back();
+  if (isDead(from)) return;
+  if (to.id() == from) {
+    chargeLocalCopy(bytes);
+    return;
+  }
+  ++stats_.dataMsgs;
+  stats_.bytesSent += bytes;
+  // One-sided semantics: the initiating place pays the full transfer; the
+  // peer's worker does not stall (its runtime buffers the data). Ordering
+  // across places is established by the enclosing finish, whose completion
+  // already dominates every sender's clock.
+  clocks_[from] += cm_.commTime(bytes);
+}
+
+void Runtime::advance(double seconds) {
+  const PlaceId p = hereStack_.back();
+  if (isDead(p)) return;
+  clocks_[p] += seconds;
+}
+
+void Runtime::heapPut(PlaceId p, std::uint64_t key,
+                      std::shared_ptr<void> obj) {
+  if (p < 0 || p >= numPlaces()) throw ApgasError("heapPut: no such place");
+  if (isDead(p)) return;  // writes to a dead place are lost
+  heaps_[static_cast<std::size_t>(p)][key] = std::move(obj);
+}
+
+std::shared_ptr<void> Runtime::heapGet(PlaceId p, std::uint64_t key) const {
+  if (p < 0 || p >= numPlaces()) throw ApgasError("heapGet: no such place");
+  const auto& heap = heaps_[static_cast<std::size_t>(p)];
+  auto it = heap.find(key);
+  return it == heap.end() ? nullptr : it->second;
+}
+
+void Runtime::heapErase(PlaceId p, std::uint64_t key) {
+  if (p < 0 || p >= numPlaces()) return;
+  heaps_[static_cast<std::size_t>(p)].erase(key);
+}
+
+void Runtime::heapEraseAll(std::uint64_t key) {
+  for (auto& heap : heaps_) heap.erase(key);
+}
+
+}  // namespace rgml::apgas

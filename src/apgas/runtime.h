@@ -1,0 +1,271 @@
+// The simulated APGAS runtime: places, async/finish/at, virtual time,
+// resilient finish bookkeeping, place failure, and per-place heaps.
+//
+// -------------------------------------------------------------------------
+// Substitution note (see DESIGN.md §2)
+//
+// The paper runs on the X10 runtime: real OS processes ("places"), real
+// sockets, and a resilient `finish` implementation whose bookkeeping
+// messages funnel through place 0. This module substitutes a deterministic
+// in-process simulation:
+//
+//   * Places are logical entities with private heaps (Runtime owns a
+//     per-place map from handle id to object). Killing a place destroys its
+//     heap, so lost data is *really* lost — restore code cannot cheat.
+//   * Tasks execute depth-first on the single host thread. GML's
+//     operations are fork-join data-parallel (the paper runs one worker
+//     thread per place, X10_NTHREADS=1), so this ordering is semantically
+//     equivalent to the real schedule.
+//   * Each place carries a virtual clock. asyncAt/at/finish advance the
+//     clocks using CostModel; computational kernels charge analytic flop
+//     counts. Benchmarks report virtual time, which reproduces the paper's
+//     *scaling shapes* deterministically on one core.
+//   * In resilient mode, every finish/task control transition charges a
+//     bookkeeping message that serialises on place 0's clock — the exact
+//     mechanism the paper blames for the resilient-finish overhead.
+// -------------------------------------------------------------------------
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "apgas/cost_model.h"
+#include "apgas/exceptions.h"
+#include "apgas/place.h"
+#include "apgas/place_group.h"
+
+namespace rgml::apgas {
+
+/// Aggregate counters for one run; used by tests (to assert message
+/// complexity) and by the benchmark harness (ablation data).
+struct RuntimeStats {
+  long asyncsSpawned = 0;        ///< tasks spawned via async/asyncAt
+  long finishes = 0;             ///< finish scopes entered
+  long bookkeepingMsgs = 0;      ///< resilient-finish control messages
+  long dataMsgs = 0;             ///< application data messages
+  std::uint64_t bytesSent = 0;   ///< application payload bytes moved
+  long placesKilled = 0;         ///< failures injected so far
+};
+
+class Runtime {
+ public:
+  /// (Re)initialise the world with `numPlaces` live places, a cost model
+  /// and the finish mode. Destroys all previous state; every test and
+  /// benchmark starts with an init() call.
+  static void init(int numPlaces, const CostModel& cm = CostModel{},
+                   bool resilientFinish = false);
+
+  /// The singleton world. Must be initialised first.
+  static Runtime& world();
+
+  /// True between init() and process exit.
+  static bool initialized();
+
+  // ---- topology -------------------------------------------------------
+  /// Total places ever created (live + dead); ids are 0..numPlaces()-1.
+  [[nodiscard]] int numPlaces() const noexcept {
+    return static_cast<int>(clocks_.size());
+  }
+
+  /// Number of currently live places.
+  [[nodiscard]] int numLivePlaces() const noexcept {
+    return numPlaces() - static_cast<int>(dead_.size());
+  }
+
+  [[nodiscard]] bool isDead(PlaceId p) const noexcept {
+    return dead_.contains(p);
+  }
+
+  /// Elastic X10: create `n` fresh places, returning their ids. A new
+  /// place's clock starts at the current global maximum (it "joins now").
+  std::vector<PlaceId> addPlaces(int n);
+
+  // ---- failure injection ----------------------------------------------
+  /// Kill place `p` immediately: marks it dead, destroys its heap, freezes
+  /// its clock, and notifies kill listeners (e.g. snapshot stores, which
+  /// must drop the copies that place held). Killing place 0 throws
+  /// ApgasError: the paper's model assumes place zero is immortal.
+  void kill(PlaceId p);
+
+  /// Registers a callback invoked from kill(p). Returns a token usable
+  /// with removeKillListener.
+  std::uint64_t addKillListener(std::function<void(PlaceId)> fn);
+  void removeKillListener(std::uint64_t token);
+
+  /// Hook invoked before every asyncAt dispatch with the running dispatch
+  /// count (1-based). FaultInjector uses this to kill a place mid-step.
+  void setDispatchHook(std::function<void(long)> hook) {
+    dispatchHook_ = std::move(hook);
+  }
+
+  // ---- task model -------------------------------------------------------
+  /// The place the current task is executing on.
+  [[nodiscard]] Place here() const { return Place(hereStack_.back()); }
+
+  /// Runs `body`, waiting for all transitively spawned tasks. Rethrows a
+  /// single collected exception as-is; aggregates several into
+  /// MultipleExceptions. In resilient mode charges the place-0 bookkeeping
+  /// protocol (finish registration, per-task spawn/termination messages,
+  /// final completion ack).
+  void finish(const std::function<void()>& body);
+
+  /// Spawns `body` as a task on place `p` within the innermost finish. If
+  /// `p` is dead, records a DeadPlaceException in the finish instead of
+  /// running. If `p` dies while the body runs, the body's effects on p's
+  /// heap are destroyed and a DeadPlaceException is recorded.
+  void asyncAt(Place p, const std::function<void()>& body);
+
+  /// Local async: asyncAt(here()).
+  void async(const std::function<void()>& body) { asyncAt(here(), body); }
+
+  /// Synchronous place shift: runs `body` at `p`, blocking the current
+  /// task. Throws DeadPlaceException immediately if `p` is dead.
+  void at(Place p, const std::function<void()>& body);
+
+  /// Synchronous place shift with a result.
+  template <typename T>
+  T atReturning(Place p, const std::function<T()>& body) {
+    T result{};
+    at(p, [&] { result = body(); });
+    return result;
+  }
+
+  // ---- virtual time -----------------------------------------------------
+  [[nodiscard]] double clock(PlaceId p) const { return clocks_.at(p); }
+
+  /// Virtual time as observed by the main task's home (place 0).
+  [[nodiscard]] double time() const { return clocks_.at(0); }
+
+  /// Charge dense compute work to the current place's clock.
+  void chargeDenseFlops(double flops);
+  /// Charge sparse compute work to the current place's clock.
+  void chargeSparseFlops(double flops);
+  /// Charge a local memory copy to the current place's clock.
+  void chargeLocalCopy(std::uint64_t bytes);
+  /// Charge a snapshot serialisation/deep copy to the current place.
+  void chargeSerialization(std::uint64_t bytes);
+  /// Charge a data message of `bytes` from the current place to `to`
+  /// (advances the *current* place's clock by the full transfer time;
+  /// callers model synchronous pulls/pushes).
+  void chargeComm(Place to, std::uint64_t bytes);
+  /// Explicitly advance the current place's clock (tests, custom costs).
+  void advance(double seconds);
+
+  [[nodiscard]] const CostModel& costModel() const noexcept { return cm_; }
+  [[nodiscard]] bool resilientFinish() const noexcept { return resilient_; }
+  /// Toggle resilient finish (benchmarks flip this between sweeps).
+  void setResilientFinish(bool on) noexcept { resilient_ = on; }
+
+  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  void resetStats() { stats_ = RuntimeStats{}; }
+
+  // ---- per-place heaps (backing store for PLH / GlobalRef) -------------
+  [[nodiscard]] std::uint64_t allocHandleId() { return nextHandle_++; }
+  void heapPut(PlaceId p, std::uint64_t key, std::shared_ptr<void> obj);
+  [[nodiscard]] std::shared_ptr<void> heapGet(PlaceId p,
+                                              std::uint64_t key) const;
+  void heapErase(PlaceId p, std::uint64_t key);
+  /// Erase `key` from every place's heap (PlaceLocalHandle::destroy).
+  void heapEraseAll(std::uint64_t key);
+
+ private:
+  Runtime(int numPlaces, const CostModel& cm, bool resilient);
+
+  /// A same-place async: with one worker thread per place (the paper runs
+  /// X10_NTHREADS=1), it only runs once the spawning task blocks at the
+  /// enclosing finish, so its execution is deferred to the finish boundary.
+  struct DeferredTask {
+    PlaceId target = 0;
+    double spawnTime = 0.0;
+    std::function<void()> body;
+  };
+
+  struct FinishFrame {
+    PlaceId home = 0;
+    double maxChildEnd = 0.0;  ///< latest task end (+notification latency)
+    long tasks = 0;            ///< tasks spawned under this finish
+    std::vector<DeferredTask> deferred;
+    std::vector<std::exception_ptr> exceptions;
+  };
+
+  /// Run one task body at `target` with start time `spawnTime`, recording
+  /// its completion (or failure) in frame `idx`. Shared by asyncAt (remote
+  /// tasks, run eagerly) and the finish boundary (deferred local tasks).
+  void runTask(std::size_t idx, PlaceId target, double spawnTime,
+               const std::function<void()>& body);
+
+  /// Charge one resilient bookkeeping message sent at `sendTime`. Control
+  /// messages serialise on place 0's *control processor* clock (ctrlClock_)
+  /// — a separate logical processor from the place-0 worker, as in the
+  /// real runtime where the communication thread handles finish
+  /// bookkeeping. Returns the control clock after processing; the finish
+  /// completion ack couples it back into the application's clock.
+  double chargeBookkeeping(double sendTime);
+
+  void throwCollected(FinishFrame& frame);
+
+  CostModel cm_;
+  bool resilient_ = false;
+  double ctrlClock_ = 0.0;  ///< place-0 bookkeeping processor (resilient)
+  std::vector<double> clocks_;
+  std::unordered_set<PlaceId> dead_;
+  std::vector<PlaceId> hereStack_;
+  std::vector<FinishFrame> finishStack_;
+  RuntimeStats stats_;
+
+  std::uint64_t nextHandle_ = 1;
+  std::vector<std::unordered_map<std::uint64_t, std::shared_ptr<void>>>
+      heaps_;
+
+  std::uint64_t nextListener_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(PlaceId)>>
+      killListeners_;
+  std::function<void(long)> dispatchHook_;
+  long dispatchCount_ = 0;
+
+  static std::unique_ptr<Runtime> instance_;
+};
+
+// ---- X10-flavoured free functions ---------------------------------------
+
+inline Place here() { return Runtime::world().here(); }
+
+inline void finish(const std::function<void()>& body) {
+  Runtime::world().finish(body);
+}
+
+inline void async(const std::function<void()>& body) {
+  Runtime::world().async(body);
+}
+
+inline void asyncAt(Place p, const std::function<void()>& body) {
+  Runtime::world().asyncAt(p, body);
+}
+
+inline void at(Place p, const std::function<void()>& body) {
+  Runtime::world().at(p, body);
+}
+
+template <typename T>
+T atReturning(Place p, std::function<T()> body) {
+  return Runtime::world().atReturning<T>(p, std::move(body));
+}
+
+/// X10's `ateach`: finish { for (p in pg) asyncAt(p) body(p); }.
+/// The workhorse of every GML collective operation.
+inline void ateach(const PlaceGroup& pg,
+                   const std::function<void(Place)>& body) {
+  finish([&] {
+    for (PlaceId id : pg) {
+      asyncAt(Place(id), [&, id] { body(Place(id)); });
+    }
+  });
+}
+
+inline bool Place::isDead() const { return Runtime::world().isDead(id_); }
+
+}  // namespace rgml::apgas

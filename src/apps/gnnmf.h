@@ -1,0 +1,71 @@
+// Gaussian Non-Negative Matrix Factorisation (GNNMF), after the X10 GML
+// demo suite: V ~ W * H with V a sparse m x n DistBlockMatrix (row bands),
+// W a dense m x k DistBlockMatrix sharing V's row distribution and H a
+// duplicated k x n dense matrix, iterated with Lee-Seung multiplicative
+// updates:
+//
+//   H <- H .* (W^T V) ./ (W^T W H + eps)
+//   W <- W .* (V H^T) ./ (W H H^T + eps)
+//
+// Every heavy product is local per place (band x duplicated operand); the
+// k x n and k x k partial sums are reduced at the root and broadcast.
+// Exercises the distributed-GEMM layer and a two-distributed-object
+// mutable state in the resilient framework.
+//
+// This is the NON-RESILIENT version: a place failure aborts the run.
+#pragma once
+
+#include <cstdint>
+
+#include "apgas/place_group.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dup_dense_matrix.h"
+
+namespace rgml::apps {
+
+struct GnnmfConfig {
+  long rank = 8;             ///< k
+  long cols = 200;           ///< n (features of V)
+  long rowsPerPlace = 2000;  ///< rows of V per place (weak scaling)
+  long nnzPerRow = 10;       ///< sparsity of V
+  long blocksPerPlace = 2;
+  double epsilon = 1e-9;  ///< division guard of the multiplicative update
+  long iterations = 30;
+  std::uint64_t seed = 46;
+};
+
+class Gnnmf {
+ public:
+  Gnnmf(const GnnmfConfig& config, const apgas::PlaceGroup& pg);
+
+  void init();
+
+  [[nodiscard]] bool isFinished() const;
+  void step();
+  void run();
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  /// ||V - W*H||_F^2 after the last step (non-increasing under Lee-Seung).
+  [[nodiscard]] double objective() const noexcept { return objective_; }
+  [[nodiscard]] const gml::DistBlockMatrix& v() const noexcept { return v_; }
+  [[nodiscard]] const gml::DistBlockMatrix& w() const noexcept { return w_; }
+  [[nodiscard]] const gml::DupDenseMatrix& h() const noexcept { return h_; }
+
+ private:
+  GnnmfConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix v_;  ///< sparse data (read-only)
+  gml::DistBlockMatrix w_;  ///< dense row-band factor (mutable)
+  gml::DupDenseMatrix h_;   ///< duplicated factor (mutable)
+
+  double objective_ = 0.0;
+  long iteration_ = 0;
+};
+
+/// One multiplicative update shared by the plain and resilient variants.
+/// Returns ||V - W*H||_F^2 evaluated with the *pre-update* factors.
+double gnnmfStep(const gml::DistBlockMatrix& v, gml::DistBlockMatrix& w,
+                 gml::DupDenseMatrix& h, double epsilon);
+
+}  // namespace rgml::apps

@@ -1,0 +1,81 @@
+#include "apps/gnnmf_resilient.h"
+
+namespace rgml::apps {
+
+using apgas::PlaceGroup;
+using framework::RestoreMode;
+
+GnnmfResilient::GnnmfResilient(const GnnmfConfig& config,
+                               const PlaceGroup& pg)
+    : config_(config), pg_(pg) {}
+
+void GnnmfResilient::init() {
+  const long places = static_cast<long>(pg_.size());
+  const long m = config_.rowsPerPlace * places;
+  v_ = gml::DistBlockMatrix::makeSparse(
+      m, config_.cols, config_.blocksPerPlace * places, 1, places, 1,
+      config_.nnzPerRow, pg_);
+  v_.initRandom(config_.seed, 0.1, 1.0);
+  w_ = gml::DistBlockMatrix::makeDense(
+      m, config_.rank, config_.blocksPerPlace * places, 1, places, 1, pg_);
+  w_.initRandom(config_.seed + 1, 0.1, 1.0);
+  h_ = gml::DupDenseMatrix::make(config_.rank, config_.cols, pg_);
+  h_.initRandom(config_.seed + 2, 0.1, 1.0);
+  scalars_ = resilient::SnapshottableScalars(2, pg_);
+  objective_ = 0.0;
+  iteration_ = 0;
+}
+
+bool GnnmfResilient::isFinished() {
+  return iteration_ >= config_.iterations;
+}
+
+void GnnmfResilient::step() {
+  objective_ = gnnmfStep(v_, w_, h_, config_.epsilon);
+  ++iteration_;
+}
+
+void GnnmfResilient::checkpoint(resilient::AppResilientStore& store) {
+  scalars_[0] = objective_;
+  scalars_[1] = static_cast<double>(iteration_);
+  store.startNewSnapshot();
+  store.saveReadOnly(v_);
+  store.save(w_);
+  store.save(h_);
+  store.save(scalars_);
+  store.commit();
+}
+
+void GnnmfResilient::restore(const PlaceGroup& newPlaces,
+                             resilient::AppResilientStore& store,
+                             long snapshotIter, RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::Shrink:
+      v_.remakeShrink(newPlaces);
+      w_.remakeShrink(newPlaces);
+      break;
+    case RestoreMode::ShrinkRebalance:
+      v_.remakeRebalance(newPlaces);
+      w_.remakeRebalance(newPlaces);
+      break;
+    case RestoreMode::ReplaceRedundant:
+    case RestoreMode::ReplaceElastic:
+      v_.remakeSameDist(newPlaces);
+      w_.remakeSameDist(newPlaces);
+      break;
+  }
+  h_.remake(newPlaces);
+  scalars_.remake(newPlaces);
+  pg_ = newPlaces;
+
+  store.restore();
+
+  objective_ = scalars_[0];
+  iteration_ = static_cast<long>(scalars_[1]);
+  if (iteration_ != snapshotIter) {
+    throw apgas::ApgasError(
+        "GnnmfResilient::restore: snapshot iteration mismatch");
+  }
+}
+
+}  // namespace rgml::apps

@@ -1,0 +1,51 @@
+// RESILIENT GNNMF: two mutable distributed objects (the dense row-band
+// factor W and the duplicated factor H) checkpointed together — the
+// broadest state any app in this repository carries through the framework.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/gnnmf.h"
+#include "framework/resilient_executor.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dup_dense_matrix.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::apps {
+
+class GnnmfResilient final : public framework::ResilientIterativeApp {
+ public:
+  GnnmfResilient(const GnnmfConfig& config, const apgas::PlaceGroup& pg);
+
+  void init();
+
+  // -- framework programming model ---------------------------------------
+  [[nodiscard]] bool isFinished() override;
+  void step() override;
+  void checkpoint(resilient::AppResilientStore& store) override;
+  void restore(const apgas::PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long snapshotIter,
+               framework::RestoreMode mode) override;
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  [[nodiscard]] double objective() const noexcept { return objective_; }
+  [[nodiscard]] const gml::DistBlockMatrix& w() const noexcept { return w_; }
+  [[nodiscard]] const gml::DupDenseMatrix& h() const noexcept { return h_; }
+  [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {
+    return pg_;
+  }
+
+ private:
+  GnnmfConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix v_;  ///< read-only
+  gml::DistBlockMatrix w_;  ///< mutable distributed factor
+  gml::DupDenseMatrix h_;   ///< mutable duplicated factor
+  resilient::SnapshottableScalars scalars_;  ///< {objective, iteration}
+
+  double objective_ = 0.0;
+  long iteration_ = 0;
+};
+
+}  // namespace rgml::apps

@@ -1,0 +1,66 @@
+// K-Means clustering (Lloyd's algorithm), after the X10 GML demo suite.
+//
+// Unlike the paper's three benchmarks, K-Means carries a duplicated
+// *matrix* (the k x d centroid table) as its mutable state, exercising
+// DupDenseMatrix in the resilient framework. Each iteration assigns every
+// point of a dense DistBlockMatrix to its nearest centroid (local compute),
+// reduces the per-place partial sums at the root (flat reduction, like
+// transMult), recomputes the centroids and broadcasts them.
+//
+// This is the NON-RESILIENT version: a place failure aborts the run.
+#pragma once
+
+#include <cstdint>
+
+#include "apgas/place_group.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dup_dense_matrix.h"
+
+namespace rgml::apps {
+
+struct KMeansConfig {
+  long clusters = 8;          ///< k
+  long dims = 16;             ///< point dimensionality
+  long pointsPerPlace = 10000;  ///< weak scaling
+  long blocksPerPlace = 2;
+  long iterations = 30;
+  std::uint64_t seed = 45;
+};
+
+class KMeans {
+ public:
+  KMeans(const KMeansConfig& config, const apgas::PlaceGroup& pg);
+
+  /// Allocate and fill the points; seed the centroids from the first k
+  /// points (deterministic).
+  void init();
+
+  [[nodiscard]] bool isFinished() const;
+  void step();
+  void run();
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  /// Sum of squared point-to-assigned-centroid distances after the last
+  /// step (monotonically non-increasing under Lloyd's algorithm).
+  [[nodiscard]] double inertia() const noexcept { return inertia_; }
+  [[nodiscard]] const gml::DupDenseMatrix& centroids() const noexcept {
+    return c_;
+  }
+
+ private:
+  KMeansConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix x_;   ///< points (read-only), rows = points
+  gml::DupDenseMatrix c_;    ///< centroids, k x d
+
+  double inertia_ = 0.0;
+  long iteration_ = 0;
+};
+
+/// One Lloyd step shared by the plain and resilient variants: assigns the
+/// points of `x` to the nearest row of `c`, reduces partial sums at
+/// c's first place, rewrites `c` and syncs it. Returns the total inertia.
+double kmeansStep(const gml::DistBlockMatrix& x, gml::DupDenseMatrix& c);
+
+}  // namespace rgml::apps

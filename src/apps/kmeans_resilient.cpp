@@ -1,0 +1,91 @@
+#include "apps/kmeans_resilient.h"
+
+#include "apgas/runtime.h"
+#include "la/rand.h"
+
+namespace rgml::apps {
+
+using apgas::PlaceGroup;
+using apgas::Runtime;
+using framework::RestoreMode;
+
+KMeansResilient::KMeansResilient(const KMeansConfig& config,
+                                 const PlaceGroup& pg)
+    : config_(config), pg_(pg) {}
+
+void KMeansResilient::init() {
+  const long places = static_cast<long>(pg_.size());
+  const long m = config_.pointsPerPlace * places;
+  x_ = gml::DistBlockMatrix::makeDense(
+      m, config_.dims, config_.blocksPerPlace * places, 1, places, 1, pg_);
+  x_.initRandom(config_.seed);
+  c_ = gml::DupDenseMatrix::make(config_.clusters, config_.dims, pg_);
+  scalars_ = resilient::SnapshottableScalars(2, pg_);
+
+  Runtime& rt = Runtime::world();
+  rt.at(pg_(0), [&] {
+    la::DenseMatrix& centroids = c_.local();
+    for (long r = 0; r < config_.clusters; ++r) {
+      for (long j = 0; j < config_.dims; ++j) {
+        centroids(r, j) = la::hashedUniform(
+            config_.seed,
+            static_cast<std::uint64_t>(r) *
+                    static_cast<std::uint64_t>(config_.dims) +
+                static_cast<std::uint64_t>(j));
+      }
+    }
+  });
+  c_.sync();
+  inertia_ = 0.0;
+  iteration_ = 0;
+}
+
+bool KMeansResilient::isFinished() {
+  return iteration_ >= config_.iterations;
+}
+
+void KMeansResilient::step() {
+  inertia_ = kmeansStep(x_, c_);
+  ++iteration_;
+}
+
+void KMeansResilient::checkpoint(resilient::AppResilientStore& store) {
+  scalars_[0] = inertia_;
+  scalars_[1] = static_cast<double>(iteration_);
+  store.startNewSnapshot();
+  store.saveReadOnly(x_);
+  store.save(c_);
+  store.save(scalars_);
+  store.commit();
+}
+
+void KMeansResilient::restore(const PlaceGroup& newPlaces,
+                              resilient::AppResilientStore& store,
+                              long snapshotIter, RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::Shrink:
+      x_.remakeShrink(newPlaces);
+      break;
+    case RestoreMode::ShrinkRebalance:
+      x_.remakeRebalance(newPlaces);
+      break;
+    case RestoreMode::ReplaceRedundant:
+    case RestoreMode::ReplaceElastic:
+      x_.remakeSameDist(newPlaces);
+      break;
+  }
+  c_.remake(newPlaces);
+  scalars_.remake(newPlaces);
+  pg_ = newPlaces;
+
+  store.restore();
+
+  inertia_ = scalars_[0];
+  iteration_ = static_cast<long>(scalars_[1]);
+  if (iteration_ != snapshotIter) {
+    throw apgas::ApgasError(
+        "KMeansResilient::restore: snapshot iteration mismatch");
+  }
+}
+
+}  // namespace rgml::apps

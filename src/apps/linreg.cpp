@@ -1,0 +1,61 @@
+#include "apps/linreg.h"
+
+namespace rgml::apps {
+
+using apgas::PlaceGroup;
+
+LinReg::LinReg(const LinRegConfig& config, const PlaceGroup& pg)
+    : config_(config), pg_(pg) {}
+
+void LinReg::init() {
+  const long places = static_cast<long>(pg_.size());
+  const long m = config_.rowsPerPlace * places;
+  const long n = config_.features;
+  x_ = gml::DistBlockMatrix::makeDense(
+      m, n, config_.blocksPerPlace * places, 1, places, 1, pg_);
+  x_.initRandom(config_.seed);
+  y_ = gml::DistVector::make(m, pg_);
+  y_.initRandom(config_.seed + 1);
+  w_ = gml::DupVector::make(n, pg_);
+  p_ = gml::DupVector::make(n, pg_);
+  r_ = gml::DupVector::make(n, pg_);
+  q_ = gml::DupVector::make(n, pg_);
+  xp_ = gml::DistVector::make(m, pg_);
+
+  // CG initialisation: w = 0, r = X^T y, p = r.
+  w_.init(0.0);
+  r_.transMult(x_, y_);
+  p_.copyFrom(r_);
+  normR2_ = r_.dot(r_);
+  iteration_ = 0;
+}
+
+bool LinReg::isFinished() const { return iteration_ >= config_.iterations; }
+
+void LinReg::step() {
+  // q = X^T (X p) + lambda p
+  xp_.mult(x_, p_);
+  q_.transMult(x_, xp_);
+  q_.axpy(config_.lambda, p_);
+
+  const double alpha = normR2_ / p_.dot(q_);
+  w_.axpy(alpha, p_);
+  r_.axpy(-alpha, q_);
+
+  const double newNormR2 = r_.dot(r_);
+  const double beta = newNormR2 / normR2_;
+  normR2_ = newNormR2;
+
+  // p = r + beta * p
+  p_.scale(beta);
+  p_.cellAdd(r_);
+
+  ++iteration_;
+}
+
+void LinReg::run() {
+  init();
+  while (!isFinished()) step();
+}
+
+}  // namespace rgml::apps

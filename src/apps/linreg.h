@@ -1,0 +1,64 @@
+// Linear Regression trained by conjugate gradient on the regularised
+// normal equations (the GML LinReg benchmark of the paper, §VII).
+//
+// Model: minimise ||X w - y||^2 + lambda ||w||^2 over n features, where X
+// is an examples x features dense DistBlockMatrix. Each CG iteration does
+// one distributed mat-vec (Xp = X p), one transposed mat-vec with a global
+// reduction (q = X^T Xp), and a handful of replicated vector updates —
+// many finish constructs per iteration, which is why LinReg shows the
+// paper's largest resilient-finish overhead (Fig. 2).
+//
+// This is the NON-RESILIENT version: a place failure aborts the run.
+#pragma once
+
+#include <cstdint>
+
+#include "apgas/place_group.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_vector.h"
+
+namespace rgml::apps {
+
+struct LinRegConfig {
+  long features = 500;        ///< n (paper: 500)
+  long rowsPerPlace = 50000;  ///< training examples per place (weak scaling)
+  long blocksPerPlace = 2;    ///< row blocks per place in X
+  double lambda = 1e-6;       ///< ridge regularisation
+  long iterations = 30;       ///< CG iterations to run
+  std::uint64_t seed = 42;
+};
+
+class LinReg {
+ public:
+  LinReg(const LinRegConfig& config, const apgas::PlaceGroup& pg);
+
+  /// Allocate and fill X, y; initialise the CG state (w=0, r=p=X^T y).
+  void init();
+
+  [[nodiscard]] bool isFinished() const;
+  void step();
+  /// init() + step() until finished.
+  void run();
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  [[nodiscard]] double residualNormSq() const noexcept { return normR2_; }
+  [[nodiscard]] const gml::DupVector& weights() const noexcept { return w_; }
+
+ private:
+  LinRegConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix x_;  ///< training examples (read-only)
+  gml::DistVector y_;       ///< labels (read-only)
+  gml::DupVector w_;        ///< model weights
+  gml::DupVector p_;        ///< CG search direction
+  gml::DupVector r_;        ///< CG residual
+  gml::DupVector q_;        ///< scratch: X^T X p
+  gml::DistVector xp_;      ///< scratch: X p
+
+  double normR2_ = 0.0;
+  long iteration_ = 0;
+};
+
+}  // namespace rgml::apps

@@ -1,0 +1,105 @@
+#include "apps/linreg_resilient.h"
+
+namespace rgml::apps {
+
+using apgas::PlaceGroup;
+using framework::RestoreMode;
+
+LinRegResilient::LinRegResilient(const LinRegConfig& config,
+                                 const PlaceGroup& pg)
+    : config_(config), pg_(pg) {}
+
+void LinRegResilient::init() {
+  const long places = static_cast<long>(pg_.size());
+  const long m = config_.rowsPerPlace * places;
+  const long n = config_.features;
+  x_ = gml::DistBlockMatrix::makeDense(
+      m, n, config_.blocksPerPlace * places, 1, places, 1, pg_);
+  x_.initRandom(config_.seed);
+  y_ = gml::DistVector::make(m, pg_);
+  y_.initRandom(config_.seed + 1);
+  w_ = gml::DupVector::make(n, pg_);
+  p_ = gml::DupVector::make(n, pg_);
+  r_ = gml::DupVector::make(n, pg_);
+  q_ = gml::DupVector::make(n, pg_);
+  xp_ = gml::DistVector::make(m, pg_);
+  scalars_ = resilient::SnapshottableScalars(2, pg_);
+
+  w_.init(0.0);
+  r_.transMult(x_, y_);
+  p_.copyFrom(r_);
+  normR2_ = r_.dot(r_);
+  iteration_ = 0;
+}
+
+bool LinRegResilient::isFinished() {
+  return iteration_ >= config_.iterations;
+}
+
+void LinRegResilient::step() {
+  xp_.mult(x_, p_);
+  q_.transMult(x_, xp_);
+  q_.axpy(config_.lambda, p_);
+
+  const double alpha = normR2_ / p_.dot(q_);
+  w_.axpy(alpha, p_);
+  r_.axpy(-alpha, q_);
+
+  const double newNormR2 = r_.dot(r_);
+  const double beta = newNormR2 / normR2_;
+  normR2_ = newNormR2;
+
+  p_.scale(beta);
+  p_.cellAdd(r_);
+
+  ++iteration_;
+}
+
+void LinRegResilient::checkpoint(resilient::AppResilientStore& store) {
+  scalars_[0] = normR2_;
+  scalars_[1] = static_cast<double>(iteration_);
+  store.startNewSnapshot();
+  store.saveReadOnly(x_);
+  store.saveReadOnly(y_);
+  store.save(w_);
+  store.save(p_);
+  store.save(r_);
+  store.save(scalars_);
+  store.commit();
+}
+
+void LinRegResilient::restore(const PlaceGroup& newPlaces,
+                              resilient::AppResilientStore& store,
+                              long snapshotIter, RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::Shrink:
+      x_.remakeShrink(newPlaces);
+      break;
+    case RestoreMode::ShrinkRebalance:
+      x_.remakeRebalance(newPlaces);
+      break;
+    case RestoreMode::ReplaceRedundant:
+    case RestoreMode::ReplaceElastic:
+      x_.remakeSameDist(newPlaces);
+      break;
+  }
+  y_.remake(newPlaces);
+  w_.remake(newPlaces);
+  p_.remake(newPlaces);
+  r_.remake(newPlaces);
+  q_.remake(newPlaces);
+  xp_.remake(newPlaces);
+  scalars_.remake(newPlaces);
+  pg_ = newPlaces;
+
+  store.restore();
+
+  normR2_ = scalars_[0];
+  iteration_ = static_cast<long>(scalars_[1]);
+  if (iteration_ != snapshotIter) {
+    throw apgas::ApgasError(
+        "LinRegResilient::restore: snapshot iteration mismatch");
+  }
+}
+
+}  // namespace rgml::apps

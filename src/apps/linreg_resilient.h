@@ -1,0 +1,58 @@
+// RESILIENT Linear Regression: the LinReg algorithm expressed in the
+// framework's four-method programming model (paper §V-A2, Table II).
+//
+// Relative to the non-resilient version, the additions are exactly the
+// checkpoint() and restore() methods plus the scalar-state bookkeeping —
+// the algorithm body (step) is unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/linreg.h"
+#include "framework/resilient_executor.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_vector.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::apps {
+
+class LinRegResilient final : public framework::ResilientIterativeApp {
+ public:
+  LinRegResilient(const LinRegConfig& config, const apgas::PlaceGroup& pg);
+
+  void init();
+
+  // -- framework programming model ---------------------------------------
+  [[nodiscard]] bool isFinished() override;
+  void step() override;
+  void checkpoint(resilient::AppResilientStore& store) override;
+  void restore(const apgas::PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long snapshotIter,
+               framework::RestoreMode mode) override;
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  [[nodiscard]] double residualNormSq() const noexcept { return normR2_; }
+  [[nodiscard]] const gml::DupVector& weights() const noexcept { return w_; }
+  [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {
+    return pg_;
+  }
+
+ private:
+  LinRegConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix x_;  ///< read-only: saveReadOnly at checkpoints
+  gml::DistVector y_;       ///< read-only
+  gml::DupVector w_;
+  gml::DupVector p_;
+  gml::DupVector r_;
+  gml::DupVector q_;    ///< scratch (not checkpointed)
+  gml::DistVector xp_;  ///< scratch (not checkpointed)
+  resilient::SnapshottableScalars scalars_;  ///< {normR2, iteration}
+
+  double normR2_ = 0.0;
+  long iteration_ = 0;
+};
+
+}  // namespace rgml::apps

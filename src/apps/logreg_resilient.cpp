@@ -1,0 +1,125 @@
+#include "apps/logreg_resilient.h"
+
+#include <cmath>
+
+namespace rgml::apps {
+
+using apgas::PlaceGroup;
+using framework::RestoreMode;
+
+LogRegResilient::LogRegResilient(const LogRegConfig& config,
+                                 const PlaceGroup& pg)
+    : config_(config), pg_(pg) {}
+
+void LogRegResilient::init() {
+  const long places = static_cast<long>(pg_.size());
+  const long m = config_.rowsPerPlace * places;
+  const long n = config_.features;
+  x_ = gml::DistBlockMatrix::makeDense(
+      m, n, config_.blocksPerPlace * places, 1, places, 1, pg_);
+  x_.initRandom(config_.seed, -1.0, 1.0);
+  y_ = gml::DistVector::make(m, pg_);
+  y_.initRandom(config_.seed + 1);
+  y_.map([](double v, long) { return v < 0.5 ? 0.0 : 1.0; }, 1.0);
+  w_ = gml::DupVector::make(n, pg_);
+  grad_ = gml::DupVector::make(n, pg_);
+  hg_ = gml::DupVector::make(n, pg_);
+  xw_ = gml::DistVector::make(m, pg_);
+  tmp_ = gml::DistVector::make(m, pg_);
+  scalars_ = resilient::SnapshottableScalars(2, pg_);
+
+  w_.init(0.0);
+  loss_ = 0.0;
+  iteration_ = 0;
+}
+
+bool LogRegResilient::isFinished() {
+  return iteration_ >= config_.iterations;
+}
+
+void LogRegResilient::step() {
+  xw_.mult(x_, w_);
+
+  tmp_.copyFrom(xw_);
+  tmp_.map2(y_,
+            [](double margin, double label, long) {
+              const double signed_margin = (2.0 * label - 1.0) * margin;
+              return std::log1p(std::exp(-signed_margin));
+            },
+            12.0);
+  loss_ = tmp_.sum();
+
+  tmp_.copyFrom(xw_);
+  tmp_.map2(y_,
+            [](double margin, double label, long) {
+              return 1.0 / (1.0 + std::exp(-margin)) - label;
+            },
+            8.0);
+
+  grad_.transMult(x_, tmp_);
+  grad_.axpy(config_.lambda, w_);
+
+  tmp_.mult(x_, grad_);
+  tmp_.map2(xw_,
+            [](double xg, double margin, long) {
+              const double p = 1.0 / (1.0 + std::exp(-margin));
+              return p * (1.0 - p) * xg;
+            },
+            10.0);
+  hg_.transMult(x_, tmp_);
+  hg_.axpy(config_.lambda, grad_);
+
+  const double gg = grad_.dot(grad_);
+  const double curvature = grad_.dot(hg_);
+  const double step = curvature > 1e-30 ? gg / curvature : config_.eta;
+  w_.axpy(-step, grad_);
+
+  ++iteration_;
+}
+
+void LogRegResilient::checkpoint(resilient::AppResilientStore& store) {
+  scalars_[0] = loss_;
+  scalars_[1] = static_cast<double>(iteration_);
+  store.startNewSnapshot();
+  store.saveReadOnly(x_);
+  store.saveReadOnly(y_);
+  store.save(w_);
+  store.save(scalars_);
+  store.commit();
+}
+
+void LogRegResilient::restore(const PlaceGroup& newPlaces,
+                              resilient::AppResilientStore& store,
+                              long snapshotIter, RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::Shrink:
+      x_.remakeShrink(newPlaces);
+      break;
+    case RestoreMode::ShrinkRebalance:
+      x_.remakeRebalance(newPlaces);
+      break;
+    case RestoreMode::ReplaceRedundant:
+    case RestoreMode::ReplaceElastic:
+      x_.remakeSameDist(newPlaces);
+      break;
+  }
+  y_.remake(newPlaces);
+  w_.remake(newPlaces);
+  grad_.remake(newPlaces);
+  hg_.remake(newPlaces);
+  xw_.remake(newPlaces);
+  tmp_.remake(newPlaces);
+  scalars_.remake(newPlaces);
+  pg_ = newPlaces;
+
+  store.restore();
+
+  loss_ = scalars_[0];
+  iteration_ = static_cast<long>(scalars_[1]);
+  if (iteration_ != snapshotIter) {
+    throw apgas::ApgasError(
+        "LogRegResilient::restore: snapshot iteration mismatch");
+  }
+}
+
+}  // namespace rgml::apps

@@ -1,0 +1,54 @@
+// RESILIENT Logistic Regression: the LogReg algorithm in the framework's
+// four-method programming model (paper §V-A2, Table II).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/logreg.h"
+#include "framework/resilient_executor.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_vector.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::apps {
+
+class LogRegResilient final : public framework::ResilientIterativeApp {
+ public:
+  LogRegResilient(const LogRegConfig& config, const apgas::PlaceGroup& pg);
+
+  void init();
+
+  // -- framework programming model ---------------------------------------
+  [[nodiscard]] bool isFinished() override;
+  void step() override;
+  void checkpoint(resilient::AppResilientStore& store) override;
+  void restore(const apgas::PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long snapshotIter,
+               framework::RestoreMode mode) override;
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  [[nodiscard]] double loss() const noexcept { return loss_; }
+  [[nodiscard]] const gml::DupVector& weights() const noexcept { return w_; }
+  [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {
+    return pg_;
+  }
+
+ private:
+  LogRegConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix x_;  ///< read-only
+  gml::DistVector y_;       ///< read-only
+  gml::DupVector w_;
+  gml::DupVector grad_;  ///< scratch
+  gml::DupVector hg_;    ///< scratch
+  gml::DistVector xw_;   ///< scratch
+  gml::DistVector tmp_;  ///< scratch
+  resilient::SnapshottableScalars scalars_;  ///< {loss, iteration}
+
+  double loss_ = 0.0;
+  long iteration_ = 0;
+};
+
+}  // namespace rgml::apps

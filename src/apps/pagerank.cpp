@@ -1,0 +1,70 @@
+#include "apps/pagerank.h"
+
+#include "apgas/runtime.h"
+#include "la/kernels.h"
+#include "la/rand.h"
+
+namespace rgml::apps {
+
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+PageRank::PageRank(const PageRankConfig& config, const PlaceGroup& pg)
+    : config_(config), pg_(pg) {}
+
+void PageRank::init() {
+  const long places = static_cast<long>(pg_.size());
+  const long n = config_.pagesPerPlace * places;
+  g_ = gml::DistBlockMatrix::makeSparse(
+      n, n, config_.blocksPerPlace * places, 1, places, 1,
+      config_.linksPerPage, pg_);
+  if (config_.exactGraph) {
+    g_.initFromCSR(la::makeWebGraph(n, config_.linksPerPage, config_.seed));
+  } else {
+    g_.initRandom(config_.seed, 0.0, 1.0 / config_.linksPerPage);
+  }
+  p_ = gml::DupVector::make(n, pg_);
+  u_ = gml::DistVector::make(n, pg_);
+  gp_ = gml::DistVector::make(n, pg_);
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  p_.init(uniform);
+  u_.init(1.0);
+  iteration_ = 0;
+}
+
+bool PageRank::isFinished() const { return iteration_ >= config_.iterations; }
+
+void PageRank::step() {
+  // GP = alpha * G * P.
+  gp_.mult(g_, p_);
+  gp_.scale(config_.alpha);
+
+  // Teleport term: (1 - alpha) * (U . P) / n, identical for every page.
+  const long n = p_.size();
+  const double utp1a =
+      u_.dot(p_) * (1.0 - config_.alpha) / static_cast<double>(n);
+
+  // Gather GP into the root replica, add the teleport term, broadcast
+  // (Listing 2 lines 15-17).
+  Runtime& rt = Runtime::world();
+  rt.at(pg_(0), [&] {
+    gp_.copyTo(p_.local());
+    la::addScalar(p_.local().span(), utp1a);
+    rt.chargeDenseFlops(static_cast<double>(n));
+  });
+  p_.sync();
+
+  ++iteration_;
+}
+
+void PageRank::run() {
+  init();
+  while (!isFinished()) step();
+}
+
+double PageRank::rankSum() const {
+  return p_.sum();
+}
+
+}  // namespace rgml::apps

@@ -1,0 +1,51 @@
+// RESILIENT PageRank: the PageRank algorithm in the framework's
+// four-method programming model (paper §V-A2, Listing 5, Table II).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/pagerank.h"
+#include "framework/resilient_executor.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_vector.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::apps {
+
+class PageRankResilient final : public framework::ResilientIterativeApp {
+ public:
+  PageRankResilient(const PageRankConfig& config,
+                    const apgas::PlaceGroup& pg);
+
+  void init();
+
+  // -- framework programming model ---------------------------------------
+  [[nodiscard]] bool isFinished() override;
+  void step() override;
+  void checkpoint(resilient::AppResilientStore& store) override;
+  void restore(const apgas::PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long snapshotIter,
+               framework::RestoreMode mode) override;
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  [[nodiscard]] const gml::DupVector& ranks() const noexcept { return p_; }
+  [[nodiscard]] double rankSum() const;
+  [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {
+    return pg_;
+  }
+
+ private:
+  PageRankConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix g_;  ///< read-only
+  gml::DupVector p_;
+  gml::DistVector u_;   ///< read-only
+  gml::DistVector gp_;  ///< scratch
+  resilient::SnapshottableScalars scalars_;  ///< {iteration}
+
+  long iteration_ = 0;
+};
+
+}  // namespace rgml::apps

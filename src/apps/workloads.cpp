@@ -1,0 +1,44 @@
+#include "apps/workloads.h"
+
+namespace rgml::apps {
+
+LinRegConfig benchLinRegConfig() {
+  LinRegConfig cfg;
+  cfg.features = 100;  // paper: 500; reduced to fit the 44-place sweep in RAM
+  cfg.rowsPerPlace = 50000;  // paper-exact
+  cfg.blocksPerPlace = 16;
+  cfg.lambda = 1e-6;
+  cfg.iterations = 30;
+  cfg.seed = 42;
+  return cfg;
+}
+
+LogRegConfig benchLogRegConfig() {
+  LogRegConfig cfg;
+  cfg.features = 100;
+  cfg.rowsPerPlace = 50000;  // paper-exact
+  cfg.blocksPerPlace = 16;
+  cfg.lambda = 1e-6;
+  cfg.eta = 0.1;
+  cfg.iterations = 30;
+  cfg.seed = 43;
+  return cfg;
+}
+
+PageRankConfig benchPageRankConfig() {
+  PageRankConfig cfg;
+  cfg.pagesPerPlace = 20000;
+  cfg.linksPerPage = 100;  // 2M edges/place, paper-exact
+  cfg.blocksPerPlace = 2;
+  cfg.alpha = 0.85;
+  cfg.iterations = 30;
+  cfg.seed = 44;
+  cfg.exactGraph = false;
+  return cfg;
+}
+
+std::vector<int> paperPlaceCounts() {
+  return {2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44};
+}
+
+}  // namespace rgml::apps

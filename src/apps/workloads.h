@@ -1,0 +1,29 @@
+// Benchmark workload presets: the paper's weak-scaling experiments with
+// per-place problem sizes scaled down so the whole sweep runs on one core.
+// The cost model (apgas::paperCalibratedCostModel) compensates the scaling
+// so virtual per-iteration times land in the paper's range (EXPERIMENTS.md
+// documents the mapping).
+#pragma once
+
+#include <vector>
+
+#include "apps/linreg.h"
+#include "apps/logreg.h"
+#include "apps/pagerank.h"
+
+namespace rgml::apps {
+
+/// Paper: 500 features, 50k rows/place. Bench: 100 features, 5k rows/place.
+[[nodiscard]] LinRegConfig benchLinRegConfig();
+
+/// Paper: same data shape as LinReg. Bench: 100 features, 5k rows/place.
+[[nodiscard]] LogRegConfig benchLogRegConfig();
+
+/// Paper: 2M edges/place. Bench: 10k pages/place x 20 links = 200k
+/// edges/place.
+[[nodiscard]] PageRankConfig benchPageRankConfig();
+
+/// The paper's x-axis: 2, 4, 8, 12, ..., 44 places.
+[[nodiscard]] std::vector<int> paperPlaceCounts();
+
+}  // namespace rgml::apps

@@ -1,0 +1,27 @@
+#include "framework/checkpoint_interval.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rgml::framework {
+
+double youngInterval(double checkpointTime, double mttf) {
+  if (checkpointTime < 0.0 || mttf <= 0.0) {
+    throw std::invalid_argument(
+        "youngInterval: need checkpointTime >= 0 and mttf > 0");
+  }
+  return std::sqrt(2.0 * checkpointTime * mttf);
+}
+
+long youngIntervalIterations(double checkpointTime, double mttf,
+                             double iterationTime) {
+  if (iterationTime <= 0.0) {
+    throw std::invalid_argument(
+        "youngIntervalIterations: iterationTime must be > 0");
+  }
+  const double interval = youngInterval(checkpointTime, mttf);
+  const long iterations = static_cast<long>(interval / iterationTime);
+  return iterations < 1 ? 1 : iterations;
+}
+
+}  // namespace rgml::framework

@@ -1,0 +1,15 @@
+// Checkpoint-interval selection (paper §V, citing Young 1974).
+#pragma once
+
+namespace rgml::framework {
+
+/// Young's first-order optimum checkpoint interval:
+/// sqrt(2 * checkpointTime * mttf), in the same time unit as the inputs.
+[[nodiscard]] double youngInterval(double checkpointTime, double mttf);
+
+/// Young's interval expressed in iterations of an iterative algorithm with
+/// the given per-iteration time (rounded to >= 1).
+[[nodiscard]] long youngIntervalIterations(double checkpointTime, double mttf,
+                                           double iterationTime);
+
+}  // namespace rgml::framework

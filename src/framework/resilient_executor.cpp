@@ -1,0 +1,208 @@
+#include "framework/resilient_executor.h"
+
+#include "apgas/runtime.h"
+#include "framework/trace.h"
+
+namespace rgml::framework {
+
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+const char* toString(RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::Shrink:
+      return "shrink";
+    case RestoreMode::ShrinkRebalance:
+      return "shrink-rebalance";
+    case RestoreMode::ReplaceRedundant:
+      return "replace-redundant";
+    case RestoreMode::ReplaceElastic:
+      return "replace-elastic";
+  }
+  return "?";
+}
+
+namespace {
+/// True if `ep` is (or contains) a dead-place failure — the recoverable
+/// kind. Everything else propagates to the caller.
+bool isDeadPlaceFailure(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const apgas::DeadPlaceException&) {
+    return true;
+  } catch (const apgas::MultipleExceptions& me) {
+    return me.containsDeadPlace();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// The failing place named by the exception (for trace records).
+apgas::PlaceId firstDeadPlaceOf(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const apgas::DeadPlaceException& dpe) {
+    return dpe.place();
+  } catch (const apgas::MultipleExceptions& me) {
+    return me.firstDeadPlace();
+  } catch (...) {
+    return apgas::kInvalidPlace;
+  }
+}
+}  // namespace
+
+ResilientExecutor::ResilientExecutor(ExecutorConfig config)
+    : config_(std::move(config)),
+      places_(config_.places),
+      spares_(config_.spares) {
+  if (places_.empty()) {
+    throw apgas::ApgasError("ResilientExecutor: empty place group");
+  }
+  if (config_.checkpointInterval < 1) {
+    throw apgas::ApgasError("ResilientExecutor: checkpointInterval < 1");
+  }
+}
+
+RunStats ResilientExecutor::run(ResilientIterativeApp& app,
+                                apgas::FaultInjector* injector) {
+  Runtime& rt = Runtime::world();
+  if (!rt.resilientFinish()) {
+    throw apgas::ApgasError(
+        "ResilientExecutor requires resilient finish (Runtime::init with "
+        "resilientFinish=true): non-resilient X10 cannot survive failures");
+  }
+
+  RunStats stats;
+  const double t0 = rt.time();
+  long iter = 0;  // completed logical iterations
+
+  auto record = [&](TraceEvent::Kind kind, long iteration, double start,
+                    double end, apgas::PlaceId victim = apgas::kInvalidPlace) {
+    if (config_.trace == nullptr) return;
+    TraceEvent event;
+    event.kind = kind;
+    event.iteration = iteration;
+    event.startTime = start;
+    event.endTime = end;
+    event.victim = victim;
+    event.mode = config_.mode;
+    config_.trace->record(event);
+  };
+
+  while (!app.isFinished()) {
+    try {
+      const double s0 = rt.time();
+      app.step();
+      record(TraceEvent::Kind::Step, iter + 1, s0, rt.time());
+      ++stats.stepsExecuted;
+      ++iter;
+      if (injector != nullptr) {
+        // Cooperative kills armed for this iteration fire here; the failure
+        // is then observed by the next step or checkpoint, exactly like a
+        // crash between iterations on a real cluster.
+        injector->onIterationCompleted(iter);
+      }
+      if (iter % config_.checkpointInterval == 0) {
+        const double c0 = rt.time();
+        store_.setIteration(iter);
+        app.checkpoint(store_);
+        if (store_.inProgress()) {
+          throw apgas::ApgasError(
+              "checkpoint() returned without commit() or cancelSnapshot()");
+        }
+        record(TraceEvent::Kind::Checkpoint, iter, c0, rt.time());
+        stats.checkpointTime += rt.time() - c0;
+        ++stats.checkpointsTaken;
+      }
+    } catch (...) {
+      const std::exception_ptr ep = std::current_exception();
+      if (!isDeadPlaceFailure(ep)) std::rethrow_exception(ep);
+      const double r0 = rt.time();
+      record(TraceEvent::Kind::Failure, iter, r0, r0,
+             firstDeadPlaceOf(ep));
+      iter = handleFailure(app);
+      record(TraceEvent::Kind::Restore, iter, r0, rt.time());
+      stats.restoreTime += rt.time() - r0;
+      ++stats.failuresHandled;
+      if (config_.checkpointAfterRestore) {
+        // Re-establish full double-storage redundancy (including the
+        // read-only snapshots, re-saved over the new group).
+        const double c0 = rt.time();
+        store_ = resilient::AppResilientStore{};
+        store_.setIteration(iter);
+        app.checkpoint(store_);
+        if (store_.inProgress()) {
+          throw apgas::ApgasError(
+              "checkpoint() returned without commit() or cancelSnapshot()");
+        }
+        stats.checkpointTime += rt.time() - c0;
+        ++stats.checkpointsTaken;
+      }
+    }
+  }
+
+  stats.iterationsCompleted = iter;
+  stats.totalTime = rt.time() - t0;
+  stats.finalPlaces = places_;
+  return stats;
+}
+
+long ResilientExecutor::handleFailure(ResilientIterativeApp& app) {
+  Runtime& rt = Runtime::world();
+  store_.cancelSnapshot();  // discard any half-taken checkpoint
+  if (!store_.hasCommitted()) {
+    throw apgas::ApgasError(
+        "ResilientExecutor: place failure before the first committed "
+        "checkpoint; cannot recover");
+  }
+
+  for (long attempt = 0; attempt < config_.maxRestoreAttempts; ++attempt) {
+    PlaceGroup newPlaces;
+    RestoreMode effectiveMode = config_.mode;
+    switch (config_.mode) {
+      case RestoreMode::Shrink:
+      case RestoreMode::ShrinkRebalance:
+        newPlaces = places_.filterDead();
+        break;
+      case RestoreMode::ReplaceRedundant: {
+        newPlaces = places_.replaceDead(spares_);
+        // Spares consumed by replaceDead can no longer be offered again.
+        std::erase_if(spares_, [&](apgas::PlaceId s) {
+          return newPlaces.contains(apgas::Place(s)) ||
+                 rt.isDead(s);
+        });
+        if (newPlaces.size() < places_.size()) {
+          // Out of spares: the paper falls back to shrink semantics.
+          effectiveMode = RestoreMode::Shrink;
+        }
+        break;
+      }
+      case RestoreMode::ReplaceElastic: {
+        const auto dead = places_.deadPlaces();
+        const auto fresh = rt.addPlaces(static_cast<int>(dead.size()));
+        newPlaces = places_.replaceDead(fresh);
+        break;
+      }
+    }
+    if (newPlaces.empty()) {
+      throw apgas::ApgasError("ResilientExecutor: no live places remain");
+    }
+
+    try {
+      app.restore(newPlaces, store_, store_.latestCommittedIteration(),
+                  effectiveMode);
+      places_ = newPlaces;
+      return store_.latestCommittedIteration();
+    } catch (...) {
+      const std::exception_ptr ep = std::current_exception();
+      if (!isDeadPlaceFailure(ep)) std::rethrow_exception(ep);
+      // Another place died during the restore: loop and try again with the
+      // further-shrunk group.
+    }
+  }
+  throw apgas::ApgasError(
+      "ResilientExecutor: restore failed after maxRestoreAttempts cascading "
+      "failures");
+}
+
+}  // namespace rgml::framework

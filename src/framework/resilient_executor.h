@@ -1,0 +1,130 @@
+// The resilient iterative application framework (paper §V).
+//
+// Applications implement the four-method programming model
+// (isFinished / step / checkpoint / restore); the executor runs step() in a
+// loop, checkpoints every `checkpointInterval` iterations through an
+// AppResilientStore, and on a DeadPlaceException rolls the application back
+// to the latest committed checkpoint using one of the restoration modes:
+//
+//   * Shrink            — continue on the surviving places; DistBlockMatrix
+//                         keeps its grid (cheap block-by-block restore,
+//                         load imbalance).
+//   * ShrinkRebalance   — continue on the surviving places with a
+//                         recalculated grid (expensive overlapping-region
+//                         restore, even load).
+//   * ReplaceRedundant  — a pre-allocated spare place stands in for the
+//                         dead one (same distribution, cheapest restore;
+//                         falls back to shrink when spares run out).
+//   * ReplaceElastic    — (the paper's future work, implemented here) a
+//                         brand-new place is created on demand to replace
+//                         the dead one.
+#pragma once
+
+#include <vector>
+
+#include "apgas/fault_injector.h"
+#include "apgas/place_group.h"
+#include "resilient/app_resilient_store.h"
+
+namespace rgml::framework {
+
+class ExecutionTrace;
+
+enum class RestoreMode {
+  Shrink,
+  ShrinkRebalance,
+  ReplaceRedundant,
+  ReplaceElastic,
+};
+
+[[nodiscard]] const char* toString(RestoreMode mode);
+
+/// The programming model applications implement (paper §V-A2).
+class ResilientIterativeApp {
+ public:
+  virtual ~ResilientIterativeApp() = default;
+
+  /// Termination condition (completed iterations, convergence, ...).
+  [[nodiscard]] virtual bool isFinished() = 0;
+
+  /// One iteration of the algorithm.
+  virtual void step() = 0;
+
+  /// Save the state-carrying GML objects into `store`
+  /// (startNewSnapshot / save / saveReadOnly / commit).
+  virtual void checkpoint(resilient::AppResilientStore& store) = 0;
+
+  /// Roll back to the checkpoint of iteration `snapshotIter`: remake the
+  /// GML objects over `newPlaces` (honouring `mode` for block matrices),
+  /// then store.restore(). Must also rewind the application's own
+  /// iteration/convergence state.
+  virtual void restore(const apgas::PlaceGroup& newPlaces,
+                       resilient::AppResilientStore& store, long snapshotIter,
+                       RestoreMode mode) = 0;
+};
+
+struct ExecutorConfig {
+  apgas::PlaceGroup places;            ///< initial working group
+  std::vector<apgas::PlaceId> spares;  ///< reserve for ReplaceRedundant
+  long checkpointInterval = 10;        ///< iterations between checkpoints
+  RestoreMode mode = RestoreMode::Shrink;
+  long maxRestoreAttempts = 8;  ///< cascading-failure retry bound
+
+  /// Optional event sink: every step/checkpoint/failure/restore is
+  /// recorded with its simulated time interval (see framework/trace.h).
+  /// Not owned; must outlive the run.
+  ExecutionTrace* trace = nullptr;
+
+  /// Take a fresh checkpoint immediately after every successful restore.
+  /// Closes a redundancy hole the paper's design leaves open: a snapshot
+  /// saved with saveReadOnly() is reused across checkpoints, so after a
+  /// failure its surviving copy is no longer doubled — a second failure
+  /// hitting that copy's holder loses the data even though the application
+  /// recovered in between. Costs one extra checkpoint per failure.
+  bool checkpointAfterRestore = false;
+};
+
+/// Outcome of one executor run, in simulated seconds.
+struct RunStats {
+  long stepsExecuted = 0;        ///< total step() calls (incl. re-executed)
+  long iterationsCompleted = 0;  ///< logical iterations at termination
+  long checkpointsTaken = 0;
+  long failuresHandled = 0;
+  double totalTime = 0.0;
+  double checkpointTime = 0.0;
+  double restoreTime = 0.0;
+  apgas::PlaceGroup finalPlaces;
+};
+
+class ResilientExecutor {
+ public:
+  explicit ResilientExecutor(ExecutorConfig config);
+
+  /// Runs `app` to completion, surviving place failures. An optional
+  /// fault injector is consulted after every completed iteration
+  /// (cooperative kills); failures raised mid-step are handled
+  /// identically. Throws if recovery is impossible (no committed
+  /// checkpoint, place 0 involved, snapshot data lost, or too many
+  /// cascading failures).
+  RunStats run(ResilientIterativeApp& app,
+               apgas::FaultInjector* injector = nullptr);
+
+  [[nodiscard]] const resilient::AppResilientStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const apgas::PlaceGroup& currentPlaces() const noexcept {
+    return places_;
+  }
+
+ private:
+  /// Computes the post-failure group per the configured mode and tells the
+  /// app to roll back. Returns the checkpoint iteration restored to.
+  long handleFailure(ResilientIterativeApp& app);
+
+  ExecutorConfig config_;
+  apgas::PlaceGroup places_;
+  std::vector<apgas::PlaceId> spares_;
+  resilient::AppResilientStore store_;
+};
+
+}  // namespace rgml::framework

@@ -1,0 +1,69 @@
+#include "framework/trace.h"
+
+#include <cstdio>
+
+namespace rgml::framework {
+
+const char* toString(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::Step:
+      return "step";
+    case TraceEvent::Kind::Checkpoint:
+      return "checkpoint";
+    case TraceEvent::Kind::Failure:
+      return "failure";
+    case TraceEvent::Kind::Restore:
+      return "restore";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> ExecutionTrace::ofKind(TraceEvent::Kind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+double ExecutionTrace::totalTime(TraceEvent::Kind kind) const {
+  double total = 0.0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) total += e.duration();
+  }
+  return total;
+}
+
+std::string ExecutionTrace::timeline() const {
+  std::string out;
+  char line[160];
+  for (const auto& e : events_) {
+    int written;
+    switch (e.kind) {
+      case TraceEvent::Kind::Failure:
+        written = std::snprintf(line, sizeof(line),
+                                "[%9.3fs .. %9.3fs] %-10s iter %-4ld "
+                                "place %d\n",
+                                e.startTime, e.endTime, toString(e.kind),
+                                e.iteration, e.victim);
+        break;
+      case TraceEvent::Kind::Restore:
+        written = std::snprintf(line, sizeof(line),
+                                "[%9.3fs .. %9.3fs] %-10s iter %-4ld "
+                                "mode %s\n",
+                                e.startTime, e.endTime, toString(e.kind),
+                                e.iteration, toString(e.mode));
+        break;
+      default:
+        written = std::snprintf(line, sizeof(line),
+                                "[%9.3fs .. %9.3fs] %-10s iter %ld\n",
+                                e.startTime, e.endTime, toString(e.kind),
+                                e.iteration);
+        break;
+    }
+    if (written > 0) out.append(line, static_cast<std::size_t>(written));
+  }
+  return out;
+}
+
+}  // namespace rgml::framework

@@ -1,0 +1,55 @@
+// ExecutionTrace: an event record of a resilient run — every step,
+// checkpoint, failure and restore with its simulated time interval.
+// Feeds post-mortem analysis (tests assert event sequences) and the
+// human-readable timeline the examples/benches can print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apgas/place.h"
+#include "framework/resilient_executor.h"
+
+namespace rgml::framework {
+
+struct TraceEvent {
+  enum class Kind { Step, Checkpoint, Failure, Restore };
+
+  Kind kind = Kind::Step;
+  long iteration = 0;      ///< logical iteration the event belongs to
+  double startTime = 0.0;  ///< simulated seconds
+  double endTime = 0.0;
+  apgas::PlaceId victim = apgas::kInvalidPlace;  ///< Failure events
+  RestoreMode mode = RestoreMode::Shrink;        ///< Restore events
+
+  [[nodiscard]] double duration() const { return endTime - startTime; }
+};
+
+[[nodiscard]] const char* toString(TraceEvent::Kind kind);
+
+class ExecutionTrace {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> ofKind(TraceEvent::Kind kind) const;
+
+  /// Total simulated seconds spent in events of `kind`.
+  [[nodiscard]] double totalTime(TraceEvent::Kind kind) const;
+
+  /// A human-readable timeline, one line per event:
+  ///   [  0.123s ..   0.150s] step       iter 12
+  ///   [  0.150s ..   0.150s] failure    iter 12  place 3
+  [[nodiscard]] std::string timeline() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rgml::framework

@@ -1,0 +1,34 @@
+#include "gml/dist_dense_matrix.h"
+
+namespace rgml::gml {
+
+DistDenseMatrix DistDenseMatrix::make(long m, long n,
+                                      const apgas::PlaceGroup& pg) {
+  DistDenseMatrix a;
+  a.inner_ = DistBlockMatrix::makeDense(
+      m, n, static_cast<long>(pg.size()), 1, static_cast<long>(pg.size()), 1,
+      pg);
+  return a;
+}
+
+la::DenseMatrix& DistDenseMatrix::localBlock() const {
+  la::BlockSet& bs = inner_.localBlockSet();
+  if (bs.size() != 1) {
+    throw apgas::ApgasError("DistDenseMatrix: expected one block per place");
+  }
+  return bs[0].dense();
+}
+
+long DistDenseMatrix::localRowOffset() const {
+  la::BlockSet& bs = inner_.localBlockSet();
+  if (bs.size() != 1) {
+    throw apgas::ApgasError("DistDenseMatrix: expected one block per place");
+  }
+  return bs[0].rowOffset();
+}
+
+void DistDenseMatrix::remake(const apgas::PlaceGroup& newPg) {
+  inner_.remakeRebalance(newPg);
+}
+
+}  // namespace rgml::gml

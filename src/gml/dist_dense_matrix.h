@@ -1,0 +1,68 @@
+// DistDenseMatrix: a dense matrix with exactly one block per place
+// (x10.matrix.dist.DistDenseMatrix).
+//
+// Implemented over DistBlockMatrix with a one-row-band-per-place grid.
+// Per the paper (§IV-A2), classes that assign one block per place *must*
+// recalculate the data grid when the place group changes, so remake()
+// always takes the repartitioning path and restoreSnapshot() the
+// overlapping-region path after a group-size change.
+#pragma once
+
+#include "gml/dist_block_matrix.h"
+
+namespace rgml::gml {
+
+class DistDenseMatrix final : public resilient::Snapshottable {
+ public:
+  DistDenseMatrix() = default;
+
+  /// An m x n dense matrix, one row band per place of `pg`.
+  static DistDenseMatrix make(long m, long n, const apgas::PlaceGroup& pg);
+
+  [[nodiscard]] long rows() const noexcept { return inner_.rows(); }
+  [[nodiscard]] long cols() const noexcept { return inner_.cols(); }
+  [[nodiscard]] const apgas::PlaceGroup& placeGroup() const noexcept {
+    return inner_.placeGroup();
+  }
+  [[nodiscard]] const la::Grid& grid() const noexcept {
+    return inner_.grid();
+  }
+
+  /// The single dense block stored at the current place.
+  [[nodiscard]] la::DenseMatrix& localBlock() const;
+  /// Global row offset of the current place's block.
+  [[nodiscard]] long localRowOffset() const;
+
+  void initRandom(std::uint64_t seed, double lo = 0.0, double hi = 1.0) {
+    inner_.initRandom(seed, lo, hi);
+  }
+  void init(const std::function<double(long, long)>& fn) { inner_.init(fn); }
+  void initFromDense(const la::DenseMatrix& global) {
+    inner_.initFromDense(global);
+  }
+
+  [[nodiscard]] double at(long i, long j) const { return inner_.at(i, j); }
+  [[nodiscard]] la::DenseMatrix toDense() const { return inner_.toDense(); }
+  [[nodiscard]] std::size_t totalBytes() const { return inner_.totalBytes(); }
+
+  /// Always repartitions: one block per place of the new group.
+  void remake(const apgas::PlaceGroup& newPg);
+
+  [[nodiscard]] std::shared_ptr<resilient::Snapshot> makeSnapshot()
+      const override {
+    return inner_.makeSnapshot();
+  }
+  void restoreSnapshot(const resilient::Snapshot& snapshot) override {
+    inner_.restoreSnapshot(snapshot);
+  }
+
+  /// Access to the underlying block matrix (e.g. for mult operations).
+  [[nodiscard]] const DistBlockMatrix& blockMatrix() const noexcept {
+    return inner_;
+  }
+
+ private:
+  DistBlockMatrix inner_;
+};
+
+}  // namespace rgml::gml

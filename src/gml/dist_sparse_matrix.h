@@ -1,0 +1,64 @@
+// DistSparseMatrix: a sparse matrix with exactly one block per place
+// (x10.matrix.dist.DistSparseMatrix). See DistDenseMatrix for the
+// one-block-per-place remake semantics.
+#pragma once
+
+#include "gml/dist_block_matrix.h"
+
+namespace rgml::gml {
+
+class DistSparseMatrix final : public resilient::Snapshottable {
+ public:
+  DistSparseMatrix() = default;
+
+  /// An m x n sparse matrix, one row band per place of `pg`; initRandom()
+  /// fills ~nnzPerRow entries per row.
+  static DistSparseMatrix make(long m, long n, long nnzPerRow,
+                               const apgas::PlaceGroup& pg);
+
+  [[nodiscard]] long rows() const noexcept { return inner_.rows(); }
+  [[nodiscard]] long cols() const noexcept { return inner_.cols(); }
+  [[nodiscard]] const apgas::PlaceGroup& placeGroup() const noexcept {
+    return inner_.placeGroup();
+  }
+  [[nodiscard]] const la::Grid& grid() const noexcept {
+    return inner_.grid();
+  }
+
+  /// The single sparse block stored at the current place.
+  [[nodiscard]] la::SparseCSR& localBlock() const;
+  [[nodiscard]] long localRowOffset() const;
+
+  void initRandom(std::uint64_t seed, double lo = 0.0, double hi = 1.0) {
+    inner_.initRandom(seed, lo, hi);
+  }
+  void initFromCSR(const la::SparseCSR& global) {
+    inner_.initFromCSR(global);
+  }
+
+  [[nodiscard]] double at(long i, long j) const { return inner_.at(i, j); }
+  [[nodiscard]] std::size_t totalBytes() const { return inner_.totalBytes(); }
+
+  /// Total non-zeros over all places.
+  [[nodiscard]] long nnz() const;
+
+  /// Always repartitions: one block per place of the new group.
+  void remake(const apgas::PlaceGroup& newPg);
+
+  [[nodiscard]] std::shared_ptr<resilient::Snapshot> makeSnapshot()
+      const override {
+    return inner_.makeSnapshot();
+  }
+  void restoreSnapshot(const resilient::Snapshot& snapshot) override {
+    inner_.restoreSnapshot(snapshot);
+  }
+
+  [[nodiscard]] const DistBlockMatrix& blockMatrix() const noexcept {
+    return inner_;
+  }
+
+ private:
+  DistBlockMatrix inner_;
+};
+
+}  // namespace rgml::gml

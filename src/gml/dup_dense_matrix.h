@@ -1,0 +1,53 @@
+// DupDenseMatrix: a dense matrix duplicated at every place of a group
+// (x10.matrix.dist.DupDenseMatrix).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apgas/place_group.h"
+#include "apgas/place_local_handle.h"
+#include "la/dense_matrix.h"
+#include "resilient/snapshot.h"
+
+namespace rgml::gml {
+
+class DupDenseMatrix final : public resilient::Snapshottable {
+ public:
+  DupDenseMatrix() = default;
+
+  static DupDenseMatrix make(long m, long n, const apgas::PlaceGroup& pg);
+
+  [[nodiscard]] long rows() const noexcept { return m_; }
+  [[nodiscard]] long cols() const noexcept { return n_; }
+  [[nodiscard]] const apgas::PlaceGroup& placeGroup() const noexcept {
+    return pg_;
+  }
+
+  /// The replica at the current place.
+  [[nodiscard]] la::DenseMatrix& local() const;
+
+  /// Fill at the root replica, then sync().
+  void initRandom(std::uint64_t seed, double lo = 0.0, double hi = 1.0);
+
+  /// Broadcast replica `rootIdx` to every other replica.
+  void sync(std::size_t rootIdx = 0);
+
+  /// Replicated scale (one finish).
+  void scale(double a);
+
+  /// Reallocate over `newPg` (contents zeroed).
+  void remake(const apgas::PlaceGroup& newPg);
+
+  [[nodiscard]] std::shared_ptr<resilient::Snapshot> makeSnapshot()
+      const override;
+  void restoreSnapshot(const resilient::Snapshot& snapshot) override;
+
+ private:
+  long m_ = 0;
+  long n_ = 0;
+  apgas::PlaceGroup pg_;
+  apgas::PlaceLocalHandle<la::DenseMatrix> plh_;
+};
+
+}  // namespace rgml::gml

@@ -1,0 +1,53 @@
+// DupSparseMatrix: a sparse matrix duplicated at every place of a group
+// (x10.matrix.dist.DupSparseMatrix).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apgas/place_group.h"
+#include "apgas/place_local_handle.h"
+#include "la/sparse_csr.h"
+#include "resilient/snapshot.h"
+
+namespace rgml::gml {
+
+class DupSparseMatrix final : public resilient::Snapshottable {
+ public:
+  DupSparseMatrix() = default;
+
+  static DupSparseMatrix make(long m, long n, const apgas::PlaceGroup& pg);
+
+  [[nodiscard]] long rows() const noexcept { return m_; }
+  [[nodiscard]] long cols() const noexcept { return n_; }
+  [[nodiscard]] const apgas::PlaceGroup& placeGroup() const noexcept {
+    return pg_;
+  }
+
+  /// The replica at the current place.
+  [[nodiscard]] la::SparseCSR& local() const;
+
+  /// Fill the root replica with ~nnzPerRow random entries per row, sync().
+  void initRandom(long nnzPerRow, std::uint64_t seed, double lo = 0.0,
+                  double hi = 1.0);
+  /// Set the root replica to `matrix` and sync().
+  void initFrom(const la::SparseCSR& matrix);
+
+  /// Broadcast replica `rootIdx` to every other replica.
+  void sync(std::size_t rootIdx = 0);
+
+  /// Reallocate over `newPg` (contents emptied).
+  void remake(const apgas::PlaceGroup& newPg);
+
+  [[nodiscard]] std::shared_ptr<resilient::Snapshot> makeSnapshot()
+      const override;
+  void restoreSnapshot(const resilient::Snapshot& snapshot) override;
+
+ private:
+  long m_ = 0;
+  long n_ = 0;
+  apgas::PlaceGroup pg_;
+  apgas::PlaceLocalHandle<la::SparseCSR> plh_;
+};
+
+}  // namespace rgml::gml

@@ -1,0 +1,60 @@
+#include "gml/gemm.h"
+
+#include "apgas/runtime.h"
+#include "la/kernels.h"
+
+namespace rgml::gml {
+
+using apgas::Place;
+using apgas::Runtime;
+
+DistBlockMatrix makeGemmResult(const DistBlockMatrix& A, long bCols) {
+  if (A.grid().colBlocks() != 1) {
+    throw apgas::ApgasError("makeGemmResult: A must be row-partitioned");
+  }
+  return DistBlockMatrix::makeDense(
+      A.rows(), bCols, A.grid().rowBlocks(), 1, A.distMap().rowPlaces(),
+      A.distMap().colPlaces(), A.placeGroup());
+}
+
+void gemm(const DistBlockMatrix& A, const DupDenseMatrix& B,
+          DistBlockMatrix& C) {
+  if (A.grid().colBlocks() != 1) {
+    throw apgas::ApgasError("gemm: A must be row-partitioned");
+  }
+  if (A.cols() != B.rows() || C.rows() != A.rows() ||
+      C.cols() != B.cols()) {
+    throw apgas::ApgasError("gemm: dimension mismatch");
+  }
+  if (C.isSparse() || C.grid().rowBlocks() != A.grid().rowBlocks() ||
+      C.grid().colBlocks() != 1 || !(C.distMap() == A.distMap()) ||
+      !(C.placeGroup() == A.placeGroup())) {
+    throw apgas::ApgasError("gemm: C must mirror A's row distribution");
+  }
+  Runtime& rt = Runtime::world();
+  apgas::ateach(A.placeGroup(), [&](Place p) {
+    if (B.placeGroup().indexOf(p) < 0) {
+      throw apgas::ApgasError("gemm: B is not duplicated at a matrix place");
+    }
+    const la::DenseMatrix& b = B.local();
+    la::BlockSet& cBlocks = C.localBlockSet();
+    for (const la::MatrixBlock& aBlock : A.localBlockSet()) {
+      la::MatrixBlock* cBlock = cBlocks.find(aBlock.blockRow(), 0);
+      if (cBlock == nullptr) {
+        throw apgas::ApgasError("gemm: C block missing");
+      }
+      if (aBlock.isSparse()) {
+        la::spmm(aBlock.sparse(), b, cBlock->dense());
+        rt.chargeSparseFlops(2.0 * static_cast<double>(aBlock.sparse().nnz()) *
+                             static_cast<double>(b.cols()));
+      } else {
+        la::gemm(aBlock.dense(), b, cBlock->dense());
+        rt.chargeDenseFlops(2.0 *
+                            static_cast<double>(aBlock.dense().elements()) *
+                            static_cast<double>(b.cols()));
+      }
+    }
+  });
+}
+
+}  // namespace rgml::gml

@@ -1,0 +1,25 @@
+// Distributed matrix-matrix product: C = A * B with A a row-partitioned
+// DistBlockMatrix (dense or sparse), B a duplicated dense matrix and C a
+// dense DistBlockMatrix with A's row distribution.
+//
+// Entirely local per place (each place multiplies its row band against its
+// replica of B), the multi-column generalisation of DistVector::mult's
+// aligned fast path.
+#pragma once
+
+#include "gml/dist_block_matrix.h"
+#include "gml/dup_dense_matrix.h"
+
+namespace rgml::gml {
+
+/// C = A * B. Requires A.colBlocks() == 1 (row partition), C dense with
+/// the same grid rows/mapping/group as A, C.cols() == B.cols().
+void gemm(const DistBlockMatrix& A, const DupDenseMatrix& B,
+          DistBlockMatrix& C);
+
+/// A C matrix shaped for gemm(A, B, C): dense, m x bCols, same row blocks,
+/// mapping and group as the row-partitioned A.
+[[nodiscard]] DistBlockMatrix makeGemmResult(const DistBlockMatrix& A,
+                                             long bCols);
+
+}  // namespace rgml::gml

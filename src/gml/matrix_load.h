@@ -1,0 +1,32 @@
+// Loading distributed matrices from interchange files: the root place
+// parses the file, then scatters the blocks to their owners — how a user
+// brings a real dataset into resilient GML.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gml/dist_block_matrix.h"
+
+namespace rgml::gml {
+
+/// Parse a MatrixMarket coordinate file from `in` at the first place of
+/// `pg` and scatter it into a sparse DistBlockMatrix with `blocksPerPlace`
+/// row blocks per place. Charges the parse (serialisation rate) at the
+/// root and one block transfer per remote block.
+[[nodiscard]] DistBlockMatrix loadMatrixMarket(std::istream& in,
+                                               const apgas::PlaceGroup& pg,
+                                               long blocksPerPlace = 1);
+
+/// Same, from a file path.
+[[nodiscard]] DistBlockMatrix loadMatrixMarketFile(
+    const std::string& path, const apgas::PlaceGroup& pg,
+    long blocksPerPlace = 1);
+
+/// Parse a CSV dense matrix at the first place of `pg` and scatter it into
+/// a dense DistBlockMatrix.
+[[nodiscard]] DistBlockMatrix loadCsv(std::istream& in,
+                                      const apgas::PlaceGroup& pg,
+                                      long blocksPerPlace = 1);
+
+}  // namespace rgml::gml

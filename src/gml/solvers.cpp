@@ -1,0 +1,154 @@
+#include "gml/solvers.h"
+
+#include <cmath>
+
+#include "apgas/runtime.h"
+#include "la/kernels.h"
+
+namespace rgml::gml {
+
+using apgas::Place;
+using apgas::Runtime;
+
+SolveResult conjugateGradientNormal(const DistBlockMatrix& A,
+                                    const DistVector& b, DupVector& x,
+                                    double lambda, long maxIterations,
+                                    double tolerance) {
+  if (A.rows() != b.size() || A.cols() != x.size()) {
+    throw apgas::ApgasError("conjugateGradientNormal: dimension mismatch");
+  }
+  const auto& pg = A.placeGroup();
+  const long n = A.cols();
+  auto t = DistVector::make(A.rows(), pg);  // scratch: A * direction
+  auto q = DupVector::make(n, pg);          // scratch: A^T A p + lambda p
+  auto r = DupVector::make(n, pg);
+  auto p = DupVector::make(n, pg);
+
+  // r = A^T b - (A^T A + lambda I) x0.
+  t.mult(A, x);
+  q.transMult(A, t);
+  q.axpy(lambda, x);
+  r.transMult(A, b);
+  r.axpy(-1.0, q);
+  p.copyFrom(r);
+  double normR2 = r.dot(r);
+
+  SolveResult result;
+  for (long k = 0; k < maxIterations; ++k) {
+    if (std::sqrt(normR2) <= tolerance) {
+      result.converged = true;
+      break;
+    }
+    t.mult(A, p);
+    q.transMult(A, t);
+    q.axpy(lambda, p);
+    const double alpha = normR2 / p.dot(q);
+    x.axpy(alpha, p);
+    r.axpy(-alpha, q);
+    const double next = r.dot(r);
+    const double beta = next / normR2;
+    normR2 = next;
+    p.scale(beta);
+    p.cellAdd(r);
+    ++result.iterations;
+  }
+  result.residual = std::sqrt(normR2);
+  result.converged = result.converged || result.residual <= tolerance;
+  return result;
+}
+
+SolveResult powerIteration(const DistBlockMatrix& A, DupVector& x,
+                           double& eigenvalue, long maxIterations,
+                           double tolerance) {
+  if (A.rows() != A.cols() || A.cols() != x.size()) {
+    throw apgas::ApgasError("powerIteration: need a square system");
+  }
+  const auto& pg = A.placeGroup();
+  auto y = DistVector::make(A.rows(), pg);
+
+  // Normalise the starting vector.
+  const double norm0 = x.norm2();
+  if (norm0 == 0.0) throw apgas::ApgasError("powerIteration: zero start");
+  x.scale(1.0 / norm0);
+
+  SolveResult result;
+  eigenvalue = 0.0;
+  for (long k = 0; k < maxIterations; ++k) {
+    y.mult(A, x);
+    const double next = y.dot(x);  // Rayleigh quotient (x normalised)
+    x.copyFromDist(y);
+    const double norm = x.norm2();
+    if (norm == 0.0) {
+      throw apgas::ApgasError("powerIteration: A annihilated the iterate");
+    }
+    x.scale(1.0 / norm);
+    ++result.iterations;
+    result.residual = std::abs(next - eigenvalue);
+    eigenvalue = next;
+    if (result.residual <= tolerance && k > 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+SolveResult jacobi(const DistBlockMatrix& A, const DistVector& b,
+                   DupVector& x, long maxIterations, double tolerance) {
+  if (A.rows() != A.cols() || A.rows() != b.size() ||
+      A.cols() != x.size()) {
+    throw apgas::ApgasError("jacobi: need a square system");
+  }
+  if (A.isSparse()) {
+    throw apgas::ApgasError("jacobi: dense matrices only");
+  }
+  const auto& pg = A.placeGroup();
+  const long n = A.rows();
+  Runtime& rt = Runtime::world();
+
+  // Extract the diagonal once into a distributed vector aligned with b.
+  auto diag = DistVector::make(n, pg);
+  apgas::ateach(pg, [&](Place p) {
+    const long idx = pg.indexOf(p);
+    la::Vector& seg = diag.localSegment();
+    const long off = diag.segOffset(idx);
+    auto bs = A.blockSetAt(p.id());
+    if (!bs) throw apgas::DeadPlaceException(p.id());
+    for (const la::MatrixBlock& block : *bs) {
+      for (long i = 0; i < block.rows(); ++i) {
+        const long g = block.rowOffset() + i;
+        const long col = g - block.colOffset();
+        if (col < 0 || col >= block.cols()) continue;  // diag not here
+        if (g >= off && g < off + seg.size()) {
+          seg[g - off] = block.dense()(i, col);
+        }
+      }
+    }
+    rt.chargeDenseFlops(static_cast<double>(seg.size()));
+  });
+
+  auto t = DistVector::make(n, pg);
+  auto resid = DistVector::make(n, pg);
+  auto deltaDup = DupVector::make(n, pg);
+
+  SolveResult result;
+  for (long k = 0; k < maxIterations; ++k) {
+    // resid = b - A x; x += D^{-1} resid.
+    t.mult(A, x);
+    resid.copyFrom(b);
+    t.scale(-1.0);
+    resid.cellAdd(t);
+    result.residual = resid.norm2();
+    if (result.residual <= tolerance) {
+      result.converged = true;
+      break;
+    }
+    resid.cellDiv(diag);
+    deltaDup.copyFromDist(resid);
+    x.cellAdd(deltaDup);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace rgml::gml

@@ -1,0 +1,47 @@
+// Reusable distributed iterative solvers built on the public GML API —
+// the "library of building blocks" role GML plays for applications
+// (paper §I, §III). Each solver is expressed purely in terms of
+// DistBlockMatrix / DistVector / DupVector operations, so it inherits
+// their distribution, cost accounting and failure semantics.
+#pragma once
+
+#include <functional>
+
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_vector.h"
+
+namespace rgml::gml {
+
+/// Result of an iterative solve.
+struct SolveResult {
+  long iterations = 0;    ///< iterations actually run
+  double residual = 0.0;  ///< final residual metric (solver-specific)
+  bool converged = false;
+};
+
+/// Conjugate gradient on the regularised normal equations:
+/// solve (A^T A + lambda I) x = A^T b for x (duplicated), with A an
+/// m x n row-partitioned matrix and b a distributed m-vector.
+/// Stops after `maxIterations` or when the residual norm falls below
+/// `tolerance`. x must be sized n over A's place group; its content is
+/// the starting guess.
+SolveResult conjugateGradientNormal(const DistBlockMatrix& A,
+                                    const DistVector& b, DupVector& x,
+                                    double lambda, long maxIterations,
+                                    double tolerance);
+
+/// Power iteration for the dominant eigenpair of a square n x n
+/// row-partitioned matrix: x converges to the dominant eigenvector
+/// (normalised), the returned residual is |lambda_k - lambda_{k-1}|, and
+/// the eigenvalue estimate is written to `eigenvalue`.
+SolveResult powerIteration(const DistBlockMatrix& A, DupVector& x,
+                           double& eigenvalue, long maxIterations,
+                           double tolerance);
+
+/// Jacobi iteration for a strictly diagonally dominant square system
+/// A x = b with A row-partitioned and dense: x_{k+1} = D^{-1}(b - R x_k).
+SolveResult jacobi(const DistBlockMatrix& A, const DistVector& b,
+                   DupVector& x, long maxIterations, double tolerance);
+
+}  // namespace rgml::gml

@@ -1,0 +1,64 @@
+#include "la/block.h"
+
+#include "la/kernels.h"
+
+namespace rgml::la {
+
+MatrixBlock::MatrixBlock(long rb, long cb, long rowOffset, long colOffset,
+                         DenseMatrix payload)
+    : rb_(rb),
+      cb_(cb),
+      rowOffset_(rowOffset),
+      colOffset_(colOffset),
+      payload_(std::move(payload)) {}
+
+MatrixBlock::MatrixBlock(long rb, long cb, long rowOffset, long colOffset,
+                         SparseCSR payload)
+    : rb_(rb),
+      cb_(cb),
+      rowOffset_(rowOffset),
+      colOffset_(colOffset),
+      payload_(std::move(payload)) {}
+
+long MatrixBlock::rows() const {
+  return std::visit([](const auto& p) { return p.rows(); }, payload_);
+}
+
+long MatrixBlock::cols() const {
+  return std::visit([](const auto& p) { return p.cols(); }, payload_);
+}
+
+std::size_t MatrixBlock::bytes() const {
+  return std::visit([](const auto& p) { return p.bytes(); }, payload_);
+}
+
+double MatrixBlock::multFlops() const {
+  if (isSparse()) return 2.0 * static_cast<double>(sparse().nnz());
+  return 2.0 * static_cast<double>(dense().elements());
+}
+
+void MatrixBlock::multAdd(std::span<const double> x,
+                          std::span<double> y) const {
+  if (isSparse()) {
+    spmv(sparse(), x, y, 1.0);
+  } else {
+    // gemv with beta=1 accumulates.
+    gemv(dense(), x, y, 1.0);
+  }
+}
+
+void MatrixBlock::transMultAdd(std::span<const double> x,
+                               std::span<double> y) const {
+  if (isSparse()) {
+    spmvTrans(sparse(), x, y, 1.0);
+  } else {
+    gemvTrans(dense(), x, y, 1.0);
+  }
+}
+
+double MatrixBlock::at(long localRow, long localCol) const {
+  if (isSparse()) return sparse().at(localRow, localCol);
+  return dense()(localRow, localCol);
+}
+
+}  // namespace rgml::la

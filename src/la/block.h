@@ -1,0 +1,69 @@
+// MatrixBlock: one block of a distributed block matrix, dense or sparse
+// (x10.matrix.block.MatrixBlock / DenseBlock / SparseBlock).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <variant>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_csr.h"
+
+namespace rgml::la {
+
+class MatrixBlock {
+ public:
+  MatrixBlock() = default;
+  MatrixBlock(long rb, long cb, long rowOffset, long colOffset,
+              DenseMatrix payload);
+  MatrixBlock(long rb, long cb, long rowOffset, long colOffset,
+              SparseCSR payload);
+
+  /// Block coordinates within the owning Grid.
+  [[nodiscard]] long blockRow() const noexcept { return rb_; }
+  [[nodiscard]] long blockCol() const noexcept { return cb_; }
+  /// Global offsets of this block's (0,0) element.
+  [[nodiscard]] long rowOffset() const noexcept { return rowOffset_; }
+  [[nodiscard]] long colOffset() const noexcept { return colOffset_; }
+
+  [[nodiscard]] long rows() const;
+  [[nodiscard]] long cols() const;
+
+  [[nodiscard]] bool isSparse() const noexcept {
+    return std::holds_alternative<SparseCSR>(payload_);
+  }
+
+  [[nodiscard]] DenseMatrix& dense() { return std::get<DenseMatrix>(payload_); }
+  [[nodiscard]] const DenseMatrix& dense() const {
+    return std::get<DenseMatrix>(payload_);
+  }
+  [[nodiscard]] SparseCSR& sparse() { return std::get<SparseCSR>(payload_); }
+  [[nodiscard]] const SparseCSR& sparse() const {
+    return std::get<SparseCSR>(payload_);
+  }
+
+  /// Payload bytes (snapshot / communication accounting).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Flops of one mat-vec with this block (2*elements dense, 2*nnz sparse).
+  [[nodiscard]] double multFlops() const;
+
+  /// y += B * x, where x spans this block's global column range and y spans
+  /// its global row range.
+  void multAdd(std::span<const double> x, std::span<double> y) const;
+
+  /// y += B^T * x, where x spans the row range and y the column range.
+  void transMultAdd(std::span<const double> x, std::span<double> y) const;
+
+  /// Global element read (tests / verification).
+  [[nodiscard]] double at(long localRow, long localCol) const;
+
+ private:
+  long rb_ = 0;
+  long cb_ = 0;
+  long rowOffset_ = 0;
+  long colOffset_ = 0;
+  std::variant<DenseMatrix, SparseCSR> payload_;
+};
+
+}  // namespace rgml::la

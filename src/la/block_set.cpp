@@ -1,0 +1,31 @@
+#include "la/block_set.h"
+
+namespace rgml::la {
+
+MatrixBlock* BlockSet::find(long rb, long cb) {
+  for (auto& b : blocks_) {
+    if (b.blockRow() == rb && b.blockCol() == cb) return &b;
+  }
+  return nullptr;
+}
+
+const MatrixBlock* BlockSet::find(long rb, long cb) const {
+  for (const auto& b : blocks_) {
+    if (b.blockRow() == rb && b.blockCol() == cb) return &b;
+  }
+  return nullptr;
+}
+
+std::size_t BlockSet::bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.bytes();
+  return total;
+}
+
+double BlockSet::multFlops() const {
+  double total = 0.0;
+  for (const auto& b : blocks_) total += b.multFlops();
+  return total;
+}
+
+}  // namespace rgml::la

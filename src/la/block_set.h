@@ -1,0 +1,50 @@
+// BlockSet: the per-place container of matrix blocks
+// (x10.matrix.distblock.BlockSet).
+//
+// Allowing a place to hold a *set* of blocks (instead of exactly one) is
+// what lets the shrink restoration mode remap existing blocks onto fewer
+// places without repartitioning the matrix (paper §III-A, §IV-A2).
+#pragma once
+
+#include <vector>
+
+#include "la/block.h"
+
+namespace rgml::la {
+
+class BlockSet {
+ public:
+  BlockSet() = default;
+
+  void add(MatrixBlock block) { blocks_.push_back(std::move(block)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return blocks_.empty(); }
+
+  [[nodiscard]] MatrixBlock& operator[](std::size_t i) { return blocks_[i]; }
+  [[nodiscard]] const MatrixBlock& operator[](std::size_t i) const {
+    return blocks_[i];
+  }
+
+  [[nodiscard]] auto begin() noexcept { return blocks_.begin(); }
+  [[nodiscard]] auto end() noexcept { return blocks_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return blocks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return blocks_.end(); }
+
+  /// The block with grid coordinates (rb, cb), or nullptr.
+  [[nodiscard]] MatrixBlock* find(long rb, long cb);
+  [[nodiscard]] const MatrixBlock* find(long rb, long cb) const;
+
+  /// Total payload bytes across the set.
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Total mat-vec flops across the set.
+  [[nodiscard]] double multFlops() const;
+
+  void clear() { blocks_.clear(); }
+
+ private:
+  std::vector<MatrixBlock> blocks_;
+};
+
+}  // namespace rgml::la

@@ -1,0 +1,38 @@
+#include "la/dense_matrix.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace rgml::la {
+
+DenseMatrix::DenseMatrix(long m, long n)
+    : m_(m), n_(n), data_(static_cast<std::size_t>(m * n), 0.0) {
+  if (m < 0 || n < 0) throw std::invalid_argument("DenseMatrix: negative dim");
+}
+
+DenseMatrix::DenseMatrix(long m, long n, std::vector<double> data)
+    : m_(m), n_(n), data_(std::move(data)) {
+  if (static_cast<long>(data_.size()) != m * n) {
+    throw std::invalid_argument("DenseMatrix: data size != m*n");
+  }
+}
+
+void DenseMatrix::copySubFrom(const DenseMatrix& src, long r0, long c0,
+                              long h, long w, long dr, long dc) {
+  assert(r0 >= 0 && c0 >= 0 && r0 + h <= src.m_ && c0 + w <= src.n_);
+  assert(dr >= 0 && dc >= 0 && dr + h <= m_ && dc + w <= n_);
+  for (long j = 0; j < w; ++j) {
+    const double* s = src.data_.data() + (c0 + j) * src.m_ + r0;
+    double* d = data_.data() + (dc + j) * m_ + dr;
+    std::memcpy(d, s, static_cast<std::size_t>(h) * sizeof(double));
+  }
+}
+
+DenseMatrix DenseMatrix::subMatrix(long r0, long c0, long h, long w) const {
+  DenseMatrix out(h, w);
+  out.copySubFrom(*this, r0, c0, h, w, 0, 0);
+  return out;
+}
+
+}  // namespace rgml::la

@@ -1,0 +1,69 @@
+// Dense matrix in full column-major storage (x10.matrix.DenseMatrix).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rgml::la {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  /// A zero-initialised m x n matrix.
+  DenseMatrix(long m, long n);
+  /// Adopts `data` (column-major, length m*n).
+  DenseMatrix(long m, long n, std::vector<double> data);
+
+  [[nodiscard]] long rows() const noexcept { return m_; }
+  [[nodiscard]] long cols() const noexcept { return n_; }
+  [[nodiscard]] long elements() const noexcept { return m_ * n_; }
+
+  [[nodiscard]] double& operator()(long i, long j) {
+    return data_[static_cast<std::size_t>(j * m_ + i)];
+  }
+  [[nodiscard]] double operator()(long i, long j) const {
+    return data_[static_cast<std::size_t>(j * m_ + i)];
+  }
+
+  /// Column j as a contiguous span.
+  [[nodiscard]] std::span<double> col(long j) noexcept {
+    return {data_.data() + j * m_, static_cast<std::size_t>(m_)};
+  }
+  [[nodiscard]] std::span<const double> col(long j) const noexcept {
+    return {data_.data() + j * m_, static_cast<std::size_t>(m_)};
+  }
+
+  [[nodiscard]] std::span<double> span() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> span() const noexcept {
+    return data_;
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+
+  void setAll(double v) { data_.assign(data_.size(), v); }
+
+  /// Copy the sub-matrix rows [r0, r0+h) x cols [c0, c0+w) of `src`
+  /// into this matrix at (dr, dc). Bounds are the caller's contract; used
+  /// by the repartitioned (re-grid) restore path.
+  void copySubFrom(const DenseMatrix& src, long r0, long c0, long h, long w,
+                   long dr, long dc);
+
+  /// Extract rows [r0, r0+h) x cols [c0, c0+w) as a new h x w matrix.
+  [[nodiscard]] DenseMatrix subMatrix(long r0, long c0, long h,
+                                      long w) const;
+
+  friend bool operator==(const DenseMatrix& a,
+                         const DenseMatrix& b) noexcept {
+    return a.m_ == b.m_ && a.n_ == b.n_ && a.data_ == b.data_;
+  }
+
+ private:
+  long m_ = 0;
+  long n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace rgml::la

@@ -1,0 +1,72 @@
+#include "la/dist_map.h"
+
+#include <stdexcept>
+
+#include "la/grid.h"
+
+namespace rgml::la {
+
+DistMap DistMap::makeGrid(const Grid& grid, long rowPlaces, long colPlaces) {
+  if (rowPlaces < 1 || colPlaces < 1) {
+    throw std::invalid_argument("DistMap: need at least one place per dim");
+  }
+  if (rowPlaces > grid.rowBlocks() || colPlaces > grid.colBlocks()) {
+    throw std::invalid_argument("DistMap: more places than blocks");
+  }
+  DistMap map;
+  map.numPlaces_ = rowPlaces * colPlaces;
+  map.rowPlaces_ = rowPlaces;
+  map.colPlaces_ = colPlaces;
+  map.blockToPlace_.resize(static_cast<std::size_t>(grid.numBlocks()));
+  for (long rb = 0; rb < grid.rowBlocks(); ++rb) {
+    const long pr = Grid::segmentOf(grid.rowBlocks(), rowPlaces, rb);
+    for (long cb = 0; cb < grid.colBlocks(); ++cb) {
+      const long pc = Grid::segmentOf(grid.colBlocks(), colPlaces, cb);
+      map.blockToPlace_[static_cast<std::size_t>(grid.blockId(rb, cb))] =
+          pr * colPlaces + pc;
+    }
+  }
+  return map;
+}
+
+DistMap DistMap::remapShrink(const DistMap& old,
+                             const std::vector<long>& translation,
+                             long numNewPlaces) {
+  if (numNewPlaces < 1) {
+    throw std::invalid_argument("remapShrink: no live places left");
+  }
+  DistMap map;
+  map.numPlaces_ = numNewPlaces;
+  // The place grid is no longer meaningful after an irregular remap.
+  map.rowPlaces_ = numNewPlaces;
+  map.colPlaces_ = 1;
+  map.blockToPlace_.resize(old.blockToPlace_.size());
+  long rr = 0;  // round-robin cursor for orphaned blocks
+  for (std::size_t b = 0; b < old.blockToPlace_.size(); ++b) {
+    const long oldIdx = old.blockToPlace_[b];
+    const long newIdx = translation[static_cast<std::size_t>(oldIdx)];
+    if (newIdx >= 0) {
+      map.blockToPlace_[b] = newIdx;
+    } else {
+      map.blockToPlace_[b] = rr;
+      rr = (rr + 1) % numNewPlaces;
+    }
+  }
+  return map;
+}
+
+std::vector<long> DistMap::blocksOf(long idx) const {
+  std::vector<long> blocks;
+  for (std::size_t b = 0; b < blockToPlace_.size(); ++b) {
+    if (blockToPlace_[b] == idx) blocks.push_back(static_cast<long>(b));
+  }
+  return blocks;
+}
+
+std::vector<long> DistMap::blockCounts() const {
+  std::vector<long> counts(static_cast<std::size_t>(numPlaces_), 0);
+  for (long idx : blockToPlace_) ++counts[static_cast<std::size_t>(idx)];
+  return counts;
+}
+
+}  // namespace rgml::la

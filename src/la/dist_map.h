@@ -1,0 +1,68 @@
+// DistMap: the block-to-place mapping of a DistBlockMatrix.
+//
+// Maps each block id of a Grid to an *index* into the owning PlaceGroup
+// (indices, not place ids: after a failure the group shrinks and indices
+// shift — the paper's snapshot keys follow the same convention).
+//
+// Two construction paths matter for resilience:
+//   * makeGrid     — the initial (rowPlaces x colPlaces) mapping, giving
+//                    each place-row a contiguous band of block-rows;
+//   * remapShrink  — the "shrink" restoration mode: surviving blocks stay
+//                    where they are (translated to new indices) and the
+//                    dead place's blocks are dealt round-robin to the
+//                    survivors, trading load balance for a cheap
+//                    block-by-block restore.
+#pragma once
+
+#include <vector>
+
+namespace rgml::la {
+
+class Grid;
+
+class DistMap {
+ public:
+  DistMap() = default;
+
+  /// Initial mapping onto a rowPlaces x colPlaces place grid. Block-rows
+  /// are split into rowPlaces contiguous bands, block-columns into
+  /// colPlaces bands; block (rb, cb) goes to index pr*colPlaces + pc.
+  static DistMap makeGrid(const Grid& grid, long rowPlaces, long colPlaces);
+
+  /// Shrink remap: `translation[oldIdx]` is the new index of the place that
+  /// had old index oldIdx, or -1 if that place died. Orphaned blocks are
+  /// assigned round-robin over the new indices [0, numNewPlaces).
+  static DistMap remapShrink(const DistMap& old,
+                             const std::vector<long>& translation,
+                             long numNewPlaces);
+
+  [[nodiscard]] long numBlocks() const noexcept {
+    return static_cast<long>(blockToPlace_.size());
+  }
+  [[nodiscard]] long numPlaces() const noexcept { return numPlaces_; }
+  [[nodiscard]] long rowPlaces() const noexcept { return rowPlaces_; }
+  [[nodiscard]] long colPlaces() const noexcept { return colPlaces_; }
+
+  /// Place index owning block `blockId`.
+  [[nodiscard]] long placeIndexOf(long blockId) const {
+    return blockToPlace_[static_cast<std::size_t>(blockId)];
+  }
+
+  /// Ids of the blocks mapped to place index `idx` (ascending).
+  [[nodiscard]] std::vector<long> blocksOf(long idx) const;
+
+  /// Block counts per place index; max/min ratio measures load imbalance.
+  [[nodiscard]] std::vector<long> blockCounts() const;
+
+  friend bool operator==(const DistMap& a, const DistMap& b) noexcept {
+    return a.blockToPlace_ == b.blockToPlace_ && a.numPlaces_ == b.numPlaces_;
+  }
+
+ private:
+  std::vector<long> blockToPlace_;
+  long numPlaces_ = 0;
+  long rowPlaces_ = 0;
+  long colPlaces_ = 0;
+};
+
+}  // namespace rgml::la

@@ -1,0 +1,64 @@
+#include "la/grid.h"
+
+#include <stdexcept>
+
+namespace rgml::la {
+
+Grid::Grid(long m, long n, long rowBlocks, long colBlocks)
+    : m_(m), n_(n), rowBs_(rowBlocks), colBs_(colBlocks) {
+  if (m < 0 || n < 0) throw std::invalid_argument("Grid: negative dims");
+  if (rowBlocks < 1 || colBlocks < 1) {
+    throw std::invalid_argument("Grid: need at least one block per dim");
+  }
+  if (rowBlocks > m || colBlocks > n) {
+    throw std::invalid_argument("Grid: more blocks than rows/cols");
+  }
+}
+
+namespace {
+long balancedSize(long n, long parts, long s) {
+  return n / parts + (s < n % parts ? 1 : 0);
+}
+
+long balancedStart(long n, long parts, long s) {
+  const long base = n / parts;
+  const long extra = n % parts;
+  return s * base + (s < extra ? s : extra);
+}
+}  // namespace
+
+long Grid::rowBlockSize(long rb) const { return balancedSize(m_, rowBs_, rb); }
+long Grid::colBlockSize(long cb) const { return balancedSize(n_, colBs_, cb); }
+
+long Grid::rowBlockStart(long rb) const {
+  return balancedStart(m_, rowBs_, rb);
+}
+long Grid::colBlockStart(long cb) const {
+  return balancedStart(n_, colBs_, cb);
+}
+
+long Grid::rowBlockOf(long i) const { return segmentOf(m_, rowBs_, i); }
+long Grid::colBlockOf(long j) const { return segmentOf(n_, colBs_, j); }
+
+std::vector<long> Grid::segmentSizes(long n, long parts) {
+  std::vector<long> sizes(static_cast<std::size_t>(parts));
+  for (long s = 0; s < parts; ++s) {
+    sizes[static_cast<std::size_t>(s)] = balancedSize(n, parts, s);
+  }
+  return sizes;
+}
+
+long Grid::segmentStart(long n, long parts, long s) {
+  return balancedStart(n, parts, s);
+}
+
+long Grid::segmentOf(long n, long parts, long i) {
+  const long base = n / parts;
+  const long extra = n % parts;
+  // The first `extra` segments have size base+1 and cover [0, extra*(base+1)).
+  const long boundary = extra * (base + 1);
+  if (i < boundary) return i / (base + 1);
+  return extra + (i - boundary) / base;
+}
+
+}  // namespace rgml::la

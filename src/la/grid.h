@@ -1,0 +1,67 @@
+// Grid: partitioning of an m x n matrix into rowBlocks x colBlocks blocks
+// (x10.matrix.block.Grid).
+//
+// Blocks are balanced: dimension d split into b blocks gives the first
+// (d mod b) blocks one extra row/column. Grid equality decides which
+// restore path a DistBlockMatrix takes: same grid -> block-by-block,
+// different grid -> overlapping-region (repartitioned) restore.
+#pragma once
+
+#include <vector>
+
+namespace rgml::la {
+
+class Grid {
+ public:
+  Grid() = default;
+  Grid(long m, long n, long rowBlocks, long colBlocks);
+
+  [[nodiscard]] long rows() const noexcept { return m_; }
+  [[nodiscard]] long cols() const noexcept { return n_; }
+  [[nodiscard]] long rowBlocks() const noexcept { return rowBs_; }
+  [[nodiscard]] long colBlocks() const noexcept { return colBs_; }
+  [[nodiscard]] long numBlocks() const noexcept { return rowBs_ * colBs_; }
+
+  /// Height of block-row rb / width of block-column cb.
+  [[nodiscard]] long rowBlockSize(long rb) const;
+  [[nodiscard]] long colBlockSize(long cb) const;
+
+  /// First matrix row of block-row rb / first column of block-column cb.
+  [[nodiscard]] long rowBlockStart(long rb) const;
+  [[nodiscard]] long colBlockStart(long cb) const;
+
+  /// Block-row containing matrix row i / block-column containing column j.
+  [[nodiscard]] long rowBlockOf(long i) const;
+  [[nodiscard]] long colBlockOf(long j) const;
+
+  /// Linearised block id (row-major over the block grid) and its inverse.
+  [[nodiscard]] long blockId(long rb, long cb) const noexcept {
+    return rb * colBs_ + cb;
+  }
+  [[nodiscard]] long blockRow(long id) const noexcept { return id / colBs_; }
+  [[nodiscard]] long blockCol(long id) const noexcept { return id % colBs_; }
+
+  friend bool operator==(const Grid& a, const Grid& b) noexcept {
+    return a.m_ == b.m_ && a.n_ == b.n_ && a.rowBs_ == b.rowBs_ &&
+           a.colBs_ == b.colBs_;
+  }
+  friend bool operator!=(const Grid& a, const Grid& b) noexcept {
+    return !(a == b);
+  }
+
+  /// Balanced 1D partition of `n` elements into `parts` segments: the
+  /// per-segment sizes (used by DistVector and Grid alike).
+  static std::vector<long> segmentSizes(long n, long parts);
+  /// Start offset of segment `s` in the same partition.
+  static long segmentStart(long n, long parts, long s);
+  /// Segment containing element `i`.
+  static long segmentOf(long n, long parts, long i);
+
+ private:
+  long m_ = 0;
+  long n_ = 0;
+  long rowBs_ = 0;
+  long colBs_ = 0;
+};
+
+}  // namespace rgml::la

@@ -1,0 +1,211 @@
+#include "la/kernels.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace rgml::la {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<double> x, double a) {
+  for (double& v : x) v *= a;
+}
+
+void cellAdd(std::span<const double> x, std::span<double> y) {
+  axpy(1.0, x, y);
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  std::memcpy(y.data(), x.data(), x.size() * sizeof(double));
+}
+
+void addScalar(std::span<double> y, double c) {
+  for (double& v : y) v += c;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+void gemv(const DenseMatrix& A, std::span<const double> x,
+          std::span<double> y, double beta) {
+  assert(static_cast<long>(x.size()) == A.cols());
+  assert(static_cast<long>(y.size()) == A.rows());
+  if (beta == 0.0) {
+    std::memset(y.data(), 0, y.size() * sizeof(double));
+  } else if (beta != 1.0) {
+    scale(y, beta);
+  }
+  // Column-major traversal: one pass over each column, unit stride.
+  for (long j = 0; j < A.cols(); ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    const auto col = A.col(j);
+    for (long i = 0; i < A.rows(); ++i) {
+      y[static_cast<std::size_t>(i)] += col[static_cast<std::size_t>(i)] * xj;
+    }
+  }
+}
+
+void gemvTrans(const DenseMatrix& A, std::span<const double> x,
+               std::span<double> y, double beta) {
+  assert(static_cast<long>(x.size()) == A.rows());
+  assert(static_cast<long>(y.size()) == A.cols());
+  for (long j = 0; j < A.cols(); ++j) {
+    const double prev =
+        beta == 0.0 ? 0.0 : beta * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(j)] = prev + dot(A.col(j), x);
+  }
+}
+
+void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
+          double beta) {
+  assert(A.cols() == B.rows());
+  assert(C.rows() == A.rows() && C.cols() == B.cols());
+  if (beta == 0.0) {
+    C.setAll(0.0);
+  } else if (beta != 1.0) {
+    scale(C.span(), beta);
+  }
+  // jki ordering: C(:,j) += A(:,k) * B(k,j); unit-stride inner loop.
+  for (long j = 0; j < B.cols(); ++j) {
+    auto cj = C.col(j);
+    for (long k = 0; k < A.cols(); ++k) {
+      const double bkj = B(k, j);
+      if (bkj == 0.0) continue;
+      const auto ak = A.col(k);
+      for (long i = 0; i < A.rows(); ++i) {
+        cj[static_cast<std::size_t>(i)] +=
+            ak[static_cast<std::size_t>(i)] * bkj;
+      }
+    }
+  }
+}
+
+void spmm(const SparseCSR& A, const DenseMatrix& B, DenseMatrix& C,
+          double beta) {
+  assert(A.cols() == B.rows());
+  assert(C.rows() == A.rows() && C.cols() == B.cols());
+  if (beta == 0.0) {
+    C.setAll(0.0);
+  } else if (beta != 1.0) {
+    scale(C.span(), beta);
+  }
+  const auto& rowPtr = A.rowPtr();
+  const auto& colIdx = A.colIdx();
+  const auto& values = A.values();
+  for (long i = 0; i < A.rows(); ++i) {
+    for (long k = rowPtr[static_cast<std::size_t>(i)];
+         k < rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const long col = colIdx[static_cast<std::size_t>(k)];
+      const double v = values[static_cast<std::size_t>(k)];
+      for (long j = 0; j < B.cols(); ++j) {
+        C(i, j) += v * B(col, j);
+      }
+    }
+  }
+}
+
+void spmv(const SparseCSR& A, std::span<const double> x, std::span<double> y,
+          double beta) {
+  assert(static_cast<long>(x.size()) == A.cols());
+  assert(static_cast<long>(y.size()) == A.rows());
+  const auto& rowPtr = A.rowPtr();
+  const auto& colIdx = A.colIdx();
+  const auto& values = A.values();
+  for (long i = 0; i < A.rows(); ++i) {
+    double acc = 0.0;
+    for (long k = rowPtr[static_cast<std::size_t>(i)];
+         k < rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(colIdx[static_cast<std::size_t>(k)])];
+    }
+    const double prev =
+        beta == 0.0 ? 0.0 : beta * y[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(i)] = prev + acc;
+  }
+}
+
+void spmvTrans(const SparseCSR& A, std::span<const double> x,
+               std::span<double> y, double beta) {
+  assert(static_cast<long>(x.size()) == A.rows());
+  assert(static_cast<long>(y.size()) == A.cols());
+  if (beta == 0.0) {
+    std::memset(y.data(), 0, y.size() * sizeof(double));
+  } else if (beta != 1.0) {
+    scale(y, beta);
+  }
+  const auto& rowPtr = A.rowPtr();
+  const auto& colIdx = A.colIdx();
+  const auto& values = A.values();
+  for (long i = 0; i < A.rows(); ++i) {
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    for (long k = rowPtr[static_cast<std::size_t>(i)];
+         k < rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      y[static_cast<std::size_t>(colIdx[static_cast<std::size_t>(k)])] +=
+          values[static_cast<std::size_t>(k)] * xi;
+    }
+  }
+}
+
+void spmv(const SparseCSC& A, std::span<const double> x, std::span<double> y,
+          double beta) {
+  assert(static_cast<long>(x.size()) == A.cols());
+  assert(static_cast<long>(y.size()) == A.rows());
+  if (beta == 0.0) {
+    std::memset(y.data(), 0, y.size() * sizeof(double));
+  } else if (beta != 1.0) {
+    scale(y, beta);
+  }
+  const auto& colPtr = A.colPtr();
+  const auto& rowIdx = A.rowIdx();
+  const auto& values = A.values();
+  for (long j = 0; j < A.cols(); ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (long k = colPtr[static_cast<std::size_t>(j)];
+         k < colPtr[static_cast<std::size_t>(j) + 1]; ++k) {
+      y[static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(k)])] +=
+          values[static_cast<std::size_t>(k)] * xj;
+    }
+  }
+}
+
+void spmvTrans(const SparseCSC& A, std::span<const double> x,
+               std::span<double> y, double beta) {
+  assert(static_cast<long>(x.size()) == A.rows());
+  assert(static_cast<long>(y.size()) == A.cols());
+  const auto& colPtr = A.colPtr();
+  const auto& rowIdx = A.rowIdx();
+  const auto& values = A.values();
+  for (long j = 0; j < A.cols(); ++j) {
+    double acc = 0.0;
+    for (long k = colPtr[static_cast<std::size_t>(j)];
+         k < colPtr[static_cast<std::size_t>(j) + 1]; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(k)])];
+    }
+    const double prev =
+        beta == 0.0 ? 0.0 : beta * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(j)] = prev + acc;
+  }
+}
+
+}  // namespace rgml::la

@@ -1,0 +1,84 @@
+// Local BLAS-like kernels (the OpenBLAS substitute; see DESIGN.md §2).
+//
+// Kernels are pure computational routines: they do not touch the APGAS
+// runtime or its clocks. The distributed GML layer charges analytic flop
+// counts to the simulated clocks around these calls.
+#pragma once
+
+#include <span>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_csc.h"
+#include "la/sparse_csr.h"
+#include "la/vector.h"
+
+namespace rgml::la {
+
+// ---- vector-vector -------------------------------------------------------
+
+/// dot(x, y).
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += a*x.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// x *= a.
+void scale(std::span<double> x, double a);
+
+/// y += x (GML's cellAdd).
+void cellAdd(std::span<const double> x, std::span<double> y);
+
+/// y = x.
+void copy(std::span<const double> x, std::span<double> y);
+
+/// y[i] += c for all i (GML's cellAdd(scalar)).
+void addScalar(std::span<double> y, double c);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> x);
+
+/// Sum of elements.
+[[nodiscard]] double sum(std::span<const double> x);
+
+// ---- dense matrix-vector ---------------------------------------------------
+
+/// y = A*x (+beta*y): y_i = sum_j A(i,j) x_j. Requires |x| = A.cols,
+/// |y| = A.rows.
+void gemv(const DenseMatrix& A, std::span<const double> x,
+          std::span<double> y, double beta = 0.0);
+
+/// y = A^T*x (+beta*y). Requires |x| = A.rows, |y| = A.cols.
+void gemvTrans(const DenseMatrix& A, std::span<const double> x,
+               std::span<double> y, double beta = 0.0);
+
+// ---- dense matrix-matrix ----------------------------------------------------
+
+/// C = A*B (+beta*C).
+void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
+          double beta = 0.0);
+
+// ---- sparse matrix-matrix ----------------------------------------------------
+
+/// C = A*B (+beta*C) with sparse A (CSR) and dense B, C.
+void spmm(const SparseCSR& A, const DenseMatrix& B, DenseMatrix& C,
+          double beta = 0.0);
+
+// ---- sparse matrix-vector ---------------------------------------------------
+
+/// y = A*x (+beta*y) for CSR.
+void spmv(const SparseCSR& A, std::span<const double> x, std::span<double> y,
+          double beta = 0.0);
+
+/// y = A^T*x (+beta*y) for CSR.
+void spmvTrans(const SparseCSR& A, std::span<const double> x,
+               std::span<double> y, double beta = 0.0);
+
+/// y = A*x (+beta*y) for CSC.
+void spmv(const SparseCSC& A, std::span<const double> x, std::span<double> y,
+          double beta = 0.0);
+
+/// y = A^T*x (+beta*y) for CSC.
+void spmvTrans(const SparseCSC& A, std::span<const double> x,
+               std::span<double> y, double beta = 0.0);
+
+}  // namespace rgml::la

@@ -1,0 +1,108 @@
+#include "la/rand.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace rgml::la {
+
+void fillUniform(std::span<double> out, std::uint64_t seed, double lo,
+                 double hi) {
+  SplitMix64 rng(seed);
+  for (double& v : out) v = rng.nextDouble(lo, hi);
+}
+
+DenseMatrix makeUniformDense(long m, long n, std::uint64_t seed, double lo,
+                             double hi) {
+  DenseMatrix a(m, n);
+  fillUniform(a.span(), seed, lo, hi);
+  return a;
+}
+
+Vector makeUniformVector(long n, std::uint64_t seed, double lo, double hi) {
+  Vector v(n);
+  fillUniform(v.span(), seed, lo, hi);
+  return v;
+}
+
+namespace {
+/// `count` distinct values in [0, n), ascending. Sample-sort-dedup: far
+/// faster than a std::set for the billions of draws the big benchmark
+/// graphs need.
+std::vector<long> distinctSorted(SplitMix64& rng, long count, long n) {
+  std::vector<long> chosen;
+  chosen.reserve(static_cast<std::size_t>(count) + 8);
+  while (true) {
+    while (static_cast<long>(chosen.size()) < count) {
+      chosen.push_back(rng.nextLong(n));
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    if (static_cast<long>(chosen.size()) == count) return chosen;
+    // Collisions removed; draw replacements and re-sort.
+  }
+}
+}  // namespace
+
+SparseCSR makeUniformSparse(long m, long n, long nnzPerRow,
+                            std::uint64_t seed, double lo, double hi) {
+  if (nnzPerRow > n) throw std::invalid_argument("nnzPerRow > n");
+  SplitMix64 rng(seed);
+  std::vector<long> rowPtr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<long> colIdx;
+  std::vector<double> values;
+  colIdx.reserve(static_cast<std::size_t>(m * nnzPerRow));
+  values.reserve(static_cast<std::size_t>(m * nnzPerRow));
+  for (long i = 0; i < m; ++i) {
+    for (long c : distinctSorted(rng, nnzPerRow, n)) {
+      colIdx.push_back(c);
+      values.push_back(rng.nextDouble(lo, hi));
+    }
+    rowPtr[static_cast<std::size_t>(i) + 1] = static_cast<long>(colIdx.size());
+  }
+  return SparseCSR(m, n, std::move(rowPtr), std::move(colIdx),
+                   std::move(values));
+}
+
+SparseCSR makeWebGraph(long n, long linksPerPage, std::uint64_t seed) {
+  if (linksPerPage >= n) throw std::invalid_argument("linksPerPage >= n");
+  SplitMix64 rng(seed);
+  // Build column-wise (page j links to rows i), then transpose into CSR.
+  // Column j has exactly linksPerPage entries of value 1/linksPerPage,
+  // excluding the self-link, so the matrix is column-stochastic.
+  std::vector<std::vector<long>> colRows(static_cast<std::size_t>(n));
+  for (long j = 0; j < n; ++j) {
+    auto& rows = colRows[static_cast<std::size_t>(j)];
+    std::set<long> chosen;
+    while (static_cast<long>(chosen.size()) < linksPerPage) {
+      const long r = rng.nextLong(n);
+      if (r != j) chosen.insert(r);
+    }
+    rows.assign(chosen.begin(), chosen.end());
+  }
+  const double w = 1.0 / static_cast<double>(linksPerPage);
+  // Count per-row entries, then scatter.
+  std::vector<long> rowPtr(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& rows : colRows) {
+    for (long r : rows) ++rowPtr[static_cast<std::size_t>(r) + 1];
+  }
+  for (long i = 0; i < n; ++i) {
+    rowPtr[static_cast<std::size_t>(i) + 1] +=
+        rowPtr[static_cast<std::size_t>(i)];
+  }
+  std::vector<long> colIdx(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(linksPerPage));
+  std::vector<double> values(colIdx.size(), w);
+  std::vector<long> cursor(rowPtr.begin(), rowPtr.end() - 1);
+  for (long j = 0; j < n; ++j) {
+    for (long r : colRows[static_cast<std::size_t>(j)]) {
+      colIdx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(r)]++)] =
+          j;
+    }
+  }
+  return SparseCSR(n, n, std::move(rowPtr), std::move(colIdx),
+                   std::move(values));
+}
+
+}  // namespace rgml::la

@@ -1,0 +1,87 @@
+// Deterministic random builders for matrices and vectors.
+//
+// All randomness in the repository flows through SplitMix64 so every test,
+// example and benchmark is bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_csr.h"
+#include "la/vector.h"
+
+namespace rgml::la {
+
+/// SplitMix64: tiny, high-quality, deterministic PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t nextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi) {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Uniform long in [0, n).
+  long nextLong(long n) {
+    return static_cast<long>(nextU64() % static_cast<std::uint64_t>(n));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill with uniform values in [lo, hi).
+void fillUniform(std::span<double> out, std::uint64_t seed, double lo = 0.0,
+                 double hi = 1.0);
+
+/// Stateless uniform value in [lo, hi) for (seed, index): depends only on
+/// the pair, so distributed fills are independent of the partitioning.
+/// Inline: benchmark matrix fills call this hundreds of millions of times.
+[[nodiscard]] inline double hashedUniform(std::uint64_t seed,
+                                          std::uint64_t index,
+                                          double lo = 0.0, double hi = 1.0) {
+  std::uint64_t z =
+      seed ^ (index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return lo + (hi - lo) * (static_cast<double>(z >> 11) * 0x1.0p-53);
+}
+
+/// A dense m x n matrix with uniform entries in [lo, hi).
+[[nodiscard]] DenseMatrix makeUniformDense(long m, long n,
+                                           std::uint64_t seed,
+                                           double lo = 0.0, double hi = 1.0);
+
+/// A vector of length n with uniform entries in [lo, hi).
+[[nodiscard]] Vector makeUniformVector(long n, std::uint64_t seed,
+                                       double lo = 0.0, double hi = 1.0);
+
+/// A random m x n CSR matrix with approximately `nnzPerRow` entries per
+/// row (distinct columns, uniform values in [lo, hi)).
+[[nodiscard]] SparseCSR makeUniformSparse(long m, long n, long nnzPerRow,
+                                          std::uint64_t seed, double lo = 0.0,
+                                          double hi = 1.0);
+
+/// A random column-stochastic adjacency matrix for PageRank: each of the m
+/// "pages" (columns) links to ~`linksPerPage` distinct other pages; each
+/// column sums to 1 (value 1/outdegree). Stored CSR for row-major spmv.
+[[nodiscard]] SparseCSR makeWebGraph(long n, long linksPerPage,
+                                     std::uint64_t seed);
+
+}  // namespace rgml::la

@@ -1,0 +1,123 @@
+#include "la/sparse_csc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rgml::la {
+
+SparseCSC::SparseCSC(long m, long n)
+    : m_(m), n_(n), colPtr_(static_cast<std::size_t>(n) + 1, 0) {
+  if (m < 0 || n < 0) throw std::invalid_argument("SparseCSC: negative dim");
+}
+
+SparseCSC::SparseCSC(long m, long n, std::vector<long> colPtr,
+                     std::vector<long> rowIdx, std::vector<double> values)
+    : m_(m),
+      n_(n),
+      colPtr_(std::move(colPtr)),
+      rowIdx_(std::move(rowIdx)),
+      values_(std::move(values)) {
+  if (static_cast<long>(colPtr_.size()) != n_ + 1) {
+    throw std::invalid_argument("SparseCSC: colPtr size != n+1");
+  }
+  if (colPtr_.back() != static_cast<long>(values_.size()) ||
+      rowIdx_.size() != values_.size()) {
+    throw std::invalid_argument("SparseCSC: inconsistent nnz arrays");
+  }
+}
+
+double SparseCSC::at(long i, long j) const {
+  const auto lo = rowIdx_.begin() + colPtr_[static_cast<std::size_t>(j)];
+  const auto hi = rowIdx_.begin() + colPtr_[static_cast<std::size_t>(j) + 1];
+  const auto it = std::lower_bound(lo, hi, i);
+  if (it == hi || *it != i) return 0.0;
+  return values_[static_cast<std::size_t>(it - rowIdx_.begin())];
+}
+
+long SparseCSC::countNonZerosIn(long r0, long c0, long h, long w) const {
+  long count = 0;
+  for (long j = c0; j < c0 + w; ++j) {
+    const auto colBegin = rowIdx_.begin() + colPtr_[static_cast<std::size_t>(j)];
+    const auto colEnd =
+        rowIdx_.begin() + colPtr_[static_cast<std::size_t>(j) + 1];
+    const auto lo = std::lower_bound(colBegin, colEnd, r0);
+    const auto hi = std::lower_bound(lo, colEnd, r0 + h);
+    count += static_cast<long>(hi - lo);
+  }
+  return count;
+}
+
+SparseCSC SparseCSC::subMatrix(long r0, long c0, long h, long w) const {
+  assert(r0 >= 0 && c0 >= 0 && r0 + h <= m_ && c0 + w <= n_);
+  const long outNnz = countNonZerosIn(r0, c0, h, w);
+  std::vector<long> colPtr(static_cast<std::size_t>(w) + 1, 0);
+  std::vector<long> rowIdx;
+  std::vector<double> values;
+  rowIdx.reserve(static_cast<std::size_t>(outNnz));
+  values.reserve(static_cast<std::size_t>(outNnz));
+  for (long j = 0; j < w; ++j) {
+    const long src = c0 + j;
+    const long begin = colPtr_[static_cast<std::size_t>(src)];
+    const long end = colPtr_[static_cast<std::size_t>(src) + 1];
+    const auto lo = std::lower_bound(rowIdx_.begin() + begin,
+                                     rowIdx_.begin() + end, r0);
+    const auto hi =
+        std::lower_bound(lo, rowIdx_.begin() + end, r0 + h);
+    for (auto it = lo; it != hi; ++it) {
+      rowIdx.push_back(*it - r0);
+      values.push_back(values_[static_cast<std::size_t>(it - rowIdx_.begin())]);
+    }
+    colPtr[static_cast<std::size_t>(j) + 1] =
+        static_cast<long>(rowIdx.size());
+  }
+  return SparseCSC(h, w, std::move(colPtr), std::move(rowIdx),
+                   std::move(values));
+}
+
+void SparseCSC::pasteSubFrom(const SparseCSC& sub, long dr, long dc) {
+  assert(dr >= 0 && dc >= 0 && dr + sub.m_ <= m_ && dc + sub.n_ <= n_);
+  // Column-wise sorted merge of the incoming entries into the existing
+  // arrays. The restore path pastes disjoint regions, so duplicates cannot
+  // occur; if they do (programming error) the incoming value wins.
+  std::vector<long> colPtr(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<long> rowIdx;
+  std::vector<double> values;
+  rowIdx.reserve(values_.size() + sub.values_.size());
+  values.reserve(values_.size() + sub.values_.size());
+
+  for (long j = 0; j < n_; ++j) {
+    const long oldBegin = colPtr_[static_cast<std::size_t>(j)];
+    const long oldEnd = colPtr_[static_cast<std::size_t>(j) + 1];
+    long oi = oldBegin;
+    long si = -1, sEnd = -1;
+    if (j >= dc && j < dc + sub.n_) {
+      si = sub.colPtr_[static_cast<std::size_t>(j - dc)];
+      sEnd = sub.colPtr_[static_cast<std::size_t>(j - dc) + 1];
+    }
+    while (oi < oldEnd || (si >= 0 && si < sEnd)) {
+      const long oldRow = oi < oldEnd ? rowIdx_[static_cast<std::size_t>(oi)]
+                                      : m_;
+      const long subRow = (si >= 0 && si < sEnd)
+                              ? sub.rowIdx_[static_cast<std::size_t>(si)] + dr
+                              : m_;
+      if (subRow <= oldRow) {
+        rowIdx.push_back(subRow);
+        values.push_back(sub.values_[static_cast<std::size_t>(si)]);
+        ++si;
+        if (subRow == oldRow) ++oi;  // incoming value wins
+      } else {
+        rowIdx.push_back(oldRow);
+        values.push_back(values_[static_cast<std::size_t>(oi)]);
+        ++oi;
+      }
+    }
+    colPtr[static_cast<std::size_t>(j) + 1] =
+        static_cast<long>(rowIdx.size());
+  }
+  colPtr_ = std::move(colPtr);
+  rowIdx_ = std::move(rowIdx);
+  values_ = std::move(values);
+}
+
+}  // namespace rgml::la

@@ -1,0 +1,84 @@
+// Sparse matrix in compressed-sparse-column format (x10.matrix.SparseCSC).
+//
+// The repartitioned restore path of DistBlockMatrix needs two operations
+// the paper calls out explicitly for sparse blocks: counting the non-zeros
+// of a sub-region (to size the new block before filling it) and extracting
+// that sub-region. Both are provided here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rgml::la {
+
+class SparseCSC {
+ public:
+  SparseCSC() = default;
+  /// An empty (all-zero) m x n sparse matrix.
+  SparseCSC(long m, long n);
+  /// Adopts raw CSC arrays. colPtr has n+1 entries; rowIdx/values have
+  /// colPtr[n] entries with row indices strictly increasing per column.
+  SparseCSC(long m, long n, std::vector<long> colPtr,
+            std::vector<long> rowIdx, std::vector<double> values);
+
+  [[nodiscard]] long rows() const noexcept { return m_; }
+  [[nodiscard]] long cols() const noexcept { return n_; }
+  [[nodiscard]] long nnz() const noexcept {
+    return static_cast<long>(values_.size());
+  }
+
+  [[nodiscard]] const std::vector<long>& colPtr() const noexcept {
+    return colPtr_;
+  }
+  [[nodiscard]] const std::vector<long>& rowIdx() const noexcept {
+    return rowIdx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Element lookup (binary search within the column); O(log nnz(col)).
+  [[nodiscard]] double at(long i, long j) const;
+
+  /// Payload bytes (values + indices + column pointers).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return values_.size() * sizeof(double) +
+           rowIdx_.size() * sizeof(long) + colPtr_.size() * sizeof(long);
+  }
+
+  /// Number of non-zeros inside rows [r0, r0+h) x cols [c0, c0+w).
+  /// This is the pre-count the paper describes for sizing a repartitioned
+  /// sparse block.
+  [[nodiscard]] long countNonZerosIn(long r0, long c0, long h, long w) const;
+
+  /// Extract rows [r0, r0+h) x cols [c0, c0+w) as a new h x w CSC matrix
+  /// (row/col indices rebased to the sub-block).
+  [[nodiscard]] SparseCSC subMatrix(long r0, long c0, long h, long w) const;
+
+  /// Overwrite the region [dr, dr+sub.rows()) x [dc, dc+sub.cols()) with
+  /// `sub`. Only legal when this matrix currently has no entries in the
+  /// destination columns outside previously-set regions — the restore path
+  /// assembles a fresh block from disjoint sub-blocks, so insertion is
+  /// implemented as a sorted merge per column.
+  void pasteSubFrom(const SparseCSC& sub, long dr, long dc);
+
+  /// Dense element count equivalent (m*n); used for density computations.
+  [[nodiscard]] double density() const noexcept {
+    const double total = static_cast<double>(m_) * static_cast<double>(n_);
+    return total == 0.0 ? 0.0 : static_cast<double>(nnz()) / total;
+  }
+
+  friend bool operator==(const SparseCSC& a, const SparseCSC& b) noexcept {
+    return a.m_ == b.m_ && a.n_ == b.n_ && a.colPtr_ == b.colPtr_ &&
+           a.rowIdx_ == b.rowIdx_ && a.values_ == b.values_;
+  }
+
+ private:
+  long m_ = 0;
+  long n_ = 0;
+  std::vector<long> colPtr_;   // size n_+1
+  std::vector<long> rowIdx_;   // size nnz
+  std::vector<double> values_;  // size nnz
+};
+
+}  // namespace rgml::la

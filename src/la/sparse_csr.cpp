@@ -1,0 +1,177 @@
+#include "la/sparse_csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "la/sparse_csc.h"
+
+namespace rgml::la {
+
+SparseCSR::SparseCSR(long m, long n)
+    : m_(m), n_(n), rowPtr_(static_cast<std::size_t>(m) + 1, 0) {
+  if (m < 0 || n < 0) throw std::invalid_argument("SparseCSR: negative dim");
+}
+
+SparseCSR::SparseCSR(long m, long n, std::vector<long> rowPtr,
+                     std::vector<long> colIdx, std::vector<double> values)
+    : m_(m),
+      n_(n),
+      rowPtr_(std::move(rowPtr)),
+      colIdx_(std::move(colIdx)),
+      values_(std::move(values)) {
+  if (static_cast<long>(rowPtr_.size()) != m_ + 1) {
+    throw std::invalid_argument("SparseCSR: rowPtr size != m+1");
+  }
+  if (rowPtr_.back() != static_cast<long>(values_.size()) ||
+      colIdx_.size() != values_.size()) {
+    throw std::invalid_argument("SparseCSR: inconsistent nnz arrays");
+  }
+}
+
+double SparseCSR::at(long i, long j) const {
+  const auto lo = colIdx_.begin() + rowPtr_[static_cast<std::size_t>(i)];
+  const auto hi = colIdx_.begin() + rowPtr_[static_cast<std::size_t>(i) + 1];
+  const auto it = std::lower_bound(lo, hi, j);
+  if (it == hi || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - colIdx_.begin())];
+}
+
+void SparseCSR::scaleValues(double a) {
+  for (double& v : values_) v *= a;
+}
+
+long SparseCSR::countNonZerosIn(long r0, long c0, long h, long w) const {
+  long count = 0;
+  for (long i = r0; i < r0 + h; ++i) {
+    const auto rowBegin =
+        colIdx_.begin() + rowPtr_[static_cast<std::size_t>(i)];
+    const auto rowEnd =
+        colIdx_.begin() + rowPtr_[static_cast<std::size_t>(i) + 1];
+    const auto lo = std::lower_bound(rowBegin, rowEnd, c0);
+    const auto hi = std::lower_bound(lo, rowEnd, c0 + w);
+    count += static_cast<long>(hi - lo);
+  }
+  return count;
+}
+
+SparseCSR SparseCSR::subMatrix(long r0, long c0, long h, long w) const {
+  assert(r0 >= 0 && c0 >= 0 && r0 + h <= m_ && c0 + w <= n_);
+  const long outNnz = countNonZerosIn(r0, c0, h, w);
+  std::vector<long> rowPtr(static_cast<std::size_t>(h) + 1, 0);
+  std::vector<long> colIdx;
+  std::vector<double> values;
+  colIdx.reserve(static_cast<std::size_t>(outNnz));
+  values.reserve(static_cast<std::size_t>(outNnz));
+  for (long i = 0; i < h; ++i) {
+    const long src = r0 + i;
+    const long begin = rowPtr_[static_cast<std::size_t>(src)];
+    const long end = rowPtr_[static_cast<std::size_t>(src) + 1];
+    const auto lo = std::lower_bound(colIdx_.begin() + begin,
+                                     colIdx_.begin() + end, c0);
+    const auto hi = std::lower_bound(lo, colIdx_.begin() + end, c0 + w);
+    for (auto it = lo; it != hi; ++it) {
+      colIdx.push_back(*it - c0);
+      values.push_back(values_[static_cast<std::size_t>(it - colIdx_.begin())]);
+    }
+    rowPtr[static_cast<std::size_t>(i) + 1] =
+        static_cast<long>(colIdx.size());
+  }
+  return SparseCSR(h, w, std::move(rowPtr), std::move(colIdx),
+                   std::move(values));
+}
+
+void SparseCSR::pasteSubFrom(const SparseCSR& sub, long dr, long dc) {
+  assert(dr >= 0 && dc >= 0 && dr + sub.m_ <= m_ && dc + sub.n_ <= n_);
+  std::vector<long> rowPtr(static_cast<std::size_t>(m_) + 1, 0);
+  std::vector<long> colIdx;
+  std::vector<double> values;
+  colIdx.reserve(values_.size() + sub.values_.size());
+  values.reserve(values_.size() + sub.values_.size());
+
+  for (long i = 0; i < m_; ++i) {
+    const long oldBegin = rowPtr_[static_cast<std::size_t>(i)];
+    const long oldEnd = rowPtr_[static_cast<std::size_t>(i) + 1];
+    long oi = oldBegin;
+    long si = -1, sEnd = -1;
+    if (i >= dr && i < dr + sub.m_) {
+      si = sub.rowPtr_[static_cast<std::size_t>(i - dr)];
+      sEnd = sub.rowPtr_[static_cast<std::size_t>(i - dr) + 1];
+    }
+    while (oi < oldEnd || (si >= 0 && si < sEnd)) {
+      const long oldCol =
+          oi < oldEnd ? colIdx_[static_cast<std::size_t>(oi)] : n_;
+      const long subCol = (si >= 0 && si < sEnd)
+                              ? sub.colIdx_[static_cast<std::size_t>(si)] + dc
+                              : n_;
+      if (subCol <= oldCol) {
+        colIdx.push_back(subCol);
+        values.push_back(sub.values_[static_cast<std::size_t>(si)]);
+        ++si;
+        if (subCol == oldCol) ++oi;  // incoming value wins
+      } else {
+        colIdx.push_back(oldCol);
+        values.push_back(values_[static_cast<std::size_t>(oi)]);
+        ++oi;
+      }
+    }
+    rowPtr[static_cast<std::size_t>(i) + 1] =
+        static_cast<long>(colIdx.size());
+  }
+  rowPtr_ = std::move(rowPtr);
+  colIdx_ = std::move(colIdx);
+  values_ = std::move(values);
+}
+
+SparseCSC SparseCSR::toCSC() const {
+  // Column counting pass, then a stable scatter.
+  std::vector<long> colPtr(static_cast<std::size_t>(n_) + 1, 0);
+  for (long c : colIdx_) ++colPtr[static_cast<std::size_t>(c) + 1];
+  for (long j = 0; j < n_; ++j) {
+    colPtr[static_cast<std::size_t>(j) + 1] +=
+        colPtr[static_cast<std::size_t>(j)];
+  }
+  std::vector<long> rowIdx(values_.size());
+  std::vector<double> values(values_.size());
+  std::vector<long> cursor(colPtr.begin(), colPtr.end() - 1);
+  for (long i = 0; i < m_; ++i) {
+    for (long k = rowPtr_[static_cast<std::size_t>(i)];
+         k < rowPtr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const long j = colIdx_[static_cast<std::size_t>(k)];
+      const long dst = cursor[static_cast<std::size_t>(j)]++;
+      rowIdx[static_cast<std::size_t>(dst)] = i;
+      values[static_cast<std::size_t>(dst)] =
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return SparseCSC(m_, n_, std::move(colPtr), std::move(rowIdx),
+                   std::move(values));
+}
+
+SparseCSR SparseCSR::fromCSC(const SparseCSC& csc) {
+  const long m = csc.rows();
+  const long n = csc.cols();
+  std::vector<long> rowPtr(static_cast<std::size_t>(m) + 1, 0);
+  for (long r : csc.rowIdx()) ++rowPtr[static_cast<std::size_t>(r) + 1];
+  for (long i = 0; i < m; ++i) {
+    rowPtr[static_cast<std::size_t>(i) + 1] +=
+        rowPtr[static_cast<std::size_t>(i)];
+  }
+  std::vector<long> colIdx(csc.values().size());
+  std::vector<double> values(csc.values().size());
+  std::vector<long> cursor(rowPtr.begin(), rowPtr.end() - 1);
+  for (long j = 0; j < n; ++j) {
+    for (long k = csc.colPtr()[static_cast<std::size_t>(j)];
+         k < csc.colPtr()[static_cast<std::size_t>(j) + 1]; ++k) {
+      const long i = csc.rowIdx()[static_cast<std::size_t>(k)];
+      const long dst = cursor[static_cast<std::size_t>(i)]++;
+      colIdx[static_cast<std::size_t>(dst)] = j;
+      values[static_cast<std::size_t>(dst)] =
+          csc.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  return SparseCSR(m, n, std::move(rowPtr), std::move(colIdx),
+                   std::move(values));
+}
+
+}  // namespace rgml::la

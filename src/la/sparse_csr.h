@@ -1,0 +1,78 @@
+// Sparse matrix in compressed-sparse-row format (x10.matrix.SparseCSR).
+//
+// CSR is the natural layout for the y = A*x products of PageRank (each row
+// produces one output element). Provides the same sub-block machinery as
+// SparseCSC for the repartitioned restore path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rgml::la {
+
+class SparseCSC;
+
+class SparseCSR {
+ public:
+  SparseCSR() = default;
+  /// An empty (all-zero) m x n sparse matrix.
+  SparseCSR(long m, long n);
+  /// Adopts raw CSR arrays; column indices strictly increasing per row.
+  SparseCSR(long m, long n, std::vector<long> rowPtr,
+            std::vector<long> colIdx, std::vector<double> values);
+
+  [[nodiscard]] long rows() const noexcept { return m_; }
+  [[nodiscard]] long cols() const noexcept { return n_; }
+  [[nodiscard]] long nnz() const noexcept {
+    return static_cast<long>(values_.size());
+  }
+
+  [[nodiscard]] const std::vector<long>& rowPtr() const noexcept {
+    return rowPtr_;
+  }
+  [[nodiscard]] const std::vector<long>& colIdx() const noexcept {
+    return colIdx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Element lookup (binary search within the row).
+  [[nodiscard]] double at(long i, long j) const;
+
+  /// Scale every stored value in place (structure unchanged).
+  void scaleValues(double a);
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return values_.size() * sizeof(double) +
+           colIdx_.size() * sizeof(long) + rowPtr_.size() * sizeof(long);
+  }
+
+  /// Number of non-zeros inside rows [r0, r0+h) x cols [c0, c0+w).
+  [[nodiscard]] long countNonZerosIn(long r0, long c0, long h, long w) const;
+
+  /// Extract rows [r0, r0+h) x cols [c0, c0+w), indices rebased.
+  [[nodiscard]] SparseCSR subMatrix(long r0, long c0, long h, long w) const;
+
+  /// Merge `sub` into this matrix at offset (dr, dc); mirror of
+  /// SparseCSC::pasteSubFrom.
+  void pasteSubFrom(const SparseCSR& sub, long dr, long dc);
+
+  /// Format conversions (used by tests to cross-check the two layouts).
+  [[nodiscard]] SparseCSC toCSC() const;
+  static SparseCSR fromCSC(const SparseCSC& csc);
+
+  friend bool operator==(const SparseCSR& a, const SparseCSR& b) noexcept {
+    return a.m_ == b.m_ && a.n_ == b.n_ && a.rowPtr_ == b.rowPtr_ &&
+           a.colIdx_ == b.colIdx_ && a.values_ == b.values_;
+  }
+
+ private:
+  long m_ = 0;
+  long n_ = 0;
+  std::vector<long> rowPtr_;   // size m_+1
+  std::vector<long> colIdx_;   // size nnz
+  std::vector<double> values_;  // size nnz
+};
+
+}  // namespace rgml::la

@@ -1,0 +1,3 @@
+#include "la/vector.h"
+
+// Vector is header-only; this translation unit anchors the target.

@@ -1,0 +1,50 @@
+// Dense vector (x10.matrix.Vector): a single column of doubles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rgml::la {
+
+class Vector {
+ public:
+  Vector() = default;
+  /// A zero-initialised vector of length n.
+  explicit Vector(long n) : data_(static_cast<std::size_t>(n), 0.0) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] long size() const noexcept {
+    return static_cast<long>(data_.size());
+  }
+
+  [[nodiscard]] double& operator[](long i) {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] double operator[](long i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::span<double> span() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> span() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// Payload size in bytes (snapshot/communication cost accounting).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+
+  void setAll(double v) { data_.assign(data_.size(), v); }
+
+  friend bool operator==(const Vector& a, const Vector& b) noexcept {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace rgml::la

@@ -1,0 +1,68 @@
+#include "resilient/app_resilient_store.h"
+
+#include "apgas/exceptions.h"
+
+namespace rgml::resilient {
+
+void AppResilientStore::startNewSnapshot() {
+  if (inProgress_) {
+    throw apgas::ApgasError(
+        "AppResilientStore: snapshot already in progress (commit or cancel "
+        "first)");
+  }
+  inProgress_ = std::make_unique<AppSnapshot>();
+  inProgress_->iteration = iteration_;
+}
+
+void AppResilientStore::save(Snapshottable& obj) {
+  if (!inProgress_) {
+    throw apgas::ApgasError(
+        "AppResilientStore::save: no snapshot in progress");
+  }
+  inProgress_->objects.emplace_back(&obj, obj.makeSnapshot());
+}
+
+void AppResilientStore::saveReadOnly(Snapshottable& obj) {
+  if (!inProgress_) {
+    throw apgas::ApgasError(
+        "AppResilientStore::saveReadOnly: no snapshot in progress");
+  }
+  if (committed_) {
+    if (auto existing = committed_->find(&obj)) {
+      inProgress_->objects.emplace_back(&obj, std::move(existing));
+      return;
+    }
+  }
+  inProgress_->objects.emplace_back(&obj, obj.makeSnapshot());
+}
+
+void AppResilientStore::commit() {
+  if (!inProgress_) {
+    throw apgas::ApgasError(
+        "AppResilientStore::commit: no snapshot in progress");
+  }
+  committed_ = std::move(inProgress_);
+}
+
+void AppResilientStore::cancelSnapshot() { inProgress_.reset(); }
+
+void AppResilientStore::restore() {
+  if (!committed_) {
+    throw apgas::ApgasError(
+        "AppResilientStore::restore: no committed snapshot");
+  }
+  for (auto& [obj, snapshot] : committed_->objects) {
+    obj->restoreSnapshot(*snapshot);
+  }
+}
+
+std::size_t AppResilientStore::committedBytes() const {
+  if (!committed_) return 0;
+  std::size_t total = 0;
+  for (const auto& [obj, snapshot] : committed_->objects) {
+    total += snapshot->totalBytes();
+  }
+  return total;
+}
+
+}  // namespace rgml::resilient

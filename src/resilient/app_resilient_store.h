@@ -1,0 +1,98 @@
+// AppResilientStore: consistent application-level checkpoints
+// (paper §V-A1, Listing 4).
+//
+// An application snapshot bundles the Snapshots of every GML object that
+// contributes to the application's state, plus the iteration number it was
+// taken at. Snapshots are created atomically: a new snapshot only becomes
+// the restore target after commit(); a failure mid-checkpoint is handled by
+// cancelSnapshot(), which discards the partial snapshot and leaves the
+// previous committed one intact. Coordinated checkpointing needs only the
+// latest committed snapshot, so at most two slots exist at any time (the
+// committed one and the in-progress one).
+//
+// saveReadOnly() implements the paper's optimisation for objects that never
+// change (e.g. the training matrix): their Snapshot from the previous
+// committed application snapshot is reused instead of re-created, which is
+// why Table III's checkpoint times only pay for the mutable state.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "resilient/snapshot.h"
+
+namespace rgml::resilient {
+
+class AppResilientStore {
+ public:
+  /// Record the iteration the next snapshot will belong to. Called by the
+  /// resilient executor before invoking the application's checkpoint();
+  /// keeps the paper's zero-argument startNewSnapshot() signature.
+  void setIteration(long iteration) noexcept { iteration_ = iteration; }
+
+  /// Begin a new application snapshot (for the iteration last given to
+  /// setIteration). Throws if a snapshot is already in progress.
+  void startNewSnapshot();
+
+  /// Snapshot `obj` into the in-progress application snapshot.
+  void save(Snapshottable& obj);
+
+  /// Snapshot `obj`, reusing its Snapshot from the latest committed
+  /// application snapshot if one exists (read-only objects are saved only
+  /// once, at the first checkpoint).
+  void saveReadOnly(Snapshottable& obj);
+
+  /// Atomically promote the in-progress snapshot to "latest committed" and
+  /// discard the previous one.
+  void commit();
+
+  /// Discard the in-progress snapshot (failure during checkpoint).
+  void cancelSnapshot();
+
+  /// Restore every object of the latest committed snapshot by calling its
+  /// restoreSnapshot(). Objects must have been remake()-d over the new
+  /// place group by the caller first (paper Listing 5, lines 9-14).
+  void restore();
+
+  [[nodiscard]] bool hasCommitted() const noexcept {
+    return committed_ != nullptr;
+  }
+  [[nodiscard]] bool inProgress() const noexcept {
+    return inProgress_ != nullptr;
+  }
+
+  /// Iteration of the latest committed snapshot; -1 if none.
+  [[nodiscard]] long latestCommittedIteration() const noexcept {
+    return committed_ ? committed_->iteration : -1;
+  }
+
+  /// Number of objects in the latest committed snapshot (0 if none).
+  [[nodiscard]] std::size_t committedObjectCount() const noexcept {
+    return committed_ ? committed_->objects.size() : 0;
+  }
+
+  /// Total payload bytes of the latest committed snapshot.
+  [[nodiscard]] std::size_t committedBytes() const;
+
+ private:
+  struct AppSnapshot {
+    long iteration = -1;
+    // Insertion-ordered so restore() replays saves in checkpoint order.
+    std::vector<std::pair<Snapshottable*, std::shared_ptr<Snapshot>>> objects;
+
+    [[nodiscard]] std::shared_ptr<Snapshot> find(
+        const Snapshottable* obj) const {
+      for (const auto& [o, s] : objects) {
+        if (o == obj) return s;
+      }
+      return nullptr;
+    }
+  };
+
+  long iteration_ = 0;
+  std::unique_ptr<AppSnapshot> committed_;
+  std::unique_ptr<AppSnapshot> inProgress_;
+};
+
+}  // namespace rgml::resilient

@@ -1,0 +1,39 @@
+// Disk staging for snapshots: the classic "checkpoint to reliable storage"
+// alternative the paper's in-memory double storage is designed to beat
+// (§VI-B contrasts dataflow systems that reload from reliable storage).
+//
+// persistToDisk() writes every entry of an in-memory Snapshot to one file
+// per key (real files, real serialisation — the binary format of
+// value_serde.h). loadFromDisk() reconstructs a Snapshot whose copies land
+// on the loading place (as if read back from a parallel filesystem) with
+// the usual next-place backups.
+//
+// A disk-staged checkpoint survives ANY number of simultaneous place
+// failures — including the adjacent double failure that defeats the
+// in-memory store — at the price of disk bandwidth on every checkpoint.
+// bench/ablation_disk.cpp quantifies the trade-off.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+
+#include "apgas/place_group.h"
+#include "resilient/snapshot.h"
+
+namespace rgml::resilient {
+
+/// Serialise every surviving entry of `snapshot` (and its metadata) into
+/// `dir` (created if absent; existing snapshot files are replaced).
+/// Charges serialisation plus disk-write time to the current place.
+/// Returns the payload bytes written.
+std::size_t persistToDisk(const Snapshot& snapshot,
+                          const std::filesystem::path& dir);
+
+/// Rebuild a Snapshot from `dir`. Every value is saved from the first
+/// place of `pg` (restores then pull from it, like reading a shared
+/// filesystem node). Charges disk-read plus deserialisation time.
+[[nodiscard]] std::shared_ptr<Snapshot> loadFromDisk(
+    const std::filesystem::path& dir, const apgas::PlaceGroup& pg);
+
+}  // namespace rgml::resilient

@@ -1,0 +1,54 @@
+#include "resilient/restore_overlap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rgml::resilient {
+
+std::vector<OverlapRegion> computeOverlaps(const la::Grid& oldGrid,
+                                           const la::Grid& newGrid,
+                                           long newRb, long newCb) {
+  if (oldGrid.rows() != newGrid.rows() || oldGrid.cols() != newGrid.cols()) {
+    throw std::invalid_argument(
+        "computeOverlaps: grids partition different matrices");
+  }
+  // Global extent of the new block.
+  const long nr0 = newGrid.rowBlockStart(newRb);
+  const long nc0 = newGrid.colBlockStart(newCb);
+  const long nr1 = nr0 + newGrid.rowBlockSize(newRb);  // exclusive
+  const long nc1 = nc0 + newGrid.colBlockSize(newCb);
+
+  // Old block ranges touched by the new block.
+  const long rbFirst = oldGrid.rowBlockOf(nr0);
+  const long rbLast = oldGrid.rowBlockOf(nr1 - 1);
+  const long cbFirst = oldGrid.colBlockOf(nc0);
+  const long cbLast = oldGrid.colBlockOf(nc1 - 1);
+
+  std::vector<OverlapRegion> regions;
+  regions.reserve(static_cast<std::size_t>((rbLast - rbFirst + 1) *
+                                           (cbLast - cbFirst + 1)));
+  for (long rb = rbFirst; rb <= rbLast; ++rb) {
+    const long or0 = oldGrid.rowBlockStart(rb);
+    const long or1 = or0 + oldGrid.rowBlockSize(rb);
+    const long gr0 = std::max(nr0, or0);  // global intersection rows
+    const long gr1 = std::min(nr1, or1);
+    for (long cb = cbFirst; cb <= cbLast; ++cb) {
+      const long oc0 = oldGrid.colBlockStart(cb);
+      const long oc1 = oc0 + oldGrid.colBlockSize(cb);
+      const long gc0 = std::max(nc0, oc0);
+      const long gc1 = std::min(nc1, oc1);
+      OverlapRegion region;
+      region.oldBlockId = oldGrid.blockId(rb, cb);
+      region.srcRow = gr0 - or0;
+      region.srcCol = gc0 - oc0;
+      region.dstRow = gr0 - nr0;
+      region.dstCol = gc0 - nc0;
+      region.rows = gr1 - gr0;
+      region.cols = gc1 - gc0;
+      regions.push_back(region);
+    }
+  }
+  return regions;
+}
+
+}  // namespace rgml::resilient

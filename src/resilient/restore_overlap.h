@@ -1,0 +1,52 @@
+// Overlap geometry for the repartitioned ("re-grid") restore path
+// (paper §IV-B2).
+//
+// When a DistBlockMatrix is restored with a different data grid than it had
+// at checkpoint time, a single new block overlaps several old blocks. Each
+// place computes, for every new block it owns, the set of overlapping
+// regions of old blocks, then copies the sub-blocks (pre-counting non-zeros
+// for sparse payloads to size the new block).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "la/grid.h"
+#include "resilient/snapshot_value.h"
+
+namespace rgml::resilient {
+
+/// One rectangular intersection between an old block and a new block, in
+/// each block's local coordinates.
+struct OverlapRegion {
+  long oldBlockId = 0;  ///< block id in the *old* grid
+  long srcRow = 0;      ///< start row within the old block
+  long srcCol = 0;      ///< start column within the old block
+  long dstRow = 0;      ///< start row within the new block
+  long dstCol = 0;      ///< start column within the new block
+  long rows = 0;        ///< region height
+  long cols = 0;        ///< region width
+};
+
+/// All regions of `oldGrid` blocks overlapping new block (newRb, newCb) of
+/// `newGrid`. Both grids must partition the same m x n matrix.
+[[nodiscard]] std::vector<OverlapRegion> computeOverlaps(
+    const la::Grid& oldGrid, const la::Grid& newGrid, long newRb, long newCb);
+
+/// Snapshot metadata recording the data grid an object was partitioned
+/// with at checkpoint time; restoreSnapshot compares it with the current
+/// grid to pick the block-by-block or the repartitioned path.
+class GridMetaValue final : public SnapshotValue {
+ public:
+  explicit GridMetaValue(la::Grid grid) : grid_(std::move(grid)) {}
+
+  [[nodiscard]] const la::Grid& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::size_t bytes() const override {
+    return 4 * sizeof(long);
+  }
+
+ private:
+  la::Grid grid_;
+};
+
+}  // namespace rgml::resilient

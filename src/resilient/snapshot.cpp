@@ -1,0 +1,112 @@
+#include "resilient/snapshot.h"
+
+#include "apgas/runtime.h"
+
+namespace rgml::resilient {
+
+using apgas::Place;
+using apgas::PlaceId;
+using apgas::Runtime;
+using apgas::SnapshotLostException;
+
+Snapshot::Snapshot(apgas::PlaceGroup pg) : pg_(std::move(pg)) {
+  if (pg_.empty()) {
+    throw apgas::ApgasError("Snapshot: empty place group");
+  }
+  killToken_ = Runtime::world().addKillListener(
+      [this](PlaceId p) { onPlaceDeath(p); });
+}
+
+Snapshot::~Snapshot() {
+  if (Runtime::initialized()) {
+    Runtime::world().removeKillListener(killToken_);
+  }
+}
+
+void Snapshot::onPlaceDeath(PlaceId p) {
+  for (auto& [key, entry] : entries_) {
+    if (entry.primaryPlace == p) entry.primary.reset();
+    if (entry.backupPlace == p) entry.backup.reset();
+  }
+}
+
+void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value) {
+  Runtime& rt = Runtime::world();
+  const Place saver = rt.here();
+  if (pg_.indexOf(saver) < 0) {
+    throw apgas::ApgasError(
+        "Snapshot::save: saving place is not in the snapshot's group");
+  }
+  const Place backup = pg_.next(saver);
+  // Uniform cost from any place: serialising the local copy plus one
+  // remote transfer for the backup (paper §IV-B1).
+  rt.chargeSerialization(value->bytes());
+  if (backup != saver) rt.chargeComm(backup, value->bytes());
+
+  Entry entry;
+  entry.primary = value;
+  entry.primaryPlace = saver.id();
+  if (backup != saver) {
+    entry.backup = value;  // shared immutable payload simulates the copy
+    entry.backupPlace = backup.id();
+  }
+  entries_[key] = std::move(entry);
+}
+
+Snapshot::Located Snapshot::locate(long key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw apgas::ApgasError("Snapshot: no entry for key " +
+                            std::to_string(key));
+  }
+  const Entry& e = it->second;
+  const Runtime& rt = Runtime::world();
+  const Place here = rt.here();
+  // Prefer a copy on the loading place (cheap local load).
+  if (e.primary && e.primaryPlace == here.id()) {
+    return {e.primary, Place(e.primaryPlace)};
+  }
+  if (e.backup && e.backupPlace == here.id()) {
+    return {e.backup, Place(e.backupPlace)};
+  }
+  if (e.primary) return {e.primary, Place(e.primaryPlace)};
+  if (e.backup) return {e.backup, Place(e.backupPlace)};
+  throw SnapshotLostException(key);
+}
+
+std::shared_ptr<const SnapshotValue> Snapshot::load(long key) const {
+  Located loc = locate(key);
+  Runtime& rt = Runtime::world();
+  // Materialising the value costs a deserialisation pass; a remote copy
+  // additionally pays the transfer (synchronous fetch).
+  if (loc.holder != rt.here()) {
+    rt.chargeComm(loc.holder, loc.value->bytes());
+  }
+  rt.chargeSerialization(loc.value->bytes());
+  return loc.value;
+}
+
+bool Snapshot::contains(long key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  return it->second.primary != nullptr || it->second.backup != nullptr;
+}
+
+std::vector<long> Snapshot::keys() const {
+  std::vector<long> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+std::size_t Snapshot::totalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    const SnapshotValue* v =
+        entry.primary ? entry.primary.get() : entry.backup.get();
+    if (v != nullptr) total += v->bytes();
+  }
+  return total;
+}
+
+}  // namespace rgml::resilient

@@ -1,0 +1,108 @@
+// Snapshot: the resilient key/value store for one GML object's state
+// (paper §IV-B).
+//
+// A Snapshot stores key/value pairs with *double in-memory storage*: the
+// saving place keeps the primary copy and the next place of the snapshot's
+// PlaceGroup keeps a backup. Saving costs a local copy plus one remote
+// transfer (uniform from every place); loading costs depend on where the
+// surviving copy lives. A value is lost — SnapshotLostException — only if
+// the primary and backup holders both died since the checkpoint (e.g. two
+// adjacent places).
+//
+// Keys are chosen by each Snapshottable class: place indices for vectors
+// (the paper's convention), block ids for DistBlockMatrix (finer-grained,
+// same double-storage semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apgas/place_group.h"
+#include "resilient/snapshot_value.h"
+
+namespace rgml::resilient {
+
+/// Interface implemented by every GML object that can be checkpointed
+/// (paper Listing 3).
+class Snapshot;
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+  /// Collectively saves the object's state into a fresh Snapshot.
+  [[nodiscard]] virtual std::shared_ptr<Snapshot> makeSnapshot() const = 0;
+  /// Collectively restores the object's state from `snapshot`. The object
+  /// may have been remake()-d over a different place group and/or data
+  /// grid since the snapshot was taken.
+  virtual void restoreSnapshot(const Snapshot& snapshot) = 0;
+};
+
+class Snapshot {
+ public:
+  /// A snapshot whose copies will live on `pg` (the object's group at
+  /// checkpoint time). Registers a kill listener so that place failures
+  /// invalidate the copies that place held.
+  explicit Snapshot(apgas::PlaceGroup pg);
+  ~Snapshot();
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// Saves `value` under `key` from the *current place* (must be a member
+  /// of the snapshot's group): primary copy here, backup on the next place
+  /// in ring order. Charges a local copy plus one remote transfer.
+  void save(long key, std::shared_ptr<const SnapshotValue> value);
+
+  /// Loads the value for `key` from the perspective of the current place,
+  /// charging a local copy if a copy lives here, else one remote transfer.
+  /// Throws SnapshotLostException if both copies are gone.
+  [[nodiscard]] std::shared_ptr<const SnapshotValue> load(long key) const;
+
+  /// Locates the surviving copy for `key` without charging any cost:
+  /// returns the value and the place currently holding it. Callers that
+  /// copy only a sub-region (the repartitioned restore path) use this and
+  /// charge the sub-region bytes themselves.
+  struct Located {
+    std::shared_ptr<const SnapshotValue> value;
+    apgas::Place holder;
+  };
+  [[nodiscard]] Located locate(long key) const;
+
+  [[nodiscard]] bool contains(long key) const;
+  [[nodiscard]] std::vector<long> keys() const;
+  [[nodiscard]] std::size_t numEntries() const { return entries_.size(); }
+
+  /// Total payload bytes over all live primary copies.
+  [[nodiscard]] std::size_t totalBytes() const;
+
+  /// Optional per-snapshot metadata (e.g. the Grid a DistBlockMatrix was
+  /// partitioned with at checkpoint time).
+  void setMeta(std::shared_ptr<const SnapshotValue> meta) {
+    meta_ = std::move(meta);
+  }
+  [[nodiscard]] std::shared_ptr<const SnapshotValue> meta() const {
+    return meta_;
+  }
+
+  [[nodiscard]] const apgas::PlaceGroup& placeGroup() const noexcept {
+    return pg_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const SnapshotValue> primary;
+    std::shared_ptr<const SnapshotValue> backup;
+    apgas::PlaceId primaryPlace = apgas::kInvalidPlace;
+    apgas::PlaceId backupPlace = apgas::kInvalidPlace;
+  };
+
+  void onPlaceDeath(apgas::PlaceId p);
+
+  apgas::PlaceGroup pg_;
+  std::map<long, Entry> entries_;
+  std::shared_ptr<const SnapshotValue> meta_;
+  std::uint64_t killToken_ = 0;
+};
+
+}  // namespace rgml::resilient

@@ -1,0 +1,3 @@
+#include "resilient/snapshot_value.h"
+
+// SnapshotValue types are header-only; this TU anchors their vtables.

@@ -1,0 +1,107 @@
+// Typed payloads stored in a Snapshot.
+//
+// Values are immutable once saved: makeSnapshot() deep-copies the live data
+// into a value, so later mutation of the application state cannot corrupt a
+// checkpoint. The "double in-memory storage" of the paper (a local copy
+// plus a backup on the next place) is simulated by two owner slots sharing
+// one immutable payload; killing a place clears its slot.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_csr.h"
+#include "la/vector.h"
+
+namespace rgml::resilient {
+
+class SnapshotValue {
+ public:
+  virtual ~SnapshotValue() = default;
+  /// Payload size, charged to the clocks when a copy is saved or loaded.
+  [[nodiscard]] virtual std::size_t bytes() const = 0;
+};
+
+/// A vector or vector segment. `offset` is the segment's global start
+/// index (0 for duplicated vectors), so a repartitioned restore can map
+/// new segment ranges onto saved ones.
+class VectorValue final : public SnapshotValue {
+ public:
+  VectorValue(la::Vector data, long offset)
+      : data_(std::move(data)), offset_(offset) {}
+
+  [[nodiscard]] const la::Vector& data() const noexcept { return data_; }
+  [[nodiscard]] long offset() const noexcept { return offset_; }
+  [[nodiscard]] long size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t bytes() const override { return data_.bytes(); }
+
+ private:
+  la::Vector data_;
+  long offset_;
+};
+
+/// A dense matrix block with its grid coordinates and global offsets.
+class DenseBlockValue final : public SnapshotValue {
+ public:
+  DenseBlockValue(la::DenseMatrix data, long rb, long cb, long rowOffset,
+                  long colOffset)
+      : data_(std::move(data)),
+        rb_(rb),
+        cb_(cb),
+        rowOffset_(rowOffset),
+        colOffset_(colOffset) {}
+
+  [[nodiscard]] const la::DenseMatrix& data() const noexcept { return data_; }
+  [[nodiscard]] long blockRow() const noexcept { return rb_; }
+  [[nodiscard]] long blockCol() const noexcept { return cb_; }
+  [[nodiscard]] long rowOffset() const noexcept { return rowOffset_; }
+  [[nodiscard]] long colOffset() const noexcept { return colOffset_; }
+  [[nodiscard]] std::size_t bytes() const override { return data_.bytes(); }
+
+ private:
+  la::DenseMatrix data_;
+  long rb_, cb_, rowOffset_, colOffset_;
+};
+
+/// A sparse matrix block (CSR) with grid coordinates and global offsets.
+class SparseBlockValue final : public SnapshotValue {
+ public:
+  SparseBlockValue(la::SparseCSR data, long rb, long cb, long rowOffset,
+                   long colOffset)
+      : data_(std::move(data)),
+        rb_(rb),
+        cb_(cb),
+        rowOffset_(rowOffset),
+        colOffset_(colOffset) {}
+
+  [[nodiscard]] const la::SparseCSR& data() const noexcept { return data_; }
+  [[nodiscard]] long blockRow() const noexcept { return rb_; }
+  [[nodiscard]] long blockCol() const noexcept { return cb_; }
+  [[nodiscard]] long rowOffset() const noexcept { return rowOffset_; }
+  [[nodiscard]] long colOffset() const noexcept { return colOffset_; }
+  [[nodiscard]] std::size_t bytes() const override { return data_.bytes(); }
+
+ private:
+  la::SparseCSR data_;
+  long rb_, cb_, rowOffset_, colOffset_;
+};
+
+/// Small scalar metadata (e.g. an application's iteration-local scalars).
+class ScalarsValue final : public SnapshotValue {
+ public:
+  explicit ScalarsValue(std::vector<double> scalars)
+      : scalars_(std::move(scalars)) {}
+
+  [[nodiscard]] const std::vector<double>& scalars() const noexcept {
+    return scalars_;
+  }
+  [[nodiscard]] std::size_t bytes() const override {
+    return scalars_.size() * sizeof(double);
+  }
+
+ private:
+  std::vector<double> scalars_;
+};
+
+}  // namespace rgml::resilient

@@ -1,0 +1,136 @@
+#include "resilient/value_serde.h"
+
+#include <istream>
+#include <ostream>
+
+#include "la/grid.h"
+#include "resilient/restore_overlap.h"
+#include "serialize/binary_io.h"
+
+namespace rgml::resilient {
+
+namespace {
+
+using serialize::SerializeError;
+
+constexpr std::uint32_t kKindVector = 10;
+constexpr std::uint32_t kKindDenseBlock = 11;
+constexpr std::uint32_t kKindSparseBlock = 12;
+constexpr std::uint32_t kKindScalars = 13;
+constexpr std::uint32_t kKindGridMeta = 14;
+
+void writeU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) throw SerializeError("write failed");
+}
+
+void writeI64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) throw SerializeError("write failed");
+}
+
+std::uint32_t readU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(v)) {
+    throw SerializeError("truncated stream");
+  }
+  return v;
+}
+
+std::int64_t readI64(std::istream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(v)) {
+    throw SerializeError("truncated stream");
+  }
+  return v;
+}
+
+}  // namespace
+
+void writeSnapshotValue(std::ostream& out, const SnapshotValue& value) {
+  if (const auto* v = dynamic_cast<const VectorValue*>(&value)) {
+    writeU32(out, kKindVector);
+    writeI64(out, v->offset());
+    serialize::write(out, v->data());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const DenseBlockValue*>(&value)) {
+    writeU32(out, kKindDenseBlock);
+    writeI64(out, v->blockRow());
+    writeI64(out, v->blockCol());
+    writeI64(out, v->rowOffset());
+    writeI64(out, v->colOffset());
+    serialize::write(out, v->data());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const SparseBlockValue*>(&value)) {
+    writeU32(out, kKindSparseBlock);
+    writeI64(out, v->blockRow());
+    writeI64(out, v->blockCol());
+    writeI64(out, v->rowOffset());
+    writeI64(out, v->colOffset());
+    serialize::write(out, v->data());
+    return;
+  }
+  if (const auto* v = dynamic_cast<const ScalarsValue*>(&value)) {
+    writeU32(out, kKindScalars);
+    serialize::write(out, la::Vector(v->scalars()));
+    return;
+  }
+  if (const auto* v = dynamic_cast<const GridMetaValue*>(&value)) {
+    writeU32(out, kKindGridMeta);
+    writeI64(out, v->grid().rows());
+    writeI64(out, v->grid().cols());
+    writeI64(out, v->grid().rowBlocks());
+    writeI64(out, v->grid().colBlocks());
+    return;
+  }
+  throw SerializeError("unknown SnapshotValue subtype");
+}
+
+std::shared_ptr<const SnapshotValue> readSnapshotValue(std::istream& in) {
+  const std::uint32_t kind = readU32(in);
+  switch (kind) {
+    case kKindVector: {
+      const std::int64_t offset = readI64(in);
+      return std::make_shared<VectorValue>(serialize::readVector(in),
+                                           offset);
+    }
+    case kKindDenseBlock: {
+      const std::int64_t rb = readI64(in);
+      const std::int64_t cb = readI64(in);
+      const std::int64_t ro = readI64(in);
+      const std::int64_t co = readI64(in);
+      return std::make_shared<DenseBlockValue>(
+          serialize::readDenseMatrix(in), rb, cb, ro, co);
+    }
+    case kKindSparseBlock: {
+      const std::int64_t rb = readI64(in);
+      const std::int64_t cb = readI64(in);
+      const std::int64_t ro = readI64(in);
+      const std::int64_t co = readI64(in);
+      return std::make_shared<SparseBlockValue>(serialize::readSparseCSR(in),
+                                                rb, cb, ro, co);
+    }
+    case kKindScalars: {
+      la::Vector v = serialize::readVector(in);
+      std::vector<double> scalars(v.data(), v.data() + v.size());
+      return std::make_shared<ScalarsValue>(std::move(scalars));
+    }
+    case kKindGridMeta: {
+      const std::int64_t m = readI64(in);
+      const std::int64_t n = readI64(in);
+      const std::int64_t rowBlocks = readI64(in);
+      const std::int64_t colBlocks = readI64(in);
+      return std::make_shared<GridMetaValue>(
+          la::Grid(m, n, rowBlocks, colBlocks));
+    }
+    default:
+      throw SerializeError("unknown SnapshotValue kind " +
+                           std::to_string(kind));
+  }
+}
+
+}  // namespace rgml::resilient

@@ -1,0 +1,27 @@
+// Binary serialisation of SnapshotValue payloads (all subtypes plus the
+// grid metadata), used by the disk-backed checkpoint staging.
+//
+// Format: [u32 kind][kind-specific header][binary_io payload]
+//   kind 10: VectorValue       [i64 offset][Vector]
+//   kind 11: DenseBlockValue   [i64 rb][i64 cb][i64 ro][i64 co][DenseMatrix]
+//   kind 12: SparseBlockValue  [i64 rb][i64 cb][i64 ro][i64 co][SparseCSR]
+//   kind 13: ScalarsValue      [Vector]
+//   kind 14: GridMetaValue     [i64 m][i64 n][i64 rowBlocks][i64 colBlocks]
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "resilient/snapshot_value.h"
+
+namespace rgml::resilient {
+
+/// Serialise any SnapshotValue subtype. Throws serialize::SerializeError
+/// for unknown subtypes or stream failures.
+void writeSnapshotValue(std::ostream& out, const SnapshotValue& value);
+
+/// Deserialise whatever value the stream holds.
+[[nodiscard]] std::shared_ptr<const SnapshotValue> readSnapshotValue(
+    std::istream& in);
+
+}  // namespace rgml::resilient

@@ -1,0 +1,157 @@
+#include "serialize/binary_io.h"
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace rgml::serialize {
+
+namespace {
+
+constexpr std::uint32_t kTagVector = 1;
+constexpr std::uint32_t kTagDense = 2;
+constexpr std::uint32_t kTagSparse = 3;
+
+void writeRaw(std::ostream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw SerializeError("write failed");
+}
+
+void writeU32(std::ostream& out, std::uint32_t v) {
+  writeRaw(out, &v, sizeof(v));
+}
+
+void writeI64(std::ostream& out, std::int64_t v) {
+  writeRaw(out, &v, sizeof(v));
+}
+
+void readRaw(std::istream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw SerializeError("truncated stream");
+  }
+}
+
+std::uint32_t readU32(std::istream& in) {
+  std::uint32_t v = 0;
+  readRaw(in, &v, sizeof(v));
+  return v;
+}
+
+std::int64_t readI64(std::istream& in) {
+  std::int64_t v = 0;
+  readRaw(in, &v, sizeof(v));
+  return v;
+}
+
+void expectTag(std::istream& in, std::uint32_t want, const char* type) {
+  const std::uint32_t got = readU32(in);
+  if (got != want) {
+    throw SerializeError(std::string("expected ") + type + " tag, got " +
+                         std::to_string(got));
+  }
+}
+
+std::int64_t readNonNegativeI64(std::istream& in, const char* what) {
+  const std::int64_t v = readI64(in);
+  if (v < 0) {
+    throw SerializeError(std::string("negative ") + what + ": " +
+                         std::to_string(v));
+  }
+  return v;
+}
+
+}  // namespace
+
+void write(std::ostream& out, const la::Vector& value) {
+  writeU32(out, kTagVector);
+  writeI64(out, value.size());
+  writeRaw(out, value.data(), value.bytes());
+}
+
+void write(std::ostream& out, const la::DenseMatrix& value) {
+  writeU32(out, kTagDense);
+  writeI64(out, value.rows());
+  writeI64(out, value.cols());
+  writeRaw(out, value.span().data(), value.bytes());
+}
+
+void write(std::ostream& out, const la::SparseCSR& value) {
+  writeU32(out, kTagSparse);
+  writeI64(out, value.rows());
+  writeI64(out, value.cols());
+  writeI64(out, value.nnz());
+  writeRaw(out, value.rowPtr().data(),
+           value.rowPtr().size() * sizeof(long));
+  writeRaw(out, value.colIdx().data(),
+           value.colIdx().size() * sizeof(long));
+  writeRaw(out, value.values().data(),
+           value.values().size() * sizeof(double));
+}
+
+la::Vector readVector(std::istream& in) {
+  expectTag(in, kTagVector, "Vector");
+  const std::int64_t n = readNonNegativeI64(in, "vector length");
+  std::vector<double> data(static_cast<std::size_t>(n));
+  readRaw(in, data.data(), data.size() * sizeof(double));
+  return la::Vector(std::move(data));
+}
+
+la::DenseMatrix readDenseMatrix(std::istream& in) {
+  expectTag(in, kTagDense, "DenseMatrix");
+  const std::int64_t m = readNonNegativeI64(in, "rows");
+  const std::int64_t n = readNonNegativeI64(in, "cols");
+  std::vector<double> data(static_cast<std::size_t>(m * n));
+  readRaw(in, data.data(), data.size() * sizeof(double));
+  return la::DenseMatrix(m, n, std::move(data));
+}
+
+la::SparseCSR readSparseCSR(std::istream& in) {
+  expectTag(in, kTagSparse, "SparseCSR");
+  const std::int64_t m = readNonNegativeI64(in, "rows");
+  const std::int64_t n = readNonNegativeI64(in, "cols");
+  const std::int64_t nnz = readNonNegativeI64(in, "nnz");
+  std::vector<long> rowPtr(static_cast<std::size_t>(m) + 1);
+  std::vector<long> colIdx(static_cast<std::size_t>(nnz));
+  std::vector<double> values(static_cast<std::size_t>(nnz));
+  readRaw(in, rowPtr.data(), rowPtr.size() * sizeof(long));
+  readRaw(in, colIdx.data(), colIdx.size() * sizeof(long));
+  readRaw(in, values.data(), values.size() * sizeof(double));
+  // Structural validation before constructing (the constructor checks the
+  // aggregate invariants; verify monotonicity and bounds here).
+  if (rowPtr.front() != 0 || rowPtr.back() != nnz) {
+    throw SerializeError("corrupt rowPtr bounds");
+  }
+  for (std::size_t i = 1; i < rowPtr.size(); ++i) {
+    if (rowPtr[i] < rowPtr[i - 1]) {
+      throw SerializeError("rowPtr not monotone");
+    }
+  }
+  for (long c : colIdx) {
+    if (c < 0 || c >= n) throw SerializeError("column index out of range");
+  }
+  return la::SparseCSR(m, n, std::move(rowPtr), std::move(colIdx),
+                       std::move(values));
+}
+
+std::uint32_t peekTag(std::istream& in) {
+  const auto pos = in.tellg();
+  const std::uint32_t tag = readU32(in);
+  in.seekg(pos);
+  return tag;
+}
+
+std::size_t serializedBytes(const la::Vector& value) {
+  return sizeof(std::uint32_t) + sizeof(std::int64_t) + value.bytes();
+}
+
+std::size_t serializedBytes(const la::DenseMatrix& value) {
+  return sizeof(std::uint32_t) + 2 * sizeof(std::int64_t) + value.bytes();
+}
+
+std::size_t serializedBytes(const la::SparseCSR& value) {
+  return sizeof(std::uint32_t) + 3 * sizeof(std::int64_t) + value.bytes();
+}
+
+}  // namespace rgml::serialize

@@ -1,0 +1,56 @@
+// Binary serialisation for the linear-algebra value types.
+//
+// Used by the disk-backed snapshot storage (resilient/file_store.h) and by
+// the matrix file I/O helpers. The format is a tagged little-endian stream:
+//
+//   [u32 tag][payload]
+//     tag 1: Vector        [i64 n][f64 x n]
+//     tag 2: DenseMatrix   [i64 m][i64 n][f64 x m*n]
+//     tag 3: SparseCSR     [i64 m][i64 n][i64 nnz][i64 rowPtr x m+1]
+//                          [i64 colIdx x nnz][f64 values x nnz]
+//
+// Streams are validated on read: a truncated or corrupted payload raises
+// SerializeError rather than returning garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_csr.h"
+#include "la/vector.h"
+
+namespace rgml::serialize {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---- writers ---------------------------------------------------------------
+
+void write(std::ostream& out, const la::Vector& value);
+void write(std::ostream& out, const la::DenseMatrix& value);
+void write(std::ostream& out, const la::SparseCSR& value);
+
+// ---- readers ---------------------------------------------------------------
+// Each reader checks the tag and throws SerializeError on mismatch,
+// truncation, or inconsistent structure.
+
+[[nodiscard]] la::Vector readVector(std::istream& in);
+[[nodiscard]] la::DenseMatrix readDenseMatrix(std::istream& in);
+[[nodiscard]] la::SparseCSR readSparseCSR(std::istream& in);
+
+/// Peeks the tag of the next value (1 = Vector, 2 = DenseMatrix,
+/// 3 = SparseCSR) without consuming it.
+[[nodiscard]] std::uint32_t peekTag(std::istream& in);
+
+/// Serialised size in bytes of each value (header + payload), for
+/// preallocating buffers and for cost accounting.
+[[nodiscard]] std::size_t serializedBytes(const la::Vector& value);
+[[nodiscard]] std::size_t serializedBytes(const la::DenseMatrix& value);
+[[nodiscard]] std::size_t serializedBytes(const la::SparseCSR& value);
+
+}  // namespace rgml::serialize

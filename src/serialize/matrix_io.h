@@ -1,0 +1,27 @@
+// Text-format matrix I/O: MatrixMarket coordinate format for sparse
+// matrices and CSV for dense matrices — the interchange formats a user
+// would load real datasets from.
+#pragma once
+
+#include <iosfwd>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_csr.h"
+
+namespace rgml::serialize {
+
+/// Writes `value` in MatrixMarket coordinate format
+/// (%%MatrixMarket matrix coordinate real general; 1-based indices).
+void writeMatrixMarket(std::ostream& out, const la::SparseCSR& value);
+
+/// Reads a MatrixMarket coordinate-format matrix. Accepts unsorted entries
+/// and comment lines; throws SerializeError on malformed input.
+[[nodiscard]] la::SparseCSR readMatrixMarket(std::istream& in);
+
+/// Writes `value` as CSV (one row per line, full precision).
+void writeCsv(std::ostream& out, const la::DenseMatrix& value);
+
+/// Reads a CSV dense matrix; all rows must have the same column count.
+[[nodiscard]] la::DenseMatrix readCsv(std::istream& in);
+
+}  // namespace rgml::serialize

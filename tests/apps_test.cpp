@@ -1,0 +1,309 @@
+// Tests for the three applications: numerical correctness against serial
+// references, convergence behaviour, and exact equivalence between the
+// non-resilient and resilient variants (with and without failures).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apgas/runtime.h"
+#include "apps/linreg.h"
+#include "apps/linreg_resilient.h"
+#include "apps/logreg.h"
+#include "apps/logreg_resilient.h"
+#include "apps/pagerank.h"
+#include "apps/pagerank_resilient.h"
+#include "apps/workloads.h"
+#include "framework/resilient_executor.h"
+#include "la/kernels.h"
+#include "la/rand.h"
+
+namespace rgml::apps {
+namespace {
+
+using apgas::FaultInjector;
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+using framework::ExecutorConfig;
+using framework::ResilientExecutor;
+using framework::RestoreMode;
+
+LinRegConfig smallLinReg() {
+  LinRegConfig cfg;
+  cfg.features = 8;
+  cfg.rowsPerPlace = 25;
+  cfg.blocksPerPlace = 2;
+  cfg.lambda = 1e-3;
+  cfg.iterations = 20;
+  return cfg;
+}
+
+LogRegConfig smallLogReg() {
+  LogRegConfig cfg;
+  cfg.features = 6;
+  cfg.rowsPerPlace = 30;
+  cfg.blocksPerPlace = 2;
+  cfg.eta = 0.05;
+  cfg.iterations = 15;
+  return cfg;
+}
+
+PageRankConfig smallPageRank() {
+  PageRankConfig cfg;
+  cfg.pagesPerPlace = 25;
+  cfg.linksPerPage = 4;
+  cfg.blocksPerPlace = 2;
+  cfg.iterations = 20;
+  cfg.exactGraph = true;
+  return cfg;
+}
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::init(6, apgas::CostModel{}, /*resilientFinish=*/true);
+  }
+
+  static ExecutorConfig executorConfig(RestoreMode mode) {
+    ExecutorConfig cfg;
+    cfg.places = PlaceGroup::firstPlaces(4);
+    cfg.spares = {4, 5};
+    cfg.checkpointInterval = 10;
+    cfg.mode = mode;
+    return cfg;
+  }
+};
+
+// ---- LinReg -----------------------------------------------------------------
+
+TEST_F(AppsTest, LinRegResidualDecreasesMonotonically) {
+  LinReg app(smallLinReg(), PlaceGroup::firstPlaces(4));
+  app.init();
+  double prev = app.residualNormSq();
+  for (int i = 0; i < 20; ++i) {
+    app.step();
+    // Monotone decrease is only meaningful above the convergence floor;
+    // once the residual hits rounding noise (~1e-8) it may jitter.
+    if (prev > 1e-8) {
+      EXPECT_LE(app.residualNormSq(), prev * (1.0 + 1e-9))
+          << "CG residual grew at iteration " << i;
+    }
+    prev = app.residualNormSq();
+  }
+  // CG on an 8-dimensional system converges long before 20 iterations.
+  EXPECT_LT(app.residualNormSq(), 1e-6);
+}
+
+TEST_F(AppsTest, LinRegSolvesNormalEquations) {
+  auto cfg = smallLinReg();
+  cfg.iterations = 30;
+  LinReg app(cfg, PlaceGroup::firstPlaces(2));
+  app.run();
+  // Verify X^T(Xw - y) + lambda w ~ 0 by checking the CG residual.
+  EXPECT_LT(std::sqrt(app.residualNormSq()), 1e-5);
+  EXPECT_EQ(app.iteration(), 30);
+}
+
+TEST_F(AppsTest, LinRegResilientMatchesBaselineNoFailure) {
+  LinReg plain(smallLinReg(), PlaceGroup::firstPlaces(4));
+  plain.run();
+
+  LinRegResilient resilient(smallLinReg(), PlaceGroup::firstPlaces(4));
+  resilient.init();
+  ResilientExecutor executor(executorConfig(RestoreMode::Shrink));
+  executor.run(resilient);
+
+  apgas::at(Place(0), [&] {
+    const la::Vector& a = plain.weights().local();
+    const la::Vector& b = resilient.weights().local();
+    for (long j = 0; j < a.size(); ++j) EXPECT_NEAR(a[j], b[j], 1e-12);
+  });
+}
+
+TEST_F(AppsTest, LinRegSurvivesFailureWithIdenticalResult) {
+  for (RestoreMode mode : {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
+                           RestoreMode::ReplaceRedundant,
+                           RestoreMode::ReplaceElastic}) {
+    SCOPED_TRACE(toString(mode));
+    Runtime::init(6, apgas::CostModel{}, true);
+    LinReg plain(smallLinReg(), PlaceGroup::firstPlaces(4));
+    plain.run();
+    la::Vector expected;
+    apgas::at(Place(0), [&] { expected = plain.weights().local(); });
+
+    Runtime::init(6, apgas::CostModel{}, true);
+    LinRegResilient resilient(smallLinReg(), PlaceGroup::firstPlaces(4));
+    resilient.init();
+    FaultInjector injector;
+    injector.killOnIteration(15, 2);
+    ResilientExecutor executor(executorConfig(mode));
+    auto stats = executor.run(resilient, &injector);
+    EXPECT_EQ(stats.failuresHandled, 1);
+    EXPECT_EQ(resilient.iteration(), smallLinReg().iterations);
+
+    apgas::at(Place(0), [&] {
+      const la::Vector& b = resilient.weights().local();
+      for (long j = 0; j < expected.size(); ++j) {
+        EXPECT_NEAR(expected[j], b[j], 1e-8);
+      }
+    });
+  }
+}
+
+// ---- LogReg -----------------------------------------------------------------
+
+TEST_F(AppsTest, LogRegLossDecreases) {
+  LogReg app(smallLogReg(), PlaceGroup::firstPlaces(4));
+  app.init();
+  app.step();
+  const double firstLoss = app.loss();
+  for (int i = 0; i < 14; ++i) app.step();
+  EXPECT_LT(app.loss(), firstLoss);
+  EXPECT_EQ(app.iteration(), 15);
+}
+
+TEST_F(AppsTest, LogRegResilientMatchesBaselineNoFailure) {
+  LogReg plain(smallLogReg(), PlaceGroup::firstPlaces(4));
+  plain.run();
+  LogRegResilient resilient(smallLogReg(), PlaceGroup::firstPlaces(4));
+  resilient.init();
+  ResilientExecutor executor(executorConfig(RestoreMode::Shrink));
+  executor.run(resilient);
+  EXPECT_NEAR(plain.loss(), resilient.loss(), 1e-12);
+  apgas::at(Place(0), [&] {
+    const la::Vector& a = plain.weights().local();
+    const la::Vector& b = resilient.weights().local();
+    for (long j = 0; j < a.size(); ++j) EXPECT_NEAR(a[j], b[j], 1e-12);
+  });
+}
+
+TEST_F(AppsTest, LogRegSurvivesFailureWithIdenticalResult) {
+  LogReg plain(smallLogReg(), PlaceGroup::firstPlaces(4));
+  plain.run();
+  la::Vector expected;
+  apgas::at(Place(0), [&] { expected = plain.weights().local(); });
+
+  Runtime::init(6, apgas::CostModel{}, true);
+  LogRegResilient resilient(smallLogReg(), PlaceGroup::firstPlaces(4));
+  resilient.init();
+  FaultInjector injector;
+  injector.killOnIteration(12, 1);
+  ResilientExecutor executor(executorConfig(RestoreMode::ShrinkRebalance));
+  auto stats = executor.run(resilient, &injector);
+  EXPECT_EQ(stats.failuresHandled, 1);
+  apgas::at(Place(0), [&] {
+    const la::Vector& b = resilient.weights().local();
+    for (long j = 0; j < expected.size(); ++j) {
+      EXPECT_NEAR(expected[j], b[j], 1e-8);
+    }
+  });
+}
+
+// ---- PageRank ----------------------------------------------------------------
+
+TEST_F(AppsTest, PageRankConservesProbabilityMass) {
+  PageRank app(smallPageRank(), PlaceGroup::firstPlaces(4));
+  app.init();
+  EXPECT_NEAR(app.rankSum(), 1.0, 1e-9);
+  for (int i = 0; i < 20; ++i) {
+    app.step();
+    EXPECT_NEAR(app.rankSum(), 1.0, 1e-9)
+        << "rank mass leaked at iteration " << i;
+  }
+}
+
+TEST_F(AppsTest, PageRankMatchesSerialReference) {
+  auto cfg = smallPageRank();
+  PageRank app(cfg, PlaceGroup::firstPlaces(4));
+  app.run();
+
+  // Serial reference on the identical graph.
+  const long n = cfg.pagesPerPlace * 4;
+  auto g = la::makeWebGraph(n, cfg.linksPerPage, cfg.seed);
+  la::Vector p(n), gp(n);
+  p.setAll(1.0 / static_cast<double>(n));
+  for (long it = 0; it < cfg.iterations; ++it) {
+    la::spmv(g, p.span(), gp.span());
+    la::scale(gp.span(), cfg.alpha);
+    const double teleport =
+        (1.0 - cfg.alpha) * la::sum(p.span()) / static_cast<double>(n);
+    for (long i = 0; i < n; ++i) p[i] = gp[i] + teleport;
+  }
+  apgas::at(Place(0), [&] {
+    for (long i = 0; i < n; ++i) {
+      EXPECT_NEAR(app.ranks().local()[i], p[i], 1e-12);
+    }
+  });
+}
+
+TEST_F(AppsTest, PageRankSurvivesFailureWithIdenticalResult) {
+  PageRank plain(smallPageRank(), PlaceGroup::firstPlaces(4));
+  plain.run();
+  la::Vector expected;
+  apgas::at(Place(0), [&] { expected = plain.ranks().local(); });
+
+  Runtime::init(6, apgas::CostModel{}, true);
+  PageRankResilient resilient(smallPageRank(), PlaceGroup::firstPlaces(4));
+  resilient.init();
+  FaultInjector injector;
+  injector.killOnIteration(15, 3);
+  ResilientExecutor executor(executorConfig(RestoreMode::Shrink));
+  auto stats = executor.run(resilient, &injector);
+  EXPECT_EQ(stats.failuresHandled, 1);
+  EXPECT_NEAR(resilient.rankSum(), 1.0, 1e-9);
+  apgas::at(Place(0), [&] {
+    const la::Vector& b = resilient.ranks().local();
+    for (long i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(expected[i], b[i], 1e-9);
+    }
+  });
+}
+
+TEST_F(AppsTest, PageRankCheckpointIsCheaperThanDenseApps) {
+  // Table III's qualitative claim: PageRank checkpoints ~5x cheaper than
+  // LinReg/LogReg because only the rank vector is mutable (the sparse
+  // matrix is saveReadOnly and reused after the first checkpoint).
+  Runtime& rt = Runtime::world();
+  auto pg = PlaceGroup::firstPlaces(4);
+
+  LinRegResilient linreg(smallLinReg(), pg);
+  linreg.init();
+  resilient::AppResilientStore storeA;
+  storeA.setIteration(10);
+  linreg.checkpoint(storeA);  // first checkpoint (includes read-only save)
+  storeA.setIteration(20);
+  const double t0 = rt.time();
+  linreg.checkpoint(storeA);  // steady-state checkpoint
+  const double linregCost = rt.time() - t0;
+
+  PageRankResilient pagerank(smallPageRank(), pg);
+  pagerank.init();
+  resilient::AppResilientStore storeB;
+  storeB.setIteration(10);
+  pagerank.checkpoint(storeB);
+  storeB.setIteration(20);
+  const double t1 = rt.time();
+  pagerank.checkpoint(storeB);
+  const double pagerankCost = rt.time() - t1;
+
+  EXPECT_LT(pagerankCost, linregCost);
+}
+
+// ---- workload presets ---------------------------------------------------------
+
+TEST(WorkloadsTest, PaperPlaceCounts) {
+  const auto counts = paperPlaceCounts();
+  EXPECT_EQ(counts.front(), 2);
+  EXPECT_EQ(counts.back(), 44);
+  EXPECT_EQ(counts.size(), 12u);
+}
+
+TEST(WorkloadsTest, BenchConfigsAreWeakScaling) {
+  EXPECT_GT(benchLinRegConfig().rowsPerPlace, 0);
+  EXPECT_GT(benchLogRegConfig().rowsPerPlace, 0);
+  EXPECT_GT(benchPageRankConfig().pagesPerPlace, 0);
+  EXPECT_EQ(benchLinRegConfig().iterations, 30);
+}
+
+}  // namespace
+}  // namespace rgml::apps

@@ -1,0 +1,117 @@
+// Tests for the collective cost helpers: flat vs tree broadcast cost
+// scaling, generic reductions, and dead-member detection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apgas/runtime.h"
+#include "gml/collectives.h"
+
+namespace rgml::gml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+class CollectivesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::init(8); }
+
+  static double rootCost(const std::function<void(const PlaceGroup&)>& op,
+                         std::size_t groupSize) {
+    Runtime& rt = Runtime::world();
+    auto pg = PlaceGroup::firstPlaces(groupSize);
+    const double t0 = rt.clock(0);
+    op(pg);
+    return rt.clock(0) - t0;
+  }
+};
+
+TEST_F(CollectivesTest, FlatBroadcastLinearInGroupSize) {
+  constexpr std::size_t kBytes = 1 << 20;
+  const double two = rootCost(
+      [&](const PlaceGroup& pg) { chargeBroadcast(pg, 0, kBytes); }, 2);
+  const double eight = rootCost(
+      [&](const PlaceGroup& pg) { chargeBroadcast(pg, 0, kBytes); }, 8);
+  // 7 transfers vs 1 transfer on the root's clock.
+  EXPECT_NEAR(eight / two, 7.0, 0.01);
+}
+
+TEST_F(CollectivesTest, TreeBroadcastLogarithmicInGroupSize) {
+  constexpr std::size_t kBytes = 1 << 20;
+  const double two = rootCost(
+      [&](const PlaceGroup& pg) { chargeTreeBroadcast(pg, 0, kBytes); }, 2);
+  const double eight = rootCost(
+      [&](const PlaceGroup& pg) { chargeTreeBroadcast(pg, 0, kBytes); }, 8);
+  // 3 rounds vs 1 round.
+  EXPECT_NEAR(eight / two, 3.0, 0.01);
+}
+
+TEST_F(CollectivesTest, TreeBeatsFlatBeyondTwoPlaces) {
+  constexpr std::size_t kBytes = 1 << 16;
+  for (std::size_t size : {4u, 8u}) {
+    const double flat = rootCost(
+        [&](const PlaceGroup& pg) { chargeBroadcast(pg, 0, kBytes); }, size);
+    const double tree = rootCost(
+        [&](const PlaceGroup& pg) { chargeTreeBroadcast(pg, 0, kBytes); },
+        size);
+    EXPECT_LT(tree, flat) << "group size " << size;
+  }
+}
+
+TEST_F(CollectivesTest, GatherCostSymmetricWithBroadcast) {
+  constexpr std::size_t kBytes = 4096;
+  const double bcast = rootCost(
+      [&](const PlaceGroup& pg) { chargeBroadcast(pg, 0, kBytes); }, 6);
+  const double gather = rootCost(
+      [&](const PlaceGroup& pg) { chargeGather(pg, 0, kBytes); }, 6);
+  EXPECT_DOUBLE_EQ(bcast, gather);
+}
+
+TEST_F(CollectivesTest, BroadcastDetectsDeadMember) {
+  Runtime::world().kill(3);
+  auto pg = PlaceGroup::firstPlaces(6);
+  EXPECT_THROW(chargeBroadcast(pg, 0, 100), apgas::DeadPlaceException);
+  EXPECT_THROW(chargeTreeBroadcast(pg, 0, 100),
+               apgas::DeadPlaceException);
+}
+
+TEST_F(CollectivesTest, AllReduceSumAddsPerPlaceValues) {
+  auto pg = PlaceGroup::firstPlaces(6);
+  const double total = allReduceSum(
+      pg, [](Place, long idx) { return static_cast<double>(idx + 1); });
+  EXPECT_DOUBLE_EQ(total, 21.0);  // 1+2+...+6
+}
+
+TEST_F(CollectivesTest, GenericAllReduceMax) {
+  auto pg = PlaceGroup::firstPlaces(5);
+  const double best = allReduce(
+      pg,
+      [](Place p, long) { return static_cast<double>(p.id() * p.id()); },
+      [](double a, double b) { return std::max(a, b); }, -1.0);
+  EXPECT_DOUBLE_EQ(best, 16.0);
+}
+
+TEST_F(CollectivesTest, AllReduceRunsLocalAtEveryMember) {
+  auto pg = PlaceGroup({1, 3, 5});
+  std::vector<apgas::PlaceId> seen;
+  static_cast<void>(allReduceSum(pg, [&](Place p, long idx) {
+    EXPECT_EQ(pg.indexOf(p), idx);
+    seen.push_back(p.id());
+    return 0.0;
+  }));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<apgas::PlaceId>{1, 3, 5}));
+}
+
+TEST_F(CollectivesTest, AllReduceFailsOnDeadMember) {
+  Runtime::world().kill(2);
+  auto pg = PlaceGroup::firstPlaces(4);
+  EXPECT_THROW(static_cast<void>(
+                   allReduceSum(pg, [](Place, long) { return 1.0; })),
+               apgas::DeadPlaceException);
+}
+
+}  // namespace
+}  // namespace rgml::gml

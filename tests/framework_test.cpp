@@ -1,0 +1,330 @@
+// Unit tests for the resilient iterative framework: executor loop,
+// checkpoint cadence, failure handling in every restoration mode,
+// cascading failures, and Young's checkpoint-interval formula.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apgas/runtime.h"
+#include "framework/checkpoint_interval.h"
+#include "framework/resilient_executor.h"
+#include "gml/dist_vector.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::framework {
+namespace {
+
+using apgas::FaultInjector;
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+/// A miniature iterative app: x <- x + 1 elementwise on a DistVector, with
+/// an iteration counter. Small enough to reason about exactly; state-
+/// carrying enough to detect wrong rollbacks (x's value encodes the number
+/// of *effective* iterations).
+class CountingApp final : public ResilientIterativeApp {
+ public:
+  CountingApp(long totalIters, const PlaceGroup& pg)
+      : totalIters_(totalIters), pg_(pg) {}
+
+  void init() {
+    x_ = gml::DistVector::make(64, pg_);
+    x_.init(0.0);
+    scalars_ = resilient::SnapshottableScalars(1, pg_);
+    iteration_ = 0;
+  }
+
+  bool isFinished() override { return iteration_ >= totalIters_; }
+
+  void step() override {
+    x_.map([](double v, long) { return v + 1.0; }, 1.0);
+    ++iteration_;
+  }
+
+  void checkpoint(resilient::AppResilientStore& store) override {
+    scalars_[0] = static_cast<double>(iteration_);
+    store.startNewSnapshot();
+    store.save(x_);
+    store.save(scalars_);
+    store.commit();
+    ++checkpointCalls;
+  }
+
+  void restore(const PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long snapshotIter,
+               RestoreMode mode) override {
+    lastRestoreMode = mode;
+    x_.remake(newPlaces);
+    scalars_.remake(newPlaces);
+    pg_ = newPlaces;
+    store.restore();
+    iteration_ = static_cast<long>(scalars_[0]);
+    EXPECT_EQ(iteration_, snapshotIter);
+    ++restoreCalls;
+  }
+
+  [[nodiscard]] double stateValue() const { return x_.at(0); }
+  [[nodiscard]] long iteration() const { return iteration_; }
+  [[nodiscard]] const PlaceGroup& places() const { return pg_; }
+
+  int checkpointCalls = 0;
+  int restoreCalls = 0;
+  RestoreMode lastRestoreMode = RestoreMode::Shrink;
+
+ private:
+  long totalIters_;
+  PlaceGroup pg_;
+  gml::DistVector x_;
+  resilient::SnapshottableScalars scalars_;
+  long iteration_ = 0;
+};
+
+class FrameworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::init(6, apgas::CostModel{}, /*resilientFinish=*/true);
+  }
+
+  static ExecutorConfig baseConfig() {
+    ExecutorConfig cfg;
+    cfg.places = PlaceGroup::firstPlaces(4);
+    cfg.spares = {4, 5};
+    cfg.checkpointInterval = 10;
+    return cfg;
+  }
+};
+
+TEST_F(FrameworkTest, RunsToCompletionWithoutFailure) {
+  auto cfg = baseConfig();
+  CountingApp app(30, cfg.places);
+  app.init();
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app);
+  EXPECT_EQ(stats.iterationsCompleted, 30);
+  EXPECT_EQ(stats.stepsExecuted, 30);
+  EXPECT_EQ(stats.checkpointsTaken, 3);  // iters 10, 20, 30
+  EXPECT_EQ(stats.failuresHandled, 0);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  EXPECT_GT(stats.checkpointTime, 0.0);
+  EXPECT_EQ(stats.restoreTime, 0.0);
+}
+
+TEST_F(FrameworkTest, RequiresResilientFinish) {
+  Runtime::init(4, apgas::CostModel{}, /*resilientFinish=*/false);
+  auto cfg = baseConfig();
+  CountingApp app(5, cfg.places);
+  app.init();
+  ResilientExecutor executor(cfg);
+  EXPECT_THROW(executor.run(app), apgas::ApgasError);
+}
+
+TEST_F(FrameworkTest, ShrinkModeSurvivesFailureAtIteration15) {
+  // The paper's restore experiment: 30 iterations, checkpoint every 10,
+  // one place dies at iteration 15 -> rollback to 10, re-execute 11..30.
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::Shrink;
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(15, 2);
+
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(stats.iterationsCompleted, 30);
+  EXPECT_EQ(app.stateValue(), 30.0);  // exactly 30 effective increments
+  EXPECT_EQ(stats.failuresHandled, 1);
+  EXPECT_EQ(app.restoreCalls, 1);
+  // 15 steps + (30 - 10) re-executed = 35.
+  EXPECT_EQ(stats.stepsExecuted, 35);
+  EXPECT_GT(stats.restoreTime, 0.0);
+  // Shrink: survivors only.
+  EXPECT_EQ(stats.finalPlaces.ids(), (std::vector<apgas::PlaceId>{0, 1, 3}));
+  EXPECT_EQ(app.lastRestoreMode, RestoreMode::Shrink);
+}
+
+TEST_F(FrameworkTest, ShrinkRebalanceModePassesModeThrough) {
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::ShrinkRebalance;
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(15, 1);
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  EXPECT_EQ(app.lastRestoreMode, RestoreMode::ShrinkRebalance);
+  EXPECT_EQ(stats.finalPlaces.size(), 3u);
+}
+
+TEST_F(FrameworkTest, ReplaceRedundantUsesSpare) {
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::ReplaceRedundant;
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(15, 2);
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  // Place 2 replaced by spare 4; group size preserved.
+  EXPECT_EQ(stats.finalPlaces.ids(), (std::vector<apgas::PlaceId>{0, 1, 4, 3}));
+  EXPECT_EQ(app.lastRestoreMode, RestoreMode::ReplaceRedundant);
+}
+
+TEST_F(FrameworkTest, ReplaceRedundantFallsBackToShrinkWhenOutOfSpares) {
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::ReplaceRedundant;
+  cfg.spares = {};  // no spares at all
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(15, 2);
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  EXPECT_EQ(stats.finalPlaces.size(), 3u);
+  EXPECT_EQ(app.lastRestoreMode, RestoreMode::Shrink);  // fallback
+}
+
+TEST_F(FrameworkTest, ReplaceElasticCreatesFreshPlace) {
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::ReplaceElastic;
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(15, 3);
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  // The dead place was replaced by a dynamically created one (id >= 6).
+  EXPECT_EQ(stats.finalPlaces.size(), 4u);
+  EXPECT_GE(stats.finalPlaces.ids()[3], 6);
+  EXPECT_EQ(app.lastRestoreMode, RestoreMode::ReplaceElastic);
+}
+
+TEST_F(FrameworkTest, TwoSeparatedFailures) {
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::Shrink;
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(12, 1);
+  injector.killOnIteration(25, 3);
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  EXPECT_EQ(stats.failuresHandled, 2);
+  EXPECT_EQ(stats.finalPlaces.ids(), (std::vector<apgas::PlaceId>{0, 2}));
+}
+
+TEST_F(FrameworkTest, FailureDuringCheckpointRollsBackCleanly) {
+  // The victim dies exactly when iteration 20's checkpoint runs: the
+  // half-taken snapshot must be cancelled and the iteration-10 checkpoint
+  // used instead.
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::Shrink;
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(20, 2);  // fires after step 20, before ckpt 20
+
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 30.0);
+  EXPECT_EQ(stats.failuresHandled, 1);
+  // Rollback went to iteration 10: steps = 20 + (30-10) = 40.
+  EXPECT_EQ(stats.stepsExecuted, 40);
+}
+
+TEST_F(FrameworkTest, FailureBeforeFirstCheckpointIsFatal) {
+  auto cfg = baseConfig();
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(5, 2);
+  ResilientExecutor executor(cfg);
+  EXPECT_THROW(executor.run(app, &injector), apgas::ApgasError);
+}
+
+TEST_F(FrameworkTest, MidStepFailureHandled) {
+  // Kill triggered by dispatch count mid-step rather than between
+  // iterations: partial updates are rolled back by the restore.
+  auto cfg = baseConfig();
+  cfg.checkpointInterval = 5;
+  CountingApp app(20, cfg.places);
+  app.init();
+
+  ResilientExecutor executor(cfg);
+  // Dispatch 50 lands inside iteration 11's ateach (after the iteration-10
+  // checkpoint): the finish observes the death mid-step.
+  FaultInjector injector;
+  injector.killAtDispatch(50, 3);
+  RunStats stats = executor.run(app, &injector);
+  EXPECT_EQ(app.stateValue(), 20.0);
+  EXPECT_EQ(stats.failuresHandled, 1);
+}
+
+TEST_F(FrameworkTest, CheckpointMustCommitOrCancel) {
+  class BadApp final : public ResilientIterativeApp {
+   public:
+    explicit BadApp(const PlaceGroup& pg) : pg_(pg) {}
+    bool isFinished() override { return iter_ >= 10; }
+    void step() override { ++iter_; }
+    void checkpoint(resilient::AppResilientStore& store) override {
+      store.startNewSnapshot();  // forgets commit()
+    }
+    void restore(const PlaceGroup&, resilient::AppResilientStore&, long,
+                 RestoreMode) override {}
+
+   private:
+    PlaceGroup pg_;
+    long iter_ = 0;
+  };
+  auto cfg = baseConfig();
+  BadApp app(cfg.places);
+  ResilientExecutor executor(cfg);
+  EXPECT_THROW(executor.run(app), apgas::ApgasError);
+}
+
+TEST_F(FrameworkTest, InvalidConfigRejected) {
+  ExecutorConfig cfg;
+  cfg.places = PlaceGroup{};
+  EXPECT_THROW(ResilientExecutor{cfg}, apgas::ApgasError);
+  cfg.places = PlaceGroup::firstPlaces(2);
+  cfg.checkpointInterval = 0;
+  EXPECT_THROW(ResilientExecutor{cfg}, apgas::ApgasError);
+}
+
+TEST_F(FrameworkTest, RestoreModeNames) {
+  EXPECT_STREQ(toString(RestoreMode::Shrink), "shrink");
+  EXPECT_STREQ(toString(RestoreMode::ShrinkRebalance), "shrink-rebalance");
+  EXPECT_STREQ(toString(RestoreMode::ReplaceRedundant), "replace-redundant");
+  EXPECT_STREQ(toString(RestoreMode::ReplaceElastic), "replace-elastic");
+}
+
+// ---- Young's formula --------------------------------------------------------
+
+TEST(YoungIntervalTest, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(youngInterval(2.0, 100.0), std::sqrt(400.0));
+  EXPECT_DOUBLE_EQ(youngInterval(0.0, 50.0), 0.0);
+}
+
+TEST(YoungIntervalTest, IterationsRounding) {
+  // sqrt(2*2*100) = 20 time units; 3 per iteration -> 6 iterations.
+  EXPECT_EQ(youngIntervalIterations(2.0, 100.0, 3.0), 6);
+  // Never below one iteration.
+  EXPECT_EQ(youngIntervalIterations(0.001, 1.0, 10.0), 1);
+}
+
+TEST(YoungIntervalTest, InvalidInputsRejected) {
+  EXPECT_THROW(static_cast<void>(youngInterval(-1.0, 10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(youngInterval(1.0, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(youngIntervalIterations(1.0, 10.0, 0.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rgml::framework

@@ -1,0 +1,189 @@
+// Tests for the extended GML operations: distributed matrix scale /
+// cellAdd / Frobenius norm, distributed GEMM (dense and sparse), the spmm
+// kernel, and DupVector <- DistVector gathering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apgas/runtime.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_dense_matrix.h"
+#include "gml/dup_vector.h"
+#include "gml/gemm.h"
+#include "la/kernels.h"
+#include "la/rand.h"
+
+namespace rgml::gml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+class GmlOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::init(4); }
+};
+
+TEST_F(GmlOpsTest, SpmmMatchesDenseGemm) {
+  auto a = la::makeUniformSparse(15, 12, 3, 71);
+  auto b = la::makeUniformDense(12, 7, 72);
+  la::DenseMatrix c(15, 7);
+  la::spmm(a, b, c);
+
+  // Dense reference.
+  la::DenseMatrix ad(15, 12);
+  for (long i = 0; i < 15; ++i) {
+    for (long j = 0; j < 12; ++j) ad(i, j) = a.at(i, j);
+  }
+  la::DenseMatrix ref(15, 7);
+  la::gemm(ad, b, ref);
+  for (long i = 0; i < 15; ++i) {
+    for (long j = 0; j < 7; ++j) EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+  }
+}
+
+TEST_F(GmlOpsTest, SpmmBetaAccumulates) {
+  auto a = la::makeUniformSparse(6, 6, 2, 73);
+  auto b = la::makeUniformDense(6, 3, 74);
+  la::DenseMatrix c0(6, 3), c1(6, 3);
+  la::spmm(a, b, c0);
+  c1.setAll(2.0);
+  la::spmm(a, b, c1, 1.0);
+  for (long i = 0; i < 6; ++i) {
+    for (long j = 0; j < 3; ++j) EXPECT_NEAR(c1(i, j), c0(i, j) + 2.0, 1e-12);
+  }
+}
+
+TEST_F(GmlOpsTest, ScaleDense) {
+  auto a = DistBlockMatrix::makeDense(12, 5, 4, 1, 4, 1, PlaceGroup::world());
+  a.init([](long i, long j) { return static_cast<double>(i + j); });
+  a.scale(2.0);
+  EXPECT_EQ(a.at(3, 2), 10.0);
+  EXPECT_EQ(a.at(11, 4), 30.0);
+}
+
+TEST_F(GmlOpsTest, ScaleSparseKeepsStructure) {
+  auto global = la::makeUniformSparse(16, 16, 3, 75);
+  auto a = DistBlockMatrix::makeSparse(16, 16, 4, 1, 4, 1, 3,
+                                       PlaceGroup::world());
+  a.initFromCSR(global);
+  a.scale(0.5);
+  for (long i = 0; i < 16; ++i) {
+    for (long j = 0; j < 16; ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), 0.5 * global.at(i, j));
+    }
+  }
+}
+
+TEST_F(GmlOpsTest, CellAddDense) {
+  auto a = DistBlockMatrix::makeDense(10, 4, 4, 1, 4, 1, PlaceGroup::world());
+  auto b = DistBlockMatrix::makeDense(10, 4, 4, 1, 4, 1, PlaceGroup::world());
+  a.initRandom(81);
+  b.initRandom(82);
+  la::DenseMatrix expectA = a.toDense();
+  la::DenseMatrix expectB = b.toDense();
+  a.cellAdd(b);
+  for (long i = 0; i < 10; ++i) {
+    for (long j = 0; j < 4; ++j) {
+      EXPECT_NEAR(a.at(i, j), expectA(i, j) + expectB(i, j), 1e-12);
+    }
+  }
+}
+
+TEST_F(GmlOpsTest, CellAddRejectsMismatchedDistributions) {
+  auto a = DistBlockMatrix::makeDense(10, 4, 4, 1, 4, 1, PlaceGroup::world());
+  auto b = DistBlockMatrix::makeDense(10, 4, 2, 1, 2, 1,
+                                      PlaceGroup::firstPlaces(2));
+  EXPECT_THROW(a.cellAdd(b), apgas::ApgasError);
+  auto s = DistBlockMatrix::makeSparse(10, 4, 4, 1, 4, 1, 2,
+                                       PlaceGroup::world());
+  EXPECT_THROW(s.cellAdd(s), apgas::ApgasError);
+}
+
+TEST_F(GmlOpsTest, FrobeniusNormDense) {
+  auto a = DistBlockMatrix::makeDense(8, 3, 4, 1, 4, 1, PlaceGroup::world());
+  a.init([](long, long) { return 2.0; });
+  EXPECT_NEAR(a.normF(), std::sqrt(8 * 3 * 4.0), 1e-12);
+}
+
+TEST_F(GmlOpsTest, FrobeniusNormSparseMatchesManual) {
+  auto global = la::makeUniformSparse(12, 12, 2, 83);
+  auto a = DistBlockMatrix::makeSparse(12, 12, 4, 1, 4, 1, 2,
+                                       PlaceGroup::world());
+  a.initFromCSR(global);
+  double ref = 0.0;
+  for (double v : global.values()) ref += v * v;
+  EXPECT_NEAR(a.normF(), std::sqrt(ref), 1e-12);
+}
+
+TEST_F(GmlOpsTest, GemmDenseMatchesSerial) {
+  auto a = DistBlockMatrix::makeDense(16, 6, 8, 1, 4, 1, PlaceGroup::world());
+  a.initRandom(91);
+  auto b = DupDenseMatrix::make(6, 5, PlaceGroup::world());
+  b.initRandom(92);
+  auto c = makeGemmResult(a, 5);
+  gemm(a, b, c);
+
+  la::DenseMatrix ad = a.toDense();
+  la::DenseMatrix bd;
+  apgas::at(Place(0), [&] { bd = b.local(); });
+  la::DenseMatrix ref(16, 5);
+  la::gemm(ad, bd, ref);
+  la::DenseMatrix cd = c.toDense();
+  for (long i = 0; i < 16; ++i) {
+    for (long j = 0; j < 5; ++j) EXPECT_NEAR(cd(i, j), ref(i, j), 1e-11);
+  }
+}
+
+TEST_F(GmlOpsTest, GemmSparseMatchesSerial) {
+  auto global = la::makeUniformSparse(20, 8, 2, 93);
+  auto a = DistBlockMatrix::makeSparse(20, 8, 4, 1, 4, 1, 2,
+                                       PlaceGroup::world());
+  a.initFromCSR(global);
+  auto b = DupDenseMatrix::make(8, 3, PlaceGroup::world());
+  b.initRandom(94);
+  auto c = makeGemmResult(a, 3);
+  gemm(a, b, c);
+
+  la::DenseMatrix bd;
+  apgas::at(Place(0), [&] { bd = b.local(); });
+  la::DenseMatrix ref(20, 3);
+  la::spmm(global, bd, ref);
+  la::DenseMatrix cd = c.toDense();
+  for (long i = 0; i < 20; ++i) {
+    for (long j = 0; j < 3; ++j) EXPECT_NEAR(cd(i, j), ref(i, j), 1e-11);
+  }
+}
+
+TEST_F(GmlOpsTest, GemmRejectsBadShapes) {
+  auto a = DistBlockMatrix::makeDense(16, 6, 8, 1, 4, 1, PlaceGroup::world());
+  auto b = DupDenseMatrix::make(6, 5, PlaceGroup::world());
+  auto wrongCols = makeGemmResult(a, 4);
+  EXPECT_THROW(gemm(a, b, wrongCols), apgas::ApgasError);
+  auto colBlocked = DistBlockMatrix::makeDense(16, 6, 4, 2, 2, 2,
+                                               PlaceGroup::world());
+  EXPECT_THROW(makeGemmResult(colBlocked, 5), apgas::ApgasError);
+}
+
+TEST_F(GmlOpsTest, CopyFromDistGathersAndReplicates) {
+  auto src = DistVector::make(12, PlaceGroup::world());
+  src.init([](long i) { return static_cast<double>(i * 3); });
+  auto dup = DupVector::make(12, PlaceGroup::world());
+  dup.copyFromDist(src);
+  apgas::ateach(PlaceGroup::world(), [&](Place) {
+    for (long i = 0; i < 12; ++i) EXPECT_EQ(dup.local()[i], 3.0 * i);
+  });
+}
+
+TEST_F(GmlOpsTest, CopyFromDistThrowsOnDeadSegmentOwner) {
+  auto src = DistVector::make(12, PlaceGroup::world());
+  src.init(1.0);
+  auto dup = DupVector::make(12, PlaceGroup::world());
+  Runtime::world().kill(2);
+  EXPECT_THROW(dup.copyFromDist(src), apgas::DeadPlaceException);
+}
+
+}  // namespace
+}  // namespace rgml::gml

@@ -1,0 +1,286 @@
+// Cross-module integration tests: whole-application scenarios stressing
+// the interplay of the runtime, GML classes, snapshot store and executor —
+// cascading failures, failures during restore, double failures between
+// checkpoints, elastic growth, and cost-model shape sanity.
+#include <gtest/gtest.h>
+
+#include "apgas/runtime.h"
+#include "apps/linreg_resilient.h"
+#include "apps/pagerank_resilient.h"
+#include "apps/workloads.h"
+#include "framework/resilient_executor.h"
+
+namespace rgml {
+namespace {
+
+using apgas::CostModel;
+using apgas::FaultInjector;
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+using framework::ExecutorConfig;
+using framework::ResilientExecutor;
+using framework::RestoreMode;
+
+apps::LinRegConfig tinyLinReg() {
+  apps::LinRegConfig cfg;
+  cfg.features = 6;
+  cfg.rowsPerPlace = 20;
+  cfg.blocksPerPlace = 2;
+  cfg.iterations = 30;
+  return cfg;
+}
+
+TEST(IntegrationTest, ThreeCascadingFailuresShrinkToOnePlaceless) {
+  Runtime::init(8, CostModel{}, true);
+  auto pg = PlaceGroup::firstPlaces(6);
+  apps::LinRegResilient app(tinyLinReg(), pg);
+  app.init();
+
+  FaultInjector injector;
+  injector.killOnIteration(12, 1);
+  injector.killOnIteration(18, 3);
+  injector.killOnIteration(24, 5);
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = RestoreMode::Shrink;
+  ResilientExecutor executor(cfg);
+  auto stats = executor.run(app, &injector);
+
+  EXPECT_EQ(stats.failuresHandled, 3);
+  EXPECT_EQ(stats.iterationsCompleted, 30);
+  EXPECT_EQ(stats.finalPlaces.ids(), (std::vector<apgas::PlaceId>{0, 2, 4}));
+}
+
+TEST(IntegrationTest, SimultaneousDoubleFailureNonAdjacent) {
+  Runtime::init(6, CostModel{}, true);
+  auto pg = PlaceGroup::firstPlaces(5);
+  apps::LinRegResilient app(tinyLinReg(), pg);
+  app.init();
+
+  FaultInjector injector;
+  // Places 1 and 3 die in the same iteration: non-adjacent, so every
+  // snapshot value still has a surviving copy.
+  injector.killOnIteration(15, 1);
+  injector.killOnIteration(15, 3);
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = RestoreMode::ShrinkRebalance;
+  ResilientExecutor executor(cfg);
+  auto stats = executor.run(app, &injector);
+  EXPECT_EQ(stats.iterationsCompleted, 30);
+  EXPECT_EQ(stats.finalPlaces.size(), 3u);
+}
+
+TEST(IntegrationTest, AdjacentDoubleFailureIsUnrecoverable) {
+  Runtime::init(6, CostModel{}, true);
+  auto pg = PlaceGroup::firstPlaces(5);
+  apps::LinRegResilient app(tinyLinReg(), pg);
+  app.init();
+
+  FaultInjector injector;
+  injector.killOnIteration(15, 2);
+  injector.killOnIteration(15, 3);  // adjacent: snapshot data lost
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  ResilientExecutor executor(cfg);
+  try {
+    executor.run(app, &injector);
+    FAIL() << "executor should have reported unrecoverable data loss";
+  } catch (const apgas::SnapshotLostException&) {
+  } catch (const apgas::MultipleExceptions& me) {
+    EXPECT_TRUE(me.containsSnapshotLoss());
+  }
+}
+
+TEST(IntegrationTest, SimultaneousNonAdjacentKillsHandledInOnePass) {
+  Runtime::init(8, CostModel{}, true);
+  auto pg = PlaceGroup::firstPlaces(6);
+  apps::LinRegResilient app(tinyLinReg(), pg);
+  app.init();
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = RestoreMode::Shrink;
+  ResilientExecutor executor(cfg);
+
+  // Two non-adjacent places die in the same iteration: every snapshot
+  // value keeps a surviving copy, and one restore pass handles both.
+  FaultInjector injector;
+  injector.killOnIteration(15, 1);
+  injector.killOnIteration(15, 4);
+
+  auto stats = executor.run(app, &injector);
+  EXPECT_EQ(stats.iterationsCompleted, 30);
+  EXPECT_EQ(stats.finalPlaces.size(), 4u);
+}
+
+TEST(IntegrationTest, ReadOnlyRedundancyHoleWithoutPostRestoreCheckpoint) {
+  // The saveReadOnly snapshot of PageRank's graph is taken once (iteration
+  // 10) and reused. After place 2 dies, the graph's idx-2 entries survive
+  // only on their backup holder, place 3. When place 3 dies later, the
+  // read-only data is lost even though the application recovered from the
+  // first failure in between.
+  Runtime::init(6, CostModel{}, true);
+  auto pg = PlaceGroup::world();
+  apps::PageRankConfig prCfg;
+  prCfg.pagesPerPlace = 25;
+  prCfg.linksPerPage = 4;
+  prCfg.iterations = 30;
+  prCfg.exactGraph = true;
+  apps::PageRankResilient app(prCfg, pg);
+  app.init();
+
+  FaultInjector injector;
+  injector.killOnIteration(12, 2);
+  injector.killOnIteration(22, 3);  // ring-backup holder of place 2's data
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = RestoreMode::Shrink;
+  ResilientExecutor executor(cfg);
+  try {
+    executor.run(app, &injector);
+    FAIL() << "second failure should lose the reused read-only snapshot";
+  } catch (const apgas::SnapshotLostException&) {
+  } catch (const apgas::MultipleExceptions& me) {
+    EXPECT_TRUE(me.containsSnapshotLoss());
+  }
+}
+
+TEST(IntegrationTest, CheckpointAfterRestoreClosesRedundancyHole) {
+  // Same failure schedule as above, but the executor re-checkpoints after
+  // each restore, re-doubling every snapshot (including read-only ones)
+  // over the new group: the run survives both failures.
+  Runtime::init(6, CostModel{}, true);
+  auto pg = PlaceGroup::world();
+  apps::PageRankConfig prCfg;
+  prCfg.pagesPerPlace = 25;
+  prCfg.linksPerPage = 4;
+  prCfg.iterations = 30;
+  prCfg.exactGraph = true;
+  apps::PageRankResilient app(prCfg, pg);
+  app.init();
+
+  FaultInjector injector;
+  injector.killOnIteration(12, 2);
+  injector.killOnIteration(22, 3);
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = RestoreMode::Shrink;
+  cfg.checkpointAfterRestore = true;
+  ResilientExecutor executor(cfg);
+  auto stats = executor.run(app, &injector);
+  EXPECT_EQ(stats.failuresHandled, 2);
+  EXPECT_EQ(stats.iterationsCompleted, 30);
+  EXPECT_EQ(stats.finalPlaces.size(), 4u);
+  EXPECT_NEAR(app.rankSum(), 1.0, 1e-9);
+}
+
+TEST(IntegrationTest, ElasticModeGrowsWorldAcrossFailures) {
+  Runtime::init(6, CostModel{}, true);
+  auto pg = PlaceGroup::world();
+  apps::PageRankConfig prCfg;
+  prCfg.pagesPerPlace = 25;
+  prCfg.linksPerPage = 4;
+  prCfg.iterations = 30;
+  prCfg.exactGraph = true;
+  apps::PageRankResilient app(prCfg, pg);
+  app.init();
+
+  // Victims 2 and 5 are not ring-adjacent in the original group, so the
+  // saveReadOnly snapshot of the graph (taken once at iteration 10 and
+  // reused) keeps a surviving copy of every entry. A second failure on the
+  // first victim's backup holder would lose read-only data — that hazard
+  // is covered by AdjacentDoubleFailureIsUnrecoverable.
+  FaultInjector injector;
+  injector.killOnIteration(12, 2);
+  injector.killOnIteration(22, 5);
+
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.mode = RestoreMode::ReplaceElastic;
+  ResilientExecutor executor(cfg);
+  auto stats = executor.run(app, &injector);
+
+  EXPECT_EQ(stats.failuresHandled, 2);
+  EXPECT_EQ(stats.finalPlaces.size(), 6u);
+  EXPECT_EQ(Runtime::world().numPlaces(), 8);  // two elastic places added
+  EXPECT_NEAR(app.rankSum(), 1.0, 1e-9);
+}
+
+TEST(IntegrationTest, ResilientFinishOverheadShapeMatchesPaper) {
+  // Figs. 2-4 shape check at miniature scale: the resilient/non-resilient
+  // per-iteration ratio grows with the place count.
+  auto timePerIteration = [](int places, bool resilient) {
+    Runtime::init(places, apgas::paperCalibratedCostModel(), resilient);
+    auto cfg = tinyLinReg();
+    // Enough per-place compute that the baseline has a constant component
+    // (weak scaling); the bookkeeping overhead then grows *relative* to it.
+    cfg.features = 50;
+    cfg.rowsPerPlace = 2000;
+    cfg.iterations = 5;
+    apps::LinReg app(cfg, PlaceGroup::world());
+    app.init();
+    Runtime& rt = Runtime::world();
+    const double t0 = rt.time();
+    while (!app.isFinished()) app.step();
+    return (rt.time() - t0) / 5.0;
+  };
+  const double ratio4 = timePerIteration(4, true) / timePerIteration(4, false);
+  const double ratio16 =
+      timePerIteration(16, true) / timePerIteration(16, false);
+  EXPECT_GT(ratio4, 1.0);
+  EXPECT_GT(ratio16, ratio4);
+}
+
+TEST(IntegrationTest, RestoreModeCostOrderingMatchesTable4) {
+  // Paper Table IV / §VII-C: shrink-rebalance has the highest restore
+  // cost; shrink and replace-redundant are close to each other (the paper
+  // itself sees either one ahead depending on the application).
+  auto restoreTime = [](RestoreMode mode) {
+    Runtime::init(10, apgas::paperCalibratedCostModel(), true);
+    auto pg = PlaceGroup::firstPlaces(8);
+    apps::LinRegConfig cfg = tinyLinReg();
+    // Byte-dominated sizes: the mode differences come from data movement,
+    // not per-message latency.
+    cfg.features = 20;
+    cfg.rowsPerPlace = 4000;
+    apps::LinRegResilient app(cfg, pg);
+    app.init();
+    FaultInjector injector;
+    injector.killOnIteration(15, 3);
+    ExecutorConfig ecfg;
+    ecfg.places = pg;
+    ecfg.spares = {8, 9};
+    ecfg.checkpointInterval = 10;
+    ecfg.mode = mode;
+    ResilientExecutor executor(ecfg);
+    return executor.run(app, &injector).restoreTime;
+  };
+  const double shrink = restoreTime(RestoreMode::Shrink);
+  const double rebalance = restoreTime(RestoreMode::ShrinkRebalance);
+  const double redundant = restoreTime(RestoreMode::ReplaceRedundant);
+  // Robust orderings (paper §VII-C): repartitioning makes shrink-rebalance
+  // dearer than shrink's block-by-block restore. Replace-redundant stays
+  // within the same magnitude; its exact rank differs per application in
+  // the paper too (see EXPERIMENTS.md for the modelling note).
+  EXPECT_GT(rebalance, shrink);
+  EXPECT_LE(redundant, rebalance * 2.0);
+  EXPECT_LE(redundant, shrink * 2.0);
+  EXPECT_LE(shrink, redundant * 2.0);
+}
+
+}  // namespace
+}  // namespace rgml

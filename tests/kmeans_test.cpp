@@ -1,0 +1,230 @@
+// Tests for the K-Means application: Lloyd invariants, serial-reference
+// equivalence, and resilient-variant equivalence under failures with a
+// duplicated-matrix mutable state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "apgas/runtime.h"
+#include "apps/kmeans.h"
+#include "apps/kmeans_resilient.h"
+#include "framework/resilient_executor.h"
+#include "la/rand.h"
+
+namespace rgml::apps {
+namespace {
+
+using apgas::FaultInjector;
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+using framework::ExecutorConfig;
+using framework::ResilientExecutor;
+using framework::RestoreMode;
+
+KMeansConfig smallKMeans() {
+  KMeansConfig cfg;
+  cfg.clusters = 4;
+  cfg.dims = 3;
+  cfg.pointsPerPlace = 50;
+  cfg.blocksPerPlace = 2;
+  cfg.iterations = 20;
+  return cfg;
+}
+
+/// Serial Lloyd reference on the same deterministic data.
+class SerialKMeans {
+ public:
+  SerialKMeans(const KMeansConfig& cfg, long places) : cfg_(cfg) {
+    const long m = cfg.pointsPerPlace * places;
+    points_ = la::DenseMatrix(m, cfg.dims);
+    for (long i = 0; i < m; ++i) {
+      for (long j = 0; j < cfg.dims; ++j) {
+        points_(i, j) = la::hashedUniform(
+            cfg.seed, static_cast<std::uint64_t>(i) *
+                              static_cast<std::uint64_t>(cfg.dims) +
+                          static_cast<std::uint64_t>(j));
+      }
+    }
+    centroids_ = points_.subMatrix(0, 0, cfg.clusters, cfg.dims);
+  }
+
+  double step() {
+    la::DenseMatrix sums(cfg_.clusters, cfg_.dims);
+    std::vector<long> counts(static_cast<std::size_t>(cfg_.clusters), 0);
+    double inertia = 0.0;
+    for (long i = 0; i < points_.rows(); ++i) {
+      long best = 0;
+      double bestDist = std::numeric_limits<double>::infinity();
+      for (long c = 0; c < cfg_.clusters; ++c) {
+        double dist = 0.0;
+        for (long j = 0; j < cfg_.dims; ++j) {
+          const double diff = points_(i, j) - centroids_(c, j);
+          dist += diff * diff;
+        }
+        if (dist < bestDist) {
+          bestDist = dist;
+          best = c;
+        }
+      }
+      for (long j = 0; j < cfg_.dims; ++j) sums(best, j) += points_(i, j);
+      ++counts[static_cast<std::size_t>(best)];
+      inertia += bestDist;
+    }
+    for (long c = 0; c < cfg_.clusters; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) continue;
+      for (long j = 0; j < cfg_.dims; ++j) {
+        centroids_(c, j) =
+            sums(c, j) /
+            static_cast<double>(counts[static_cast<std::size_t>(c)]);
+      }
+    }
+    return inertia;
+  }
+
+  [[nodiscard]] const la::DenseMatrix& centroids() const {
+    return centroids_;
+  }
+
+ private:
+  KMeansConfig cfg_;
+  la::DenseMatrix points_;
+  la::DenseMatrix centroids_;
+};
+
+class KMeansTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::init(6, apgas::CostModel{}, /*resilientFinish=*/true);
+  }
+};
+
+TEST_F(KMeansTest, CentroidSeedingMatchesFirstPoints) {
+  KMeans app(smallKMeans(), PlaceGroup::firstPlaces(4));
+  app.init();
+  apgas::at(Place(0), [&] {
+    const la::DenseMatrix& c = app.centroids().local();
+    for (long r = 0; r < 4; ++r) {
+      for (long j = 0; j < 3; ++j) {
+        EXPECT_EQ(c(r, j), la::hashedUniform(
+                               smallKMeans().seed,
+                               static_cast<std::uint64_t>(r) * 3 +
+                                   static_cast<std::uint64_t>(j)));
+      }
+    }
+  });
+}
+
+TEST_F(KMeansTest, InertiaNonIncreasing) {
+  KMeans app(smallKMeans(), PlaceGroup::firstPlaces(4));
+  app.init();
+  app.step();
+  double prev = app.inertia();
+  for (int i = 0; i < 19; ++i) {
+    app.step();
+    EXPECT_LE(app.inertia(), prev * (1.0 + 1e-12))
+        << "Lloyd inertia grew at iteration " << i;
+    prev = app.inertia();
+  }
+}
+
+TEST_F(KMeansTest, MatchesSerialReference) {
+  auto cfg = smallKMeans();
+  KMeans app(cfg, PlaceGroup::firstPlaces(4));
+  app.init();
+  SerialKMeans reference(cfg, 4);
+  for (long it = 0; it < cfg.iterations; ++it) {
+    app.step();
+    const double refInertia = reference.step();
+    EXPECT_NEAR(app.inertia(), refInertia, 1e-9 * (1.0 + refInertia));
+  }
+  apgas::at(Place(0), [&] {
+    const la::DenseMatrix& got = app.centroids().local();
+    const la::DenseMatrix& want = reference.centroids();
+    for (long c = 0; c < cfg.clusters; ++c) {
+      for (long j = 0; j < cfg.dims; ++j) {
+        EXPECT_NEAR(got(c, j), want(c, j), 1e-9);
+      }
+    }
+  });
+}
+
+TEST_F(KMeansTest, ResilientMatchesBaselineNoFailure) {
+  KMeans plain(smallKMeans(), PlaceGroup::firstPlaces(4));
+  plain.run();
+
+  KMeansResilient resilient(smallKMeans(), PlaceGroup::firstPlaces(4));
+  resilient.init();
+  ExecutorConfig cfg;
+  cfg.places = PlaceGroup::firstPlaces(4);
+  cfg.checkpointInterval = 10;
+  ResilientExecutor executor(cfg);
+  executor.run(resilient);
+
+  EXPECT_NEAR(plain.inertia(), resilient.inertia(), 1e-9);
+}
+
+TEST_F(KMeansTest, SurvivesFailureWithIdenticalResult) {
+  for (RestoreMode mode :
+       {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
+        RestoreMode::ReplaceRedundant}) {
+    SCOPED_TRACE(toString(mode));
+    Runtime::init(6, apgas::CostModel{}, true);
+    KMeans plain(smallKMeans(), PlaceGroup::firstPlaces(4));
+    plain.run();
+    la::DenseMatrix expected;
+    apgas::at(Place(0), [&] { expected = plain.centroids().local(); });
+
+    Runtime::init(6, apgas::CostModel{}, true);
+    KMeansResilient resilient(smallKMeans(), PlaceGroup::firstPlaces(4));
+    resilient.init();
+    FaultInjector injector;
+    injector.killOnIteration(15, 2);
+    ExecutorConfig cfg;
+    cfg.places = PlaceGroup::firstPlaces(4);
+    cfg.spares = {4, 5};
+    cfg.checkpointInterval = 10;
+    cfg.mode = mode;
+    ResilientExecutor executor(cfg);
+    auto stats = executor.run(resilient, &injector);
+    EXPECT_EQ(stats.failuresHandled, 1);
+    EXPECT_EQ(resilient.iteration(), smallKMeans().iterations);
+
+    apgas::at(Place(0), [&] {
+      const la::DenseMatrix& got = resilient.centroids().local();
+      for (long c = 0; c < expected.rows(); ++c) {
+        for (long j = 0; j < expected.cols(); ++j) {
+          EXPECT_NEAR(expected(c, j), got(c, j), 1e-9);
+        }
+      }
+    });
+  }
+}
+
+TEST_F(KMeansTest, EmptyClusterKeepsItsCentroid) {
+  // Two far-apart seed centroids, all points near the first: the second
+  // cluster goes empty and must keep its previous position rather than
+  // divide by zero.
+  Runtime::init(2, apgas::CostModel{}, true);
+  auto pg = PlaceGroup::world();
+  auto x = gml::DistBlockMatrix::makeDense(8, 2, 2, 1, 2, 1, pg);
+  x.init([](long, long) { return 0.5; });  // all points identical
+  auto c = gml::DupDenseMatrix::make(2, 2, pg);
+  apgas::at(Place(0), [&] {
+    c.local()(0, 0) = 0.5;
+    c.local()(0, 1) = 0.5;
+    c.local()(1, 0) = 100.0;
+    c.local()(1, 1) = 100.0;
+  });
+  c.sync();
+  kmeansStep(x, c);
+  apgas::at(Place(0), [&] {
+    EXPECT_EQ(c.local()(0, 0), 0.5);    // mean of the points
+    EXPECT_EQ(c.local()(1, 0), 100.0);  // empty cluster untouched
+  });
+}
+
+}  // namespace
+}  // namespace rgml::apps

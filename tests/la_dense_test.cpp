@@ -1,0 +1,189 @@
+// Unit tests for the dense local linear algebra: Vector, DenseMatrix and
+// the BLAS-like kernels, cross-checked against naive references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_matrix.h"
+#include "la/kernels.h"
+#include "la/rand.h"
+#include "la/vector.h"
+
+namespace rgml::la {
+namespace {
+
+TEST(VectorTest, ZeroInitialised) {
+  Vector v(5);
+  EXPECT_EQ(v.size(), 5);
+  for (long i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(VectorTest, BytesAndSetAll) {
+  Vector v(4);
+  v.setAll(2.5);
+  EXPECT_EQ(v.bytes(), 32u);
+  EXPECT_EQ(v[3], 2.5);
+}
+
+TEST(VectorTest, Equality) {
+  Vector a(std::vector<double>{1, 2, 3});
+  Vector b(std::vector<double>{1, 2, 3});
+  Vector c(std::vector<double>{1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DenseMatrixTest, ColumnMajorLayout) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 1;
+  a(2, 1) = 9;
+  EXPECT_EQ(a.span()[0], 1.0);
+  EXPECT_EQ(a.span()[5], 9.0);
+  EXPECT_EQ(a.col(1)[2], 9.0);
+}
+
+TEST(DenseMatrixTest, AdoptRejectsWrongSize) {
+  EXPECT_THROW(DenseMatrix(2, 2, std::vector<double>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(DenseMatrixTest, SubMatrixExtractsRegion) {
+  DenseMatrix a(4, 4);
+  for (long j = 0; j < 4; ++j) {
+    for (long i = 0; i < 4; ++i) a(i, j) = i * 10 + j;
+  }
+  DenseMatrix sub = a.subMatrix(1, 2, 2, 2);
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_EQ(sub.cols(), 2);
+  EXPECT_EQ(sub(0, 0), 12.0);
+  EXPECT_EQ(sub(1, 1), 23.0);
+}
+
+TEST(DenseMatrixTest, CopySubFromPlacesRegion) {
+  DenseMatrix src(2, 2);
+  src(0, 0) = 1;
+  src(1, 1) = 4;
+  DenseMatrix dst(4, 4);
+  dst.copySubFrom(src, 0, 0, 2, 2, 1, 2);
+  EXPECT_EQ(dst(1, 2), 1.0);
+  EXPECT_EQ(dst(2, 3), 4.0);
+  EXPECT_EQ(dst(0, 0), 0.0);
+}
+
+TEST(KernelsTest, DotAxpyScale) {
+  Vector x(std::vector<double>{1, 2, 3});
+  Vector y(std::vector<double>{4, 5, 6});
+  EXPECT_DOUBLE_EQ(dot(x.span(), y.span()), 32.0);
+  axpy(2.0, x.span(), y.span());
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  scale(y.span(), 0.5);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(KernelsTest, NormSumAddScalar) {
+  Vector x(std::vector<double>{3, 4});
+  EXPECT_DOUBLE_EQ(norm2(x.span()), 5.0);
+  EXPECT_DOUBLE_EQ(sum(x.span()), 7.0);
+  addScalar(x.span(), 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+}
+
+TEST(KernelsTest, GemvMatchesReference) {
+  const long m = 17, n = 9;
+  DenseMatrix a = makeUniformDense(m, n, 1);
+  Vector x = makeUniformVector(n, 2);
+  Vector y(m);
+  gemv(a, x.span(), y.span());
+  for (long i = 0; i < m; ++i) {
+    double ref = 0.0;
+    for (long j = 0; j < n; ++j) ref += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], ref, 1e-12);
+  }
+}
+
+TEST(KernelsTest, GemvBetaAccumulates) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  Vector x(std::vector<double>{1, 2});
+  Vector y(std::vector<double>{10, 20});
+  gemv(a, x.span(), y.span(), 1.0);
+  EXPECT_DOUBLE_EQ(y[0], 11.0);
+  EXPECT_DOUBLE_EQ(y[1], 22.0);
+}
+
+TEST(KernelsTest, GemvTransMatchesReference) {
+  const long m = 11, n = 13;
+  DenseMatrix a = makeUniformDense(m, n, 3);
+  Vector x = makeUniformVector(m, 4);
+  Vector y(n);
+  gemvTrans(a, x.span(), y.span());
+  for (long j = 0; j < n; ++j) {
+    double ref = 0.0;
+    for (long i = 0; i < m; ++i) ref += a(i, j) * x[i];
+    EXPECT_NEAR(y[j], ref, 1e-12);
+  }
+}
+
+TEST(KernelsTest, GemmMatchesReference) {
+  const long m = 7, k = 5, n = 6;
+  DenseMatrix a = makeUniformDense(m, k, 5);
+  DenseMatrix b = makeUniformDense(k, n, 6);
+  DenseMatrix c(m, n);
+  gemm(a, b, c);
+  for (long i = 0; i < m; ++i) {
+    for (long j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (long l = 0; l < k; ++l) ref += a(i, l) * b(l, j);
+      EXPECT_NEAR(c(i, j), ref, 1e-12);
+    }
+  }
+}
+
+TEST(RandTest, Deterministic) {
+  EXPECT_EQ(makeUniformDense(4, 4, 9), makeUniformDense(4, 4, 9));
+  EXPECT_FALSE(makeUniformDense(4, 4, 9) == makeUniformDense(4, 4, 10));
+}
+
+TEST(RandTest, RangeRespected) {
+  Vector v = makeUniformVector(1000, 7, -2.0, 3.0);
+  for (long i = 0; i < v.size(); ++i) {
+    EXPECT_GE(v[i], -2.0);
+    EXPECT_LT(v[i], 3.0);
+  }
+}
+
+TEST(RandTest, HashedUniformIsStateless) {
+  EXPECT_EQ(hashedUniform(1, 42), hashedUniform(1, 42));
+  EXPECT_NE(hashedUniform(1, 42), hashedUniform(1, 43));
+  EXPECT_NE(hashedUniform(1, 42), hashedUniform(2, 42));
+}
+
+// Parameterised sweep: gemv correctness over shapes including degenerate
+// ones.
+class GemvShapes : public ::testing::TestWithParam<std::pair<long, long>> {};
+
+TEST_P(GemvShapes, MatchesReference) {
+  const auto [m, n] = GetParam();
+  DenseMatrix a = makeUniformDense(m, n, 11);
+  Vector x = makeUniformVector(n, 12);
+  Vector y(m);
+  gemv(a, x.span(), y.span());
+  for (long i = 0; i < m; ++i) {
+    double ref = 0.0;
+    for (long j = 0; j < n; ++j) ref += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], ref, 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvShapes,
+    ::testing::Values(std::pair<long, long>{1, 1},
+                      std::pair<long, long>{1, 64},
+                      std::pair<long, long>{64, 1},
+                      std::pair<long, long>{33, 17},
+                      std::pair<long, long>{128, 128}));
+
+}  // namespace
+}  // namespace rgml::la

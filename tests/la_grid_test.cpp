@@ -1,0 +1,168 @@
+// Unit tests for Grid (block partitioning), DistMap (block-to-place
+// mapping) and the overlap geometry of the repartitioned restore path.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "la/dist_map.h"
+#include "la/grid.h"
+#include "resilient/restore_overlap.h"
+
+namespace rgml::la {
+namespace {
+
+TEST(GridTest, BalancedBlockSizes) {
+  Grid g(10, 7, 4, 2);
+  // 10 rows into 4 blocks: 3,3,2,2. 7 cols into 2 blocks: 4,3.
+  EXPECT_EQ(g.rowBlockSize(0), 3);
+  EXPECT_EQ(g.rowBlockSize(2), 2);
+  EXPECT_EQ(g.colBlockSize(0), 4);
+  EXPECT_EQ(g.colBlockSize(1), 3);
+  EXPECT_EQ(g.rowBlockStart(2), 6);
+  EXPECT_EQ(g.colBlockStart(1), 4);
+}
+
+TEST(GridTest, SizesCoverMatrix) {
+  Grid g(103, 57, 7, 5);
+  long rows = 0;
+  for (long rb = 0; rb < 7; ++rb) rows += g.rowBlockSize(rb);
+  long cols = 0;
+  for (long cb = 0; cb < 5; ++cb) cols += g.colBlockSize(cb);
+  EXPECT_EQ(rows, 103);
+  EXPECT_EQ(cols, 57);
+}
+
+TEST(GridTest, BlockOfIsInverseOfStart) {
+  Grid g(100, 100, 6, 4);
+  for (long i = 0; i < 100; ++i) {
+    const long rb = g.rowBlockOf(i);
+    EXPECT_GE(i, g.rowBlockStart(rb));
+    EXPECT_LT(i, g.rowBlockStart(rb) + g.rowBlockSize(rb));
+  }
+}
+
+TEST(GridTest, BlockIdRoundTrip) {
+  Grid g(20, 20, 4, 5);
+  for (long rb = 0; rb < 4; ++rb) {
+    for (long cb = 0; cb < 5; ++cb) {
+      const long id = g.blockId(rb, cb);
+      EXPECT_EQ(g.blockRow(id), rb);
+      EXPECT_EQ(g.blockCol(id), cb);
+    }
+  }
+}
+
+TEST(GridTest, RejectsMoreBlocksThanRows) {
+  EXPECT_THROW(Grid(3, 3, 4, 1), std::invalid_argument);
+}
+
+TEST(GridTest, SegmentHelpersConsistent) {
+  const long n = 101, parts = 7;
+  auto sizes = Grid::segmentSizes(n, parts);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0L), n);
+  long offset = 0;
+  for (long s = 0; s < parts; ++s) {
+    EXPECT_EQ(Grid::segmentStart(n, parts, s), offset);
+    for (long i = offset; i < offset + sizes[static_cast<std::size_t>(s)];
+         ++i) {
+      EXPECT_EQ(Grid::segmentOf(n, parts, i), s);
+    }
+    offset += sizes[static_cast<std::size_t>(s)];
+  }
+}
+
+TEST(DistMapTest, GridMappingIsContiguousBands) {
+  Grid g(40, 40, 8, 1);
+  DistMap map = DistMap::makeGrid(g, 4, 1);
+  // 8 block-rows over 4 place-rows: two consecutive blocks per place.
+  EXPECT_EQ(map.placeIndexOf(0), 0);
+  EXPECT_EQ(map.placeIndexOf(1), 0);
+  EXPECT_EQ(map.placeIndexOf(2), 1);
+  EXPECT_EQ(map.placeIndexOf(7), 3);
+  EXPECT_EQ(map.blocksOf(1), (std::vector<long>{2, 3}));
+  EXPECT_EQ(map.blockCounts(), (std::vector<long>{2, 2, 2, 2}));
+}
+
+TEST(DistMapTest, TwoDimensionalPlaceGrid) {
+  Grid g(40, 40, 4, 4);
+  DistMap map = DistMap::makeGrid(g, 2, 2);
+  // Block (rb, cb) -> place (rb/2)*2 + (cb/2).
+  EXPECT_EQ(map.placeIndexOf(g.blockId(0, 0)), 0);
+  EXPECT_EQ(map.placeIndexOf(g.blockId(0, 3)), 1);
+  EXPECT_EQ(map.placeIndexOf(g.blockId(3, 0)), 2);
+  EXPECT_EQ(map.placeIndexOf(g.blockId(3, 3)), 3);
+  EXPECT_EQ(map.blockCounts(), (std::vector<long>{4, 4, 4, 4}));
+}
+
+TEST(DistMapTest, ShrinkKeepsSurvivorsAndDealsOrphans) {
+  Grid g(40, 40, 8, 1);
+  DistMap map = DistMap::makeGrid(g, 4, 1);
+  // Place index 2 dies: translation old->new {0,1,-1,2}.
+  DistMap shrunk = DistMap::remapShrink(map, {0, 1, -1, 2}, 3);
+  // Survivors keep their (translated) blocks.
+  EXPECT_EQ(shrunk.placeIndexOf(0), 0);
+  EXPECT_EQ(shrunk.placeIndexOf(2), 1);
+  EXPECT_EQ(shrunk.placeIndexOf(6), 2);
+  // The dead place's blocks (4, 5) are dealt round-robin: 0, 1.
+  EXPECT_EQ(shrunk.placeIndexOf(4), 0);
+  EXPECT_EQ(shrunk.placeIndexOf(5), 1);
+  // Load imbalance appears: counts {3, 3, 2}.
+  EXPECT_EQ(shrunk.blockCounts(), (std::vector<long>{3, 3, 2}));
+}
+
+TEST(DistMapTest, RejectsMorePlacesThanBlocks) {
+  Grid g(4, 4, 2, 1);
+  EXPECT_THROW(DistMap::makeGrid(g, 3, 1), std::invalid_argument);
+}
+
+// ---- overlap geometry ------------------------------------------------------
+
+TEST(OverlapTest, IdenticalGridsYieldOneFullRegionPerBlock) {
+  Grid g(30, 30, 3, 2);
+  for (long rb = 0; rb < 3; ++rb) {
+    for (long cb = 0; cb < 2; ++cb) {
+      auto regions = resilient::computeOverlaps(g, g, rb, cb);
+      ASSERT_EQ(regions.size(), 1u);
+      EXPECT_EQ(regions[0].oldBlockId, g.blockId(rb, cb));
+      EXPECT_EQ(regions[0].rows, g.rowBlockSize(rb));
+      EXPECT_EQ(regions[0].cols, g.colBlockSize(cb));
+      EXPECT_EQ(regions[0].srcRow, 0);
+      EXPECT_EQ(regions[0].dstRow, 0);
+    }
+  }
+}
+
+TEST(OverlapTest, RegionsTileTheNewBlock) {
+  Grid oldGrid(97, 53, 8, 3);
+  Grid newGrid(97, 53, 5, 4);
+  for (long rb = 0; rb < newGrid.rowBlocks(); ++rb) {
+    for (long cb = 0; cb < newGrid.colBlocks(); ++cb) {
+      auto regions = resilient::computeOverlaps(oldGrid, newGrid, rb, cb);
+      long area = 0;
+      for (const auto& region : regions) {
+        EXPECT_GT(region.rows, 0);
+        EXPECT_GT(region.cols, 0);
+        EXPECT_GE(region.dstRow, 0);
+        EXPECT_LE(region.dstRow + region.rows, newGrid.rowBlockSize(rb));
+        EXPECT_LE(region.dstCol + region.cols, newGrid.colBlockSize(cb));
+        // Source region fits in its old block.
+        const long orb = oldGrid.blockRow(region.oldBlockId);
+        const long ocb = oldGrid.blockCol(region.oldBlockId);
+        EXPECT_LE(region.srcRow + region.rows, oldGrid.rowBlockSize(orb));
+        EXPECT_LE(region.srcCol + region.cols, oldGrid.colBlockSize(ocb));
+        area += region.rows * region.cols;
+      }
+      EXPECT_EQ(area, newGrid.rowBlockSize(rb) * newGrid.colBlockSize(cb));
+    }
+  }
+}
+
+TEST(OverlapTest, MismatchedMatricesRejected) {
+  Grid a(10, 10, 2, 2);
+  Grid b(12, 10, 2, 2);
+  EXPECT_THROW(resilient::computeOverlaps(a, b, 0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rgml::la

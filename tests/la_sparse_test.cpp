@@ -1,0 +1,201 @@
+// Unit tests for the sparse formats (CSC/CSR): construction, lookup,
+// sub-block extraction with non-zero pre-counting, paste-merge, format
+// conversion, spmv kernels — the machinery behind sparse restore.
+#include <gtest/gtest.h>
+
+#include "la/kernels.h"
+#include "la/rand.h"
+#include "la/sparse_csc.h"
+#include "la/sparse_csr.h"
+
+namespace rgml::la {
+namespace {
+
+/// 4x4 with entries (0,0)=1 (2,0)=2 (1,1)=3 (3,2)=4 (0,3)=5 (3,3)=6.
+SparseCSC sampleCSC() {
+  return SparseCSC(4, 4, {0, 2, 3, 4, 6}, {0, 2, 1, 3, 0, 3},
+                   {1, 2, 3, 4, 5, 6});
+}
+
+SparseCSR sampleCSR() { return SparseCSR::fromCSC(sampleCSC()); }
+
+TEST(SparseCSCTest, AtFindsEntries) {
+  auto a = sampleCSC();
+  EXPECT_EQ(a.nnz(), 6);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 3), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+}
+
+TEST(SparseCSCTest, InvalidArraysRejected) {
+  EXPECT_THROW(SparseCSC(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(SparseCSC(2, 2, {0, 1, 3}, {0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(SparseCSCTest, CountNonZerosInRegion) {
+  auto a = sampleCSC();
+  EXPECT_EQ(a.countNonZerosIn(0, 0, 4, 4), 6);
+  EXPECT_EQ(a.countNonZerosIn(0, 0, 2, 2), 2);  // (0,0) and (1,1)
+  EXPECT_EQ(a.countNonZerosIn(2, 2, 2, 2), 2);  // (3,2) and (3,3)
+  EXPECT_EQ(a.countNonZerosIn(1, 2, 1, 1), 0);
+}
+
+TEST(SparseCSCTest, SubMatrixRebasesIndices) {
+  auto a = sampleCSC();
+  SparseCSC sub = a.subMatrix(2, 2, 2, 2);
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_EQ(sub.nnz(), 2);
+  EXPECT_DOUBLE_EQ(sub.at(1, 0), 4.0);  // global (3,2)
+  EXPECT_DOUBLE_EQ(sub.at(1, 1), 6.0);  // global (3,3)
+}
+
+TEST(SparseCSCTest, PasteReassemblesOriginal) {
+  auto a = sampleCSC();
+  // Split into four quadrants and reassemble.
+  SparseCSC out(4, 4);
+  for (long r : {0L, 2L}) {
+    for (long c : {0L, 2L}) {
+      out.pasteSubFrom(a.subMatrix(r, c, 2, 2), r, c);
+    }
+  }
+  EXPECT_EQ(out, a);
+}
+
+TEST(SparseCSRTest, AtFindsEntries) {
+  auto a = sampleCSR();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 3), 0.0);
+}
+
+TEST(SparseCSRTest, RoundTripConversion) {
+  auto csr = makeUniformSparse(20, 30, 5, 99);
+  EXPECT_EQ(SparseCSR::fromCSC(csr.toCSC()), csr);
+}
+
+TEST(SparseCSRTest, CountAndSubMatrixAgreeWithCSC) {
+  auto csr = makeUniformSparse(25, 25, 4, 7);
+  auto csc = csr.toCSC();
+  EXPECT_EQ(csr.countNonZerosIn(3, 5, 10, 12),
+            csc.countNonZerosIn(3, 5, 10, 12));
+  auto subR = csr.subMatrix(3, 5, 10, 12);
+  auto subC = csc.subMatrix(3, 5, 10, 12);
+  EXPECT_EQ(subR, SparseCSR::fromCSC(subC));
+}
+
+TEST(SparseCSRTest, PasteReassemblesOriginal) {
+  auto a = makeUniformSparse(16, 12, 3, 21);
+  SparseCSR out(16, 12);
+  // Irregular 2x3 tiling.
+  const long rs[] = {0, 7, 16};
+  const long cs[] = {0, 5, 9, 12};
+  for (int ri = 0; ri < 2; ++ri) {
+    for (int ci = 0; ci < 3; ++ci) {
+      out.pasteSubFrom(a.subMatrix(rs[ri], cs[ci], rs[ri + 1] - rs[ri],
+                                   cs[ci + 1] - cs[ci]),
+                       rs[ri], cs[ci]);
+    }
+  }
+  EXPECT_EQ(out, a);
+}
+
+TEST(SpmvTest, CSRMatchesDense) {
+  auto a = makeUniformSparse(18, 14, 4, 31);
+  Vector x = makeUniformVector(14, 32);
+  Vector y(18);
+  spmv(a, x.span(), y.span());
+  for (long i = 0; i < 18; ++i) {
+    double ref = 0.0;
+    for (long j = 0; j < 14; ++j) ref += a.at(i, j) * x[j];
+    EXPECT_NEAR(y[i], ref, 1e-12);
+  }
+}
+
+TEST(SpmvTest, CSRTransMatchesDense) {
+  auto a = makeUniformSparse(18, 14, 4, 33);
+  Vector x = makeUniformVector(18, 34);
+  Vector y(14);
+  spmvTrans(a, x.span(), y.span());
+  for (long j = 0; j < 14; ++j) {
+    double ref = 0.0;
+    for (long i = 0; i < 18; ++i) ref += a.at(i, j) * x[i];
+    EXPECT_NEAR(y[j], ref, 1e-12);
+  }
+}
+
+TEST(SpmvTest, CSCVariantsMatchCSR) {
+  auto csr = makeUniformSparse(20, 20, 5, 35);
+  auto csc = csr.toCSC();
+  Vector x = makeUniformVector(20, 36);
+  Vector y1(20), y2(20), t1(20), t2(20);
+  spmv(csr, x.span(), y1.span());
+  spmv(csc, x.span(), y2.span());
+  spmvTrans(csr, x.span(), t1.span());
+  spmvTrans(csc, x.span(), t2.span());
+  for (long i = 0; i < 20; ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-12);
+    EXPECT_NEAR(t1[i], t2[i], 1e-12);
+  }
+}
+
+TEST(SpmvTest, BetaAccumulates) {
+  auto a = makeUniformSparse(6, 6, 2, 37);
+  Vector x = makeUniformVector(6, 38);
+  Vector y0(6), y1(6);
+  spmv(a, x.span(), y0.span());
+  y1.setAll(1.0);
+  spmv(a, x.span(), y1.span(), 1.0);
+  for (long i = 0; i < 6; ++i) EXPECT_NEAR(y1[i], y0[i] + 1.0, 1e-12);
+}
+
+TEST(WebGraphTest, ColumnStochastic) {
+  auto g = makeWebGraph(50, 5, 77);
+  auto gc = g.toCSC();
+  for (long j = 0; j < 50; ++j) {
+    double colSum = 0.0;
+    for (long k = gc.colPtr()[j]; k < gc.colPtr()[j + 1]; ++k) {
+      colSum += gc.values()[static_cast<std::size_t>(k)];
+      EXPECT_NE(gc.rowIdx()[static_cast<std::size_t>(k)], j)
+          << "self-link in column " << j;
+    }
+    EXPECT_NEAR(colSum, 1.0, 1e-12);
+  }
+  EXPECT_EQ(g.nnz(), 250);
+}
+
+// Property sweep: split/reassemble identity for random matrices and split
+// points.
+class SparseSplitProperty
+    : public ::testing::TestWithParam<std::tuple<long, long, long>> {};
+
+TEST_P(SparseSplitProperty, SubMatricesTileToOriginal) {
+  const auto [m, n, split] = GetParam();
+  auto a = makeUniformSparse(m, n, 3, static_cast<std::uint64_t>(m * n));
+  const long rSplit = m / split;
+  const long cSplit = n / split;
+  SparseCSR out(m, n);
+  long countSum = 0;
+  for (long r = 0; r < m; r += rSplit) {
+    const long h = std::min(rSplit, m - r);
+    for (long c = 0; c < n; c += cSplit) {
+      const long w = std::min(cSplit, n - c);
+      countSum += a.countNonZerosIn(r, c, h, w);
+      out.pasteSubFrom(a.subMatrix(r, c, h, w), r, c);
+    }
+  }
+  EXPECT_EQ(countSum, a.nnz());  // tiles partition the non-zeros
+  EXPECT_EQ(out, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, SparseSplitProperty,
+    ::testing::Values(std::make_tuple(12L, 12L, 2L),
+                      std::make_tuple(30L, 20L, 3L),
+                      std::make_tuple(17L, 23L, 4L),
+                      std::make_tuple(40L, 40L, 5L)));
+
+}  // namespace
+}  // namespace rgml::la

@@ -1,0 +1,130 @@
+// Parameterized property sweeps over the restore machinery:
+//   * sparse DistBlockMatrix restore exactness across place counts,
+//     victims, modes and sparsity;
+//   * DistVector repartitioned restore across arbitrary old->new place
+//     count pairs;
+//   * snapshot recoverability for every single-victim position.
+#include <gtest/gtest.h>
+
+#include "apgas/runtime.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "la/rand.h"
+
+namespace rgml::gml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+// ---- sparse restore sweep ----------------------------------------------------
+
+struct SparseRestoreCase {
+  int places;
+  int victim;
+  bool rebalance;
+  long nnzPerRow;
+};
+
+class SparseRestoreProperty
+    : public ::testing::TestWithParam<SparseRestoreCase> {};
+
+TEST_P(SparseRestoreProperty, RestoreIsExact) {
+  const auto cfg = GetParam();
+  Runtime::init(cfg.places + 1);
+  auto pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(cfg.places));
+  const long n = 12L * cfg.places;
+  auto a = DistBlockMatrix::makeSparse(n, n, 2L * cfg.places, 1, cfg.places,
+                                       1, cfg.nnzPerRow, pg);
+  auto global = la::makeUniformSparse(
+      n, n, cfg.nnzPerRow,
+      static_cast<std::uint64_t>(cfg.places * 100 + cfg.victim));
+  a.initFromCSR(global);
+  auto snap = a.makeSnapshot();
+
+  Runtime::world().kill(cfg.victim);
+  auto live = pg.filterDead();
+  if (cfg.rebalance) {
+    a.remakeRebalance(live);
+  } else {
+    a.remakeShrink(live);
+  }
+  a.restoreSnapshot(*snap);
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) {
+      ASSERT_EQ(a.at(i, j), global.at(i, j))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseRestoreProperty,
+    ::testing::Values(SparseRestoreCase{2, 1, false, 2},
+                      SparseRestoreCase{2, 1, true, 2},
+                      SparseRestoreCase{3, 1, true, 5},
+                      SparseRestoreCase{4, 2, false, 3},
+                      SparseRestoreCase{4, 2, true, 3},
+                      SparseRestoreCase{5, 4, true, 8},
+                      SparseRestoreCase{6, 3, false, 1},
+                      SparseRestoreCase{6, 3, true, 1},
+                      SparseRestoreCase{7, 1, true, 4},
+                      SparseRestoreCase{8, 5, true, 6}));
+
+// ---- vector resize sweep ------------------------------------------------------
+
+class VectorResizeProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(VectorResizeProperty, RepartitionedRestoreIsExact) {
+  const auto [oldPlaces, newPlaces] = GetParam();
+  Runtime::init(std::max(oldPlaces, newPlaces));
+  const long n = 91;  // prime-ish: misaligned segment boundaries
+  auto v = DistVector::make(n, PlaceGroup::firstPlaces(
+                                   static_cast<std::size_t>(oldPlaces)));
+  v.initRandom(static_cast<std::uint64_t>(oldPlaces * 31 + newPlaces));
+  la::Vector before(n);
+  v.copyTo(before);
+  auto snap = v.makeSnapshot();
+
+  v.remake(PlaceGroup::firstPlaces(static_cast<std::size_t>(newPlaces)));
+  v.restoreSnapshot(*snap);
+  la::Vector after(n);
+  v.copyTo(after);
+  EXPECT_EQ(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VectorResizeProperty,
+    ::testing::Values(std::pair<int, int>{1, 7}, std::pair<int, int>{7, 1},
+                      std::pair<int, int>{2, 3}, std::pair<int, int>{3, 2},
+                      std::pair<int, int>{4, 7}, std::pair<int, int>{7, 4},
+                      std::pair<int, int>{5, 5},
+                      std::pair<int, int>{6, 13},
+                      std::pair<int, int>{13, 6}));
+
+// ---- single-victim recoverability ------------------------------------------------
+
+class VictimSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VictimSweepProperty, AnySingleFailureIsRecoverable) {
+  const int victim = GetParam();
+  Runtime::init(6);
+  auto pg = PlaceGroup::world();
+  auto a = DistBlockMatrix::makeDense(24, 4, 12, 1, 6, 1, pg);
+  a.initRandom(static_cast<std::uint64_t>(victim) + 1);
+  la::DenseMatrix before = a.toDense();
+  auto snap = a.makeSnapshot();
+
+  Runtime::world().kill(victim);
+  a.remakeShrink(pg.filterDead());
+  a.restoreSnapshot(*snap);
+  EXPECT_EQ(a.toDense(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVictims, VictimSweepProperty,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rgml::gml

@@ -1,0 +1,159 @@
+// Tests for the distributed iterative solvers: convergence against serial
+// references, tolerance semantics, and misuse errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apgas/runtime.h"
+#include "gml/solvers.h"
+#include "la/kernels.h"
+#include "la/rand.h"
+
+namespace rgml::gml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+class SolversTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::init(4); }
+};
+
+TEST_F(SolversTest, CgNormalSolvesLeastSquares) {
+  auto pg = PlaceGroup::world();
+  const long m = 48, n = 6;
+  auto a = DistBlockMatrix::makeDense(m, n, 8, 1, 4, 1, pg);
+  a.initRandom(1);
+  auto b = DistVector::make(m, pg);
+  b.initRandom(2);
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  const double lambda = 1e-3;
+  auto result = conjugateGradientNormal(a, b, x, lambda, 50, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.residual, 1e-10);
+  EXPECT_LE(result.iterations, 50);
+
+  // Verify the normal equations directly: A^T(Ax - b) + lambda x ~ 0.
+  la::DenseMatrix ad = a.toDense();
+  la::Vector xv;
+  apgas::at(Place(0), [&] { xv = x.local(); });
+  la::Vector bv(m);
+  b.copyTo(bv);
+  la::Vector ax(m);
+  la::gemv(ad, xv.span(), ax.span());
+  la::axpy(-1.0, bv.span(), ax.span());
+  la::Vector grad(n);
+  la::gemvTrans(ad, ax.span(), grad.span());
+  la::axpy(lambda, xv.span(), grad.span());
+  EXPECT_LT(la::norm2(grad.span()), 1e-8);
+}
+
+TEST_F(SolversTest, CgHonorsIterationCap) {
+  auto pg = PlaceGroup::world();
+  auto a = DistBlockMatrix::makeDense(40, 10, 4, 1, 4, 1, pg);
+  a.initRandom(3);
+  auto b = DistVector::make(40, pg);
+  b.initRandom(4);
+  auto x = DupVector::make(10, pg);
+  x.init(0.0);
+  auto result = conjugateGradientNormal(a, b, x, 0.0, 2, 1e-30);
+  EXPECT_EQ(result.iterations, 2);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST_F(SolversTest, PowerIterationFindsDominantEigenpair) {
+  // Diagonal-dominant symmetric matrix with a known dominant direction.
+  auto pg = PlaceGroup::world();
+  const long n = 16;
+  auto a = DistBlockMatrix::makeDense(n, n, 4, 1, 4, 1, pg);
+  a.init([n](long i, long j) {
+    if (i == j) return i == 0 ? 10.0 : 2.0;  // dominant eigenvalue ~10
+    return 0.01;
+  });
+  auto x = DupVector::make(n, pg);
+  x.init(1.0);
+  double eigenvalue = 0.0;
+  auto result = powerIteration(a, x, eigenvalue, 200, 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(eigenvalue, 10.0, 0.1);
+  // Eigenvector concentrates on coordinate 0.
+  apgas::at(Place(0), [&] {
+    EXPECT_GT(std::abs(x.local()[0]), 0.9);
+  });
+}
+
+TEST_F(SolversTest, PowerIterationRejectsZeroStart) {
+  auto pg = PlaceGroup::world();
+  auto a = DistBlockMatrix::makeDense(8, 8, 4, 1, 4, 1, pg);
+  a.initRandom(5);
+  auto x = DupVector::make(8, pg);
+  x.init(0.0);
+  double eigenvalue = 0.0;
+  EXPECT_THROW(
+      static_cast<void>(powerIteration(a, x, eigenvalue, 10, 1e-9)),
+      apgas::ApgasError);
+}
+
+TEST_F(SolversTest, JacobiSolvesDiagonallyDominantSystem) {
+  auto pg = PlaceGroup::world();
+  const long n = 20;
+  auto a = DistBlockMatrix::makeDense(n, n, 4, 1, 4, 1, pg);
+  a.init([n](long i, long j) {
+    return i == j ? static_cast<double>(n) : 0.5;
+  });
+  auto b = DistVector::make(n, pg);
+  b.init([](long i) { return static_cast<double>(i % 5 + 1); });
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  auto result = jacobi(a, b, x, 500, 1e-10);
+  EXPECT_TRUE(result.converged);
+
+  // Check A x ~ b.
+  la::DenseMatrix ad = a.toDense();
+  la::Vector xv;
+  apgas::at(Place(0), [&] { xv = x.local(); });
+  la::Vector bv(n);
+  b.copyTo(bv);
+  la::Vector ax(n);
+  la::gemv(ad, xv.span(), ax.span());
+  for (long i = 0; i < n; ++i) EXPECT_NEAR(ax[i], bv[i], 1e-8);
+}
+
+TEST_F(SolversTest, JacobiRejectsSparseAndRectangular) {
+  auto pg = PlaceGroup::world();
+  auto rect = DistBlockMatrix::makeDense(12, 8, 4, 1, 4, 1, pg);
+  auto b = DistVector::make(12, pg);
+  auto x = DupVector::make(8, pg);
+  EXPECT_THROW(static_cast<void>(jacobi(rect, b, x, 5, 1e-9)),
+               apgas::ApgasError);
+  auto sparse = DistBlockMatrix::makeSparse(12, 12, 4, 1, 4, 1, 2, pg);
+  auto b2 = DistVector::make(12, pg);
+  auto x2 = DupVector::make(12, pg);
+  EXPECT_THROW(static_cast<void>(jacobi(sparse, b2, x2, 5, 1e-9)),
+               apgas::ApgasError);
+}
+
+TEST_F(SolversTest, SolversSurviveOnShrunkenGroups) {
+  // Solvers run on whatever group their operands live on — including a
+  // post-failure shrunken group.
+  Runtime::init(5);
+  auto pg = PlaceGroup::firstPlaces(4);
+  Runtime::world().kill(2);
+  auto live = pg.filterDead();
+  auto a = DistBlockMatrix::makeDense(30, 5, 6, 1, 3, 1, live);
+  a.initRandom(6);
+  auto b = DistVector::make(30, live);
+  b.initRandom(7);
+  auto x = DupVector::make(5, live);
+  x.init(0.0);
+  auto result = conjugateGradientNormal(a, b, x, 1e-6, 30, 1e-9);
+  EXPECT_TRUE(result.converged);
+}
+
+}  // namespace
+}  // namespace rgml::gml

@@ -1,0 +1,168 @@
+// Tests for the execution trace: event sequences across failure-free and
+// failing runs, interval consistency with the executor's stats, and the
+// timeline rendering.
+#include <gtest/gtest.h>
+
+#include "apgas/runtime.h"
+#include "framework/resilient_executor.h"
+#include "framework/trace.h"
+#include "gml/dist_vector.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::framework {
+namespace {
+
+using apgas::FaultInjector;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+/// Minimal traced app (same shape as framework_test's CountingApp).
+class TracedApp final : public ResilientIterativeApp {
+ public:
+  explicit TracedApp(const PlaceGroup& pg) : pg_(pg) {
+    x_ = gml::DistVector::make(32, pg_);
+    x_.init(0.0);
+    scalars_ = resilient::SnapshottableScalars(1, pg_);
+  }
+
+  bool isFinished() override { return iteration_ >= 30; }
+
+  void step() override {
+    x_.map([](double v, long) { return v + 1.0; }, 1.0);
+    ++iteration_;
+  }
+
+  void checkpoint(resilient::AppResilientStore& store) override {
+    scalars_[0] = static_cast<double>(iteration_);
+    store.startNewSnapshot();
+    store.save(x_);
+    store.save(scalars_);
+    store.commit();
+  }
+
+  void restore(const PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long,
+               RestoreMode) override {
+    x_.remake(newPlaces);
+    scalars_.remake(newPlaces);
+    pg_ = newPlaces;
+    store.restore();
+    iteration_ = static_cast<long>(scalars_[0]);
+  }
+
+ private:
+  PlaceGroup pg_;
+  gml::DistVector x_;
+  resilient::SnapshottableScalars scalars_;
+  long iteration_ = 0;
+};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::init(5, apgas::CostModel{}, /*resilientFinish=*/true);
+  }
+};
+
+TEST_F(TraceTest, FailureFreeRunRecordsStepsAndCheckpoints) {
+  auto pg = PlaceGroup::firstPlaces(4);
+  TracedApp app(pg);
+  ExecutionTrace trace;
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.trace = &trace;
+  ResilientExecutor executor(cfg);
+  const auto stats = executor.run(app);
+
+  EXPECT_EQ(trace.ofKind(TraceEvent::Kind::Step).size(), 30u);
+  EXPECT_EQ(trace.ofKind(TraceEvent::Kind::Checkpoint).size(), 3u);
+  EXPECT_TRUE(trace.ofKind(TraceEvent::Kind::Failure).empty());
+  EXPECT_TRUE(trace.ofKind(TraceEvent::Kind::Restore).empty());
+  // Aggregates agree with the executor's own accounting.
+  EXPECT_NEAR(trace.totalTime(TraceEvent::Kind::Checkpoint),
+              stats.checkpointTime, 1e-12);
+}
+
+TEST_F(TraceTest, FailureRunRecordsFailureAndRestore) {
+  auto pg = PlaceGroup::firstPlaces(4);
+  TracedApp app(pg);
+  ExecutionTrace trace;
+  FaultInjector injector;
+  injector.killOnIteration(15, 2);
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.trace = &trace;
+  ResilientExecutor executor(cfg);
+  const auto stats = executor.run(app, &injector);
+
+  const auto failures = trace.ofKind(TraceEvent::Kind::Failure);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].victim, 2);
+  EXPECT_EQ(failures[0].iteration, 15);
+
+  const auto restores = trace.ofKind(TraceEvent::Kind::Restore);
+  ASSERT_EQ(restores.size(), 1u);
+  EXPECT_EQ(restores[0].iteration, 10);  // rollback target
+  EXPECT_NEAR(trace.totalTime(TraceEvent::Kind::Restore),
+              stats.restoreTime, 1e-12);
+
+  // 35 steps: 15 + 20 re-executed.
+  EXPECT_EQ(trace.ofKind(TraceEvent::Kind::Step).size(), 35u);
+}
+
+TEST_F(TraceTest, EventsAreChronologicallyOrdered) {
+  auto pg = PlaceGroup::firstPlaces(4);
+  TracedApp app(pg);
+  ExecutionTrace trace;
+  FaultInjector injector;
+  injector.killOnIteration(12, 1);
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.trace = &trace;
+  ResilientExecutor executor(cfg);
+  executor.run(app, &injector);
+
+  double lastStart = -1.0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.startTime, lastStart);
+    EXPECT_GE(e.endTime, e.startTime);
+    lastStart = e.startTime;
+  }
+}
+
+TEST_F(TraceTest, TimelineRendersEveryEvent) {
+  auto pg = PlaceGroup::firstPlaces(4);
+  TracedApp app(pg);
+  ExecutionTrace trace;
+  FaultInjector injector;
+  injector.killOnIteration(15, 3);
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.trace = &trace;
+  ResilientExecutor executor(cfg);
+  executor.run(app, &injector);
+
+  const std::string timeline = trace.timeline();
+  // One line per event.
+  std::size_t lines = 0;
+  for (char c : timeline) lines += c == '\n';
+  EXPECT_EQ(lines, trace.size());
+  EXPECT_NE(timeline.find("failure"), std::string::npos);
+  EXPECT_NE(timeline.find("restore"), std::string::npos);
+  EXPECT_NE(timeline.find("mode shrink"), std::string::npos);
+  EXPECT_NE(timeline.find("place 3"), std::string::npos);
+}
+
+TEST_F(TraceTest, KindNames) {
+  EXPECT_STREQ(toString(TraceEvent::Kind::Step), "step");
+  EXPECT_STREQ(toString(TraceEvent::Kind::Checkpoint), "checkpoint");
+  EXPECT_STREQ(toString(TraceEvent::Kind::Failure), "failure");
+  EXPECT_STREQ(toString(TraceEvent::Kind::Restore), "restore");
+}
+
+}  // namespace
+}  // namespace rgml::framework
