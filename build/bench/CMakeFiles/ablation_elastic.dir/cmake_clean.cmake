@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elastic.dir/ablation_elastic.cpp.o"
+  "CMakeFiles/ablation_elastic.dir/ablation_elastic.cpp.o.d"
+  "ablation_elastic"
+  "ablation_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_linreg_finish.dir/fig2_linreg_finish.cpp.o"
+  "CMakeFiles/fig2_linreg_finish.dir/fig2_linreg_finish.cpp.o.d"
+  "fig2_linreg_finish"
+  "fig2_linreg_finish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_linreg_finish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_logreg_finish.dir/fig3_logreg_finish.cpp.o"
+  "CMakeFiles/fig3_logreg_finish.dir/fig3_logreg_finish.cpp.o.d"
+  "fig3_logreg_finish"
+  "fig3_logreg_finish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_logreg_finish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_logreg_finish.
+# This may be replaced when dependencies are built.

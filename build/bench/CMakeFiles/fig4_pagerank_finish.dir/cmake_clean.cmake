@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pagerank_finish.dir/fig4_pagerank_finish.cpp.o"
+  "CMakeFiles/fig4_pagerank_finish.dir/fig4_pagerank_finish.cpp.o.d"
+  "fig4_pagerank_finish"
+  "fig4_pagerank_finish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pagerank_finish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_linreg_restore.dir/fig5_linreg_restore.cpp.o"
+  "CMakeFiles/fig5_linreg_restore.dir/fig5_linreg_restore.cpp.o.d"
+  "fig5_linreg_restore"
+  "fig5_linreg_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_linreg_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_logreg_restore.dir/fig6_logreg_restore.cpp.o"
+  "CMakeFiles/fig6_logreg_restore.dir/fig6_logreg_restore.cpp.o.d"
+  "fig6_logreg_restore"
+  "fig6_logreg_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_logreg_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pagerank_restore.dir/fig7_pagerank_restore.cpp.o"
+  "CMakeFiles/fig7_pagerank_restore.dir/fig7_pagerank_restore.cpp.o.d"
+  "fig7_pagerank_restore"
+  "fig7_pagerank_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pagerank_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

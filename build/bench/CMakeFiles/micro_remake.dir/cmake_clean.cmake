@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_remake.dir/micro_remake.cpp.o"
+  "CMakeFiles/micro_remake.dir/micro_remake.cpp.o.d"
+  "micro_remake"
+  "micro_remake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_remake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

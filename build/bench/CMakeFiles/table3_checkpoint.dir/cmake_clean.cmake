@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_checkpoint.dir/table3_checkpoint.cpp.o"
+  "CMakeFiles/table3_checkpoint.dir/table3_checkpoint.cpp.o.d"
+  "table3_checkpoint"
+  "table3_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_overhead_pct.dir/table4_overhead_pct.cpp.o"
+  "CMakeFiles/table4_overhead_pct.dir/table4_overhead_pct.cpp.o.d"
+  "table4_overhead_pct"
+  "table4_overhead_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overhead_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

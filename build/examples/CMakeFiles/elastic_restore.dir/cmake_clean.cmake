@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_restore.dir/elastic_restore.cpp.o"
+  "CMakeFiles/elastic_restore.dir/elastic_restore.cpp.o.d"
+  "elastic_restore"
+  "elastic_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

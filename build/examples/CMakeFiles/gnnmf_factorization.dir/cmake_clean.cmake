@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmf_factorization.dir/gnnmf_factorization.cpp.o"
+  "CMakeFiles/gnnmf_factorization.dir/gnnmf_factorization.cpp.o.d"
+  "gnnmf_factorization"
+  "gnnmf_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmf_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

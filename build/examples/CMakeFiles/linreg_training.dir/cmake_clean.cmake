@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linreg_training.dir/linreg_training.cpp.o"
+  "CMakeFiles/linreg_training.dir/linreg_training.cpp.o.d"
+  "linreg_training"
+  "linreg_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linreg_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

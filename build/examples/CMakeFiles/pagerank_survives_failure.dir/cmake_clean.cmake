@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_survives_failure.dir/pagerank_survives_failure.cpp.o"
+  "CMakeFiles/pagerank_survives_failure.dir/pagerank_survives_failure.cpp.o.d"
+  "pagerank_survives_failure"
+  "pagerank_survives_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_survives_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pagerank_survives_failure.
+# This may be replaced when dependencies are built.

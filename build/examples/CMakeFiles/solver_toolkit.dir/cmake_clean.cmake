@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_toolkit.dir/solver_toolkit.cpp.o"
+  "CMakeFiles/solver_toolkit.dir/solver_toolkit.cpp.o.d"
+  "solver_toolkit"
+  "solver_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apgas/cost_model.cpp" "src/CMakeFiles/rgml.dir/apgas/cost_model.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apgas/cost_model.cpp.o.d"
+  "/root/repo/src/apgas/fault_injector.cpp" "src/CMakeFiles/rgml.dir/apgas/fault_injector.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apgas/fault_injector.cpp.o.d"
+  "/root/repo/src/apgas/place_group.cpp" "src/CMakeFiles/rgml.dir/apgas/place_group.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apgas/place_group.cpp.o.d"
+  "/root/repo/src/apgas/runtime.cpp" "src/CMakeFiles/rgml.dir/apgas/runtime.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apgas/runtime.cpp.o.d"
+  "/root/repo/src/apps/gnnmf.cpp" "src/CMakeFiles/rgml.dir/apps/gnnmf.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/gnnmf.cpp.o.d"
+  "/root/repo/src/apps/gnnmf_resilient.cpp" "src/CMakeFiles/rgml.dir/apps/gnnmf_resilient.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/gnnmf_resilient.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/CMakeFiles/rgml.dir/apps/kmeans.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/kmeans.cpp.o.d"
+  "/root/repo/src/apps/kmeans_resilient.cpp" "src/CMakeFiles/rgml.dir/apps/kmeans_resilient.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/kmeans_resilient.cpp.o.d"
+  "/root/repo/src/apps/linreg.cpp" "src/CMakeFiles/rgml.dir/apps/linreg.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/linreg.cpp.o.d"
+  "/root/repo/src/apps/linreg_resilient.cpp" "src/CMakeFiles/rgml.dir/apps/linreg_resilient.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/linreg_resilient.cpp.o.d"
+  "/root/repo/src/apps/logreg.cpp" "src/CMakeFiles/rgml.dir/apps/logreg.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/logreg.cpp.o.d"
+  "/root/repo/src/apps/logreg_resilient.cpp" "src/CMakeFiles/rgml.dir/apps/logreg_resilient.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/logreg_resilient.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/CMakeFiles/rgml.dir/apps/pagerank.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/pagerank.cpp.o.d"
+  "/root/repo/src/apps/pagerank_resilient.cpp" "src/CMakeFiles/rgml.dir/apps/pagerank_resilient.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/pagerank_resilient.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/CMakeFiles/rgml.dir/apps/workloads.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/apps/workloads.cpp.o.d"
+  "/root/repo/src/framework/checkpoint_interval.cpp" "src/CMakeFiles/rgml.dir/framework/checkpoint_interval.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/framework/checkpoint_interval.cpp.o.d"
+  "/root/repo/src/framework/resilient_executor.cpp" "src/CMakeFiles/rgml.dir/framework/resilient_executor.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/framework/resilient_executor.cpp.o.d"
+  "/root/repo/src/framework/trace.cpp" "src/CMakeFiles/rgml.dir/framework/trace.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/framework/trace.cpp.o.d"
+  "/root/repo/src/gml/collectives.cpp" "src/CMakeFiles/rgml.dir/gml/collectives.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/collectives.cpp.o.d"
+  "/root/repo/src/gml/dist_block_matrix.cpp" "src/CMakeFiles/rgml.dir/gml/dist_block_matrix.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dist_block_matrix.cpp.o.d"
+  "/root/repo/src/gml/dist_dense_matrix.cpp" "src/CMakeFiles/rgml.dir/gml/dist_dense_matrix.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dist_dense_matrix.cpp.o.d"
+  "/root/repo/src/gml/dist_sparse_matrix.cpp" "src/CMakeFiles/rgml.dir/gml/dist_sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dist_sparse_matrix.cpp.o.d"
+  "/root/repo/src/gml/dist_vector.cpp" "src/CMakeFiles/rgml.dir/gml/dist_vector.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dist_vector.cpp.o.d"
+  "/root/repo/src/gml/dup_dense_matrix.cpp" "src/CMakeFiles/rgml.dir/gml/dup_dense_matrix.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dup_dense_matrix.cpp.o.d"
+  "/root/repo/src/gml/dup_sparse_matrix.cpp" "src/CMakeFiles/rgml.dir/gml/dup_sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dup_sparse_matrix.cpp.o.d"
+  "/root/repo/src/gml/dup_vector.cpp" "src/CMakeFiles/rgml.dir/gml/dup_vector.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/dup_vector.cpp.o.d"
+  "/root/repo/src/gml/gemm.cpp" "src/CMakeFiles/rgml.dir/gml/gemm.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/gemm.cpp.o.d"
+  "/root/repo/src/gml/matrix_load.cpp" "src/CMakeFiles/rgml.dir/gml/matrix_load.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/matrix_load.cpp.o.d"
+  "/root/repo/src/gml/solvers.cpp" "src/CMakeFiles/rgml.dir/gml/solvers.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/gml/solvers.cpp.o.d"
+  "/root/repo/src/la/block.cpp" "src/CMakeFiles/rgml.dir/la/block.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/block.cpp.o.d"
+  "/root/repo/src/la/block_set.cpp" "src/CMakeFiles/rgml.dir/la/block_set.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/block_set.cpp.o.d"
+  "/root/repo/src/la/dense_matrix.cpp" "src/CMakeFiles/rgml.dir/la/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/dense_matrix.cpp.o.d"
+  "/root/repo/src/la/dist_map.cpp" "src/CMakeFiles/rgml.dir/la/dist_map.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/dist_map.cpp.o.d"
+  "/root/repo/src/la/grid.cpp" "src/CMakeFiles/rgml.dir/la/grid.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/grid.cpp.o.d"
+  "/root/repo/src/la/kernels.cpp" "src/CMakeFiles/rgml.dir/la/kernels.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/kernels.cpp.o.d"
+  "/root/repo/src/la/rand.cpp" "src/CMakeFiles/rgml.dir/la/rand.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/rand.cpp.o.d"
+  "/root/repo/src/la/sparse_csc.cpp" "src/CMakeFiles/rgml.dir/la/sparse_csc.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/sparse_csc.cpp.o.d"
+  "/root/repo/src/la/sparse_csr.cpp" "src/CMakeFiles/rgml.dir/la/sparse_csr.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/sparse_csr.cpp.o.d"
+  "/root/repo/src/la/vector.cpp" "src/CMakeFiles/rgml.dir/la/vector.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/la/vector.cpp.o.d"
+  "/root/repo/src/resilient/app_resilient_store.cpp" "src/CMakeFiles/rgml.dir/resilient/app_resilient_store.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/resilient/app_resilient_store.cpp.o.d"
+  "/root/repo/src/resilient/disk_checkpoint.cpp" "src/CMakeFiles/rgml.dir/resilient/disk_checkpoint.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/resilient/disk_checkpoint.cpp.o.d"
+  "/root/repo/src/resilient/restore_overlap.cpp" "src/CMakeFiles/rgml.dir/resilient/restore_overlap.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/resilient/restore_overlap.cpp.o.d"
+  "/root/repo/src/resilient/snapshot.cpp" "src/CMakeFiles/rgml.dir/resilient/snapshot.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/resilient/snapshot.cpp.o.d"
+  "/root/repo/src/resilient/snapshot_value.cpp" "src/CMakeFiles/rgml.dir/resilient/snapshot_value.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/resilient/snapshot_value.cpp.o.d"
+  "/root/repo/src/resilient/value_serde.cpp" "src/CMakeFiles/rgml.dir/resilient/value_serde.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/resilient/value_serde.cpp.o.d"
+  "/root/repo/src/serialize/binary_io.cpp" "src/CMakeFiles/rgml.dir/serialize/binary_io.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/serialize/binary_io.cpp.o.d"
+  "/root/repo/src/serialize/matrix_io.cpp" "src/CMakeFiles/rgml.dir/serialize/matrix_io.cpp.o" "gcc" "src/CMakeFiles/rgml.dir/serialize/matrix_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

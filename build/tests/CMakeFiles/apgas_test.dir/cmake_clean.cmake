@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apgas_test.dir/apgas_test.cpp.o"
+  "CMakeFiles/apgas_test.dir/apgas_test.cpp.o.d"
+  "apgas_test"
+  "apgas_test.pdb"
+  "apgas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apgas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_checkpoint_test.dir/disk_checkpoint_test.cpp.o"
+  "CMakeFiles/disk_checkpoint_test.dir/disk_checkpoint_test.cpp.o.d"
+  "disk_checkpoint_test"
+  "disk_checkpoint_test.pdb"
+  "disk_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_matrix_test.dir/dup_matrix_test.cpp.o"
+  "CMakeFiles/dup_matrix_test.dir/dup_matrix_test.cpp.o.d"
+  "dup_matrix_test"
+  "dup_matrix_test.pdb"
+  "dup_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gml_matrix_test.dir/gml_matrix_test.cpp.o"
+  "CMakeFiles/gml_matrix_test.dir/gml_matrix_test.cpp.o.d"
+  "gml_matrix_test"
+  "gml_matrix_test.pdb"
+  "gml_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gml_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gml_ops_test.dir/gml_ops_test.cpp.o"
+  "CMakeFiles/gml_ops_test.dir/gml_ops_test.cpp.o.d"
+  "gml_ops_test"
+  "gml_ops_test.pdb"
+  "gml_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gml_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gml_vector_test.dir/gml_vector_test.cpp.o"
+  "CMakeFiles/gml_vector_test.dir/gml_vector_test.cpp.o.d"
+  "gml_vector_test"
+  "gml_vector_test.pdb"
+  "gml_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gml_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnmf_test.dir/gnnmf_test.cpp.o"
+  "CMakeFiles/gnnmf_test.dir/gnnmf_test.cpp.o.d"
+  "gnnmf_test"
+  "gnnmf_test.pdb"
+  "gnnmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

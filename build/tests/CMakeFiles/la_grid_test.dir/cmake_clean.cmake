@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_grid_test.dir/la_grid_test.cpp.o"
+  "CMakeFiles/la_grid_test.dir/la_grid_test.cpp.o.d"
+  "la_grid_test"
+  "la_grid_test.pdb"
+  "la_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_load_test.dir/matrix_load_test.cpp.o"
+  "CMakeFiles/matrix_load_test.dir/matrix_load_test.cpp.o.d"
+  "matrix_load_test"
+  "matrix_load_test.pdb"
+  "matrix_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

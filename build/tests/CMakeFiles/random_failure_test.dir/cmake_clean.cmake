@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_failure_test.dir/random_failure_test.cpp.o"
+  "CMakeFiles/random_failure_test.dir/random_failure_test.cpp.o.d"
+  "random_failure_test"
+  "random_failure_test.pdb"
+  "random_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

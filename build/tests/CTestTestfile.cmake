@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apgas_test[1]_include.cmake")
+include("/root/repo/build/tests/place_group_test[1]_include.cmake")
+include("/root/repo/build/tests/la_dense_test[1]_include.cmake")
+include("/root/repo/build/tests/la_sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/la_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/gml_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/gml_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/gml_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_load_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/restore_test[1]_include.cmake")
+include("/root/repo/build/tests/restore_property_test[1]_include.cmake")
+include("/root/repo/build/tests/framework_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/random_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/gnnmf_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/dup_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
