@@ -1,7 +1,6 @@
 #include "apgas/fault_injector.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "apgas/runtime.h"
 
@@ -12,16 +11,30 @@ void FaultInjector::killNow(PlaceId p) { Runtime::world().kill(p); }
 void FaultInjector::killAtDispatch(long n, PlaceId victim) {
   if (n < 1) throw ApgasError("killAtDispatch: n must be >= 1");
   Runtime& rt = Runtime::world();
-  // Count dispatches from now; fire once, then self-disarm. State lives in
-  // a shared_ptr because the runtime invokes a *copy* of the hook.
-  auto remaining = std::make_shared<long>(n);
-  rt.setDispatchHook([&rt, remaining, victim](long) {
-    if (*remaining > 0 && --*remaining == 0) {
-      rt.setDispatchHook({});
-      rt.kill(victim);
-    }
+  dispatchKills_.push_back(DispatchKill{rt.dispatchCount() + n, victim});
+  if (!dispatchHookInstalled_) {
+    // One shared hook serves every armed kill; the runtime invokes a
+    // *copy* of it, so self-uninstallation from onDispatch is safe.
+    rt.setDispatchHook([this](long count) { onDispatch(count); });
+    dispatchHookInstalled_ = true;
+  }
+}
+
+void FaultInjector::onDispatch(long count) {
+  std::vector<PlaceId> victims;
+  std::erase_if(dispatchKills_, [&](const DispatchKill& k) {
+    if (k.fireAt > count) return false;
+    victims.push_back(k.victim);
+    return true;
   });
-  dispatchHookInstalled_ = true;
+  Runtime& rt = Runtime::world();
+  if (dispatchKills_.empty()) {
+    rt.setDispatchHook({});
+    dispatchHookInstalled_ = false;
+  }
+  for (PlaceId v : victims) {
+    if (!rt.isDead(v)) rt.kill(v);
+  }
 }
 
 void FaultInjector::killOnIteration(long iter, PlaceId victim) {
@@ -46,6 +59,7 @@ std::vector<PlaceId> FaultInjector::onIterationCompleted(long iter) {
 
 void FaultInjector::reset() {
   iterKills_.clear();
+  dispatchKills_.clear();
   if (dispatchHookInstalled_ && Runtime::initialized()) {
     Runtime::world().setDispatchHook({});
   }

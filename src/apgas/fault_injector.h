@@ -12,9 +12,12 @@
 //   * killOnIteration(iter, p)   — cooperative: the resilient executor
 //                                  calls onIterationCompleted(iter) after
 //                                  each step and the injector fires there.
+//
+// Any number of iteration AND dispatch kills may be armed simultaneously,
+// so a whole multi-failure schedule (as enumerated by the chaos harness)
+// can be armed up front before the run starts.
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "apgas/place.h"
@@ -27,7 +30,8 @@ class FaultInjector {
   static void killNow(PlaceId p);
 
   /// Arm a kill of `victim` triggered on the n-th asyncAt dispatch counted
-  /// from this call (n >= 1). Replaces any previously armed dispatch kill.
+  /// from this call (n >= 1). Multiple dispatch kills may be armed at
+  /// once; each fires once at its own absolute dispatch count.
   void killAtDispatch(long n, PlaceId victim);
 
   /// Arm a kill of `victim` fired when onIterationCompleted(iter) is
@@ -37,6 +41,11 @@ class FaultInjector {
   /// To be invoked by the driving loop after each completed iteration.
   /// Fires any kills armed for `iter`. Returns the victims killed.
   std::vector<PlaceId> onIterationCompleted(long iter);
+
+  /// Dispatch kills still armed (not yet fired).
+  [[nodiscard]] std::size_t armedDispatchKills() const noexcept {
+    return dispatchKills_.size();
+  }
 
   /// Disarm everything and detach from the runtime.
   void reset();
@@ -48,7 +57,17 @@ class FaultInjector {
     long iter;
     PlaceId victim;
   };
+  struct DispatchKill {
+    long fireAt;  ///< absolute dispatch count at which to fire
+    PlaceId victim;
+  };
+
+  /// Dispatch-hook body: fires every armed kill whose count has arrived,
+  /// uninstalling the hook once none remain.
+  void onDispatch(long count);
+
   std::vector<IterKill> iterKills_;
+  std::vector<DispatchKill> dispatchKills_;
   bool dispatchHookInstalled_ = false;
 };
 

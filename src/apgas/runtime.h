@@ -102,6 +102,12 @@ class Runtime {
     dispatchHook_ = std::move(hook);
   }
 
+  /// The running asyncAt dispatch count (1-based, monotonic since init).
+  /// FaultInjector converts relative kill offsets into absolute counts
+  /// against this value; the chaos harness reads it at iteration
+  /// boundaries to enumerate mid-step kill points.
+  [[nodiscard]] long dispatchCount() const noexcept { return dispatchCount_; }
+
   // ---- task model -------------------------------------------------------
   /// The place the current task is executing on.
   [[nodiscard]] Place here() const { return Place(hereStack_.back()); }

@@ -29,6 +29,9 @@ class GnnmfResilient final : public framework::ResilientIterativeApp {
 
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] double objective() const noexcept { return objective_; }
+  /// The (sparse, read-only) data matrix — the chaos harness checks its
+  /// structure and values survive every restore path.
+  [[nodiscard]] const gml::DistBlockMatrix& v() const noexcept { return v_; }
   [[nodiscard]] const gml::DistBlockMatrix& w() const noexcept { return w_; }
   [[nodiscard]] const gml::DupDenseMatrix& h() const noexcept { return h_; }
   [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {

@@ -30,6 +30,11 @@ class PageRankResilient final : public framework::ResilientIterativeApp {
 
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] const gml::DupVector& ranks() const noexcept { return p_; }
+  /// The (sparse, read-only) link matrix — the chaos harness checks its
+  /// structure and values survive every restore path.
+  [[nodiscard]] const gml::DistBlockMatrix& graph() const noexcept {
+    return g_;
+  }
   [[nodiscard]] double rankSum() const;
   [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {
     return pg_;

@@ -91,11 +91,17 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
 
   while (!app.isFinished()) {
     try {
+      if (config_.maxSteps > 0 && stats.stepsExecuted >= config_.maxSteps) {
+        throw StepBudgetExceeded(config_.maxSteps, iter);
+      }
       const double s0 = rt.time();
       app.step();
       record(TraceEvent::Kind::Step, iter + 1, s0, rt.time());
       ++stats.stepsExecuted;
       ++iter;
+      if (config_.iterationHook) {
+        config_.iterationHook(iter);
+      }
       if (injector != nullptr) {
         // Cooperative kills armed for this iteration fire here; the failure
         // is then observed by the next step or checkpoint, exactly like a

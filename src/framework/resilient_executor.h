@@ -20,6 +20,7 @@
 //                         the dead one.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "apgas/fault_injector.h"
@@ -38,6 +39,25 @@ enum class RestoreMode {
 };
 
 [[nodiscard]] const char* toString(RestoreMode mode);
+
+/// Thrown by ResilientExecutor::run when ExecutorConfig::maxSteps is
+/// exhausted: the run was aborted as non-terminating, not completed.
+class StepBudgetExceeded : public apgas::ApgasError {
+ public:
+  StepBudgetExceeded(long budget, long iterationsCompleted)
+      : apgas::ApgasError("ResilientExecutor: step budget exceeded"),
+        budget_(budget),
+        iterationsCompleted_(iterationsCompleted) {}
+
+  [[nodiscard]] long budget() const noexcept { return budget_; }
+  [[nodiscard]] long iterationsCompleted() const noexcept {
+    return iterationsCompleted_;
+  }
+
+ private:
+  long budget_;
+  long iterationsCompleted_;
+};
 
 /// The programming model applications implement (paper §V-A2).
 class ResilientIterativeApp {
@@ -74,6 +94,20 @@ struct ExecutorConfig {
   /// recorded with its simulated time interval (see framework/trace.h).
   /// Not owned; must outlive the run.
   ExecutionTrace* trace = nullptr;
+
+  /// Hard bound on total step() calls (including re-executed ones after a
+  /// rollback); 0 = unlimited. When exceeded the executor throws
+  /// StepBudgetExceeded — the chaos harness uses this to flag a fault
+  /// schedule whose recovery never reaches termination (e.g. a restore
+  /// that keeps rewinding) instead of hanging the sweep.
+  long maxSteps = 0;
+
+  /// Observer invoked after every completed iteration, before fault
+  /// injection and checkpointing, with the just-completed logical
+  /// iteration number. The chaos harness hangs per-iteration state
+  /// digests and dispatch-counter samples off this hook; it may throw to
+  /// abort the run (the exception propagates out of run()).
+  std::function<void(long iteration)> iterationHook;
 
   /// Take a fresh checkpoint immediately after every successful restore.
   /// Closes a redundancy hole the paper's design leaves open: a snapshot

@@ -1,0 +1,99 @@
+// Golden results and application adapters for the chaos sweeper.
+//
+// Every scenario's converged result is compared against a cached *golden*
+// run: the same application, same scale, same executor, no failures. The
+// framework's contract (paper §V) is that any recoverable failure
+// schedule converges to the same answer, so golden-vs-scenario divergence
+// is always a bug — in a restore path, the snapshot store, or the
+// executor's rollback accounting.
+//
+// ChaosApp adapts each of the five benchmark applications to the uniform
+// shape the sweeper needs: build over a place group, expose the
+// ResilientIterativeApp, and extract a ResultDigest (element-wise values
+// for dense state; structure + values for the sparse read-only state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apgas/place_group.h"
+#include "framework/resilient_executor.h"
+#include "harness/schedule.h"
+
+namespace rgml::harness {
+
+/// Scale knobs shared by all apps; per-app problem shapes are fixed
+/// harness-scale constants in golden.cpp (small enough that a full
+/// iteration-boundary sweep over all modes stays in tier-1 time).
+struct ChaosAppConfig {
+  long iterations = 12;
+  std::uint64_t seed = 42;
+};
+
+/// Order-independent summary of an application's converged state.
+struct ResultDigest {
+  std::vector<double> dense;  ///< flattened mutable end state
+  long sparseNnz = -1;        ///< nnz of read-only sparse state; -1 = none
+  double sparseValueSum = 0;  ///< checksum of the sparse values
+  long iterations = 0;        ///< logical iterations at termination
+
+  /// FNV-1a over the bit patterns (per-iteration divergence pinpointing).
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// "" when `got` matches `golden` within `tol` (element-wise mixed
+/// absolute/relative tolerance for dense values, exact nnz count and
+/// tolerant value checksum for sparse state); otherwise a description of
+/// the first difference.
+[[nodiscard]] std::string compareDigests(const ResultDigest& golden,
+                                         const ResultDigest& got,
+                                         double tol);
+
+class ChaosApp {
+ public:
+  virtual ~ChaosApp() = default;
+
+  /// Allocate and initialise over the construction-time place group.
+  virtual void init() = 0;
+  /// The four-method app to hand to the ResilientExecutor.
+  virtual framework::ResilientIterativeApp& app() = 0;
+  /// Extract the digest of the current state (call after the run; must be
+  /// invoked from place 0).
+  [[nodiscard]] virtual ResultDigest digest() const = 0;
+};
+
+/// Factory for the five benchmark adapters.
+[[nodiscard]] std::unique_ptr<ChaosApp> makeChaosApp(
+    AppKind kind, const ChaosAppConfig& cfg, const apgas::PlaceGroup& pg);
+
+/// Signature of the factory hook the sweeper calls; tests substitute a
+/// wrapper that deliberately corrupts restores (mutation testing).
+using ChaosAppFactory = std::function<std::unique_ptr<ChaosApp>(
+    AppKind, const ChaosAppConfig&, const apgas::PlaceGroup&)>;
+
+/// Artifacts of one failure-free reference run.
+struct GoldenRun {
+  ResultDigest result;
+  /// Dispatch count at each completed iteration boundary, relative to the
+  /// dispatch counter at run start: dispatchAtIteration[i] is the count
+  /// after iteration i+1. Mid-step kill points are drawn between
+  /// consecutive entries.
+  std::vector<long> dispatchAtIteration;
+  /// Digest hash after each completed iteration (same indexing); used to
+  /// pinpoint the first divergent iteration of a failing scenario.
+  std::vector<std::uint64_t> digestPerIteration;
+  framework::RunStats stats;
+};
+
+/// Run `kind` at `cfg` scale over `places` working places (world must
+/// already be initialised with at least `places` live places), with no
+/// fault injection, recording the golden artifacts. `factory` builds the
+/// app (pass makeChaosApp for the real ones).
+[[nodiscard]] GoldenRun runGolden(AppKind kind, const ChaosAppConfig& cfg,
+                                  std::size_t places,
+                                  long checkpointInterval,
+                                  const ChaosAppFactory& factory);
+
+}  // namespace rgml::harness

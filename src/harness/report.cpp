@@ -1,0 +1,141 @@
+#include "harness/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rgml::harness {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void writeJsonReport(const SweepResult& result, std::ostream& os) {
+  const SweepOptions& opt = result.options;
+  os << "{\n  \"chaos_sweep\": {\n";
+
+  os << "    \"apps\": [";
+  for (std::size_t i = 0; i < opt.apps.size(); ++i) {
+    os << (i ? ", " : "") << '"' << toString(opt.apps[i]) << '"';
+  }
+  os << "],\n    \"modes\": [";
+  for (std::size_t i = 0; i < opt.modes.size(); ++i) {
+    os << (i ? ", " : "") << '"' << toString(opt.modes[i]) << '"';
+  }
+  os << "],\n";
+  os << "    \"iterations\": " << opt.iterations << ",\n";
+  os << "    \"places\": " << opt.places << ",\n";
+  os << "    \"spares\": " << opt.spares << ",\n";
+  os << "    \"checkpoint_interval\": " << opt.checkpointInterval << ",\n";
+  os << "    \"tolerance\": " << num(opt.tolerance) << ",\n";
+
+  long ok = 0;
+  long unrecoverable = 0;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.kind == OutcomeKind::Ok) ++ok;
+    if (o.kind == OutcomeKind::Unrecoverable) ++unrecoverable;
+  }
+  os << "    \"scenarios_run\": " << result.scenariosRun << ",\n";
+  os << "    \"ok\": " << ok << ",\n";
+  os << "    \"unrecoverable_by_design\": " << unrecoverable << ",\n";
+
+  os << "    \"divergences\": [";
+  for (std::size_t i = 0; i < result.failures.size(); ++i) {
+    const ScenarioOutcome& f = result.failures[i];
+    os << (i ? "," : "") << "\n      {\"app\": \"" << toString(f.app)
+       << "\", \"mode\": \"" << toString(f.schedule.mode)
+       << "\", \"schedule\": \"" << jsonEscape(f.schedule.describe())
+       << "\", \"kind\": \"" << toString(f.kind) << "\", \"detail\": \""
+       << jsonEscape(f.detail) << "\", \"first_divergent_iteration\": "
+       << f.firstDivergentIteration << ", \"minimal_reproducer\": \""
+       << jsonEscape(f.minimalReproducer.describe())
+       << "\", \"injector_setup\": \"" << jsonEscape(f.reproducerSetup)
+       << "\"}";
+  }
+  os << (result.failures.empty() ? "" : "\n    ") << "],\n";
+
+  os << "    \"worst_restore_ms\": {";
+  bool first = true;
+  for (const auto& [mode, ms] : result.worstRestoreMs) {
+    os << (first ? "" : ", ") << '"' << mode << "\": " << num(ms);
+    first = false;
+  }
+  os << "},\n";
+
+  os << "    \"scenarios\": [";
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const ScenarioOutcome& o = result.outcomes[i];
+    os << (i ? "," : "") << "\n      {\"app\": \"" << toString(o.app)
+       << "\", \"mode\": \"" << toString(o.schedule.mode)
+       << "\", \"schedule\": \"" << jsonEscape(o.schedule.describe())
+       << "\", \"kind\": \"" << toString(o.kind)
+       << "\", \"failures_handled\": " << o.failuresHandled
+       << ", \"restore_ms\": " << num(o.restoreMs)
+       << ", \"total_ms\": " << num(o.totalMs) << "}";
+  }
+  os << (result.outcomes.empty() ? "" : "\n    ") << "]\n";
+
+  os << "  }\n}\n";
+}
+
+std::string toJson(const SweepResult& result) {
+  std::ostringstream os;
+  writeJsonReport(result, os);
+  return os.str();
+}
+
+std::string summarize(const SweepResult& result) {
+  std::ostringstream os;
+  os << result.scenariosRun << " scenario(s), "
+     << result.scenariosRun - static_cast<long>(result.failures.size())
+     << " ok, " << result.failures.size() << " failure(s)";
+  for (const ScenarioOutcome& f : result.failures) {
+    os << "\n  " << toString(f.app) << ' ' << f.schedule.describe() << ": "
+       << toString(f.kind) << " — " << f.detail;
+    if (f.firstDivergentIteration >= 0) {
+      os << " (state first diverges at iteration "
+         << f.firstDivergentIteration << ')';
+    }
+    os << "\n  minimal reproducer: " << f.minimalReproducer.describe()
+       << "\n" << f.reproducerSetup;
+  }
+  return os.str();
+}
+
+}  // namespace rgml::harness

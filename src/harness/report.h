@@ -1,0 +1,39 @@
+// Machine-readable JSON reports for chaos sweeps.
+//
+// Schema (documented in EXPERIMENTS.md §"Chaos sweeping"):
+//
+// {
+//   "chaos_sweep": {
+//     "apps": [...], "modes": [...],
+//     "iterations": N, "places": N, "spares": N,
+//     "checkpoint_interval": N, "tolerance": x,
+//     "scenarios_run": N, "ok": N, "unrecoverable_by_design": N,
+//     "divergences": [            // every failed scenario
+//       { "app": "...", "mode": "...", "schedule": "...", "kind": "...",
+//         "detail": "...", "first_divergent_iteration": N,
+//         "minimal_reproducer": "...", "injector_setup": "..." } ],
+//     "worst_restore_ms": { "<mode>": x, ... },
+//     "scenarios": [              // one compact row per scenario
+//       { "app": "...", "mode": "...", "schedule": "...", "kind": "...",
+//         "failures_handled": N, "restore_ms": x, "total_ms": x } ]
+//   }
+// }
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "harness/sweeper.h"
+
+namespace rgml::harness {
+
+/// Serialise `result` as the JSON document above.
+void writeJsonReport(const SweepResult& result, std::ostream& os);
+
+/// writeJsonReport into a string.
+[[nodiscard]] std::string toJson(const SweepResult& result);
+
+/// One-paragraph human summary (CLI output, test failure messages).
+[[nodiscard]] std::string summarize(const SweepResult& result);
+
+}  // namespace rgml::harness

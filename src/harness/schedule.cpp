@@ -1,0 +1,150 @@
+#include "harness/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rgml::harness {
+
+using framework::RestoreMode;
+
+const char* toString(AppKind kind) {
+  switch (kind) {
+    case AppKind::LinReg:
+      return "linreg";
+    case AppKind::LogReg:
+      return "logreg";
+    case AppKind::PageRank:
+      return "pagerank";
+    case AppKind::KMeans:
+      return "kmeans";
+    case AppKind::Gnnmf:
+      return "gnnmf";
+  }
+  return "?";
+}
+
+bool parseAppKind(const std::string& s, AppKind& out) {
+  for (AppKind kind : allAppKinds()) {
+    if (s == toString(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<AppKind> allAppKinds() {
+  return {AppKind::LinReg, AppKind::LogReg, AppKind::PageRank,
+          AppKind::KMeans, AppKind::Gnnmf};
+}
+
+bool parseRestoreMode(const std::string& s, RestoreMode& out) {
+  for (RestoreMode mode : allRestoreModes()) {
+    if (s == toString(mode)) {
+      out = mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RestoreMode> allRestoreModes() {
+  return {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
+          RestoreMode::ReplaceRedundant, RestoreMode::ReplaceElastic};
+}
+
+std::string FaultSchedule::describe() const {
+  std::ostringstream os;
+  os << toString(mode) << '[';
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    if (i > 0) os << ',';
+    const KillEvent& k = kills[i];
+    os << (k.trigger == KillEvent::Trigger::Iteration ? "it" : "disp")
+       << k.at << "@p" << k.victim;
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string FaultSchedule::injectorSetup() const {
+  std::ostringstream os;
+  os << "rgml::apgas::FaultInjector injector;  // mode: " << toString(mode)
+     << '\n';
+  for (const KillEvent& k : kills) {
+    if (k.trigger == KillEvent::Trigger::Iteration) {
+      os << "injector.killOnIteration(" << k.at << ", /*victim=*/"
+         << k.victim << ");\n";
+    } else {
+      os << "injector.killAtDispatch(" << k.at << ", /*victim=*/"
+         << k.victim << ");  // arm immediately before executor.run()\n";
+    }
+  }
+  return os.str();
+}
+
+std::vector<FaultSchedule> enumerateSingleKillSchedules(
+    const ScheduleSpace& space) {
+  std::vector<FaultSchedule> out;
+  for (RestoreMode mode : space.modes) {
+    for (apgas::PlaceId victim : space.victims) {
+      for (long it : space.iterationKillPoints) {
+        out.push_back(FaultSchedule{
+            {KillEvent{KillEvent::Trigger::Iteration, it, victim}}, mode});
+      }
+      for (long d : space.dispatchKillPoints) {
+        out.push_back(FaultSchedule{
+            {KillEvent{KillEvent::Trigger::Dispatch, d, victim}}, mode});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FaultSchedule> enumeratePairKillSchedules(
+    const ScheduleSpace& space) {
+  std::vector<FaultSchedule> out;
+  if (space.iterationKillPoints.size() < 2 || space.victims.size() < 2) {
+    return out;
+  }
+  const long first = space.iterationKillPoints.front();
+  const apgas::PlaceId v1 = space.victims.front();
+  for (RestoreMode mode : space.modes) {
+    for (std::size_t vi = 1; vi < space.victims.size(); ++vi) {
+      const apgas::PlaceId v2 = space.victims[vi];
+      for (std::size_t pi = 1; pi < space.iterationKillPoints.size(); ++pi) {
+        out.push_back(FaultSchedule{
+            {KillEvent{KillEvent::Trigger::Iteration, first, v1},
+             KillEvent{KillEvent::Trigger::Iteration,
+                       space.iterationKillPoints[pi], v2}},
+            mode});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FaultSchedule> shrinkCandidates(const FaultSchedule& s) {
+  std::vector<FaultSchedule> out;
+  if (s.kills.size() > 1) {
+    for (std::size_t i = 0; i < s.kills.size(); ++i) {
+      FaultSchedule cand = s;
+      cand.kills.erase(cand.kills.begin() + static_cast<long>(i));
+      out.push_back(std::move(cand));
+    }
+  }
+  for (std::size_t i = 0; i < s.kills.size(); ++i) {
+    const KillEvent& k = s.kills[i];
+    if (k.trigger != KillEvent::Trigger::Dispatch || k.at <= 1) continue;
+    for (long lowered : {k.at / 2, k.at - 1}) {
+      if (lowered < 1) continue;
+      FaultSchedule cand = s;
+      cand.kills[i].at = lowered;
+      if (std::find(out.begin(), out.end(), cand) == out.end()) {
+        out.push_back(std::move(cand));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rgml::harness

@@ -1,0 +1,91 @@
+// Fault schedules: the unit of work of the chaos sweeper.
+//
+// A FaultSchedule is a set of kill events (cooperative iteration-boundary
+// kills and mid-step dispatch kills) plus the restoration mode under which
+// the run must recover. The sweeper enumerates schedules as the cross
+// product {kill point} x {victim place} x {restore mode} (paper §VII kills
+// exactly one place at iteration 15 of 30 — this module enumerates the
+// whole space instead) and, when a schedule fails, shrinks it to a minimal
+// reproducer via shrinkCandidates().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apgas/place.h"
+#include "framework/resilient_executor.h"
+
+namespace rgml::harness {
+
+/// Which benchmark application a scenario drives.
+enum class AppKind { LinReg, LogReg, PageRank, KMeans, Gnnmf };
+
+[[nodiscard]] const char* toString(AppKind kind);
+/// Parse "linreg" / "logreg" / "pagerank" / "kmeans" / "gnnmf".
+[[nodiscard]] bool parseAppKind(const std::string& s, AppKind& out);
+[[nodiscard]] std::vector<AppKind> allAppKinds();
+
+/// Parse "shrink" / "shrink-rebalance" / "replace-redundant" /
+/// "replace-elastic" (the toString(RestoreMode) spellings).
+[[nodiscard]] bool parseRestoreMode(const std::string& s,
+                                    framework::RestoreMode& out);
+[[nodiscard]] std::vector<framework::RestoreMode> allRestoreModes();
+
+struct KillEvent {
+  enum class Trigger {
+    Iteration,  ///< FaultInjector::killOnIteration(at, victim)
+    Dispatch,   ///< FaultInjector::killAtDispatch(at, victim), armed at
+                ///< run start so `at` counts dispatches from there
+  };
+  Trigger trigger = Trigger::Iteration;
+  long at = 0;
+  apgas::PlaceId victim = 1;
+
+  friend bool operator==(const KillEvent&, const KillEvent&) = default;
+};
+
+struct FaultSchedule {
+  std::vector<KillEvent> kills;
+  framework::RestoreMode mode = framework::RestoreMode::Shrink;
+
+  /// Compact human label, e.g. "shrink[it5@p1,disp37@p2]".
+  [[nodiscard]] std::string describe() const;
+
+  /// Ready-to-paste C++ reproducing this schedule with a FaultInjector
+  /// (printed for minimal reproducers of failing schedules).
+  [[nodiscard]] std::string injectorSetup() const;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) =
+      default;
+};
+
+/// The axes of the fault-space cross product for one application.
+struct ScheduleSpace {
+  std::vector<long> iterationKillPoints;   ///< killOnIteration boundaries
+  std::vector<long> dispatchKillPoints;    ///< killAtDispatch offsets
+  std::vector<apgas::PlaceId> victims;     ///< never place 0
+  std::vector<framework::RestoreMode> modes;
+};
+
+/// All single-kill schedules of the space:
+/// {iteration points + dispatch points} x victims x modes.
+[[nodiscard]] std::vector<FaultSchedule> enumerateSingleKillSchedules(
+    const ScheduleSpace& space);
+
+/// Two-kill schedules: pairs of iteration kill points at distinct
+/// iterations with distinct victims (first victim/point paired with each
+/// later point and the next victim), crossed with the modes. A bounded
+/// sample of the quadratic pair space — multi-failure recovery is the
+/// point, exhaustive pairing is not tractable in tier-1 time.
+[[nodiscard]] std::vector<FaultSchedule> enumeratePairKillSchedules(
+    const ScheduleSpace& space);
+
+/// Strictly-simpler neighbours of `s` for delta-debugging a failure:
+/// every schedule with one kill dropped (when there is more than one),
+/// and every schedule with one dispatch index lowered (halved, and
+/// decremented). The sweeper greedily adopts any candidate that still
+/// fails until none does — the result is a minimal reproducer.
+[[nodiscard]] std::vector<FaultSchedule> shrinkCandidates(
+    const FaultSchedule& s);
+
+}  // namespace rgml::harness

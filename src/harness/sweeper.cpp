@@ -1,0 +1,321 @@
+#include "harness/sweeper.h"
+
+#include <algorithm>
+
+#include "apgas/runtime.h"
+
+namespace rgml::harness {
+
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+const char* toString(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::Ok:
+      return "ok";
+    case OutcomeKind::Divergence:
+      return "divergence";
+    case OutcomeKind::NonTermination:
+      return "non-termination";
+    case OutcomeKind::LeakedPlaces:
+      return "leaked-places";
+    case OutcomeKind::ExecutorError:
+      return "executor-error";
+    case OutcomeKind::Unrecoverable:
+      return "unrecoverable-by-design";
+  }
+  return "?";
+}
+
+bool isFailure(OutcomeKind kind) {
+  return kind != OutcomeKind::Ok && kind != OutcomeKind::Unrecoverable;
+}
+
+ChaosSweeper::ChaosSweeper(SweepOptions options)
+    : options_(std::move(options)) {
+  if (!options_.appFactory) {
+    options_.appFactory = [](AppKind kind, const ChaosAppConfig& cfg,
+                             const PlaceGroup& pg) {
+      return makeChaosApp(kind, cfg, pg);
+    };
+  }
+  if (options_.places < 2) {
+    throw apgas::ApgasError("ChaosSweeper: need at least 2 working places");
+  }
+}
+
+void ChaosSweeper::initWorld() {
+  Runtime::init(static_cast<int>(options_.places + options_.spares),
+                apgas::CostModel{}, /*resilientFinish=*/true);
+}
+
+std::vector<apgas::PlaceId> ChaosSweeper::spareIds() const {
+  std::vector<apgas::PlaceId> spares;
+  for (std::size_t i = 0; i < options_.spares; ++i) {
+    spares.push_back(static_cast<apgas::PlaceId>(options_.places + i));
+  }
+  return spares;
+}
+
+const GoldenRun& ChaosSweeper::golden(AppKind app) {
+  auto it = golden_.find(app);
+  if (it == golden_.end()) {
+    initWorld();
+    ChaosAppConfig cfg{options_.iterations, options_.seed};
+    it = golden_
+             .emplace(app, runGolden(app, cfg, options_.places,
+                                     options_.checkpointInterval,
+                                     options_.appFactory))
+             .first;
+  }
+  return it->second;
+}
+
+ScheduleSpace ChaosSweeper::scheduleSpace(AppKind app) {
+  ScheduleSpace space;
+  space.modes = options_.modes;
+
+  // A kill before the first committed checkpoint is unrecoverable by
+  // design (covered by dedicated tests, not the sweep), so iteration kill
+  // points start after the first checkpoint at `checkpointInterval`.
+  for (long it = options_.checkpointInterval + 1; it <= options_.iterations;
+       ++it) {
+    space.iterationKillPoints.push_back(it);
+  }
+
+  if (options_.allVictims) {
+    for (std::size_t p = 1; p < options_.places; ++p) {
+      space.victims.push_back(static_cast<apgas::PlaceId>(p));
+    }
+  } else {
+    space.victims.push_back(1);
+    if (options_.places > 2) {
+      space.victims.push_back(
+          static_cast<apgas::PlaceId>(options_.places - 1));
+    }
+  }
+
+  if (options_.midStepKills) {
+    // Mid-step kill points from the golden run's boundary dispatch counts:
+    // dispatches in (after(i-1), after(i)] belong to iteration i (plus the
+    // checkpoint taken right after iteration i-1, so some points land
+    // mid-checkpoint — intended coverage of the cancelSnapshot path).
+    // Start at interval+2: the window of iteration interval+1 contains the
+    // *first* checkpoint, before which nothing is recoverable.
+    const GoldenRun& gold = golden(app);
+    for (long i = options_.checkpointInterval + 2; i <= options_.iterations;
+         ++i) {
+      const auto cur = static_cast<std::size_t>(i - 1);
+      if (cur >= gold.dispatchAtIteration.size()) break;
+      const long prev = gold.dispatchAtIteration[cur - 1];
+      const long stride = gold.dispatchAtIteration[cur] - prev;
+      if (stride <= 0) continue;
+      for (long point : {prev + 1, prev + std::max(1L, stride / 2)}) {
+        if (std::find(space.dispatchKillPoints.begin(),
+                      space.dispatchKillPoints.end(),
+                      point) == space.dispatchKillPoints.end()) {
+          space.dispatchKillPoints.push_back(point);
+        }
+      }
+    }
+  }
+  return space;
+}
+
+ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
+                                          const FaultSchedule& schedule) {
+  const GoldenRun& gold = golden(app);  // before initWorld: re-inits itself
+
+  ScenarioOutcome out;
+  out.app = app;
+  out.schedule = schedule;
+
+  initWorld();
+  ChaosAppConfig cfg{options_.iterations, options_.seed};
+  auto chaos =
+      options_.appFactory(app, cfg, PlaceGroup::firstPlaces(options_.places));
+  chaos->init();
+
+  apgas::FaultInjector injector;
+  for (const KillEvent& k : schedule.kills) {
+    if (k.trigger == KillEvent::Trigger::Iteration) {
+      injector.killOnIteration(k.at, k.victim);
+    }
+  }
+
+  framework::ExecutorConfig ec;
+  ec.places = PlaceGroup::firstPlaces(options_.places);
+  ec.spares = spareIds();
+  ec.checkpointInterval = options_.checkpointInterval;
+  ec.mode = schedule.mode;
+  // Keeps any distinct-iteration multi-kill schedule recoverable (restores
+  // full double-storage redundancy between failures).
+  ec.checkpointAfterRestore = true;
+  ec.maxSteps = options_.stepBudgetFactor * options_.iterations + 64;
+
+  // Per-iteration state digests (bit-exact hashes, last re-execution
+  // wins): compared against the golden trajectory to pinpoint where a
+  // divergent run first went wrong.
+  std::vector<std::uint64_t> digestTrail;
+  ec.iterationHook = [&](long iteration) {
+    digestTrail.resize(
+        std::max(digestTrail.size(), static_cast<std::size_t>(iteration)),
+        0);
+    digestTrail[static_cast<std::size_t>(iteration) - 1] =
+        chaos->digest().hash();
+  };
+
+  const int worldAtStart = Runtime::world().numPlaces();
+  framework::ResilientExecutor executor(ec);
+  try {
+    // Dispatch kills are armed immediately before run() so their offsets
+    // count application dispatches only (matching the golden-derived
+    // kill points, which are relative to run start).
+    for (const KillEvent& k : schedule.kills) {
+      if (k.trigger == KillEvent::Trigger::Dispatch) {
+        injector.killAtDispatch(k.at, k.victim);
+      }
+    }
+    const framework::RunStats stats = executor.run(chaos->app(), &injector);
+    out.failuresHandled = stats.failuresHandled;
+    out.restoreMs = stats.restoreTime * 1000.0;
+    out.totalMs = stats.totalTime * 1000.0;
+
+    Runtime& rt = Runtime::world();
+    std::string leaked;
+    for (int p = worldAtStart; p < rt.numPlaces(); ++p) {
+      if (!rt.isDead(p) && !stats.finalPlaces.contains(apgas::Place(p))) {
+        leaked += (leaked.empty() ? "place " : ", ") + std::to_string(p);
+      }
+    }
+    if (!leaked.empty()) {
+      out.kind = OutcomeKind::LeakedPlaces;
+      out.detail = leaked + " created during restore but left outside the "
+                            "final working group";
+    } else {
+      // A kill at the final iteration boundary completes the run with the
+      // victim still in the working group: the executor never touches the
+      // dead place again, so no restore runs for it. By design its data is
+      // then lost — read-only sparse blocks always, and even the mutable
+      // result when it is distributed rather than duplicated (the digest
+      // itself becomes uncomputable). Comparisons only validate what a
+      // restore was responsible for reconstructing.
+      bool deadInFinalGroup = false;
+      for (apgas::PlaceId p : stats.finalPlaces) {
+        if (rt.isDead(p)) deadInFinalGroup = true;
+      }
+      ResultDigest got;
+      bool digestAvailable = true;
+      if (deadInFinalGroup) {
+        try {
+          got = chaos->digest();
+        } catch (const apgas::DeadPlaceException&) {
+          digestAvailable = false;
+        } catch (const apgas::MultipleExceptions&) {
+          digestAvailable = false;
+        }
+      } else {
+        got = chaos->digest();
+      }
+      if (!digestAvailable) {
+        out.kind = OutcomeKind::Ok;
+        out.detail = "unobserved kill at the final iteration boundary; "
+                     "distributed result state partially lost by design";
+      } else {
+        ResultDigest expect = gold.result;
+        if (deadInFinalGroup) {
+          got.sparseNnz = expect.sparseNnz;
+          got.sparseValueSum = expect.sparseValueSum;
+        }
+        const std::string diff =
+            compareDigests(expect, got, options_.tolerance);
+        if (diff.empty()) {
+          out.kind = OutcomeKind::Ok;
+        } else {
+          out.kind = OutcomeKind::Divergence;
+          out.detail = diff;
+          for (std::size_t i = 0; i < gold.digestPerIteration.size() &&
+                                  i < digestTrail.size();
+               ++i) {
+            if (digestTrail[i] != gold.digestPerIteration[i]) {
+              out.firstDivergentIteration = static_cast<long>(i) + 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+  } catch (const framework::StepBudgetExceeded& e) {
+    out.kind = OutcomeKind::NonTermination;
+    out.detail = "step budget " + std::to_string(e.budget()) +
+                 " exhausted at iteration " +
+                 std::to_string(e.iterationsCompleted());
+  } catch (const apgas::ApgasError& e) {
+    const std::string what = e.what();
+    out.kind = what.find("before the first committed checkpoint") !=
+                       std::string::npos
+                   ? OutcomeKind::Unrecoverable
+                   : OutcomeKind::ExecutorError;
+    out.detail = what;
+  } catch (const std::exception& e) {
+    out.kind = OutcomeKind::ExecutorError;
+    out.detail = e.what();
+  }
+  return out;
+}
+
+FaultSchedule ChaosSweeper::shrink(AppKind app,
+                                   const FaultSchedule& failing) {
+  FaultSchedule current = failing;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const FaultSchedule& cand : shrinkCandidates(current)) {
+      if (isFailure(runScenario(app, cand).kind)) {
+        current = cand;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+SweepResult ChaosSweeper::run() {
+  SweepResult result;
+  result.options = options_;
+  for (framework::RestoreMode mode : options_.modes) {
+    result.worstRestoreMs[toString(mode)] = 0.0;
+  }
+
+  for (AppKind app : options_.apps) {
+    const ScheduleSpace space = scheduleSpace(app);
+    std::vector<FaultSchedule> schedules =
+        enumerateSingleKillSchedules(space);
+    if (options_.pairKills) {
+      const auto pairs = enumeratePairKillSchedules(space);
+      schedules.insert(schedules.end(), pairs.begin(), pairs.end());
+    }
+
+    for (const FaultSchedule& schedule : schedules) {
+      ScenarioOutcome out = runScenario(app, schedule);
+      ++result.scenariosRun;
+      auto& worst = result.worstRestoreMs[toString(schedule.mode)];
+      worst = std::max(worst, out.restoreMs);
+      if (isFailure(out.kind)) {
+        if (options_.shrinkFailures) {
+          out.minimalReproducer = shrink(app, schedule);
+          out.reproducerSetup = out.minimalReproducer.injectorSetup();
+        } else {
+          out.minimalReproducer = schedule;
+          out.reproducerSetup = schedule.injectorSetup();
+        }
+        result.failures.push_back(out);
+      }
+      result.outcomes.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace rgml::harness

@@ -1,0 +1,141 @@
+// The chaos schedule sweeper: exhaustive fault-space exploration with
+// golden-result divergence checking.
+//
+// For every scenario in the cross product {kill point: each iteration
+// boundary, plus mid-step dispatch indices} x {victim place} x {restore
+// mode} x {application}, the sweeper re-initialises the simulated world,
+// arms a FaultInjector with the schedule, runs the application through
+// the ResilientExecutor, and classifies the outcome against the cached
+// golden (failure-free) run:
+//
+//   * Ok              — converged to the golden result;
+//   * Divergence      — terminated with a different answer (the framework's
+//                       core invariant is violated);
+//   * NonTermination  — the step budget ran out (a restore that keeps
+//                       rewinding, or a kill loop);
+//   * LeakedPlaces    — elastically created places left alive outside the
+//                       final working group;
+//   * ExecutorError   — the executor threw (unexpected for an enumerated
+//                       recoverable schedule);
+//   * Unrecoverable   — failed for a reason that is *by design*
+//                       unrecoverable (e.g. no committed checkpoint);
+//                       enumeration avoids these, so seeing one is
+//                       reported but distinguished from bugs.
+//
+// Failing schedules are automatically shrunk to a minimal reproducer
+// (kills dropped one at a time, dispatch indices lowered) and the
+// ready-to-paste FaultInjector setup is attached to the report.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/golden.h"
+#include "harness/schedule.h"
+
+namespace rgml::harness {
+
+enum class OutcomeKind {
+  Ok,
+  Divergence,
+  NonTermination,
+  LeakedPlaces,
+  ExecutorError,
+  Unrecoverable,
+};
+
+[[nodiscard]] const char* toString(OutcomeKind kind);
+
+/// True for every kind the sweeper treats as a failed scenario (everything
+/// except Ok and Unrecoverable).
+[[nodiscard]] bool isFailure(OutcomeKind kind);
+
+struct ScenarioOutcome {
+  AppKind app = AppKind::LinReg;
+  FaultSchedule schedule;
+  OutcomeKind kind = OutcomeKind::Ok;
+  std::string detail;              ///< first difference / exception text
+  long firstDivergentIteration = -1;  ///< from the diagnosis rerun; -1 n/a
+  long failuresHandled = 0;
+  double restoreMs = 0.0;          ///< simulated ms spent restoring
+  double totalMs = 0.0;            ///< simulated ms of the whole run
+  /// For failures: the shrunk schedule and its FaultInjector setup.
+  FaultSchedule minimalReproducer;
+  std::string reproducerSetup;
+};
+
+struct SweepOptions {
+  std::vector<AppKind> apps{AppKind::LinReg};
+  std::vector<framework::RestoreMode> modes = allRestoreModes();
+  long iterations = 12;
+  std::size_t places = 6;   ///< working group size (place 0 included)
+  std::size_t spares = 2;   ///< reserve for ReplaceRedundant
+  long checkpointInterval = 4;
+  /// Include mid-step killAtDispatch points derived from the golden run's
+  /// dispatch counts (one early and one mid-iteration point per sampled
+  /// iteration).
+  bool midStepKills = false;
+  /// Sweep every victim in 1..places-1; false = sample {1, places-1}.
+  bool allVictims = true;
+  /// Add two-kill schedules (distinct iterations and victims).
+  bool pairKills = false;
+  /// Shrink failing schedules to minimal reproducers.
+  bool shrinkFailures = true;
+  double tolerance = 1e-6;
+  /// Step budget = stepBudgetFactor * iterations (+ a constant slack);
+  /// exceeded = NonTermination.
+  long stepBudgetFactor = 10;
+  std::uint64_t seed = 42;
+  /// App construction hook; defaults to makeChaosApp. Tests substitute
+  /// deliberately-broken wrappers to validate the sweeper's detection and
+  /// shrinking (mutation testing).
+  ChaosAppFactory appFactory;
+};
+
+struct SweepResult {
+  SweepOptions options;
+  long scenariosRun = 0;
+  std::vector<ScenarioOutcome> outcomes;  ///< one per scenario, in order
+  /// Failed outcomes (subset of `outcomes`, copied for convenience).
+  std::vector<ScenarioOutcome> failures;
+  /// Max simulated restore ms over the scenarios of each mode (keyed by
+  /// toString(RestoreMode)).
+  std::map<std::string, double> worstRestoreMs;
+
+  [[nodiscard]] bool allOk() const noexcept { return failures.empty(); }
+};
+
+class ChaosSweeper {
+ public:
+  explicit ChaosSweeper(SweepOptions options);
+
+  /// Enumerate and run the whole sweep.
+  [[nodiscard]] SweepResult run();
+
+  /// Run one schedule against `app` in a fresh world and classify it
+  /// (used by run(), the shrinker, and tests that probe single scenarios).
+  [[nodiscard]] ScenarioOutcome runScenario(AppKind app,
+                                            const FaultSchedule& schedule);
+
+  /// Greedily shrink a failing schedule to a minimal reproducer: try each
+  /// shrinkCandidates() neighbour, adopt any that still fails, repeat
+  /// until none does.
+  [[nodiscard]] FaultSchedule shrink(AppKind app,
+                                     const FaultSchedule& failing);
+
+  /// The fault-space axes for `app` (golden run must be available — this
+  /// computes it on demand; dispatch points are derived from golden
+  /// boundary dispatch counts).
+  [[nodiscard]] ScheduleSpace scheduleSpace(AppKind app);
+
+ private:
+  const GoldenRun& golden(AppKind app);
+  void initWorld();
+  [[nodiscard]] std::vector<apgas::PlaceId> spareIds() const;
+
+  SweepOptions options_;
+  std::map<AppKind, GoldenRun> golden_;
+};
+
+}  // namespace rgml::harness

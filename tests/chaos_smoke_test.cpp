@@ -1,0 +1,227 @@
+// Chaos sweeper smoke tests.
+//
+// Tier-1 runs a pruned deterministic subset (sampled victims, reduced
+// scale); the exhaustive sweep over every app x mode x victim x kill
+// point — including mid-step and two-kill schedules — runs when the
+// CHAOS_FULL environment variable is set (`CHAOS_FULL=1 ctest -L chaos`).
+//
+// The mutation test swaps in an app whose restore deliberately corrupts
+// state and asserts the sweeper catches every scenario as a divergence
+// and shrinks multi-kill schedules down to a single-kill reproducer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "apps/linreg_resilient.h"
+#include "harness/report.h"
+#include "harness/sweeper.h"
+
+namespace rgml::harness {
+namespace {
+
+SweepOptions prunedOptions() {
+  SweepOptions opt;
+  opt.apps = {AppKind::LinReg};
+  opt.iterations = 10;
+  opt.places = 4;
+  opt.spares = 2;
+  opt.checkpointInterval = 4;
+  opt.allVictims = false;  // sample first and last victim only
+  return opt;
+}
+
+TEST(ChaosSmoke, LinRegIterationBoundarySweepIsClean) {
+  ChaosSweeper sweeper(prunedOptions());
+  const SweepResult result = sweeper.run();
+  EXPECT_GT(result.scenariosRun, 0);
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+  // Every mode key must be present in the report even when no scenario of
+  // that mode performed a restore.
+  EXPECT_EQ(result.worstRestoreMs.size(), 4u);
+}
+
+TEST(ChaosSmoke, MidStepDispatchKillsAreClean) {
+  SweepOptions opt = prunedOptions();
+  opt.modes = {framework::RestoreMode::Shrink,
+               framework::RestoreMode::ReplaceRedundant};
+  opt.midStepKills = true;
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+
+  // Mid-step points were actually enumerated (dispatch-triggered kills
+  // appear in the scenario list).
+  bool sawDispatchKill = false;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    for (const KillEvent& k : o.schedule.kills) {
+      if (k.trigger == KillEvent::Trigger::Dispatch) sawDispatchKill = true;
+    }
+  }
+  EXPECT_TRUE(sawDispatchKill);
+}
+
+TEST(ChaosSmoke, PairKillSchedulesAreClean) {
+  SweepOptions opt = prunedOptions();
+  opt.modes = {framework::RestoreMode::ReplaceRedundant};
+  opt.pairKills = true;
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+}
+
+TEST(ChaosSmoke, DistributedResultAppSurvivesUnobservedFinalKill) {
+  // gnnmf's W factor is distributed (not duplicated). With an iteration
+  // count that is not a checkpoint multiple, a kill at the final boundary
+  // is never observed, the dead place stays in the working group, and the
+  // result digest is uncomputable — which is by-design data loss, not a
+  // framework bug. The sweep must classify those scenarios Ok.
+  SweepOptions opt = prunedOptions();
+  opt.apps = {AppKind::Gnnmf};
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.iterations = 10;  // 10 % 4 != 0: no checkpoint after the last step
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+
+  bool sawPartialLoss = false;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.kind == OutcomeKind::Ok &&
+        o.detail.find("partially lost by design") != std::string::npos) {
+      sawPartialLoss = true;
+    }
+  }
+  EXPECT_TRUE(sawPartialLoss);
+}
+
+TEST(ChaosSmoke, JsonReportHasSchemaFields) {
+  SweepOptions opt = prunedOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  ChaosSweeper sweeper(opt);
+  const std::string json = toJson(sweeper.run());
+  for (const char* key :
+       {"\"chaos_sweep\"", "\"scenarios_run\"", "\"divergences\"",
+        "\"worst_restore_ms\"", "\"scenarios\"", "\"unrecoverable_by_design\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(ChaosSmoke, FullSweepWhenRequested) {
+  if (std::getenv("CHAOS_FULL") == nullptr) {
+    GTEST_SKIP() << "set CHAOS_FULL=1 to run the exhaustive sweep";
+  }
+  SweepOptions opt;
+  opt.apps = allAppKinds();
+  opt.iterations = 12;
+  opt.midStepKills = true;
+  opt.pairKills = true;
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+  EXPECT_GT(result.scenariosRun, 500);
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+}
+
+// ---- mutation test --------------------------------------------------------
+// An adapter whose restore() works (delegates to the real LinReg restore)
+// but then corrupts the recovered weights. The sweeper must flag every
+// scenario that performs a restore as a divergence against the golden run
+// (where restore never executes) and shrink each failing schedule to a
+// single kill.
+
+class BrokenRestoreLinReg final : public ChaosApp {
+ public:
+  BrokenRestoreLinReg(const ChaosAppConfig& cfg,
+                      const apgas::PlaceGroup& pg)
+      : app_(makeConfig(cfg), pg), shim_(*this) {}
+
+  static apps::LinRegConfig makeConfig(const ChaosAppConfig& cfg) {
+    apps::LinRegConfig c;
+    c.features = 4;
+    c.rowsPerPlace = 12;
+    c.blocksPerPlace = 2;
+    c.iterations = cfg.iterations;
+    c.seed = cfg.seed;
+    return c;
+  }
+
+  void init() override { app_.init(); }
+  framework::ResilientIterativeApp& app() override { return shim_; }
+  [[nodiscard]] ResultDigest digest() const override {
+    ResultDigest d;
+    const la::Vector& w = app_.weights().local();
+    d.dense.assign(w.span().begin(), w.span().end());
+    d.iterations = app_.iteration();
+    return d;
+  }
+
+ private:
+  class Shim final : public framework::ResilientIterativeApp {
+   public:
+    explicit Shim(BrokenRestoreLinReg& outer) : outer_(outer) {}
+    bool isFinished() override { return outer_.app_.isFinished(); }
+    void step() override { outer_.app_.step(); }
+    void checkpoint(resilient::AppResilientStore& store) override {
+      outer_.app_.checkpoint(store);
+    }
+    void restore(const apgas::PlaceGroup& newPlaces,
+                 resilient::AppResilientStore& store, long snapshotIter,
+                 framework::RestoreMode mode) override {
+      outer_.app_.restore(newPlaces, store, snapshotIter, mode);
+      // The deliberate bug: the recovered state is off by a visible
+      // amount, as if the snapshot had been deserialised wrongly.
+      outer_.app_.weights().local()[0] += 1.0;
+    }
+
+   private:
+    BrokenRestoreLinReg& outer_;
+  };
+
+  apps::LinRegResilient app_;
+  Shim shim_;
+};
+
+TEST(ChaosMutation, BrokenRestoreIsCaughtAndShrunkToOneKill) {
+  SweepOptions opt = prunedOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.pairKills = true;  // multi-kill schedules exercise the shrinker
+  opt.appFactory = [](AppKind, const ChaosAppConfig& cfg,
+                      const apgas::PlaceGroup& pg) {
+    return std::make_unique<BrokenRestoreLinReg>(cfg, pg);
+  };
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+
+  ASSERT_FALSE(result.allOk());
+  ASSERT_FALSE(result.failures.empty());
+
+  bool sawTwoKillOriginal = false;
+  for (const ScenarioOutcome& f : result.failures) {
+    EXPECT_EQ(f.kind, OutcomeKind::Divergence) << f.detail;
+    // Greedy delta-debugging must land on a single-kill reproducer: one
+    // restore is enough to trigger the corruption.
+    EXPECT_EQ(f.minimalReproducer.kills.size(), 1u)
+        << f.minimalReproducer.describe();
+    EXPECT_NE(f.reproducerSetup.find("killOnIteration"), std::string::npos)
+        << f.reproducerSetup;
+    // The per-iteration digest trail pinpoints where the state forked.
+    EXPECT_GE(f.firstDivergentIteration, 1) << f.schedule.describe();
+    if (f.schedule.kills.size() == 2) sawTwoKillOriginal = true;
+  }
+  EXPECT_TRUE(sawTwoKillOriginal)
+      << "expected at least one two-kill schedule to be shrunk";
+
+  // Scenarios whose kill lands on the final boundary never restore, so
+  // they legitimately match the golden run — the sweep must not flag
+  // them.
+  long okCount = 0;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.kind == OutcomeKind::Ok) {
+      ++okCount;
+      EXPECT_EQ(o.failuresHandled, 0) << o.schedule.describe();
+    }
+  }
+  EXPECT_GT(okCount, 0);
+}
+
+}  // namespace
+}  // namespace rgml::harness

@@ -1,0 +1,126 @@
+// Regression tests for FaultInjector multi-kill schedules: several
+// dispatch kills armed simultaneously in one run (the chaos sweeper arms
+// whole schedules up front), relative-offset semantics, and disarming.
+#include <gtest/gtest.h>
+
+#include "apgas/fault_injector.h"
+#include "apgas/runtime.h"
+
+namespace rgml::apgas {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::init(6); }
+};
+
+// Regression: arming a second dispatch kill used to replace the first.
+// Both must stay armed and fire at their own dispatch counts within a
+// single run.
+TEST_F(FaultInjectorTest, TwoDispatchKillsFireInOneRun) {
+  FaultInjector injector;
+  injector.killAtDispatch(2, 1);
+  injector.killAtDispatch(5, 2);
+  EXPECT_EQ(injector.armedDispatchKills(), 2u);
+
+  int ran = 0;
+  try {
+    finish([&] {
+      for (int p = 0; p < 6; ++p) {
+        asyncAt(Place(p), [&] { ++ran; });
+      }
+    });
+    FAIL() << "finish should have thrown";
+  } catch (const DeadPlaceException& e) {
+    EXPECT_TRUE(e.place() == 1 || e.place() == 2);
+  } catch (const MultipleExceptions& me) {
+    EXPECT_TRUE(me.containsDeadPlace());
+  }
+
+  EXPECT_TRUE(Runtime::world().isDead(1));
+  EXPECT_TRUE(Runtime::world().isDead(2));
+  EXPECT_EQ(injector.armedDispatchKills(), 0u);
+  // Dispatch 2's kill fires just before its own target (place 1) runs, so
+  // that body is lost. Dispatch 5's victim (place 2) already ran its body
+  // at dispatch 3, so only one body is missing.
+  EXPECT_EQ(ran, 5);
+}
+
+TEST_F(FaultInjectorTest, DispatchOffsetsCountFromArmingTime) {
+  FaultInjector injector;
+  // Burn three dispatches before arming: the offset must be relative.
+  finish([&] {
+    for (int p = 0; p < 3; ++p) asyncAt(Place(p), [] {});
+  });
+  injector.killAtDispatch(2, 3);
+  finish([&] { asyncAt(Place(4), [] {}); });  // dispatch +1: no kill yet
+  EXPECT_FALSE(Runtime::world().isDead(3));
+  EXPECT_THROW(finish([&] { asyncAt(Place(3), [] {}); }),
+               DeadPlaceException);  // dispatch +2 fires the kill
+  EXPECT_TRUE(Runtime::world().isDead(3));
+}
+
+TEST_F(FaultInjectorTest, TwoKillsArmedAtSameDispatchBothFire) {
+  FaultInjector injector;
+  injector.killAtDispatch(1, 4);
+  injector.killAtDispatch(1, 5);
+  try {
+    finish([&] { asyncAt(Place(1), [] {}); });
+  } catch (const DeadPlaceException&) {
+    // Only thrown if a victim's own dispatch was in flight; not the case
+    // here (the dispatch target is place 1), so reaching this is a bug.
+    FAIL() << "dispatch to a live place must not fail";
+  }
+  EXPECT_TRUE(Runtime::world().isDead(4));
+  EXPECT_TRUE(Runtime::world().isDead(5));
+  EXPECT_EQ(injector.armedDispatchKills(), 0u);
+}
+
+TEST_F(FaultInjectorTest, DispatchKillOfAlreadyDeadVictimIsNoop) {
+  FaultInjector injector;
+  Runtime::world().kill(2);
+  injector.killAtDispatch(1, 2);
+  EXPECT_NO_THROW(finish([&] { asyncAt(Place(1), [] {}); }));
+  EXPECT_TRUE(Runtime::world().isDead(2));
+  EXPECT_EQ(injector.armedDispatchKills(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ResetDisarmsPendingDispatchKills) {
+  FaultInjector injector;
+  injector.killAtDispatch(1, 1);
+  injector.killAtDispatch(2, 2);
+  injector.reset();
+  EXPECT_EQ(injector.armedDispatchKills(), 0u);
+  EXPECT_NO_THROW(finish([&] {
+    for (int p = 0; p < 6; ++p) asyncAt(Place(p), [] {});
+  }));
+  EXPECT_FALSE(Runtime::world().isDead(1));
+  EXPECT_FALSE(Runtime::world().isDead(2));
+}
+
+TEST_F(FaultInjectorTest, MixedIterationAndDispatchKills) {
+  FaultInjector injector;
+  injector.killOnIteration(3, 1);
+  injector.killAtDispatch(2, 2);
+  EXPECT_TRUE(injector.onIterationCompleted(1).empty());
+  EXPECT_THROW(finish([&] {
+                 asyncAt(Place(3), [] {});
+                 asyncAt(Place(2), [] {});
+               }),
+               DeadPlaceException);
+  EXPECT_TRUE(Runtime::world().isDead(2));
+  EXPECT_FALSE(Runtime::world().isDead(1));
+  const auto victims = injector.onIterationCompleted(3);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 1);
+  EXPECT_TRUE(Runtime::world().isDead(1));
+}
+
+TEST_F(FaultInjectorTest, RejectsNonPositiveDispatchOffset) {
+  FaultInjector injector;
+  EXPECT_THROW(injector.killAtDispatch(0, 1), ApgasError);
+  EXPECT_THROW(injector.killAtDispatch(-3, 1), ApgasError);
+}
+
+}  // namespace
+}  // namespace rgml::apgas

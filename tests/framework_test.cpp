@@ -55,6 +55,7 @@ class CountingApp final : public ResilientIterativeApp {
                resilient::AppResilientStore& store, long snapshotIter,
                RestoreMode mode) override {
     lastRestoreMode = mode;
+    restoreModes.push_back(mode);
     x_.remake(newPlaces);
     scalars_.remake(newPlaces);
     pg_ = newPlaces;
@@ -71,6 +72,7 @@ class CountingApp final : public ResilientIterativeApp {
   int checkpointCalls = 0;
   int restoreCalls = 0;
   RestoreMode lastRestoreMode = RestoreMode::Shrink;
+  std::vector<RestoreMode> restoreModes;  ///< effective mode per restore
 
  private:
   long totalIters_;
@@ -201,6 +203,32 @@ TEST_F(FrameworkTest, ReplaceElasticCreatesFreshPlace) {
   EXPECT_EQ(stats.finalPlaces.size(), 4u);
   EXPECT_GE(stats.finalPlaces.ids()[3], 6);
   EXPECT_EQ(app.lastRestoreMode, RestoreMode::ReplaceElastic);
+}
+
+TEST_F(FrameworkTest, ReplaceRedundantFallsBackToShrinkWhenSparesExhausted) {
+  // One spare, two sequential failures: the first failure consumes the
+  // spare (true ReplaceRedundant restore), the second finds the reserve
+  // empty and must fall back to shrink semantics — and still converge to
+  // the failure-free result.
+  auto cfg = baseConfig();
+  cfg.mode = RestoreMode::ReplaceRedundant;
+  cfg.spares = {4};
+  CountingApp app(30, cfg.places);
+  app.init();
+  FaultInjector injector;
+  injector.killOnIteration(12, 2);
+  injector.killOnIteration(25, 3);
+  ResilientExecutor executor(cfg);
+  RunStats stats = executor.run(app, &injector);
+
+  EXPECT_EQ(app.stateValue(), 30.0);  // same answer as the no-failure run
+  EXPECT_EQ(app.iteration(), 30);
+  EXPECT_EQ(stats.failuresHandled, 2);
+  ASSERT_EQ(app.restoreModes.size(), 2u);
+  EXPECT_EQ(app.restoreModes[0], RestoreMode::ReplaceRedundant);
+  EXPECT_EQ(app.restoreModes[1], RestoreMode::Shrink);
+  // Victim 2 was replaced by spare 4; victim 3 was shrunk away.
+  EXPECT_EQ(stats.finalPlaces.ids(), (std::vector<apgas::PlaceId>{0, 1, 4}));
 }
 
 TEST_F(FrameworkTest, TwoSeparatedFailures) {

@@ -6,6 +6,9 @@
 //   * snapshot recoverability for every single-victim position.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "apgas/runtime.h"
 #include "gml/dist_block_matrix.h"
 #include "gml/dist_vector.h"
@@ -71,6 +74,73 @@ INSTANTIATE_TEST_SUITE_P(
                       SparseRestoreCase{6, 3, true, 1},
                       SparseRestoreCase{7, 1, true, 4},
                       SparseRestoreCase{8, 5, true, 6}));
+
+// ---- randomized sparse repartition sweep ----------------------------------------
+// Property: an overlapping-region (rebalance) restore after a failure must
+// reassemble the sparse matrix *exactly* on the new grid — the total
+// stored-nonzero count across all distributed blocks and every stored
+// value survive the repartitioning bit-for-bit. All case parameters are
+// drawn from a SplitMix64 stream so each seed is a reproducible instance.
+
+struct SparseSummary {
+  long nnz = 0;
+  std::vector<double> sortedValues;  ///< grid-order independent multiset
+};
+
+SparseSummary summarizeBlocks(const DistBlockMatrix& m) {
+  SparseSummary s;
+  for (apgas::PlaceId p : m.placeGroup()) {
+    const auto set = m.blockSetAt(p);
+    if (!set) continue;
+    for (const la::MatrixBlock& block : *set) {
+      if (!block.isSparse()) continue;
+      s.nnz += block.sparse().nnz();
+      const auto vals = block.sparse().values();
+      s.sortedValues.insert(s.sortedValues.end(), vals.begin(), vals.end());
+    }
+  }
+  std::sort(s.sortedValues.begin(), s.sortedValues.end());
+  return s;
+}
+
+class SparseRepartitionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparseRepartitionProperty, RebalancePreservesNonzerosExactly) {
+  la::SplitMix64 rng(GetParam());
+  const int places = 2 + static_cast<int>(rng.nextLong(6));     // [2, 7]
+  const int victim = 1 + static_cast<int>(rng.nextLong(places - 1));
+  const long nnzPerRow = 1 + rng.nextLong(8);                   // [1, 8]
+  const long rowBlocks = places + rng.nextLong(2L * places);    // > places
+
+  Runtime::init(places + 1);
+  auto pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+  const long n = 8L * rowBlocks;
+  auto a = DistBlockMatrix::makeSparse(n, n, rowBlocks, 1, places, 1,
+                                       nnzPerRow, pg);
+  auto global = la::makeUniformSparse(n, n, nnzPerRow, GetParam() * 977 + 1);
+  a.initFromCSR(global);
+
+  const SparseSummary before = summarizeBlocks(a);
+  ASSERT_EQ(before.nnz, global.nnz());
+  auto snap = a.makeSnapshot();
+
+  Runtime::world().kill(victim);
+  a.remakeRebalance(pg.filterDead());
+  a.restoreSnapshot(*snap);
+
+  const SparseSummary after = summarizeBlocks(a);
+  EXPECT_EQ(after.nnz, before.nnz);
+  EXPECT_EQ(after.sortedValues, before.sortedValues);  // bit-exact
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) {
+      ASSERT_EQ(a.at(i, j), global.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRepartitionProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // ---- vector resize sweep ------------------------------------------------------
 

@@ -1,0 +1,155 @@
+// chaos_sweep: exhaustive fault-space exploration from the command line.
+//
+// Enumerates {kill point} x {victim} x {restore mode} x {app} fault
+// schedules, runs each through the ResilientExecutor, compares against a
+// golden no-failure run, shrinks failing schedules to minimal reproducers
+// and writes a machine-readable JSON report.
+//
+// Usage:
+//   chaos_sweep --app linreg --modes all --iters 12
+//   chaos_sweep --app all --modes shrink,replace-elastic --midstep \
+//               --pairs --victims all --out report.json
+//
+// Exit status: 0 when every scenario converged to the golden result,
+// 1 when any scenario failed (divergence / non-termination / leak /
+// executor error), 2 on usage errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/sweeper.h"
+
+namespace {
+
+using rgml::harness::AppKind;
+using rgml::harness::ChaosSweeper;
+using rgml::harness::SweepOptions;
+
+void usage(std::ostream& os) {
+  os << "chaos_sweep — fault-space sweeper with golden-result divergence "
+        "checking\n\n"
+        "  --app K       linreg|logreg|pagerank|kmeans|gnnmf|all "
+        "(default linreg)\n"
+        "  --modes M     comma list of shrink|shrink-rebalance|"
+        "replace-redundant|replace-elastic, or all (default all)\n"
+        "  --iters N     iterations per run (default 12)\n"
+        "  --places N    working places incl. place 0 (default 6)\n"
+        "  --spares N    spare places for replace-redundant (default 2)\n"
+        "  --interval N  checkpoint interval (default 4)\n"
+        "  --victims V   all | sample (default all)\n"
+        "  --midstep     add mid-step killAtDispatch points\n"
+        "  --pairs       add two-kill schedules\n"
+        "  --tol X       divergence tolerance (default 1e-6)\n"
+        "  --out FILE    JSON report path (default chaos_report.json)\n"
+        "  --no-shrink   skip minimal-reproducer shrinking\n";
+}
+
+std::vector<std::string> splitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opt;
+  std::string outPath = "chaos_report.json";
+
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[i] << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--app") {
+      const std::string v = needValue(i);
+      opt.apps.clear();
+      if (v == "all") {
+        opt.apps = rgml::harness::allAppKinds();
+      } else {
+        for (const std::string& name : splitCommas(v)) {
+          AppKind kind;
+          if (!rgml::harness::parseAppKind(name, kind)) {
+            std::cerr << "unknown app: " << name << '\n';
+            return 2;
+          }
+          opt.apps.push_back(kind);
+        }
+      }
+    } else if (arg == "--modes") {
+      const std::string v = needValue(i);
+      if (v != "all") {
+        opt.modes.clear();
+        for (const std::string& name : splitCommas(v)) {
+          rgml::framework::RestoreMode mode;
+          if (!rgml::harness::parseRestoreMode(name, mode)) {
+            std::cerr << "unknown mode: " << name << '\n';
+            return 2;
+          }
+          opt.modes.push_back(mode);
+        }
+      }
+    } else if (arg == "--iters") {
+      opt.iterations = std::atol(needValue(i));
+    } else if (arg == "--places") {
+      opt.places = static_cast<std::size_t>(std::atol(needValue(i)));
+    } else if (arg == "--spares") {
+      opt.spares = static_cast<std::size_t>(std::atol(needValue(i)));
+    } else if (arg == "--interval") {
+      opt.checkpointInterval = std::atol(needValue(i));
+    } else if (arg == "--victims") {
+      opt.allVictims = std::string(needValue(i)) == "all";
+    } else if (arg == "--midstep") {
+      opt.midStepKills = true;
+    } else if (arg == "--pairs") {
+      opt.pairKills = true;
+    } else if (arg == "--tol") {
+      opt.tolerance = std::atof(needValue(i));
+    } else if (arg == "--out") {
+      outPath = needValue(i);
+    } else if (arg == "--no-shrink") {
+      opt.shrinkFailures = false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (opt.iterations <= opt.checkpointInterval) {
+    std::cerr << "--iters must exceed --interval (no recoverable kill "
+                 "points otherwise)\n";
+    return 2;
+  }
+
+  // Open the report file before sweeping: a mistyped path should fail in
+  // milliseconds, not after a multi-thousand-scenario run.
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "cannot write " << outPath << '\n';
+    return 2;
+  }
+
+  ChaosSweeper sweeper(opt);
+  const rgml::harness::SweepResult result = sweeper.run();
+  rgml::harness::writeJsonReport(result, out);
+
+  std::cout << rgml::harness::summarize(result) << '\n'
+            << "report: " << outPath << '\n';
+  return result.allOk() ? 0 : 1;
+}
