@@ -273,6 +273,11 @@ void Runtime::chargeComm(Place to, std::uint64_t bytes) {
   clocks_[from] += cm_.commTime(bytes);
 }
 
+void Runtime::noteDataTransfer(std::uint64_t bytes) {
+  ++stats_.dataMsgs;
+  stats_.bytesSent += bytes;
+}
+
 void Runtime::advance(double seconds) {
   const PlaceId p = hereStack_.back();
   if (isDead(p)) return;

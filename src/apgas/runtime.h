@@ -158,6 +158,11 @@ class Runtime {
   /// (advances the *current* place's clock by the full transfer time;
   /// callers model synchronous pulls/pushes).
   void chargeComm(Place to, std::uint64_t bytes);
+  /// Count one data message of `bytes` in the stats without advancing any
+  /// clock. For collectives that model their critical-path time separately
+  /// (e.g. the binomial tree broadcast) but must still account every
+  /// payload transfer exactly once.
+  void noteDataTransfer(std::uint64_t bytes);
   /// Explicitly advance the current place's clock (tests, custom costs).
   void advance(double seconds);
 

@@ -62,7 +62,12 @@ void PageRankResilient::step() {
 void PageRankResilient::checkpoint(resilient::AppResilientStore& store) {
   scalars_[0] = static_cast<double>(iteration_);
   store.startNewSnapshot();
-  store.saveReadOnly(g_);
+  // The graph goes through the generic save(): the store's delta mode
+  // discovers per block that nothing changed and carries every block
+  // forward, matching saveReadOnly's cost without the app having to
+  // promise immutability (and re-copying automatically if the graph ever
+  // does change).
+  store.save(g_);
   store.saveReadOnly(u_);
   store.save(p_);
   store.save(scalars_);

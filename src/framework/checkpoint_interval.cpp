@@ -1,6 +1,7 @@
 #include "framework/checkpoint_interval.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace rgml::framework {
@@ -20,7 +21,16 @@ long youngIntervalIterations(double checkpointTime, double mttf,
         "youngIntervalIterations: iterationTime must be > 0");
   }
   const double interval = youngInterval(checkpointTime, mttf);
-  const long iterations = static_cast<long>(interval / iterationTime);
+  const double ratio = interval / iterationTime;
+  // Casting a double that exceeds long's range is undefined behaviour
+  // (possible with a huge MTTF against a tiny iteration time), so clamp
+  // first. 2^62 is exactly representable as a double, safely below
+  // LONG_MAX, and still an absurdly large checkpoint interval.
+  constexpr double kCeiling = 4611686018427387904.0;  // 2^62
+  static_assert(kCeiling <=
+                static_cast<double>(std::numeric_limits<long>::max() / 2 + 1));
+  if (ratio >= kCeiling) return static_cast<long>(kCeiling);
+  const long iterations = static_cast<long>(ratio);
   return iterations < 1 ? 1 : iterations;
 }
 

@@ -38,6 +38,13 @@ void chargeTreeBroadcast(const PlaceGroup& pg, std::size_t rootIdx,
     ++rounds;
   }
   rt.at(root, [&] {
+    // The tree moves the same pg.size()-1 payload copies as the flat
+    // broadcast — only the critical path shrinks to log2 rounds. Count
+    // every transfer so dataMsgs/bytesSent match the flat path exactly
+    // (each payload charged exactly once, regardless of topology).
+    for (std::size_t i = 0; i < pg.size(); ++i) {
+      if (i != rootIdx) rt.noteDataTransfer(bytes);
+    }
     rt.advance(static_cast<double>(rounds) *
                rt.costModel().commTime(bytes));
   });

@@ -330,22 +330,76 @@ void DistBlockMatrix::remakeRebalance(const PlaceGroup& newPg) {
   allocBlocks();
 }
 
+namespace {
+std::shared_ptr<const resilient::SnapshotValue> blockValue(
+    const la::MatrixBlock& block, bool sparse) {
+  if (sparse) {
+    return std::make_shared<resilient::SparseBlockValue>(
+        block.sparse(), block.blockRow(), block.blockCol(),
+        block.rowOffset(), block.colOffset());
+  }
+  return std::make_shared<resilient::DenseBlockValue>(
+      block.dense(), block.blockRow(), block.blockCol(), block.rowOffset(),
+      block.colOffset());
+}
+}  // namespace
+
 std::shared_ptr<resilient::Snapshot> DistBlockMatrix::makeSnapshot() const {
   auto snapshot = std::make_shared<resilient::Snapshot>(pg_);
   snapshot->setMeta(std::make_shared<resilient::GridMetaValue>(grid_));
   ateach(pg_, [&](Place) {
     for (const la::MatrixBlock& block : localBlockSet()) {
       const long blockId = grid_.blockId(block.blockRow(), block.blockCol());
-      if (sparse_) {
-        snapshot->save(blockId,
-                       std::make_shared<resilient::SparseBlockValue>(
-                           block.sparse(), block.blockRow(), block.blockCol(),
-                           block.rowOffset(), block.colOffset()));
-      } else {
-        snapshot->save(blockId,
-                       std::make_shared<resilient::DenseBlockValue>(
-                           block.dense(), block.blockRow(), block.blockCol(),
-                           block.rowOffset(), block.colOffset()));
+      snapshot->save(blockId, blockValue(block, sparse_), block.version());
+    }
+  });
+  return snapshot;
+}
+
+std::shared_ptr<resilient::Snapshot> DistBlockMatrix::makeDeltaSnapshot(
+    const resilient::Snapshot& prev) const {
+  // A delta is only meaningful against a snapshot of the same distribution:
+  // after a remake (new group and/or grid) block ids and holder places no
+  // longer line up, so fall back to a full save.
+  if (!(prev.placeGroup() == pg_)) return makeSnapshot();
+  auto prevMeta = std::dynamic_pointer_cast<const resilient::GridMetaValue>(
+      prev.meta());
+  if (!prevMeta || !(prevMeta->grid() == grid_)) return makeSnapshot();
+
+  auto snapshot = std::make_shared<resilient::Snapshot>(pg_);
+  snapshot->setMeta(std::make_shared<resilient::GridMetaValue>(grid_));
+
+  // All-clean fast path: every mutating GML op runs a finish rooted here,
+  // and its termination acks piggyback the per-place version bumps, so by
+  // checkpoint time the root already knows the object's total version sum
+  // without extra communication. Versions are monotone, so an unchanged
+  // sum over the same block set means no block was touched — the whole
+  // entry set is carried forward as pure metadata reuse (zero tasks, zero
+  // bytes), matching saveReadOnly's cost without the immutability promise.
+  std::uint64_t versionSum = 0;
+  std::size_t blockCount = 0;
+  for (apgas::PlaceId p : pg_) {
+    const auto blocks = blockSetAt(p);
+    if (!blocks) {
+      versionSum = 0;
+      blockCount = 0;
+      break;
+    }
+    for (const la::MatrixBlock& block : *blocks) {
+      versionSum += block.version();
+      ++blockCount;
+    }
+  }
+  if (blockCount > 0 && blockCount == prev.numEntries() &&
+      versionSum == prev.versionSum() && snapshot->carryForwardAll(prev)) {
+    return snapshot;
+  }
+
+  ateach(pg_, [&](Place) {
+    for (const la::MatrixBlock& block : localBlockSet()) {
+      const long blockId = grid_.blockId(block.blockRow(), block.blockCol());
+      if (!snapshot->carryForward(blockId, prev, block.version())) {
+        snapshot->save(blockId, blockValue(block, sparse_), block.version());
       }
     }
   });
@@ -391,6 +445,10 @@ void DistBlockMatrix::restoreBlockByBlock(
         }
         block.dense() = dv->data();
       }
+      // The block's content now equals the snapshot entry exactly, so
+      // re-stamp it with the saved version: an unmutated block carries
+      // forward again at the next delta checkpoint.
+      block.setVersion(snapshot.savedVersion(blockId));
     }
   });
 }

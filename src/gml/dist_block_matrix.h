@@ -110,10 +110,19 @@ class DistBlockMatrix final : public resilient::Snapshottable {
   void remakeRebalance(const apgas::PlaceGroup& newPg);
 
   // -- Snapshottable -------------------------------------------------------
-  /// Keys are block ids; each place saves the blocks it owns. The grid is
-  /// recorded as snapshot metadata.
+  /// Keys are block ids; each place saves the blocks it owns together with
+  /// their version stamps. The grid is recorded as snapshot metadata.
   [[nodiscard]] std::shared_ptr<resilient::Snapshot> makeSnapshot()
       const override;
+  /// Dirty-block incremental snapshot: blocks whose version still matches
+  /// what `prev` recorded are carried forward (no copy, no backup
+  /// transfer); only dirty blocks are saved fresh. A fully clean matrix
+  /// takes a zero-communication fast path (the root compares version sums
+  /// and adopts `prev`'s entries wholesale, like saveReadOnly). Falls back
+  /// to a full save when the group or grid changed since `prev`, or when a
+  /// carried entry would have degraded redundancy.
+  [[nodiscard]] std::shared_ptr<resilient::Snapshot> makeDeltaSnapshot(
+      const resilient::Snapshot& prev) const override;
   /// Chooses block-by-block restore when the current grid equals the
   /// snapshot grid, the overlapping-region path otherwise.
   void restoreSnapshot(const resilient::Snapshot& snapshot) override;

@@ -1,8 +1,16 @@
 // MatrixBlock: one block of a distributed block matrix, dense or sparse
 // (x10.matrix.block.MatrixBlock / DenseBlock / SparseBlock).
+//
+// Every block carries a monotone version stamp used by the delta
+// checkpoint path: a snapshot records the version it saved, and a later
+// snapshot carries the saved copy forward unchanged when the versions
+// still match. The stamp is bumped pessimistically by *any* mutable
+// payload access — a spurious bump only costs checkpoint bytes, while a
+// missed one would silently restore stale data.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <variant>
 
@@ -33,14 +41,28 @@ class MatrixBlock {
     return std::holds_alternative<SparseCSR>(payload_);
   }
 
-  [[nodiscard]] DenseMatrix& dense() { return std::get<DenseMatrix>(payload_); }
+  /// Mutable payload access bumps the version: the caller may write.
+  [[nodiscard]] DenseMatrix& dense() {
+    bumpVersion();
+    return std::get<DenseMatrix>(payload_);
+  }
   [[nodiscard]] const DenseMatrix& dense() const {
     return std::get<DenseMatrix>(payload_);
   }
-  [[nodiscard]] SparseCSR& sparse() { return std::get<SparseCSR>(payload_); }
+  [[nodiscard]] SparseCSR& sparse() {
+    bumpVersion();
+    return std::get<SparseCSR>(payload_);
+  }
   [[nodiscard]] const SparseCSR& sparse() const {
     return std::get<SparseCSR>(payload_);
   }
+
+  /// Monotone modification stamp (0 for a freshly allocated block).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  void bumpVersion() noexcept { ++version_; }
+  /// Re-stamp after a restore so the block matches the snapshot entry it
+  /// was rebuilt from (content and version correspond again).
+  void setVersion(std::uint64_t v) noexcept { version_ = v; }
 
   /// Payload bytes (snapshot / communication accounting).
   [[nodiscard]] std::size_t bytes() const;
@@ -63,6 +85,7 @@ class MatrixBlock {
   long cb_ = 0;
   long rowOffset_ = 0;
   long colOffset_ = 0;
+  std::uint64_t version_ = 0;
   std::variant<DenseMatrix, SparseCSR> payload_;
 };
 

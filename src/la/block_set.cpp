@@ -1,5 +1,7 @@
 #include "la/block_set.h"
 
+#include <algorithm>
+
 namespace rgml::la {
 
 MatrixBlock* BlockSet::find(long rb, long cb) {
@@ -26,6 +28,12 @@ double BlockSet::multFlops() const {
   double total = 0.0;
   for (const auto& b : blocks_) total += b.multFlops();
   return total;
+}
+
+std::uint64_t BlockSet::maxVersion() const {
+  std::uint64_t v = 0;
+  for (const auto& b : blocks_) v = std::max(v, b.version());
+  return v;
 }
 
 }  // namespace rgml::la

@@ -41,6 +41,10 @@ class BlockSet {
   /// Total mat-vec flops across the set.
   [[nodiscard]] double multFlops() const;
 
+  /// Highest block version in the set (0 when empty or untouched) — a
+  /// cheap "anything dirty since version v?" probe for delta checkpoints.
+  [[nodiscard]] std::uint64_t maxVersion() const;
+
   void clear() { blocks_.clear(); }
 
  private:

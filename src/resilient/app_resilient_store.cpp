@@ -12,6 +12,7 @@ void AppResilientStore::startNewSnapshot() {
   }
   inProgress_ = std::make_unique<AppSnapshot>();
   inProgress_->iteration = iteration_;
+  pendingStats_ = CheckpointStats{};
 }
 
 void AppResilientStore::save(Snapshottable& obj) {
@@ -19,7 +20,18 @@ void AppResilientStore::save(Snapshottable& obj) {
     throw apgas::ApgasError(
         "AppResilientStore::save: no snapshot in progress");
   }
-  inProgress_->objects.emplace_back(&obj, obj.makeSnapshot());
+  std::shared_ptr<Snapshot> snapshot;
+  if (mode_ == CheckpointMode::Delta && committed_) {
+    if (auto prev = committed_->find(&obj)) {
+      snapshot = obj.makeDeltaSnapshot(*prev);
+    }
+  }
+  if (!snapshot) snapshot = obj.makeSnapshot();
+  pendingStats_.freshBytes += snapshot->freshBytes();
+  pendingStats_.carriedBytes += snapshot->carriedBytes();
+  pendingStats_.carriedEntries += snapshot->numCarried();
+  pendingStats_.freshEntries += snapshot->numEntries() - snapshot->numCarried();
+  inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }
 
 void AppResilientStore::saveReadOnly(Snapshottable& obj) {
@@ -27,13 +39,20 @@ void AppResilientStore::saveReadOnly(Snapshottable& obj) {
     throw apgas::ApgasError(
         "AppResilientStore::saveReadOnly: no snapshot in progress");
   }
-  if (committed_) {
+  if (mode_ != CheckpointMode::Full && committed_) {
     if (auto existing = committed_->find(&obj)) {
+      // The whole Snapshot is reused by pointer: nothing is copied, every
+      // entry counts as carried.
+      pendingStats_.carriedBytes += existing->totalBytes();
+      pendingStats_.carriedEntries += existing->numEntries();
       inProgress_->objects.emplace_back(&obj, std::move(existing));
       return;
     }
   }
-  inProgress_->objects.emplace_back(&obj, obj.makeSnapshot());
+  auto snapshot = obj.makeSnapshot();
+  pendingStats_.freshBytes += snapshot->freshBytes();
+  pendingStats_.freshEntries += snapshot->numEntries();
+  inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }
 
 void AppResilientStore::commit() {
@@ -42,9 +61,16 @@ void AppResilientStore::commit() {
         "AppResilientStore::commit: no snapshot in progress");
   }
   committed_ = std::move(inProgress_);
+  lastStats_ = pendingStats_;
 }
 
-void AppResilientStore::cancelSnapshot() { inProgress_.reset(); }
+void AppResilientStore::cancelSnapshot() {
+  // Dropping the in-progress AppSnapshot releases its fresh Snapshots and
+  // its references to reused/carried ones; the committed snapshot those
+  // were taken from holds its own shared_ptrs and stays fully intact.
+  inProgress_.reset();
+  pendingStats_ = CheckpointStats{};
+}
 
 void AppResilientStore::restore() {
   if (!committed_) {

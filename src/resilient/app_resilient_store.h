@@ -14,8 +14,18 @@
 // change (e.g. the training matrix): their Snapshot from the previous
 // committed application snapshot is reused instead of re-created, which is
 // why Table III's checkpoint times only pay for the mutable state.
+//
+// The delta-checkpoint mode (default) generalises saveReadOnly to
+// per-block granularity: save() asks the object for a delta snapshot
+// against its Snapshot in the last committed application snapshot, so
+// objects with version-stamped blocks copy and re-back-up only the blocks
+// that changed since then; unchanged blocks are carried forward at zero
+// cost. commit() promotes the resulting fresh/carried mix atomically, and
+// cancelSnapshot() discards the whole in-progress mix — carried entries
+// are copies, so the committed snapshot they came from is untouched.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -24,12 +34,23 @@
 
 namespace rgml::resilient {
 
+/// What save()/saveReadOnly() ship per checkpoint.
+enum class CheckpointMode {
+  Full,           ///< everything re-copied every checkpoint (baseline)
+  ReadOnlyReuse,  ///< the paper's model: only saveReadOnly() skips work
+  Delta,          ///< per-block version deltas; saveReadOnly() still reuses
+};
+
 class AppResilientStore {
  public:
   /// Record the iteration the next snapshot will belong to. Called by the
   /// resilient executor before invoking the application's checkpoint();
   /// keeps the paper's zero-argument startNewSnapshot() signature.
   void setIteration(long iteration) noexcept { iteration_ = iteration; }
+
+  /// Checkpoint mode for subsequent save()/saveReadOnly() calls.
+  void setMode(CheckpointMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] CheckpointMode mode() const noexcept { return mode_; }
 
   /// Begin a new application snapshot (for the iteration last given to
   /// setIteration). Throws if a snapshot is already in progress.
@@ -75,6 +96,19 @@ class AppResilientStore {
   /// Total payload bytes of the latest committed snapshot.
   [[nodiscard]] std::size_t committedBytes() const;
 
+  /// Per-checkpoint accounting: what the last committed checkpoint
+  /// actually copied (fresh) vs. reused (carried-forward delta entries
+  /// plus whole Snapshots reused by saveReadOnly).
+  struct CheckpointStats {
+    std::uint64_t freshBytes = 0;
+    std::uint64_t carriedBytes = 0;
+    std::size_t freshEntries = 0;
+    std::size_t carriedEntries = 0;
+  };
+  [[nodiscard]] const CheckpointStats& lastCheckpointStats() const noexcept {
+    return lastStats_;
+  }
+
  private:
   struct AppSnapshot {
     long iteration = -1;
@@ -91,8 +125,11 @@ class AppResilientStore {
   };
 
   long iteration_ = 0;
+  CheckpointMode mode_ = CheckpointMode::Delta;
   std::unique_ptr<AppSnapshot> committed_;
   std::unique_ptr<AppSnapshot> inProgress_;
+  CheckpointStats pendingStats_;  ///< accumulates while in progress
+  CheckpointStats lastStats_;     ///< promoted by commit()
 };
 
 }  // namespace rgml::resilient

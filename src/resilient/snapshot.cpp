@@ -30,7 +30,8 @@ void Snapshot::onPlaceDeath(PlaceId p) {
   }
 }
 
-void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value) {
+void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value,
+                    std::uint64_t version) {
   Runtime& rt = Runtime::world();
   const Place saver = rt.here();
   if (pg_.indexOf(saver) < 0) {
@@ -50,7 +51,64 @@ void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value) {
     entry.backup = value;  // shared immutable payload simulates the copy
     entry.backupPlace = backup.id();
   }
+  entry.version = version;
   entries_[key] = std::move(entry);
+}
+
+bool Snapshot::carryForward(long key, const Snapshot& prev,
+                            std::uint64_t expectedVersion) {
+  Runtime& rt = Runtime::world();
+  if (pg_.indexOf(rt.here()) < 0) {
+    throw apgas::ApgasError(
+        "Snapshot::carryForward: carrying place is not in the snapshot's "
+        "group");
+  }
+  auto it = prev.entries_.find(key);
+  if (it == prev.entries_.end()) return false;
+  const Entry& old = it->second;
+  if (old.version != expectedVersion) return false;
+  // Carry only fully intact entries: a copy lost to an earlier failure
+  // must be replaced by a fresh save, or the carried entry would keep
+  // running with reduced redundancy forever.
+  if (!old.primary) return false;
+  if (old.backupPlace != apgas::kInvalidPlace && !old.backup) return false;
+
+  // The existing copies are adopted wholesale (shared immutable payloads,
+  // same holder places): no data moves, so no cost is charged — this is
+  // the entire win of the delta checkpoint.
+  Entry entry = old;
+  entry.carried = true;
+  entries_[key] = std::move(entry);
+  return true;
+}
+
+bool Snapshot::carryForwardAll(const Snapshot& prev) {
+  for (const auto& [key, old] : prev.entries_) {
+    if (!old.primary) return false;
+    if (old.backupPlace != apgas::kInvalidPlace && !old.backup) return false;
+  }
+  for (const auto& [key, old] : prev.entries_) {
+    Entry entry = old;
+    entry.carried = true;
+    entries_[key] = std::move(entry);
+  }
+  return true;
+}
+
+std::uint64_t Snapshot::savedVersion(long key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::uint64_t Snapshot::versionSum() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, entry] : entries_) sum += entry.version;
+  return sum;
+}
+
+bool Snapshot::isCarried(long key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.carried;
 }
 
 Snapshot::Located Snapshot::locate(long key) const {
@@ -99,14 +157,40 @@ std::vector<long> Snapshot::keys() const {
   return out;
 }
 
+std::size_t Snapshot::entryBytes(const Entry& entry) {
+  const SnapshotValue* v =
+      entry.primary ? entry.primary.get() : entry.backup.get();
+  return v == nullptr ? 0 : v->bytes();
+}
+
 std::size_t Snapshot::totalBytes() const {
   std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entryBytes(entry);
+  return total;
+}
+
+std::size_t Snapshot::freshBytes() const {
+  std::size_t total = 0;
   for (const auto& [key, entry] : entries_) {
-    const SnapshotValue* v =
-        entry.primary ? entry.primary.get() : entry.backup.get();
-    if (v != nullptr) total += v->bytes();
+    if (!entry.carried) total += entryBytes(entry);
   }
   return total;
+}
+
+std::size_t Snapshot::carriedBytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.carried) total += entryBytes(entry);
+  }
+  return total;
+}
+
+std::size_t Snapshot::numCarried() const {
+  std::size_t count = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.carried) ++count;
+  }
+  return count;
 }
 
 }  // namespace rgml::resilient

@@ -32,9 +32,20 @@ class Snapshottable {
   virtual ~Snapshottable() = default;
   /// Collectively saves the object's state into a fresh Snapshot.
   [[nodiscard]] virtual std::shared_ptr<Snapshot> makeSnapshot() const = 0;
+  /// Delta variant: saves into a fresh Snapshot, but may carry entries
+  /// forward from `prev` (the object's Snapshot in the last committed
+  /// application snapshot) instead of re-copying unchanged state. The
+  /// default is a full save; classes with per-key version stamps (e.g.
+  /// DistBlockMatrix blocks) override it.
+  [[nodiscard]] virtual std::shared_ptr<Snapshot> makeDeltaSnapshot(
+      const Snapshot& prev) const {
+    (void)prev;
+    return makeSnapshot();
+  }
   /// Collectively restores the object's state from `snapshot`. The object
   /// may have been remake()-d over a different place group and/or data
-  /// grid since the snapshot was taken.
+  /// grid since the snapshot was taken. Restore never distinguishes fresh
+  /// from carried-forward entries.
   virtual void restoreSnapshot(const Snapshot& snapshot) = 0;
 };
 
@@ -52,7 +63,42 @@ class Snapshot {
   /// Saves `value` under `key` from the *current place* (must be a member
   /// of the snapshot's group): primary copy here, backup on the next place
   /// in ring order. Charges a local copy plus one remote transfer.
-  void save(long key, std::shared_ptr<const SnapshotValue> value);
+  /// `version` is the saver's modification stamp for this key (0 when the
+  /// caller does not track versions); a later delta snapshot carries the
+  /// entry forward while the stamp still matches.
+  void save(long key, std::shared_ptr<const SnapshotValue> value,
+            std::uint64_t version = 0);
+
+  /// Delta-checkpoint path: copies `prev`'s entry for `key` into this
+  /// snapshot — same payload pointers, same holder places, same version —
+  /// without charging any serialisation or transfer cost (the copies
+  /// already exist; nothing moves). Succeeds only when the entry's saved
+  /// version equals `expectedVersion` AND every copy the entry was created
+  /// with is still alive (a degraded entry is re-saved fresh instead, so a
+  /// delta checkpoint re-establishes full double redundancy). Returns
+  /// whether the entry was carried; on false the caller must save() fresh.
+  bool carryForward(long key, const Snapshot& prev,
+                    std::uint64_t expectedVersion);
+
+  /// All-clean fast path: carries *every* entry of `prev` into this
+  /// snapshot, succeeding only when each one is fully intact (primary and
+  /// backup copies alive). All-or-nothing — on false this snapshot is left
+  /// unchanged and the caller must take the per-entry path. Charges
+  /// nothing: like saveReadOnly, a fully clean object is pure place-0
+  /// metadata reuse.
+  bool carryForwardAll(const Snapshot& prev);
+
+  /// The version stamp recorded when `key` was saved (0 if absent).
+  [[nodiscard]] std::uint64_t savedVersion(long key) const;
+
+  /// Sum of all entries' version stamps. Versions are monotone, so an
+  /// unchanged sum across two snapshots of the same key set means no key
+  /// was touched in between (any mutation strictly increases the sum).
+  [[nodiscard]] std::uint64_t versionSum() const;
+
+  /// True if `key`'s entry was carried forward from a previous snapshot
+  /// rather than saved fresh into this one.
+  [[nodiscard]] bool isCarried(long key) const;
 
   /// Loads the value for `key` from the perspective of the current place,
   /// charging a local copy if a copy lives here, else one remote transfer.
@@ -76,6 +122,12 @@ class Snapshot {
   /// Total payload bytes over all live primary copies.
   [[nodiscard]] std::size_t totalBytes() const;
 
+  /// Bytes of entries saved fresh into this snapshot (actually copied and
+  /// re-backed-up at save time) vs. carried forward from a predecessor.
+  [[nodiscard]] std::size_t freshBytes() const;
+  [[nodiscard]] std::size_t carriedBytes() const;
+  [[nodiscard]] std::size_t numCarried() const;
+
   /// Optional per-snapshot metadata (e.g. the Grid a DistBlockMatrix was
   /// partitioned with at checkpoint time).
   void setMeta(std::shared_ptr<const SnapshotValue> meta) {
@@ -95,7 +147,12 @@ class Snapshot {
     std::shared_ptr<const SnapshotValue> backup;
     apgas::PlaceId primaryPlace = apgas::kInvalidPlace;
     apgas::PlaceId backupPlace = apgas::kInvalidPlace;
+    std::uint64_t version = 0;  ///< saver's stamp at save time
+    bool carried = false;       ///< carried forward, not saved fresh
   };
+
+  /// Bytes of the surviving copy for one entry (0 if both copies died).
+  static std::size_t entryBytes(const Entry& entry);
 
   void onPlaceDeath(apgas::PlaceId p);
 

@@ -190,6 +190,61 @@ TEST_F(ApgasTest, NonResilientHasNoBookkeeping) {
   EXPECT_EQ(rt.stats().bookkeepingMsgs, 0);
 }
 
+TEST_F(ApgasTest, DataMessagesCountedExactlyOncePerPayload) {
+  // The message-complexity invariant: dataMsgs/bytesSent count each
+  // application payload exactly once — task envelopes and resilient-finish
+  // bookkeeping must never re-charge them.
+  Runtime& rt = Runtime::world();
+  rt.resetStats();
+  finish([&] {
+    for (int p = 1; p < 4; ++p) {
+      asyncAt(Place(p), [&] { rt.chargeComm(Place(0), 1000); });
+    }
+  });
+  EXPECT_EQ(rt.stats().dataMsgs, 3);
+  EXPECT_EQ(rt.stats().bytesSent, 3000u);
+}
+
+TEST_F(ApgasTest, ResilientFinishDoesNotRechargeDataMessages) {
+  // The same payload traffic under resilient finish: bookkeeping messages
+  // appear, but the data counters are identical to the non-resilient run.
+  auto run = [](bool resilient) {
+    Runtime::init(4, CostModel{}, resilient);
+    Runtime& rt = Runtime::world();
+    rt.resetStats();
+    finish([&] {
+      for (int p = 1; p < 4; ++p) {
+        asyncAt(Place(p), [&] { rt.chargeComm(Place(0), 512); });
+      }
+    });
+    return rt.stats();
+  };
+  const RuntimeStats plain = run(false);
+  const RuntimeStats resilient = run(true);
+  EXPECT_EQ(resilient.dataMsgs, plain.dataMsgs);
+  EXPECT_EQ(resilient.bytesSent, plain.bytesSent);
+  EXPECT_EQ(plain.bookkeepingMsgs, 0);
+  EXPECT_GT(resilient.bookkeepingMsgs, 0);
+}
+
+TEST_F(ApgasTest, SelfCommCountsNoDataMessage) {
+  Runtime& rt = Runtime::world();
+  rt.resetStats();
+  rt.chargeComm(Place(0), 4096);  // self: local copy, not a message
+  EXPECT_EQ(rt.stats().dataMsgs, 0);
+  EXPECT_EQ(rt.stats().bytesSent, 0u);
+}
+
+TEST_F(ApgasTest, NoteDataTransferCountsWithoutClockAdvance) {
+  Runtime& rt = Runtime::world();
+  rt.resetStats();
+  const double t0 = rt.clock(0);
+  rt.noteDataTransfer(2048);
+  EXPECT_EQ(rt.stats().dataMsgs, 1);
+  EXPECT_EQ(rt.stats().bytesSent, 2048u);
+  EXPECT_DOUBLE_EQ(rt.clock(0), t0);
+}
+
 // ---- failure semantics ----------------------------------------------------
 
 TEST_F(ApgasTest, KillMarksDead) {

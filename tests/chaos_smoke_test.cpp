@@ -61,6 +61,25 @@ TEST(ChaosSmoke, MidStepDispatchKillsAreClean) {
   EXPECT_TRUE(sawDispatchKill);
 }
 
+TEST(ChaosSmoke, PageRankDeltaMidCheckpointKillsAreClean) {
+  // PageRank checkpoints its graph through the per-block delta path, so
+  // every checkpoint after the first commits a carried/fresh mix. The
+  // mid-step dispatch points derived from the golden run include kills
+  // landing *inside* those checkpoints — between save() and commit() —
+  // forcing cancelSnapshot() of an incremental snapshot and a fallback
+  // restore from the previously committed mix. Golden divergence here
+  // would mean a carried entry was corrupted or double-released.
+  SweepOptions opt = prunedOptions();
+  opt.apps = {AppKind::PageRank};
+  opt.modes = {framework::RestoreMode::Shrink,
+               framework::RestoreMode::ReplaceRedundant};
+  opt.midStepKills = true;
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+  EXPECT_GT(result.scenariosRun, 0);
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+}
+
 TEST(ChaosSmoke, PairKillSchedulesAreClean) {
   SweepOptions opt = prunedOptions();
   opt.modes = {framework::RestoreMode::ReplaceRedundant};

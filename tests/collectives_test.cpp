@@ -60,6 +60,23 @@ TEST_F(CollectivesTest, TreeBeatsFlatBeyondTwoPlaces) {
   }
 }
 
+TEST_F(CollectivesTest, TreeAndFlatBroadcastCountSamePayloads) {
+  // Topology changes the critical path, not the traffic: both broadcasts
+  // move pg.size()-1 copies of the payload and must account each exactly
+  // once (the tree used to count none of them).
+  Runtime& rt = Runtime::world();
+  auto pg = PlaceGroup::firstPlaces(8);
+  rt.resetStats();
+  chargeBroadcast(pg, 0, 1000);
+  const auto flat = rt.stats();
+  rt.resetStats();
+  chargeTreeBroadcast(pg, 0, 1000);
+  const auto tree = rt.stats();
+  EXPECT_EQ(flat.dataMsgs, 7);
+  EXPECT_EQ(tree.dataMsgs, flat.dataMsgs);
+  EXPECT_EQ(tree.bytesSent, flat.bytesSent);
+}
+
 TEST_F(CollectivesTest, GatherCostSymmetricWithBroadcast) {
   constexpr std::size_t kBytes = 4096;
   const double bcast = rootCost(

@@ -5,6 +5,7 @@
 
 #include "apgas/cost_model.h"
 #include "apgas/runtime.h"
+#include "framework/checkpoint_interval.h"
 
 namespace rgml::apgas {
 namespace {
@@ -31,6 +32,36 @@ TEST(CostModelTest, CalibratedModelOrderings) {
   // overhead grow with the place count (Figs. 2-4).
   EXPECT_GT(cm.resilientBookkeeping,
             cm.asyncSpawn + cm.taskSendOverhead);
+}
+
+TEST(CheckpointIntervalTest, YoungIterationsNormalRange) {
+  // ckpt 0.5s, mttf 100s -> interval 10s; 2s iterations -> 5 of them.
+  EXPECT_EQ(rgml::framework::youngIntervalIterations(0.5, 100.0, 2.0), 5);
+  // Interval shorter than one iteration rounds up to 1.
+  EXPECT_EQ(rgml::framework::youngIntervalIterations(0.5, 100.0, 100.0), 1);
+}
+
+TEST(CheckpointIntervalTest, YoungIterationsClampedBeforeCast) {
+  // A huge MTTF against a tiny iteration time used to push the
+  // double->long cast out of range (undefined behaviour). The ratio is
+  // now clamped to a finite ceiling first.
+  const long huge =
+      rgml::framework::youngIntervalIterations(1e150, 1e300, 1e-300);
+  EXPECT_GT(huge, 0);
+  EXPECT_LE(huge, 4611686018427387904L);  // 2^62 ceiling
+
+  // Just below vs above the ceiling both stay well-defined and monotone.
+  const long below =
+      rgml::framework::youngIntervalIterations(0.5, 1e18, 1e-9);
+  EXPECT_GT(below, 0);
+  EXPECT_LE(below, huge);
+}
+
+TEST(CheckpointIntervalTest, YoungIterationsRejectsBadInputs) {
+  EXPECT_THROW(rgml::framework::youngIntervalIterations(0.5, 100.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(rgml::framework::youngIntervalIterations(0.5, -1.0, 1.0),
+               std::invalid_argument);
 }
 
 class TimeModelTest : public ::testing::Test {

@@ -1,0 +1,300 @@
+// Tests for dirty-block incremental (delta) checkpointing: version-stamped
+// blocks, carry-forward of clean entries, atomic commit of fresh/carried
+// mixes, cancel of a half-taken delta snapshot, and fallback to the
+// previous committed mix when a place dies between save() and commit().
+#include <gtest/gtest.h>
+
+#include "apgas/fault_injector.h"
+#include "apgas/runtime.h"
+#include "framework/resilient_executor.h"
+#include "gml/dist_block_matrix.h"
+#include "harness/golden.h"
+#include "resilient/app_resilient_store.h"
+
+namespace rgml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+using gml::DistBlockMatrix;
+using resilient::AppResilientStore;
+using resilient::CheckpointMode;
+
+class DeltaCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::init(6); }
+
+  /// 8x8 dense matrix, 2x2 blocks over the first four places (one block
+  /// per place), deterministically filled.
+  static DistBlockMatrix makeMatrix() {
+    auto m = DistBlockMatrix::makeDense(8, 8, 2, 2, 2, 2,
+                                        PlaceGroup::firstPlaces(4));
+    m.initRandom(7);
+    return m;
+  }
+
+  /// Checkpoint `m` into `store` at `iter` and commit.
+  static void checkpoint(AppResilientStore& store, DistBlockMatrix& m,
+                         long iter) {
+    store.setIteration(iter);
+    store.startNewSnapshot();
+    store.save(m);
+    store.commit();
+  }
+
+  /// Mutate exactly one block (block row 0, col 0, owned by place 0).
+  static void touchOneBlock(DistBlockMatrix& m) {
+    apgas::at(Place(0), [&] {
+      la::MatrixBlock* block = m.localBlockSet().find(0, 0);
+      ASSERT_NE(block, nullptr);
+      block->dense()(0, 0) += 1.0;
+    });
+  }
+};
+
+TEST_F(DeltaCheckpointTest, CleanBlocksAreCarriedNotRecopied) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+
+  checkpoint(store, m, 1);
+  const auto first = store.lastCheckpointStats();
+  EXPECT_EQ(first.freshEntries, 4u);
+  EXPECT_EQ(first.carriedEntries, 0u);
+  EXPECT_GT(first.freshBytes, 0u);
+
+  // Nothing mutated: the second checkpoint copies zero payload bytes.
+  checkpoint(store, m, 2);
+  const auto second = store.lastCheckpointStats();
+  EXPECT_EQ(second.freshEntries, 0u);
+  EXPECT_EQ(second.carriedEntries, 4u);
+  EXPECT_EQ(second.freshBytes, 0u);
+  EXPECT_EQ(second.carriedBytes, first.freshBytes);
+}
+
+TEST_F(DeltaCheckpointTest, CleanCheckpointCostsNoVirtualTime) {
+  // A fully clean matrix takes the metadata-only fast path: no tasks, no
+  // copies, no clock advance — the same cost profile as saveReadOnly.
+  Runtime& rt = Runtime::world();
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  const double t0 = rt.time();
+  checkpoint(store, m, 1);
+  const double firstCost = rt.time() - t0;
+  EXPECT_GT(firstCost, 0.0);
+
+  const double t1 = rt.time();
+  checkpoint(store, m, 2);
+  EXPECT_EQ(rt.time() - t1, 0.0);
+}
+
+TEST_F(DeltaCheckpointTest, DirtyBlockSavedFreshOthersCarried) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+  const auto first = store.lastCheckpointStats();
+
+  touchOneBlock(m);
+  checkpoint(store, m, 2);
+  const auto second = store.lastCheckpointStats();
+  EXPECT_EQ(second.freshEntries, 1u);
+  EXPECT_EQ(second.carriedEntries, 3u);
+  EXPECT_GT(second.freshBytes, 0u);
+  EXPECT_LT(second.freshBytes, first.freshBytes);
+}
+
+TEST_F(DeltaCheckpointTest, FullMutationMakesEveryBlockFresh) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+
+  m.scale(2.0);  // dirties every block
+  checkpoint(store, m, 2);
+  const auto stats = store.lastCheckpointStats();
+  EXPECT_EQ(stats.freshEntries, 4u);
+  EXPECT_EQ(stats.carriedEntries, 0u);
+}
+
+TEST_F(DeltaCheckpointTest, RestoreObliviousToCarriedMix) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+
+  // Second checkpoint is a fresh/carried mix; the restore target.
+  touchOneBlock(m);
+  const la::DenseMatrix expected = m.toDense();
+  checkpoint(store, m, 2);
+
+  m.scale(-3.0);  // diverge, then roll back
+  store.restore();
+  EXPECT_EQ(m.toDense(), expected);
+}
+
+TEST_F(DeltaCheckpointTest, VersionStampsSurviveRestore) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+
+  // Restoring rewrites every payload, but the restored content *is* the
+  // snapshot content, so the stamps are reset to the saved versions and
+  // the next delta checkpoint carries everything.
+  m.scale(5.0);
+  store.restore();
+  checkpoint(store, m, 2);
+  const auto stats = store.lastCheckpointStats();
+  EXPECT_EQ(stats.freshEntries, 0u);
+  EXPECT_EQ(stats.carriedEntries, 4u);
+}
+
+TEST_F(DeltaCheckpointTest, CancelDiscardsOnlyFreshEntries) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+  touchOneBlock(m);
+  const la::DenseMatrix committed2 = m.toDense();
+  checkpoint(store, m, 2);  // committed fresh/carried mix
+
+  // A third, cancelled delta checkpoint: its carried entries reference
+  // the same stored values as checkpoint 2, so dropping them must leave
+  // checkpoint 2 fully restorable.
+  touchOneBlock(m);
+  store.setIteration(3);
+  store.startNewSnapshot();
+  store.save(m);
+  store.cancelSnapshot();
+
+  EXPECT_EQ(store.latestCommittedIteration(), 2);
+  m.scale(0.0);
+  store.restore();
+  EXPECT_EQ(m.toDense(), committed2);
+
+  // And the chain continues: a later delta checkpoint still works.
+  checkpoint(store, m, 4);
+  EXPECT_EQ(store.lastCheckpointStats().carriedEntries, 4u);
+}
+
+TEST_F(DeltaCheckpointTest, GroupChangeFallsBackToFullSave) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+
+  // Replace place 2 by spare 4: same grid, different group. The previous
+  // snapshot's entries are keyed to the old group, so the delta path must
+  // refuse to carry and re-save everything.
+  Runtime::world().kill(2);
+  m.remakeSameDist(PlaceGroup({0, 1, 4, 3}));
+  store.restore();
+  checkpoint(store, m, 2);
+  const auto stats = store.lastCheckpointStats();
+  EXPECT_EQ(stats.freshEntries, 4u);
+  EXPECT_EQ(stats.carriedEntries, 0u);
+}
+
+TEST_F(DeltaCheckpointTest, SparseCleanBlocksCarriedAndRestored) {
+  auto m = DistBlockMatrix::makeSparse(16, 16, 2, 2, 2, 2, 3,
+                                       PlaceGroup::firstPlaces(4));
+  m.initRandom(11);
+  const la::DenseMatrix expected = m.toDense();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+  checkpoint(store, m, 2);
+  const auto stats = store.lastCheckpointStats();
+  EXPECT_EQ(stats.freshEntries, 0u);
+  EXPECT_EQ(stats.carriedEntries, 4u);
+
+  apgas::at(Place(1), [&] {
+    for (la::MatrixBlock& block : m.localBlockSet()) {
+      block.sparse().scaleValues(0.0);
+    }
+  });
+  store.restore();
+  EXPECT_EQ(m.toDense(), expected);
+}
+
+TEST_F(DeltaCheckpointTest, KillBetweenSaveAndCommitFallsBackToCommittedMix) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+
+  // Committed checkpoint 1 is itself a carried mix (built on top of a
+  // first full checkpoint) — the fallback target.
+  checkpoint(store, m, 1);
+  touchOneBlock(m);
+  const la::DenseMatrix committed = m.toDense();
+  checkpoint(store, m, 2);
+
+  // Checkpoint 3 dies between save() and commit(): a place is lost while
+  // the incremental snapshot is only half promoted. The executor's
+  // failure path cancels it and restores from the committed mix.
+  touchOneBlock(m);
+  store.setIteration(3);
+  store.startNewSnapshot();
+  store.save(m);
+  Runtime::world().kill(2);
+  store.cancelSnapshot();
+
+  EXPECT_EQ(store.latestCommittedIteration(), 2);
+  m.remakeSameDist(PlaceGroup({0, 1, 4, 3}));
+  store.restore();
+  EXPECT_EQ(m.toDense(), committed);
+}
+
+TEST_F(DeltaCheckpointTest, CarriedEntrySurvivesPrimaryHolderDeath) {
+  DistBlockMatrix m = makeMatrix();
+  AppResilientStore store;
+  checkpoint(store, m, 1);
+  checkpoint(store, m, 2);  // all four entries carried
+
+  // Carried entries keep the original double storage: losing the primary
+  // holder of a carried block must still leave the backup copy.
+  const la::DenseMatrix expected = m.toDense();
+  Runtime::world().kill(1);
+  m.remakeSameDist(PlaceGroup({0, 4, 2, 3}));
+  store.restore();
+  EXPECT_EQ(m.toDense(), expected);
+}
+
+// ---- executor-level fallback ----------------------------------------------
+
+TEST(DeltaExecutorTest, MidCheckpointKillFallsBackAndConverges) {
+  // PageRank checkpoints its graph through the per-block delta path, so
+  // from the second checkpoint on, save() produces a carried mix. Kill a
+  // place on the first task dispatched *inside* that checkpoint — between
+  // startNewSnapshot() and commit() — and the executor must cancel the
+  // half-taken mix, roll back to the previous committed checkpoint, and
+  // still converge to the failure-free (golden) result.
+  harness::ChaosAppConfig cfg;
+  cfg.iterations = 9;
+
+  Runtime::init(5, apgas::CostModel{}, /*resilientFinish=*/true);
+  const harness::GoldenRun golden = harness::runGolden(
+      harness::AppKind::PageRank, cfg, 4, 3, harness::makeChaosApp);
+
+  Runtime::init(5, apgas::CostModel{}, /*resilientFinish=*/true);
+  auto chaos = harness::makeChaosApp(harness::AppKind::PageRank, cfg,
+                                     PlaceGroup::firstPlaces(4));
+  chaos->init();
+
+  apgas::FaultInjector injector;
+  framework::ExecutorConfig ec;
+  ec.places = PlaceGroup::firstPlaces(4);
+  ec.spares = {4};
+  ec.checkpointInterval = 3;
+  ec.mode = framework::RestoreMode::ReplaceRedundant;
+  // The hook runs right before the checkpoint of the just-completed
+  // iteration, so arming a 1-dispatch kill at iteration 6 fires on the
+  // checkpoint's own first task — the second (delta) checkpoint's save.
+  ec.iterationHook = [&](long iteration) {
+    if (iteration == 6) injector.killAtDispatch(1, 2);
+  };
+  framework::ResilientExecutor executor(ec);
+  const framework::RunStats stats = executor.run(chaos->app(), &injector);
+
+  EXPECT_EQ(stats.failuresHandled, 1);
+  EXPECT_EQ(stats.iterationsCompleted, 9);
+  const std::string diff =
+      harness::compareDigests(golden.result, chaos->digest(), 1e-6);
+  EXPECT_EQ(diff, "");
+}
+
+}  // namespace
+}  // namespace rgml

@@ -264,5 +264,113 @@ TEST_F(AppStoreTest, RestoreWithoutCommitRejected) {
   EXPECT_THROW(store.restore(), apgas::ApgasError);
 }
 
+TEST_F(AppStoreTest, CancelAfterSaveReadOnlyKeepsCommittedSnapshot) {
+  // Regression for the saveReadOnly <-> cancelSnapshot interaction: the
+  // cancelled in-progress snapshot holds a reference to the *same*
+  // Snapshot object the committed snapshot reuses for read-only state.
+  // Cancelling must drop only that reference — never the committed
+  // snapshot's own entry, and never alias-corrupt it.
+  AppResilientStore store;
+  SnapshottableScalars readOnly(1, PlaceGroup::world());
+  SnapshottableScalars mutable1(1, PlaceGroup::world());
+  readOnly[0] = 3.14;
+  mutable1[0] = 1.0;
+
+  store.setIteration(10);
+  store.startNewSnapshot();
+  store.saveReadOnly(readOnly);
+  store.save(mutable1);
+  store.commit();
+
+  // Second checkpoint reuses the read-only Snapshot, then dies mid-way.
+  mutable1[0] = 2.0;
+  store.setIteration(20);
+  store.startNewSnapshot();
+  store.saveReadOnly(readOnly);
+  store.save(mutable1);
+  store.cancelSnapshot();
+
+  // The committed snapshot is fully intact, including the shared
+  // read-only Snapshot, and restores both objects.
+  EXPECT_EQ(store.latestCommittedIteration(), 10);
+  EXPECT_EQ(store.committedObjectCount(), 2u);
+  readOnly[0] = -1.0;
+  mutable1[0] = -1.0;
+  store.restore();
+  EXPECT_EQ(readOnly[0], 3.14);
+  EXPECT_EQ(mutable1[0], 1.0);
+
+  // And a later checkpoint can still reuse the same read-only Snapshot.
+  store.setIteration(30);
+  store.startNewSnapshot();
+  store.saveReadOnly(readOnly);
+  store.save(mutable1);
+  store.commit();
+  EXPECT_EQ(store.latestCommittedIteration(), 30);
+  readOnly[0] = -2.0;
+  store.restore();
+  EXPECT_EQ(readOnly[0], 3.14);
+}
+
+TEST_F(AppStoreTest, CancelledReuseChainSurvivesManyCheckpoints) {
+  // The same Snapshot object flows through a commit / cancel / commit
+  // chain; each cancel must leave every previously committed reference
+  // valid (shared ownership, no use-after-free, no double release).
+  AppResilientStore store;
+  SnapshottableScalars readOnly(1, PlaceGroup::world());
+  readOnly[0] = 7.0;
+  for (long it = 1; it <= 5; ++it) {
+    store.setIteration(it);
+    store.startNewSnapshot();
+    store.saveReadOnly(readOnly);
+    if (it % 2 == 0) {
+      store.cancelSnapshot();
+    } else {
+      store.commit();
+    }
+  }
+  EXPECT_EQ(store.latestCommittedIteration(), 5);
+  readOnly[0] = 0.0;
+  store.restore();
+  EXPECT_EQ(readOnly[0], 7.0);
+}
+
+TEST_F(AppStoreTest, FullModeDisablesReadOnlyReuse) {
+  // CheckpointMode::Full is the ablation baseline: saveReadOnly saves
+  // fresh every checkpoint, so the second checkpoint re-copies the bytes.
+  AppResilientStore store;
+  store.setMode(CheckpointMode::Full);
+  SnapshottableScalars readOnly(4, PlaceGroup::world());
+
+  store.setIteration(1);
+  store.startNewSnapshot();
+  store.saveReadOnly(readOnly);
+  store.commit();
+  const auto first = store.lastCheckpointStats();
+
+  store.setIteration(2);
+  store.startNewSnapshot();
+  store.saveReadOnly(readOnly);
+  store.commit();
+  const auto second = store.lastCheckpointStats();
+
+  EXPECT_GT(first.freshBytes, 0u);
+  EXPECT_EQ(second.freshBytes, first.freshBytes);
+  EXPECT_EQ(second.carriedBytes, 0u);
+
+  // Whereas the default (delta) mode reuses the committed Snapshot.
+  AppResilientStore delta;
+  delta.setIteration(1);
+  delta.startNewSnapshot();
+  delta.saveReadOnly(readOnly);
+  delta.commit();
+  delta.setIteration(2);
+  delta.startNewSnapshot();
+  delta.saveReadOnly(readOnly);
+  delta.commit();
+  EXPECT_EQ(delta.lastCheckpointStats().freshBytes, 0u);
+  EXPECT_GT(delta.lastCheckpointStats().carriedBytes, 0u);
+}
+
 }  // namespace
 }  // namespace rgml::resilient
