@@ -2,9 +2,11 @@
 // sync — the fix for the linear-in-places collective cost that dominates
 // the paper's non-resilient PageRank scaling (Fig. 4 baseline).
 #include <cstdio>
+#include <vector>
 
 #include "apgas/runtime.h"
 #include "apps/workloads.h"
+#include "bench_util.h"
 #include "gml/dist_block_matrix.h"
 #include "gml/dist_vector.h"
 #include "gml/dup_vector.h"
@@ -48,18 +50,21 @@ double timePerIterationMs(int places, rgml::gml::DupVector::SyncAlgorithm alg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   std::printf("# Ablation: PageRank iteration time, flat vs binomial-tree "
               "rank broadcast (ms/iter)\n");
   std::printf("%8s %10s %10s %10s\n", "places", "flat", "tree", "speedup");
-  for (int places : {2, 16, 44}) {
+  const std::vector<int> counts{2, 16, 44};
+  bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
+                   [&](std::size_t i) {
+    const int places = counts[i];
     const double flat =
         timePerIterationMs(places, gml::DupVector::SyncAlgorithm::Flat);
     const double tree =
         timePerIterationMs(places, gml::DupVector::SyncAlgorithm::Tree);
-    std::printf("%8d %10.1f %10.1f %9.2fx\n", places, flat, tree,
-                flat / tree);
-  }
+    return bench::rowf("%8d %10.1f %10.1f %9.2fx\n", places, flat, tree,
+                       flat / tree);
+  });
   return 0;
 }

@@ -18,6 +18,9 @@
 // checkpoint (AppResilientStore::lastCheckpointStats().freshBytes);
 // carried-forward bytes cost nothing. Times are simulated ms.
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "apps/linreg_resilient.h"
 #include "apps/logreg_resilient.h"
@@ -76,19 +79,20 @@ ModeReport measure(const Config& config, int places, CheckpointMode mode) {
 }
 
 template <typename ResilientApp, typename Config>
-void row(const char* name, const Config& config, int places) {
+std::string row(const char* name, const Config& config, int places) {
   const auto full =
       measure<ResilientApp>(config, places, CheckpointMode::Full);
   const auto ro =
       measure<ResilientApp>(config, places, CheckpointMode::ReadOnlyReuse);
   const auto delta =
       measure<ResilientApp>(config, places, CheckpointMode::Delta);
-  std::printf("%-9s %9.1f %8.1f %8.0f %9.1f %8.1f %8.0f %9.1f %8.1f %8.0f"
-              " %7.0fx\n",
-              name, full.firstMB, full.steadyMB, full.steadyMs, ro.firstMB,
-              ro.steadyMB, ro.steadyMs, delta.firstMB, delta.steadyMB,
-              delta.steadyMs,
-              delta.steadyMB > 0 ? full.steadyMB / delta.steadyMB : 0.0);
+  return rgml::bench::rowf(
+      "%-9s %9.1f %8.1f %8.0f %9.1f %8.1f %8.0f %9.1f %8.1f %8.0f"
+      " %7.0fx\n",
+      name, full.firstMB, full.steadyMB, full.steadyMs, ro.firstMB,
+      ro.steadyMB, ro.steadyMs, delta.firstMB, delta.steadyMB,
+      delta.steadyMs,
+      delta.steadyMB > 0 ? full.steadyMB / delta.steadyMB : 0.0);
 }
 
 /// Beyond saveReadOnly: a matrix that *does* change, but only in one of
@@ -133,7 +137,7 @@ void streamingRow(int places) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   constexpr int kPlaces = 8;
 
@@ -154,9 +158,15 @@ int main() {
   std::printf("%-9s %9s %8s %8s %9s %8s %8s %9s %8s %8s %8s\n", "app",
               "full-1st", "full-ss", "full-ms", "ro-1st", "ro-ss", "ro-ms",
               "delta-1st", "delta-ss", "delta-ms", "full/dl");
-  row<apps::LinRegResilient>("linreg", linreg, kPlaces);
-  row<apps::LogRegResilient>("logreg", logreg, kPlaces);
-  row<apps::PageRankResilient>("pagerank", pagerank, kPlaces);
+  const std::vector<std::function<std::string()>> rows{
+      [&] { return row<apps::LinRegResilient>("linreg", linreg, kPlaces); },
+      [&] { return row<apps::LogRegResilient>("logreg", logreg, kPlaces); },
+      [&] {
+        return row<apps::PageRankResilient>("pagerank", pagerank, kPlaces);
+      },
+  };
+  bench::sweepRows(bench::benchJobs(argc, argv), rows.size(),
+                   [&](std::size_t i) { return rows[i](); });
   streamingRow(kPlaces);
   std::printf(
       "# acceptance: pagerank full/dl >= 5x (the graph dominates its "

@@ -10,22 +10,28 @@
 // simultaneous primary+backup failures (see disk_checkpoint_test).
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
 #include "apgas/runtime.h"
+#include "bench_util.h"
 #include "gml/dist_block_matrix.h"
 #include "resilient/disk_checkpoint.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
-  const auto dir =
-      std::filesystem::temp_directory_path() / "rgml_ablation_disk";
-  std::filesystem::remove_all(dir);
 
   std::printf("# Ablation: checkpointing an 8 MB/place dense matrix, "
               "in-memory double storage vs disk staging (simulated ms)\n");
   std::printf("%8s %12s %12s %8s\n", "places", "in-memory", "disk",
               "ratio");
-  for (int places : {2, 8, 16, 32}) {
+  const std::vector<int> counts{2, 8, 16, 32};
+  bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
+                   [&](std::size_t i) {
+    const int places = counts[i];
+    // Per-row staging dir: rows run concurrently, so each needs its own.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("rgml_ablation_disk_" + std::to_string(places));
+    std::filesystem::remove_all(dir);
     apgas::Runtime::init(places, apgas::paperCalibratedCostModel(), true);
     auto pg = apgas::PlaceGroup::world();
     auto a = gml::DistBlockMatrix::makeDense(
@@ -41,9 +47,9 @@ int main() {
     resilient::persistToDisk(*snapshot, dir);
     const double diskMs = (rt.time() - d0) * 1e3;
 
-    std::printf("%8d %12.1f %12.1f %8.1f\n", places, memoryMs, diskMs,
-                diskMs / memoryMs);
     std::filesystem::remove_all(dir);
-  }
+    return bench::rowf("%8d %12.1f %12.1f %8.1f\n", places, memoryMs,
+                       diskMs, diskMs / memoryMs);
+  });
   return 0;
 }

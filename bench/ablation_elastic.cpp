@@ -12,7 +12,7 @@
 #include "apps/linreg_resilient.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   using framework::RestoreMode;
 
@@ -24,9 +24,12 @@ int main() {
               kPlaces);
   std::printf("%-18s %10s %12s %12s %14s\n", "mode", "total(s)",
               "restore(s)", "places-after", "alloc(pl-eq)");
-  for (RestoreMode mode :
-       {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
-        RestoreMode::ReplaceRedundant, RestoreMode::ReplaceElastic}) {
+  const std::vector<RestoreMode> modes{
+      RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
+      RestoreMode::ReplaceRedundant, RestoreMode::ReplaceElastic};
+  bench::sweepRows(bench::benchJobs(argc, argv), modes.size(),
+                   [&](std::size_t i) {
+    const RestoreMode mode = modes[i];
     const auto stats = bench::runWithFailure<apps::LinRegResilient>(
         config, kPlaces, mode);
     // Allocation footprint: replace-redundant holds 2 spares for the whole
@@ -35,9 +38,10 @@ int main() {
     double allocated = kPlaces;
     if (mode == RestoreMode::ReplaceRedundant) allocated += 2.0;
     if (mode == RestoreMode::ReplaceElastic) allocated += 0.5;
-    std::printf("%-18s %10.2f %12.2f %12zu %14.1f\n",
-                framework::toString(mode), stats.totalTime,
-                stats.restoreTime, stats.finalPlaces.size(), allocated);
-  }
+    return bench::rowf("%-18s %10.2f %12.2f %12zu %14.1f\n",
+                       framework::toString(mode), stats.totalTime,
+                       stats.restoreTime, stats.finalPlaces.size(),
+                       allocated);
+  });
   return 0;
 }

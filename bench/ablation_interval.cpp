@@ -12,7 +12,7 @@
 #include "bench_util.h"
 #include "framework/checkpoint_interval.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   using framework::RestoreMode;
 
@@ -27,23 +27,31 @@ int main() {
   std::printf("%10s %10s %12s %12s %10s\n", "interval", "total(s)",
               "checkpoint(s)", "restore(s)", "steps");
 
-  double measuredCheckpoint = 0.0;
-  double measuredIteration = 0.0;
   // Intervals beyond the failure iteration are unrecoverable by design
   // (no committed checkpoint yet), so the sweep stops at 40.
-  for (long interval : {2L, 5L, 10L, 20L, 40L}) {
+  const std::vector<long> intervals{2L, 5L, 10L, 20L, 40L};
+  std::vector<framework::RunStats> results(intervals.size());
+  bench::sweepRows(bench::benchJobs(argc, argv), intervals.size(),
+                   [&](std::size_t i) {
+    const long interval = intervals[i];
     const auto stats = bench::runWithFailure<apps::LinRegResilient>(
         config, kPlaces, RestoreMode::Shrink, interval, kFailAt);
-    std::printf("%10ld %10.2f %12.2f %12.2f %10ld\n", interval,
-                stats.totalTime, stats.checkpointTime, stats.restoreTime,
-                stats.stepsExecuted);
-    if (interval == 10) {
-      measuredCheckpoint =
-          stats.checkpointTime / static_cast<double>(stats.checkpointsTaken);
-      measuredIteration =
-          (stats.totalTime - stats.checkpointTime - stats.restoreTime) /
-          static_cast<double>(stats.stepsExecuted);
-    }
+    results[i] = stats;
+    return bench::rowf("%10ld %10.2f %12.2f %12.2f %10ld\n", interval,
+                       stats.totalTime, stats.checkpointTime,
+                       stats.restoreTime, stats.stepsExecuted);
+  });
+
+  double measuredCheckpoint = 0.0;
+  double measuredIteration = 0.0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i] != 10) continue;
+    const auto& stats = results[i];
+    measuredCheckpoint =
+        stats.checkpointTime / static_cast<double>(stats.checkpointsTaken);
+    measuredIteration =
+        (stats.totalTime - stats.checkpointTime - stats.restoreTime) /
+        static_cast<double>(stats.stepsExecuted);
   }
 
   // Young's recommendation for this schedule (one failure per run of ~60

@@ -6,7 +6,12 @@
 // reproduction target is the curve *shape*, not absolute numbers.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "apgas/cost_model.h"
 #include "apgas/fault_injector.h"
@@ -14,8 +19,60 @@
 #include "apgas/runtime.h"
 #include "apps/workloads.h"
 #include "framework/resilient_executor.h"
+#include "harness/job_pool.h"
 
 namespace rgml::bench {
+
+// ---- multi-core sweep plumbing -------------------------------------------
+// Every fig/table/ablation driver sweeps *independent* configurations
+// (place counts, modes, intervals): each data point re-initialises its
+// own simulated world, so with thread-local runtimes the points can run
+// on all cores. Rows are computed into index slots and printed in order —
+// output is byte-identical to the serial loop at any job count.
+
+/// Worker threads for a bench driver: `--jobs N` argument, else the
+/// RGML_JOBS environment variable, else all hardware threads.
+inline std::size_t benchJobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const long n = std::atol(argv[i + 1]);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+  }
+  if (const char* env = std::getenv("RGML_JOBS")) {
+    const long n = std::atol(env);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  return harness::defaultJobCount();
+}
+
+/// printf into a std::string (rows are formatted off-thread, then printed
+/// in index order by sweepRows).
+inline std::string rowf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+/// Compute `n` independent rows — fn(i) returns the formatted row — on
+/// `jobs` workers, each inside a private WorldGuard, and print them to
+/// stdout in index order.
+template <typename RowFn>
+void sweepRows(std::size_t jobs, std::size_t n, RowFn&& fn) {
+  std::vector<std::string> rows(n);
+  harness::parallelFor(jobs, n, [&](std::size_t i) {
+    apgas::WorldGuard guard;
+    rows[i] = fn(i);
+  });
+  for (const std::string& row : rows) std::fputs(row.c_str(), stdout);
+}
 
 /// Time per iteration (simulated ms) of `makeAndRun` over `iterations`
 /// steps, under the given finish mode.

@@ -8,7 +8,7 @@
 #include "apps/linreg.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   auto config = apps::benchLinRegConfig();
   // Every iteration costs identical simulated time (the model is
@@ -20,13 +20,16 @@ int main() {
               config.features, config.rowsPerPlace, config.iterations);
   std::printf("%8s %24s %22s %10s\n", "places", "non-resilient(ms/iter)",
               "resilient(ms/iter)", "overhead");
-  for (int places : apps::paperPlaceCounts()) {
+  const std::vector<int> counts = apps::paperPlaceCounts();
+  bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
+                   [&](std::size_t i) {
+    const int places = counts[i];
     const double plain =
         bench::timePerIterationMs<apps::LinReg>(config, places, false);
     const double resilient =
         bench::timePerIterationMs<apps::LinReg>(config, places, true);
-    std::printf("%8d %24.1f %22.1f %9.0f%%\n", places, plain, resilient,
-                (resilient / plain - 1.0) * 100.0);
-  }
+    return bench::rowf("%8d %24.1f %22.1f %9.0f%%\n", places, plain,
+                       resilient, (resilient / plain - 1.0) * 100.0);
+  });
   return 0;
 }

@@ -8,16 +8,19 @@
 #include "apps/logreg_resilient.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   using framework::RestoreMode;
   const auto config = apps::benchLogRegConfig();
   std::printf("# Figure 6: LogReg total runtime with one failure (s)\n");
   std::printf("%8s %18s %10s %18s %15s\n", "places", "shrink-rebalance",
               "shrink", "replace-redundant", "non-resilient");
-  // Same protocol per point as the paper; a 6-point place grid keeps
-  // the full sweep's wall time within budget on one core.
-  for (int places : {2, 8, 16, 24, 32, 44}) {
+  // Same protocol per point as the paper; each point simulates in its own
+  // thread-local world, so the grid fans out across all cores.
+  const std::vector<int> counts{2, 8, 16, 24, 32, 44};
+  bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
+                   [&](std::size_t i) {
+    const int places = counts[i];
     const double rebalance =
         bench::runWithFailure<apps::LogRegResilient>(
             config, places, RestoreMode::ShrinkRebalance)
@@ -31,8 +34,8 @@ int main() {
             .totalTime;
     const double baseline =
         bench::nonResilientTotalSeconds<apps::LogReg>(config, places);
-    std::printf("%8d %18.2f %10.2f %18.2f %15.2f\n", places, rebalance,
-                shrink, redundant, baseline);
-  }
+    return bench::rowf("%8d %18.2f %10.2f %18.2f %15.2f\n", places,
+                       rebalance, shrink, redundant, baseline);
+  });
   return 0;
 }

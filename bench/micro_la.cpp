@@ -37,6 +37,73 @@ void BM_GemvTrans(benchmark::State& state) {
 }
 BENCHMARK(BM_GemvTrans)->Args({1000, 100})->Args({5000, 100});
 
+void BM_Gemm(benchmark::State& state) {
+  const long m = state.range(0);
+  const long n = state.range(1);
+  const long k = state.range(2);
+  DenseMatrix a = makeUniformDense(m, k, 11);
+  DenseMatrix b = makeUniformDense(k, n, 12);
+  DenseMatrix c(m, n);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.span().data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k * 2);
+}
+BENCHMARK(BM_Gemm)
+    ->Args({512, 64, 512})
+    ->Args({2048, 64, 256})
+    ->Args({4096, 16, 4096});
+
+void BM_GemmRef(benchmark::State& state) {
+  const long m = state.range(0);
+  const long n = state.range(1);
+  const long k = state.range(2);
+  DenseMatrix a = makeUniformDense(m, k, 11);
+  DenseMatrix b = makeUniformDense(k, n, 12);
+  DenseMatrix c(m, n);
+  for (auto _ : state) {
+    gemm_ref(a, b, c);
+    benchmark::DoNotOptimize(c.span().data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k * 2);
+}
+BENCHMARK(BM_GemmRef)
+    ->Args({512, 64, 512})
+    ->Args({2048, 64, 256})
+    ->Args({4096, 16, 4096});
+
+void BM_Spmm(benchmark::State& state) {
+  const long n = state.range(0);
+  const long cols = state.range(1);
+  SparseCSR a = makeUniformSparse(n, n, 8, 13);
+  DenseMatrix b = makeUniformDense(n, cols, 14);
+  DenseMatrix c(n, cols);
+  for (auto _ : state) {
+    spmm(a, b, c);
+    benchmark::DoNotOptimize(c.span().data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * cols * 2);
+}
+BENCHMARK(BM_Spmm)->Args({10000, 16})->Args({10000, 64})->Args({100000, 16});
+
+void BM_SpmmRef(benchmark::State& state) {
+  const long n = state.range(0);
+  const long cols = state.range(1);
+  SparseCSR a = makeUniformSparse(n, n, 8, 13);
+  DenseMatrix b = makeUniformDense(n, cols, 14);
+  DenseMatrix c(n, cols);
+  for (auto _ : state) {
+    spmm_ref(a, b, c);
+    benchmark::DoNotOptimize(c.span().data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * cols * 2);
+}
+BENCHMARK(BM_SpmmRef)
+    ->Args({10000, 16})
+    ->Args({10000, 64})
+    ->Args({100000, 16});
+
 void BM_SpmvCSR(benchmark::State& state) {
   const long n = state.range(0);
   const long nnzPerRow = state.range(1);

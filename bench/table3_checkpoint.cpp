@@ -64,7 +64,7 @@ CheckpointCost measure(const Config& config, int places) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   // Larger per-place state than the iteration benches (the paper keeps
   // 200 MB/place; we keep ~32 MB/place) so that snapshot data transfers,
@@ -86,16 +86,19 @@ int main() {
       "# Table III: mean time per checkpoint (ms); first/steady breakdown\n");
   std::printf("%8s %22s %22s %22s\n", "places", "LinReg (first/steady)",
               "LogReg (first/steady)", "PageRank (first/steady)");
-  for (int places : apps::paperPlaceCounts()) {
+  const std::vector<int> counts = apps::paperPlaceCounts();
+  bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
+                   [&](std::size_t i) {
+    const int places = counts[i];
     const auto lin = measure<apps::LinRegResilient>(linreg, places);
     const auto log = measure<apps::LogRegResilient>(logreg, places);
     const auto pr = measure<apps::PageRankResilient>(pagerank, places);
-    std::printf("%8d %10.0f (%5.0f/%4.0f) %10.0f (%5.0f/%4.0f) "
-                "%10.0f (%5.0f/%4.0f)\n",
-                places, lin.meanMs, lin.firstMs, lin.steadyMs, log.meanMs,
-                log.firstMs, log.steadyMs, pr.meanMs, pr.firstMs,
-                pr.steadyMs);
-  }
+    return bench::rowf("%8d %10.0f (%5.0f/%4.0f) %10.0f (%5.0f/%4.0f) "
+                       "%10.0f (%5.0f/%4.0f)\n",
+                       places, lin.meanMs, lin.firstMs, lin.steadyMs,
+                       log.meanMs, log.firstMs, log.steadyMs, pr.meanMs,
+                       pr.firstMs, pr.steadyMs);
+  });
   std::printf(
       "# paper at 44 places: LinReg 2464, LogReg 2534, PageRank 534; "
       "<20%% growth from 12 to 44 places\n");

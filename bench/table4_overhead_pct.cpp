@@ -10,6 +10,9 @@
 // Key shape: shrink-rebalance has the highest R%; replace-redundant the
 // lowest.
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "apps/linreg_resilient.h"
 #include "apps/logreg_resilient.h"
@@ -21,22 +24,24 @@ namespace {
 constexpr int kPlaces = 44;
 
 template <typename ResilientApp, typename Config>
-void printRow(const char* name, const Config& config) {
+std::string makeRow(const char* name, const Config& config) {
   using rgml::framework::RestoreMode;
-  std::printf("%-10s", name);
+  std::string row = rgml::bench::rowf("%-10s", name);
   for (RestoreMode mode : {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
                            RestoreMode::ReplaceRedundant}) {
     const auto stats = rgml::bench::runWithFailure<ResilientApp>(
         config, kPlaces, mode);
-    std::printf(" %7.0f %7.0f", stats.checkpointTime / stats.totalTime * 100,
-                stats.restoreTime / stats.totalTime * 100);
+    row += rgml::bench::rowf(" %7.0f %7.0f",
+                             stats.checkpointTime / stats.totalTime * 100,
+                             stats.restoreTime / stats.totalTime * 100);
   }
-  std::printf("\n");
+  row += "\n";
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rgml;
   std::printf(
       "# Table IV: %% of total time in checkpoint (C) / restore (R), "
@@ -46,8 +51,21 @@ int main() {
               "repl-redundant");
   std::printf("%-10s %7s %7s %7s %7s %7s %7s\n", "app", "C%", "R%", "C%",
               "R%", "C%", "R%");
-  printRow<apps::LinRegResilient>("LinReg", apps::benchLinRegConfig());
-  printRow<apps::LogRegResilient>("LogReg", apps::benchLogRegConfig());
-  printRow<apps::PageRankResilient>("PageRank", apps::benchPageRankConfig());
+  const std::vector<std::function<std::string()>> rows{
+      [] {
+        return makeRow<apps::LinRegResilient>("LinReg",
+                                              apps::benchLinRegConfig());
+      },
+      [] {
+        return makeRow<apps::LogRegResilient>("LogReg",
+                                              apps::benchLogRegConfig());
+      },
+      [] {
+        return makeRow<apps::PageRankResilient>("PageRank",
+                                                apps::benchPageRankConfig());
+      },
+  };
+  bench::sweepRows(bench::benchJobs(argc, argv), rows.size(),
+                   [&](std::size_t i) { return rows[i](); });
   return 0;
 }

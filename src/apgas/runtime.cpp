@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
+#include <thread>
 
 namespace rgml::apgas {
 
@@ -12,7 +14,7 @@ constexpr std::uint64_t kEnvelopeBytes = 64;
 constexpr std::uint64_t kCtrlBytes = 48;
 }  // namespace
 
-std::unique_ptr<Runtime> Runtime::instance_;
+thread_local std::unique_ptr<Runtime> Runtime::instance_;
 
 Runtime::Runtime(int numPlaces, const CostModel& cm, bool resilient)
     : cm_(cm),
@@ -28,11 +30,24 @@ void Runtime::init(int numPlaces, const CostModel& cm, bool resilientFinish) {
 }
 
 Runtime& Runtime::world() {
-  if (!instance_) throw ApgasError("Runtime not initialised; call init()");
+  if (!instance_) {
+    std::ostringstream os;
+    os << "Runtime::world(): no simulated world on thread "
+       << std::this_thread::get_id()
+       << " (never initialised, or already torn down); call Runtime::init()"
+          " or open a WorldGuard on this thread first";
+    throw ApgasError(os.str());
+  }
   return *instance_;
 }
 
 bool Runtime::initialized() { return static_cast<bool>(instance_); }
+
+std::unique_ptr<Runtime> Runtime::detach() { return std::move(instance_); }
+
+void Runtime::attach(std::unique_ptr<Runtime> world) {
+  instance_ = std::move(world);
+}
 
 std::vector<PlaceId> Runtime::addPlaces(int n) {
   // Joining places start "now": at the maximum clock over live places, as a

@@ -12,10 +12,11 @@
 //   * Places are logical entities with private heaps (Runtime owns a
 //     per-place map from handle id to object). Killing a place destroys its
 //     heap, so lost data is *really* lost — restore code cannot cheat.
-//   * Tasks execute depth-first on the single host thread. GML's
+//   * Tasks execute depth-first on the host thread owning the world. GML's
 //     operations are fork-join data-parallel (the paper runs one worker
 //     thread per place, X10_NTHREADS=1), so this ordering is semantically
-//     equivalent to the real schedule.
+//     equivalent to the real schedule. Worlds are thread-local, so many
+//     independent simulations can run concurrently, one per host thread.
 //   * Each place carries a virtual clock. asyncAt/at/finish advance the
 //     clocks using CostModel; computational kernels charge analytic flop
 //     counts. Benchmarks report virtual time, which reproduces the paper's
@@ -53,17 +54,32 @@ struct RuntimeStats {
 
 class Runtime {
  public:
-  /// (Re)initialise the world with `numPlaces` live places, a cost model
-  /// and the finish mode. Destroys all previous state; every test and
-  /// benchmark starts with an init() call.
+  /// (Re)initialise the calling thread's world with `numPlaces` live
+  /// places, a cost model and the finish mode. Destroys the thread's
+  /// previous world; every test and benchmark starts with an init() call.
+  ///
+  /// Worlds are thread-local: each OS thread owns a private simulated
+  /// world (places, heaps, clocks, stats, kill listeners) with zero
+  /// sharing, so independent scenarios can run on a thread pool without
+  /// synchronisation. Use WorldGuard to scope a world to a block.
   static void init(int numPlaces, const CostModel& cm = CostModel{},
                    bool resilientFinish = false);
 
-  /// The singleton world. Must be initialised first.
+  /// The calling thread's world. Throws ApgasError (naming the thread) if
+  /// this thread never initialised a world or its world was torn down.
   static Runtime& world();
 
-  /// True between init() and process exit.
+  /// True while the calling thread has a live world.
   static bool initialized();
+
+  /// Detach the calling thread's world (may be null), leaving the slot
+  /// empty. Building block of WorldGuard; also lets a driver park its
+  /// world across a scope that re-initialises.
+  static std::unique_ptr<Runtime> detach();
+
+  /// Install `world` as the calling thread's world (replacing any current
+  /// one; null clears the slot).
+  static void attach(std::unique_ptr<Runtime> world);
 
   // ---- topology -------------------------------------------------------
   /// Total places ever created (live + dead); ids are 0..numPlaces()-1.
@@ -238,7 +254,33 @@ class Runtime {
   std::function<void(long)> dispatchHook_;
   long dispatchCount_ = 0;
 
-  static std::unique_ptr<Runtime> instance_;
+  static thread_local std::unique_ptr<Runtime> instance_;
+};
+
+/// RAII scope for a thread-local simulated world: parks the calling
+/// thread's current world (if any), initialises a fresh one, and restores
+/// the previous world on destruction. A worker thread wraps each unit of
+/// work in a WorldGuard so private heaps, clocks, fault hooks and stats
+/// never leak between jobs — and so an enclosing driver's world survives.
+class WorldGuard {
+ public:
+  explicit WorldGuard(int numPlaces, const CostModel& cm = CostModel{},
+                      bool resilientFinish = false)
+      : previous_(Runtime::detach()) {
+    Runtime::init(numPlaces, cm, resilientFinish);
+  }
+
+  /// Park the current world without initialising a new one; the scope
+  /// starts with no world (Runtime::init may be called inside it).
+  WorldGuard() : previous_(Runtime::detach()) {}
+
+  WorldGuard(const WorldGuard&) = delete;
+  WorldGuard& operator=(const WorldGuard&) = delete;
+
+  ~WorldGuard() { Runtime::attach(std::move(previous_)); }
+
+ private:
+  std::unique_ptr<Runtime> previous_;
 };
 
 // ---- X10-flavoured free functions ---------------------------------------

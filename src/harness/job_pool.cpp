@@ -1,0 +1,127 @@
+#include "harness/job_pool.h"
+
+#include <algorithm>
+
+namespace rgml::harness {
+
+std::size_t defaultJobCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+JobPool::JobPool(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard lock(stateMutex_);
+    shutdown_ = true;
+  }
+  stateCv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void JobPool::submit(std::function<void()> job) {
+  std::size_t target;
+  {
+    std::lock_guard lock(stateMutex_);
+    ++pending_;
+    ++queued_;
+    target = nextQueue_;
+    nextQueue_ = (nextQueue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->jobs.push_back(std::move(job));
+  }
+  stateCv_.notify_all();
+}
+
+std::function<void()> JobPool::takeJob(std::size_t self) {
+  // Own queue first (LIFO: warm caches), then steal FIFO from the others.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard lock(q.mutex);
+    if (!q.jobs.empty()) {
+      auto job = std::move(q.jobs.back());
+      q.jobs.pop_back();
+      return job;
+    }
+  }
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard lock(q.mutex);
+    if (!q.jobs.empty()) {
+      auto job = std::move(q.jobs.front());
+      q.jobs.pop_front();
+      return job;
+    }
+  }
+  return {};
+}
+
+void JobPool::workerLoop(std::size_t self) {
+  for (;;) {
+    {
+      // `queued_` flips to > 0 under stateMutex_ before the notify, so a
+      // worker can never sleep through a submission (no missed wakeup).
+      std::unique_lock lock(stateMutex_);
+      stateCv_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (shutdown_) return;
+    }
+    std::function<void()> job = takeJob(self);
+    if (!job) continue;  // raced with another worker; re-check the state
+
+    {
+      std::lock_guard lock(stateMutex_);
+      --queued_;
+    }
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(stateMutex_);
+      if (error && !firstError_) firstError_ = error;
+      --pending_;
+    }
+    stateCv_.notify_all();
+  }
+}
+
+void JobPool::wait() {
+  std::unique_lock lock(stateMutex_);
+  stateCv_.wait(lock, [this] { return pending_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = firstError_;
+    firstError_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void parallelFor(std::size_t jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  JobPool pool(std::min(jobs, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace rgml::harness

@@ -1,0 +1,94 @@
+// A small work-stealing job pool for embarrassingly parallel sweeps.
+//
+// The simulated world is thread-local (see apgas/runtime.h), so thousands
+// of independent scenarios — chaos schedules, benchmark configurations,
+// shrink probes — can run concurrently with zero sharing: each worker
+// thread owns a private world per job. This pool is the one scheduler all
+// sweep drivers share (ChaosSweeper, tools/chaos_sweep, bench/*).
+//
+// Design: each worker owns a deque; submissions are dealt round-robin;
+// an idle worker pops from its own back and steals from the front of the
+// others. Jobs must not submit further jobs (sweeps enumerate their work
+// up front); the first exception thrown by any job is captured and
+// rethrown from wait().
+//
+// Determinism contract: parallelFor(jobs, n, fn) invokes fn(i) exactly
+// once for every i in [0, n) — callers write results into slot i of a
+// pre-sized vector and obtain output identical to a serial loop,
+// independent of the job count or interleaving. With jobs <= 1 (or n <=
+// 1) it degenerates to an inline loop on the calling thread: no threads,
+// no locks, byte-identical behaviour and performance to pre-pool code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rgml::harness {
+
+/// Job count to use when the user asked for "all cores".
+[[nodiscard]] std::size_t defaultJobCount();
+
+class JobPool {
+ public:
+  /// Spawns `threads` workers (>= 1; pass defaultJobCount() for all
+  /// cores). Workers idle until jobs are submitted.
+  explicit JobPool(std::size_t threads);
+
+  /// Joins the workers; discards any jobs never picked up (wait() first
+  /// for normal completion).
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue one job. Not allowed from inside a job.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished; rethrows the first
+  /// exception any job threw (the remaining jobs still run to
+  /// completion). The pool is reusable after wait() returns.
+  void wait();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  void workerLoop(std::size_t self);
+  /// Pop from the own deque's back, else steal from another's front;
+  /// empty function when every queue is (momentarily) empty.
+  std::function<void()> takeJob(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex stateMutex_;
+  std::condition_variable stateCv_;
+  std::size_t pending_ = 0;   ///< submitted but not yet finished
+  std::size_t queued_ = 0;    ///< submitted but not yet picked up
+  bool shutdown_ = false;
+  std::size_t nextQueue_ = 0; ///< round-robin submission cursor
+  std::exception_ptr firstError_;
+};
+
+/// Run fn(0) .. fn(n-1), fanning out across `jobs` workers (inline when
+/// jobs <= 1 or n <= 1). Returns after all calls completed; rethrows the
+/// first exception. Each index runs exactly once, so writing into
+/// pre-sized slot i yields results identical to the serial loop at any
+/// job count.
+void parallelFor(std::size_t jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace rgml::harness

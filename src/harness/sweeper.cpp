@@ -1,8 +1,10 @@
 #include "harness/sweeper.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "apgas/runtime.h"
+#include "harness/job_pool.h"
 
 namespace rgml::harness {
 
@@ -58,6 +60,9 @@ std::vector<apgas::PlaceId> ChaosSweeper::spareIds() const {
 }
 
 const GoldenRun& ChaosSweeper::golden(AppKind app) {
+  // std::map nodes are stable, so the returned reference outlives later
+  // insertions; the lock only covers the lookup/compute itself.
+  std::lock_guard lock(goldenMutex_);
   auto it = golden_.find(app);
   if (it == golden_.end()) {
     initWorld();
@@ -282,39 +287,74 @@ FaultSchedule ChaosSweeper::shrink(AppKind app,
 }
 
 SweepResult ChaosSweeper::run() {
+  const auto wallStart = std::chrono::steady_clock::now();
   SweepResult result;
   result.options = options_;
+  result.jobsUsed = std::max<std::size_t>(1, options_.jobs);
   for (framework::RestoreMode mode : options_.modes) {
     result.worstRestoreMs[toString(mode)] = 0.0;
   }
 
-  for (AppKind app : options_.apps) {
-    const ScheduleSpace space = scheduleSpace(app);
-    std::vector<FaultSchedule> schedules =
-        enumerateSingleKillSchedules(space);
-    if (options_.pairKills) {
-      const auto pairs = enumeratePairKillSchedules(space);
-      schedules.insert(schedules.end(), pairs.begin(), pairs.end());
-    }
-
-    for (const FaultSchedule& schedule : schedules) {
-      ScenarioOutcome out = runScenario(app, schedule);
-      ++result.scenariosRun;
-      auto& worst = result.worstRestoreMs[toString(schedule.mode)];
-      worst = std::max(worst, out.restoreMs);
-      if (isFailure(out.kind)) {
-        if (options_.shrinkFailures) {
-          out.minimalReproducer = shrink(app, schedule);
-          out.reproducerSetup = out.minimalReproducer.injectorSetup();
-        } else {
-          out.minimalReproducer = schedule;
-          out.reproducerSetup = schedule.injectorSetup();
-        }
-        result.failures.push_back(out);
+  struct Task {
+    AppKind app;
+    FaultSchedule schedule;
+  };
+  std::vector<Task> tasks;
+  {
+    // Golden runs (and the schedule spaces derived from them) are
+    // computed serially here, inside a guard so the caller's ambient
+    // world survives; workers below then only read the golden cache.
+    apgas::WorldGuard guard;
+    for (AppKind app : options_.apps) {
+      golden(app);
+      const ScheduleSpace space = scheduleSpace(app);
+      std::vector<FaultSchedule> schedules =
+          enumerateSingleKillSchedules(space);
+      if (options_.pairKills) {
+        const auto pairs = enumeratePairKillSchedules(space);
+        schedules.insert(schedules.end(), pairs.begin(), pairs.end());
       }
-      result.outcomes.push_back(std::move(out));
+      for (FaultSchedule& schedule : schedules) {
+        tasks.push_back(Task{app, std::move(schedule)});
+      }
     }
   }
+
+  // Scenario fan-out. Each worker runs (and, on failure, shrinks) its
+  // scenario in private thread-local worlds and writes the outcome into
+  // its own index slot, so the collected vector is identical to the
+  // serial loop's regardless of job count or interleaving.
+  std::vector<ScenarioOutcome> outcomes(tasks.size());
+  parallelFor(result.jobsUsed, tasks.size(), [&](std::size_t i) {
+    apgas::WorldGuard guard;
+    ScenarioOutcome out = runScenario(tasks[i].app, tasks[i].schedule);
+    if (isFailure(out.kind)) {
+      if (options_.shrinkFailures) {
+        out.minimalReproducer = shrink(tasks[i].app, tasks[i].schedule);
+        out.reproducerSetup = out.minimalReproducer.injectorSetup();
+      } else {
+        out.minimalReproducer = tasks[i].schedule;
+        out.reproducerSetup = tasks[i].schedule.injectorSetup();
+      }
+    }
+    outcomes[i] = std::move(out);
+  });
+
+  result.outcomes = std::move(outcomes);
+  result.scenariosRun = static_cast<long>(result.outcomes.size());
+  for (const ScenarioOutcome& out : result.outcomes) {
+    auto& worst = result.worstRestoreMs[toString(out.schedule.mode)];
+    worst = std::max(worst, out.restoreMs);
+    if (isFailure(out.kind)) result.failures.push_back(out);
+  }
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wallStart;
+  result.wallSeconds = wall.count();
+  result.scenariosPerSec =
+      result.wallSeconds > 0.0
+          ? static_cast<double>(result.scenariosRun) / result.wallSeconds
+          : 0.0;
   return result;
 }
 

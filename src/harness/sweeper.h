@@ -27,7 +27,9 @@
 // ready-to-paste FaultInjector setup is attached to the report.
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,13 @@ struct SweepOptions {
   /// exceeded = NonTermination.
   long stepBudgetFactor = 10;
   std::uint64_t seed = 42;
+  /// Worker threads for the scenario fan-out (1 = run inline on the
+  /// calling thread, the pre-pool behaviour). Scenarios are independent
+  /// simulated worlds (thread-local runtimes), and all per-scenario
+  /// randomness derives from `seed` and the scenario's own schedule — so
+  /// the result (outcomes, classifications, minimal reproducers, simulated
+  /// times) is identical at any job count; only wall-clock fields differ.
+  std::size_t jobs = 1;
   /// App construction hook; defaults to makeChaosApp. Tests substitute
   /// deliberately-broken wrappers to validate the sweeper's detection and
   /// shrinking (mutation testing).
@@ -103,6 +112,14 @@ struct SweepResult {
   /// toString(RestoreMode)).
   std::map<std::string, double> worstRestoreMs;
 
+  // Wall-clock sweep statistics. These are the only fields that depend on
+  // the job count or the hardware; writeJsonReport deliberately omits
+  // them so the JSON report is byte-identical at any --jobs value (the
+  // chaos_sweep tool emits them into BENCH_sweep.json instead).
+  std::size_t jobsUsed = 1;
+  double wallSeconds = 0.0;
+  double scenariosPerSec = 0.0;
+
   [[nodiscard]] bool allOk() const noexcept { return failures.empty(); }
 };
 
@@ -110,7 +127,13 @@ class ChaosSweeper {
  public:
   explicit ChaosSweeper(SweepOptions options);
 
-  /// Enumerate and run the whole sweep.
+  /// Enumerate and run the whole sweep. Golden runs are computed up front
+  /// on the calling thread; scenarios (and the shrinking of any failures)
+  /// then fan out across `options.jobs` worker threads, each running its
+  /// schedule in a private thread-local world. Results are collected by
+  /// scenario index, so outcome order — and the JSON report — is
+  /// independent of the job count. The calling thread's ambient world (if
+  /// any) is preserved across the call.
   [[nodiscard]] SweepResult run();
 
   /// Run one schedule against `app` in a fresh world and classify it
@@ -130,11 +153,16 @@ class ChaosSweeper {
   [[nodiscard]] ScheduleSpace scheduleSpace(AppKind app);
 
  private:
+  /// The cached golden run for `app`, computing it (in the calling
+  /// thread's world) on first use. Guarded by goldenMutex_ so concurrent
+  /// runScenario calls are safe; run() warms the cache serially before
+  /// fanning out, making worker accesses pure reads.
   const GoldenRun& golden(AppKind app);
   void initWorld();
   [[nodiscard]] std::vector<apgas::PlaceId> spareIds() const;
 
   SweepOptions options_;
+  std::mutex goldenMutex_;
   std::map<AppKind, GoldenRun> golden_;
 };
 

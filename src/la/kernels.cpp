@@ -1,5 +1,6 @@
 #include "la/kernels.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -83,6 +84,64 @@ void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
   } else if (beta != 1.0) {
     scale(C.span(), beta);
   }
+  // Cache-blocked jki: a kBlockI-row tile of C(:,j) stays resident while
+  // kBlockK columns of A stream through it, and adjacent k-columns are
+  // paired so each pass touches the C tile once for two rank-1 updates.
+  // Per element, the k-accumulations still happen in ascending k (blocks
+  // ascend, k ascends within a block, and each row i lives in exactly one
+  // tile), so results are bit-identical to gemm_ref.
+  constexpr long kBlockI = 512;  // 4 KB of a C column per tile
+  constexpr long kBlockK = 32;
+  const long m = A.rows();
+  const long n = B.cols();
+  const long depth = A.cols();
+  for (long j = 0; j < n; ++j) {
+    double* cj = C.col(j).data();
+    for (long kb = 0; kb < depth; kb += kBlockK) {
+      const long kEnd = std::min(kb + kBlockK, depth);
+      for (long ib = 0; ib < m; ib += kBlockI) {
+        const long iEnd = std::min(ib + kBlockI, m);
+        long k = kb;
+        for (; k + 1 < kEnd; k += 2) {
+          const double b0 = B(k, j);
+          const double b1 = B(k + 1, j);
+          if (b0 == 0.0 && b1 == 0.0) continue;
+          const double* a0 = A.col(k).data();
+          const double* a1 = A.col(k + 1).data();
+          if (b0 != 0.0 && b1 != 0.0) {
+            for (long i = ib; i < iEnd; ++i) {
+              double c = cj[i];
+              c += a0[i] * b0;
+              c += a1[i] * b1;
+              cj[i] = c;
+            }
+          } else if (b0 != 0.0) {
+            for (long i = ib; i < iEnd; ++i) cj[i] += a0[i] * b0;
+          } else {
+            for (long i = ib; i < iEnd; ++i) cj[i] += a1[i] * b1;
+          }
+        }
+        if (k < kEnd) {
+          const double bkj = B(k, j);
+          if (bkj != 0.0) {
+            const double* ak = A.col(k).data();
+            for (long i = ib; i < iEnd; ++i) cj[i] += ak[i] * bkj;
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_ref(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
+              double beta) {
+  assert(A.cols() == B.rows());
+  assert(C.rows() == A.rows() && C.cols() == B.cols());
+  if (beta == 0.0) {
+    C.setAll(0.0);
+  } else if (beta != 1.0) {
+    scale(C.span(), beta);
+  }
   // jki ordering: C(:,j) += A(:,k) * B(k,j); unit-stride inner loop.
   for (long j = 0; j < B.cols(); ++j) {
     auto cj = C.col(j);
@@ -100,6 +159,40 @@ void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
 
 void spmm(const SparseCSR& A, const DenseMatrix& B, DenseMatrix& C,
           double beta) {
+  assert(A.cols() == B.rows());
+  assert(C.rows() == A.rows() && C.cols() == B.cols());
+  if (beta == 0.0) {
+    C.setAll(0.0);
+  } else if (beta != 1.0) {
+    scale(C.span(), beta);
+  }
+  const auto& rowPtr = A.rowPtr();
+  const auto& colIdx = A.colIdx();
+  const auto& values = A.values();
+  // Walk C's row i and B's row col by pointer, stepping by the leading
+  // dimension, instead of recomputing j*ld + i per element as spmm_ref
+  // does. Accumulation order is unchanged, so results are bit-identical.
+  const long n = B.cols();
+  const long ldb = B.rows();
+  const long ldc = C.rows();
+  const double* bdata = B.span().data();
+  double* cdata = C.span().data();
+  for (long i = 0; i < A.rows(); ++i) {
+    for (long k = rowPtr[static_cast<std::size_t>(i)];
+         k < rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const long col = colIdx[static_cast<std::size_t>(k)];
+      const double v = values[static_cast<std::size_t>(k)];
+      double* cp = cdata + i;
+      const double* bp = bdata + col;
+      for (long j = 0; j < n; ++j, cp += ldc, bp += ldb) {
+        *cp += v * *bp;
+      }
+    }
+  }
+}
+
+void spmm_ref(const SparseCSR& A, const DenseMatrix& B, DenseMatrix& C,
+              double beta) {
   assert(A.cols() == B.rows());
   assert(C.rows() == A.rows() && C.cols() == B.cols());
   if (beta == 0.0) {

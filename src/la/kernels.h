@@ -53,15 +53,31 @@ void gemvTrans(const DenseMatrix& A, std::span<const double> x,
 
 // ---- dense matrix-matrix ----------------------------------------------------
 
-/// C = A*B (+beta*C).
+/// C = A*B (+beta*C). Cache-blocked (i/k tiles, k-pair unrolled); performs
+/// the per-element k-accumulations in the same ascending order as gemm_ref,
+/// so results are bit-identical to the reference kernel.
 void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
           double beta = 0.0);
 
+/// Reference C = A*B (+beta*C): the naive jki triple loop. Kept as the
+/// golden-equivalence oracle for the blocked gemm and as the baseline in
+/// micro_la.
+void gemm_ref(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C,
+              double beta = 0.0);
+
 // ---- sparse matrix-matrix ----------------------------------------------------
 
-/// C = A*B (+beta*C) with sparse A (CSR) and dense B, C.
+/// C = A*B (+beta*C) with sparse A (CSR) and dense B, C. The inner loop
+/// walks C's row i and B's row col by raw pointer + leading-dimension
+/// stride instead of recomputing the (i, j) index per element; accumulation
+/// order matches spmm_ref, so results are bit-identical.
 void spmm(const SparseCSR& A, const DenseMatrix& B, DenseMatrix& C,
           double beta = 0.0);
+
+/// Reference spmm: naive per-element C(i, j) indexing. The golden oracle
+/// for the pointer-stepped spmm and the baseline in micro_la.
+void spmm_ref(const SparseCSR& A, const DenseMatrix& B, DenseMatrix& C,
+              double beta = 0.0);
 
 // ---- sparse matrix-vector ---------------------------------------------------
 

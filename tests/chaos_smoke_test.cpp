@@ -125,6 +125,25 @@ TEST(ChaosSmoke, JsonReportHasSchemaFields) {
   }
 }
 
+TEST(ChaosSmoke, PrunedSweepWithTwoJobsIsCleanAndDeterministic) {
+  // Fast multi-worker smoke in the default suite: the pruned sweep fanned
+  // across two worker threads must stay clean and report exactly what the
+  // serial sweep reports.
+  SweepOptions opt = prunedOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.jobs = 2;
+  ChaosSweeper sweeper(opt);
+  const SweepResult result = sweeper.run();
+  EXPECT_EQ(result.jobsUsed, 2u);
+  EXPECT_GT(result.scenariosRun, 0);
+  EXPECT_TRUE(result.allOk()) << summarize(result);
+
+  SweepOptions serialOpt = prunedOptions();
+  serialOpt.modes = {framework::RestoreMode::Shrink};
+  ChaosSweeper serialSweeper(serialOpt);
+  EXPECT_EQ(toJson(result), toJson(serialSweeper.run()));
+}
+
 TEST(ChaosSmoke, FullSweepWhenRequested) {
   if (std::getenv("CHAOS_FULL") == nullptr) {
     GTEST_SKIP() << "set CHAOS_FULL=1 to run the exhaustive sweep";

@@ -1,0 +1,121 @@
+// Work-stealing job pool tests: completion, exception propagation, and the
+// parallelFor determinism contract (slot i holds fn(i)'s result regardless
+// of job count). These run under the tsan preset as well as the default
+// suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/job_pool.h"
+
+namespace rgml::harness {
+namespace {
+
+TEST(JobPool, DefaultJobCountIsPositive) {
+  EXPECT_GE(defaultJobCount(), 1u);
+}
+
+TEST(JobPool, RunsEverySubmittedJobExactlyOnce) {
+  JobPool pool(4);
+  std::atomic<long> counter{0};
+  std::vector<std::atomic<int>> ran(100);
+  for (auto& r : ran) r = 0;
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&, i] {
+      ran[static_cast<std::size_t>(i)]++;
+      counter++;
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+  for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(JobPool, WaitIsReusableAcrossBatches) {
+  JobPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter++; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&] { counter++; });
+  pool.submit([&] { counter++; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(JobPool, UnevenJobDurationsAllComplete) {
+  // Long jobs pile onto some queues; idle workers must steal the rest.
+  JobPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&, i] {
+      if (i % 8 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      counter++;
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(JobPool, FirstExceptionPropagatesFromWait) {
+  JobPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&, i] {
+      counter++;
+      if (i == 7) throw std::runtime_error("job 7 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Every job still ran: one failure does not cancel the batch.
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(JobPool, ParallelForFillsSlotsInIndexOrderAtAnyJobCount) {
+  const std::size_t n = 200;
+  std::vector<long> serial(n);
+  parallelFor(1, n, [&](std::size_t i) {
+    serial[i] = static_cast<long>(i) * 3 + 1;
+  });
+  for (std::size_t jobs : {2u, 4u, 8u}) {
+    std::vector<long> par(n);
+    parallelFor(jobs, n, [&](std::size_t i) {
+      par[i] = static_cast<long>(i) * 3 + 1;
+    });
+    EXPECT_EQ(par, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(JobPool, ParallelForHandlesDegenerateSizes) {
+  std::atomic<int> counter{0};
+  parallelFor(4, 0, [&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 0);
+  parallelFor(4, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    counter++;
+  });
+  EXPECT_EQ(counter.load(), 1);
+  // More jobs than items: the pool is sized down, every item still runs.
+  std::vector<int> hits(3, 0);
+  parallelFor(16, hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(JobPool, ParallelForPropagatesException) {
+  EXPECT_THROW(
+      parallelFor(4, 50,
+                  [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rgml::harness

@@ -1,0 +1,185 @@
+// Thread-local world isolation tests.
+//
+// Each OS thread owns a private simulated world (heaps, clocks, stats,
+// kill listeners). These tests run different applications with different
+// kill schedules on concurrent threads and assert nothing bleeds between
+// worlds — and that a thread without a world gets a descriptive error
+// instead of someone else's runtime. They carry the tsan label so the
+// ThreadSanitizer preset replays them under race detection.
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apgas/exceptions.h"
+#include "apgas/runtime.h"
+#include "harness/report.h"
+#include "harness/sweeper.h"
+
+namespace rgml::harness {
+namespace {
+
+using apgas::Runtime;
+using apgas::WorldGuard;
+
+SweepOptions prunedOptions() {
+  SweepOptions opt;
+  opt.apps = {AppKind::LinReg};
+  opt.iterations = 10;
+  opt.places = 4;
+  opt.spares = 2;
+  opt.checkpointInterval = 4;
+  opt.allVictims = false;
+  return opt;
+}
+
+TEST(WorldIsolation, WorldOnUninitialisedThreadThrowsDescriptiveError) {
+  std::string message;
+  bool threw = false;
+  std::thread t([&] {
+    try {
+      (void)Runtime::world();
+    } catch (const apgas::ApgasError& e) {
+      threw = true;
+      message = e.what();
+    }
+  });
+  t.join();
+  ASSERT_TRUE(threw) << "expected ApgasError from a world-less thread";
+  EXPECT_NE(message.find("no simulated world on thread"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("WorldGuard"), std::string::npos) << message;
+}
+
+TEST(WorldIsolation, WorldOnTornDownThreadThrowsDescriptiveError) {
+  Runtime::init(2);
+  ASSERT_TRUE(Runtime::initialized());
+  (void)Runtime::detach();  // tear down this thread's world
+  EXPECT_FALSE(Runtime::initialized());
+  EXPECT_THROW((void)Runtime::world(), apgas::ApgasError);
+}
+
+TEST(WorldIsolation, WorldGuardRestoresTheAmbientWorld) {
+  Runtime::init(6);
+  Runtime* outer = &Runtime::world();
+  {
+    WorldGuard guard(3);
+    EXPECT_EQ(Runtime::world().numPlaces(), 3);
+    EXPECT_NE(&Runtime::world(), outer);
+  }
+  EXPECT_EQ(&Runtime::world(), outer);
+  EXPECT_EQ(Runtime::world().numPlaces(), 6);
+  {
+    WorldGuard empty;  // parks the world without starting a new one
+    EXPECT_FALSE(Runtime::initialized());
+  }
+  EXPECT_EQ(&Runtime::world(), outer);
+}
+
+TEST(WorldIsolation, ConcurrentWorldsShareNoStatsClocksOrListeners) {
+  // Thread A kills places and registers a kill listener; thread B runs a
+  // failure-free world. A latch makes both worlds live simultaneously so
+  // any cross-thread bleed (shared singleton, shared listener list) would
+  // be observable — and, under TSan, a reported race.
+  std::latch bothLive(2);
+  int aKillsSeen = 0;
+  int bKillsSeen = 0;
+  apgas::RuntimeStats aStats, bStats;
+  int aPlaces = 0, bPlaces = 0;
+  bool aDead2 = false, bDead2 = false;
+
+  std::thread a([&] {
+    WorldGuard guard(4);
+    Runtime& rt = Runtime::world();
+    rt.addKillListener([&](apgas::PlaceId) { ++aKillsSeen; });
+    bothLive.arrive_and_wait();
+    rt.kill(apgas::PlaceId{1});
+    rt.kill(apgas::PlaceId{2});
+    aStats = rt.stats();
+    aPlaces = rt.numPlaces();
+    aDead2 = rt.isDead(apgas::PlaceId{2});
+  });
+  std::thread b([&] {
+    WorldGuard guard(9);
+    Runtime& rt = Runtime::world();
+    rt.addKillListener([&](apgas::PlaceId) { ++bKillsSeen; });
+    bothLive.arrive_and_wait();
+    rt.noteDataTransfer(1234);
+    bStats = rt.stats();
+    bPlaces = rt.numPlaces();
+    bDead2 = rt.isDead(apgas::PlaceId{2});
+  });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(aPlaces, 4);
+  EXPECT_EQ(bPlaces, 9);
+  EXPECT_EQ(aStats.placesKilled, 2);
+  EXPECT_EQ(bStats.placesKilled, 0);
+  EXPECT_TRUE(aDead2);
+  EXPECT_FALSE(bDead2);
+  EXPECT_EQ(aKillsSeen, 2) << "A's own listener must see A's kills";
+  EXPECT_EQ(bKillsSeen, 0) << "B's listener must never see A's kills";
+  EXPECT_EQ(aStats.dataMsgs, 0);
+  EXPECT_EQ(bStats.dataMsgs, 1);
+  EXPECT_EQ(bStats.bytesSent, 1234u);
+}
+
+TEST(WorldIsolation, ConcurrentSweepsOfDifferentAppsStayGolden) {
+  // Two full chaos sweeps — different apps, different kill schedules —
+  // running simultaneously. Each scenario checks its result digest against
+  // its own golden run, so any heap/clock bleed between the two threads
+  // shows up as a divergence.
+  std::latch start(2);
+  SweepResult linreg, pagerank;
+  std::thread a([&] {
+    SweepOptions opt = prunedOptions();
+    opt.modes = {framework::RestoreMode::Shrink};
+    start.arrive_and_wait();
+    linreg = ChaosSweeper(opt).run();
+  });
+  std::thread b([&] {
+    SweepOptions opt = prunedOptions();
+    opt.apps = {AppKind::PageRank};
+    opt.modes = {framework::RestoreMode::ReplaceRedundant};
+    opt.iterations = 8;
+    start.arrive_and_wait();
+    pagerank = ChaosSweeper(opt).run();
+  });
+  a.join();
+  b.join();
+  EXPECT_GT(linreg.scenariosRun, 0);
+  EXPECT_GT(pagerank.scenariosRun, 0);
+  EXPECT_TRUE(linreg.allOk()) << summarize(linreg);
+  EXPECT_TRUE(pagerank.allOk()) << summarize(pagerank);
+}
+
+TEST(WorldIsolation, ParallelSweepClassificationMatchesSerialExactly) {
+  // The acceptance bar for the parallel sweep engine: --jobs 8 must
+  // produce the same classification as --jobs 1, scenario for scenario,
+  // and an identical JSON report.
+  SweepOptions serialOpt = prunedOptions();
+  serialOpt.jobs = 1;
+  const SweepResult serial = ChaosSweeper(serialOpt).run();
+
+  SweepOptions parOpt = prunedOptions();
+  parOpt.jobs = 8;
+  const SweepResult parallel = ChaosSweeper(parOpt).run();
+
+  EXPECT_EQ(parallel.jobsUsed, 8u);
+  ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(parallel.outcomes[i].kind, serial.outcomes[i].kind)
+        << serial.outcomes[i].schedule.describe();
+    EXPECT_EQ(parallel.outcomes[i].schedule.describe(),
+              serial.outcomes[i].schedule.describe());
+    EXPECT_EQ(parallel.outcomes[i].detail, serial.outcomes[i].detail);
+  }
+  EXPECT_EQ(toJson(parallel), toJson(serial))
+      << "report must be byte-identical at any job count";
+}
+
+}  // namespace
+}  // namespace rgml::harness

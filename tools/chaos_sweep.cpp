@@ -8,7 +8,12 @@
 // Usage:
 //   chaos_sweep --app linreg --modes all --iters 12
 //   chaos_sweep --app all --modes shrink,replace-elastic --midstep \
-//               --pairs --victims all --out report.json
+//               --pairs --victims all --jobs 8 --out report.json
+//
+// Scenarios fan out across --jobs worker threads (default: all hardware
+// threads), each simulating its fault schedule in a private thread-local
+// world. The JSON report is byte-identical at any job count; wall-clock
+// throughput goes to stdout and to the BENCH_sweep.json artifact.
 //
 // Exit status: 0 when every scenario converged to the golden result,
 // 1 when any scenario failed (divergence / non-termination / leak /
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/job_pool.h"
 #include "harness/report.h"
 #include "harness/sweeper.h"
 
@@ -44,7 +50,11 @@ void usage(std::ostream& os) {
         "  --midstep     add mid-step killAtDispatch points\n"
         "  --pairs       add two-kill schedules\n"
         "  --tol X       divergence tolerance (default 1e-6)\n"
+        "  --jobs N      worker threads (default: hardware threads; the\n"
+        "                report is byte-identical at any job count)\n"
         "  --out FILE    JSON report path (default chaos_report.json)\n"
+        "  --bench-out FILE  wall-clock/throughput artifact\n"
+        "                (default BENCH_sweep.json; 'none' to skip)\n"
         "  --no-shrink   skip minimal-reproducer shrinking\n";
 }
 
@@ -62,7 +72,9 @@ std::vector<std::string> splitCommas(const std::string& s) {
 
 int main(int argc, char** argv) {
   SweepOptions opt;
+  opt.jobs = rgml::harness::defaultJobCount();
   std::string outPath = "chaos_report.json";
+  std::string benchOutPath = "BENCH_sweep.json";
 
   auto needValue = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -121,8 +133,17 @@ int main(int argc, char** argv) {
       opt.pairKills = true;
     } else if (arg == "--tol") {
       opt.tolerance = std::atof(needValue(i));
+    } else if (arg == "--jobs") {
+      const long jobs = std::atol(needValue(i));
+      if (jobs < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        return 2;
+      }
+      opt.jobs = static_cast<std::size_t>(jobs);
     } else if (arg == "--out") {
       outPath = needValue(i);
+    } else if (arg == "--bench-out") {
+      benchOutPath = needValue(i);
     } else if (arg == "--no-shrink") {
       opt.shrinkFailures = false;
     } else {
@@ -149,7 +170,26 @@ int main(int argc, char** argv) {
   const rgml::harness::SweepResult result = sweeper.run();
   rgml::harness::writeJsonReport(result, out);
 
+  // Perf trajectory artifact: wall-clock facts only (everything the main
+  // report deliberately omits to stay byte-identical across job counts).
+  if (benchOutPath != "none") {
+    std::ofstream bench(benchOutPath);
+    if (!bench) {
+      std::cerr << "cannot write " << benchOutPath << '\n';
+      return 2;
+    }
+    bench << "{\n  \"chaos_sweep_bench\": {\n"
+          << "    \"jobs\": " << result.jobsUsed << ",\n"
+          << "    \"scenarios\": " << result.scenariosRun << ",\n"
+          << "    \"wall_seconds\": " << result.wallSeconds << ",\n"
+          << "    \"scenarios_per_sec\": " << result.scenariosPerSec
+          << "\n  }\n}\n";
+  }
+
   std::cout << rgml::harness::summarize(result) << '\n'
+            << result.scenariosRun << " scenario(s) in " << result.wallSeconds
+            << " s with " << result.jobsUsed << " job(s): "
+            << result.scenariosPerSec << " scenarios/sec\n"
             << "report: " << outPath << '\n';
   return result.allOk() ? 0 : 1;
 }
