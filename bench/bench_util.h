@@ -6,11 +6,15 @@
 // reproduction target is the curve *shape*, not absolute numbers.
 #pragma once
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apgas/cost_model.h"
@@ -20,6 +24,8 @@
 #include "apps/workloads.h"
 #include "framework/resilient_executor.h"
 #include "harness/job_pool.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace_sink.h"
 
 namespace rgml::bench {
 
@@ -45,6 +51,68 @@ inline std::size_t benchJobs(int argc, char** argv) {
   }
   return harness::defaultJobCount();
 }
+
+/// --trace-out FILE argument for a bench driver; empty = tracing off.
+inline std::string benchTraceOut(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Per-driver span capture for --trace-out: each traced() call installs a
+/// fresh TraceSink around one measured run and banks the captured spans as
+/// one Chrome-trace lane. Runs may execute concurrently on sweepRows
+/// workers (the lane list is mutex-guarded); write() sorts lanes by name,
+/// so the exported file is identical at any job count — give each run a
+/// unique, sortable name (e.g. "linreg p08 shrink").
+class BenchTracer {
+ public:
+  explicit BenchTracer(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Run `fn` (returning non-void) with tracing installed and bank the
+  /// spans under `name`; with tracing disabled, just runs `fn`.
+  template <typename Fn>
+  auto traced(const std::string& name, Fn&& fn) {
+    if (!enabled()) return fn();
+    obs::TraceSink sink;
+    obs::SinkScope scope(&sink);
+    auto result = fn();
+    sink.abandonOpen(
+        apgas::Runtime::initialized() ? apgas::Runtime::world().time() : 0.0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    lanes_.push_back(obs::TraceLane{0, name, sink.takeSpans()});
+    return result;
+  }
+
+  /// Write the banked lanes as Chrome trace-event JSON; no-op when
+  /// tracing is off. Returns false when the file cannot be written.
+  bool write() {
+    if (!enabled()) return true;
+    std::sort(lanes_.begin(), lanes_.end(),
+              [](const obs::TraceLane& a, const obs::TraceLane& b) {
+                return a.name < b.name;
+              });
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      lanes_[i].pid = static_cast<int>(i) + 1;
+    }
+    std::ofstream os(path_);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    obs::writeChromeTrace(lanes_, os);
+    std::printf("# trace: %s (%zu lanes)\n", path_.c_str(), lanes_.size());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::vector<obs::TraceLane> lanes_;
+};
 
 /// printf into a std::string (rows are formatted off-thread, then printed
 /// in index order by sweepRows).

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
   using namespace rgml;
   using framework::RestoreMode;
   const auto config = apps::benchLogRegConfig();
+  // --trace-out FILE: one Chrome-trace lane per (places, restore mode) run.
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv));
   std::printf("# Figure 6: LogReg total runtime with one failure (s)\n");
   std::printf("%8s %18s %10s %18s %15s\n", "places", "shrink-rebalance",
               "shrink", "replace-redundant", "non-resilient");
@@ -21,21 +23,29 @@ int main(int argc, char** argv) {
   bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
                    [&](std::size_t i) {
     const int places = counts[i];
-    const double rebalance =
-        bench::runWithFailure<apps::LogRegResilient>(
-            config, places, RestoreMode::ShrinkRebalance)
-            .totalTime;
-    const double shrink = bench::runWithFailure<apps::LogRegResilient>(
-                              config, places, RestoreMode::Shrink)
-                              .totalTime;
-    const double redundant =
-        bench::runWithFailure<apps::LogRegResilient>(
-            config, places, RestoreMode::ReplaceRedundant)
-            .totalTime;
+    const double rebalance = tracer.traced(
+        bench::rowf("logreg p%02d shrink-rebalance", places), [&] {
+          return bench::runWithFailure<apps::LogRegResilient>(
+                     config, places, RestoreMode::ShrinkRebalance)
+              .totalTime;
+        });
+    const double shrink =
+        tracer.traced(bench::rowf("logreg p%02d shrink", places), [&] {
+          return bench::runWithFailure<apps::LogRegResilient>(
+                     config, places, RestoreMode::Shrink)
+              .totalTime;
+        });
+    const double redundant = tracer.traced(
+        bench::rowf("logreg p%02d replace-redundant", places), [&] {
+          return bench::runWithFailure<apps::LogRegResilient>(
+                     config, places, RestoreMode::ReplaceRedundant)
+              .totalTime;
+        });
     const double baseline =
         bench::nonResilientTotalSeconds<apps::LogReg>(config, places);
     return bench::rowf("%8d %18.2f %10.2f %18.2f %15.2f\n", places,
                        rebalance, shrink, redundant, baseline);
   });
+  tracer.write();
   return 0;
 }

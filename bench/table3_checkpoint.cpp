@@ -86,13 +86,25 @@ int main(int argc, char** argv) {
       "# Table III: mean time per checkpoint (ms); first/steady breakdown\n");
   std::printf("%8s %22s %22s %22s\n", "places", "LinReg (first/steady)",
               "LogReg (first/steady)", "PageRank (first/steady)");
+  // --trace-out FILE: one Chrome-trace lane per (app, places) measurement,
+  // showing the three checkpoints' store.save/commit spans.
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv));
   const std::vector<int> counts = apps::paperPlaceCounts();
   bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
                    [&](std::size_t i) {
     const int places = counts[i];
-    const auto lin = measure<apps::LinRegResilient>(linreg, places);
-    const auto log = measure<apps::LogRegResilient>(logreg, places);
-    const auto pr = measure<apps::PageRankResilient>(pagerank, places);
+    const auto lin =
+        tracer.traced(bench::rowf("linreg p%02d checkpoints", places), [&] {
+          return measure<apps::LinRegResilient>(linreg, places);
+        });
+    const auto log =
+        tracer.traced(bench::rowf("logreg p%02d checkpoints", places), [&] {
+          return measure<apps::LogRegResilient>(logreg, places);
+        });
+    const auto pr = tracer.traced(
+        bench::rowf("pagerank p%02d checkpoints", places), [&] {
+          return measure<apps::PageRankResilient>(pagerank, places);
+        });
     return bench::rowf("%8d %10.0f (%5.0f/%4.0f) %10.0f (%5.0f/%4.0f) "
                        "%10.0f (%5.0f/%4.0f)\n",
                        places, lin.meanMs, lin.firstMs, lin.steadyMs,
@@ -102,5 +114,6 @@ int main(int argc, char** argv) {
   std::printf(
       "# paper at 44 places: LinReg 2464, LogReg 2534, PageRank 534; "
       "<20%% growth from 12 to 44 places\n");
+  tracer.write();
   return 0;
 }

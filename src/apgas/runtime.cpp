@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace_sink.h"
+
 namespace rgml::apgas {
 
 namespace {
@@ -76,6 +78,12 @@ void Runtime::kill(PlaceId p) {
   dead_.insert(p);
   heaps_[static_cast<std::size_t>(p)].clear();
   ++stats_.placesKilled;
+  if (auto* sink = obs::TraceSink::current()) {
+    sink->instant(obs::Category::Kill, "kill", -1, static_cast<int>(p),
+                  clocks_[static_cast<std::size_t>(p)], 0,
+                  {{"victim", std::to_string(p)}});
+    sink->metrics().add("runtime.places_killed");
+  }
   // Copy: a listener may (un)register other listeners.
   auto listeners = killListeners_;
   for (auto& [token, fn] : listeners) fn(p);
@@ -285,12 +293,31 @@ void Runtime::chargeComm(Place to, std::uint64_t bytes) {
   // peer's worker does not stall (its runtime buffers the data). Ordering
   // across places is established by the enclosing finish, whose completion
   // already dominates every sender's clock.
+  const double start = clocks_[from];
   clocks_[from] += cm_.commTime(bytes);
+  if (auto* sink = obs::TraceSink::current()) {
+    sink->span(obs::Category::Comms, "comm", -1, static_cast<int>(from),
+               start, clocks_[from], bytes,
+               {{"to", std::to_string(to.id())}});
+    sink->metrics().add("comms.data_msgs");
+    sink->metrics().add("comms.bytes_sent", bytes);
+  }
 }
 
 void Runtime::noteDataTransfer(std::uint64_t bytes) {
   ++stats_.dataMsgs;
   stats_.bytesSent += bytes;
+  if (auto* sink = obs::TraceSink::current()) {
+    // Collective payloads whose critical-path time is modelled elsewhere
+    // (tree broadcast): account the bytes at the current place's clock
+    // without a duration.
+    sink->instant(obs::Category::Comms, "data-transfer", -1,
+                  static_cast<int>(hereStack_.back()),
+                  clocks_[static_cast<std::size_t>(hereStack_.back())],
+                  bytes);
+    sink->metrics().add("comms.data_msgs");
+    sink->metrics().add("comms.bytes_sent", bytes);
+  }
 }
 
 void Runtime::advance(double seconds) {

@@ -187,6 +187,13 @@ class Runtime {
   /// Toggle resilient finish (benchmarks flip this between sweeps).
   void setResilientFinish(bool on) noexcept { resilient_ = on; }
 
+  /// Stats are a member of the world, not a process-global: Runtime::init
+  /// always starts them at zero, and detach()/attach() carry them with
+  /// the parked world (a resumed world keeps counting; a *fresh* world
+  /// never inherits another run's dataMsgs/bytesSent). Bench rows and
+  /// sweep scenarios each init their own world, so per-row numbers can
+  /// never be inflated by a predecessor (world_isolation_test guards
+  /// this).
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
   void resetStats() { stats_ = RuntimeStats{}; }
 

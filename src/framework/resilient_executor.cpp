@@ -1,7 +1,10 @@
 #include "framework/resilient_executor.h"
 
+#include <string>
+
 #include "apgas/runtime.h"
 #include "framework/trace.h"
+#include "obs/trace_sink.h"
 
 namespace rgml::framework {
 
@@ -89,13 +92,31 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
     config_.trace->record(event);
   };
 
+  obs::TraceSink* sink = obs::TraceSink::current();
+  const char* modeName = toString(config_.mode);
+  // Step/checkpoint durations in the paper's range: 0.1 ms .. 10 s.
+  const std::vector<double> kSecondsBuckets{1e-4, 1e-3, 1e-2, 0.1, 1.0,
+                                            10.0};
+
   while (!app.isFinished()) {
+    std::size_t stepSpan = 0;
     try {
       if (config_.maxSteps > 0 && stats.stepsExecuted >= config_.maxSteps) {
         throw StepBudgetExceeded(config_.maxSteps, iter);
       }
       const double s0 = rt.time();
+      if (sink != nullptr) {
+        stepSpan = sink->open(obs::Category::Step, "step", iter + 1,
+                              rt.here().id(), s0);
+      }
       app.step();
+      if (sink != nullptr) {
+        sink->close(stepSpan, rt.time(), 0, {{"mode", modeName}});
+        sink->metrics().add("executor.steps");
+        sink->metrics()
+            .histogram("executor.step_seconds", kSecondsBuckets)
+            .observe(rt.time() - s0);
+      }
       record(TraceEvent::Kind::Step, iter + 1, s0, rt.time());
       ++stats.stepsExecuted;
       ++iter;
@@ -110,11 +131,23 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
       }
       if (iter % config_.checkpointInterval == 0) {
         const double c0 = rt.time();
+        std::size_t ckptSpan = 0;
+        if (sink != nullptr) {
+          ckptSpan = sink->open(obs::Category::CheckpointSave, "checkpoint",
+                                iter, rt.here().id(), c0);
+        }
         store_.setIteration(iter);
         app.checkpoint(store_);
         if (store_.inProgress()) {
           throw apgas::ApgasError(
               "checkpoint() returned without commit() or cancelSnapshot()");
+        }
+        if (sink != nullptr) {
+          sink->close(ckptSpan, rt.time(), 0, {{"mode", modeName}});
+          sink->metrics().add("executor.checkpoints");
+          sink->metrics()
+              .histogram("executor.checkpoint_seconds", kSecondsBuckets)
+              .observe(rt.time() - c0);
         }
         record(TraceEvent::Kind::Checkpoint, iter, c0, rt.time());
         stats.checkpointTime += rt.time() - c0;
@@ -122,12 +155,37 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
       }
     } catch (...) {
       const std::exception_ptr ep = std::current_exception();
-      if (!isDeadPlaceFailure(ep)) std::rethrow_exception(ep);
+      if (!isDeadPlaceFailure(ep)) {
+        if (sink != nullptr) sink->abandonOpen(rt.time());
+        std::rethrow_exception(ep);
+      }
       const double r0 = rt.time();
-      record(TraceEvent::Kind::Failure, iter, r0, r0,
-             firstDeadPlaceOf(ep));
+      const apgas::PlaceId victim = firstDeadPlaceOf(ep);
+      std::size_t restoreSpan = 0;
+      if (sink != nullptr) {
+        // The failure interrupted whichever step/checkpoint spans were
+        // open; close them before recording the recovery work.
+        sink->abandonOpen(r0);
+        sink->instant(obs::Category::Kill, "failure", iter,
+                      static_cast<int>(victim), r0, 0,
+                      {{"victim", std::to_string(victim)},
+                       {"mode", modeName}});
+        restoreSpan = sink->open(obs::Category::Restore, "restore", iter,
+                                 rt.here().id(), r0);
+      }
+      record(TraceEvent::Kind::Failure, iter, r0, r0, victim);
       iter = handleFailure(app);
-      record(TraceEvent::Kind::Restore, iter, r0, rt.time());
+      if (sink != nullptr) {
+        sink->close(restoreSpan, rt.time(), 0,
+                    {{"mode", modeName},
+                     {"victim", std::to_string(victim)},
+                     {"restored_to", std::to_string(iter)}});
+        sink->metrics().add("executor.failures");
+        sink->metrics()
+            .histogram("executor.restore_seconds", kSecondsBuckets)
+            .observe(rt.time() - r0);
+      }
+      record(TraceEvent::Kind::Restore, iter, r0, rt.time(), victim);
       stats.restoreTime += rt.time() - r0;
       ++stats.failuresHandled;
       if (config_.checkpointAfterRestore) {

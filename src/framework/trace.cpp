@@ -1,6 +1,9 @@
 #include "framework/trace.h"
 
 #include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
 
 namespace rgml::framework {
 
@@ -37,33 +40,62 @@ double ExecutionTrace::totalTime(TraceEvent::Kind kind) const {
 std::string ExecutionTrace::timeline() const {
   std::string out;
   char line[160];
+  // snprintf returns the *would-be* length when the buffer is too small
+  // (extreme simulated times / iteration counts); appending that many
+  // bytes from `line` would read past the buffer. Re-format oversized
+  // lines into an exactly-sized heap buffer instead of truncating.
+  auto append = [&](const char* fmt, auto... args) {
+    const int written = std::snprintf(line, sizeof(line), fmt, args...);
+    if (written < 0) return;
+    if (static_cast<std::size_t>(written) < sizeof(line)) {
+      out.append(line, static_cast<std::size_t>(written));
+    } else {
+      std::string big(static_cast<std::size_t>(written) + 1, '\0');
+      std::snprintf(big.data(), big.size(), fmt, args...);
+      out.append(big.data(), static_cast<std::size_t>(written));
+    }
+  };
   for (const auto& e : events_) {
-    int written;
     switch (e.kind) {
       case TraceEvent::Kind::Failure:
-        written = std::snprintf(line, sizeof(line),
-                                "[%9.3fs .. %9.3fs] %-10s iter %-4ld "
-                                "place %d\n",
-                                e.startTime, e.endTime, toString(e.kind),
-                                e.iteration, e.victim);
+        append("[%9.3fs .. %9.3fs] %-10s iter %-4ld place %d\n",
+               e.startTime, e.endTime, toString(e.kind), e.iteration,
+               e.victim);
         break;
       case TraceEvent::Kind::Restore:
-        written = std::snprintf(line, sizeof(line),
-                                "[%9.3fs .. %9.3fs] %-10s iter %-4ld "
-                                "mode %s\n",
-                                e.startTime, e.endTime, toString(e.kind),
-                                e.iteration, toString(e.mode));
+        append("[%9.3fs .. %9.3fs] %-10s iter %-4ld mode %s place %d\n",
+               e.startTime, e.endTime, toString(e.kind), e.iteration,
+               toString(e.mode), e.victim);
         break;
       default:
-        written = std::snprintf(line, sizeof(line),
-                                "[%9.3fs .. %9.3fs] %-10s iter %ld\n",
-                                e.startTime, e.endTime, toString(e.kind),
-                                e.iteration);
+        append("[%9.3fs .. %9.3fs] %-10s iter %ld\n", e.startTime,
+               e.endTime, toString(e.kind), e.iteration);
         break;
     }
-    if (written > 0) out.append(line, static_cast<std::size_t>(written));
   }
   return out;
+}
+
+std::string ExecutionTrace::toJson() const {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"events\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    os << (i ? ", " : "") << "{\"kind\": \"" << toString(e.kind)
+       << "\", \"iteration\": " << e.iteration << ", \"start\": "
+       << e.startTime << ", \"end\": " << e.endTime;
+    if (e.kind == TraceEvent::Kind::Failure ||
+        e.kind == TraceEvent::Kind::Restore) {
+      os << ", \"victim\": " << e.victim;
+    }
+    if (e.kind == TraceEvent::Kind::Restore) {
+      os << ", \"mode\": \"" << toString(e.mode) << '"';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace rgml::framework

@@ -19,8 +19,11 @@ struct TraceEvent {
   long iteration = 0;      ///< logical iteration the event belongs to
   double startTime = 0.0;  ///< simulated seconds
   double endTime = 0.0;
-  apgas::PlaceId victim = apgas::kInvalidPlace;  ///< Failure events
-  RestoreMode mode = RestoreMode::Shrink;        ///< Restore events
+  /// Failure events: the place that died. Restore events: the victim of
+  /// the failure that triggered the rollback, so a post-mortem can
+  /// correlate each restore with its failure.
+  apgas::PlaceId victim = apgas::kInvalidPlace;
+  RestoreMode mode = RestoreMode::Shrink;  ///< Restore events
 
   [[nodiscard]] double duration() const { return endTime - startTime; }
 };
@@ -46,7 +49,14 @@ class ExecutionTrace {
   /// A human-readable timeline, one line per event:
   ///   [  0.123s ..   0.150s] step       iter 12
   ///   [  0.150s ..   0.150s] failure    iter 12  place 3
+  ///   [  0.150s ..   0.190s] restore    iter 10  mode shrink place 3
   [[nodiscard]] std::string timeline() const;
+
+  /// Machine-readable export: {"events": [{"kind": "...", "iteration": N,
+  /// "start": x, "end": x}, ...]}. Failure and Restore events additionally
+  /// carry "victim"; Restore events carry "mode" — together they let a
+  /// post-mortem pair every rollback with the failure that caused it.
+  [[nodiscard]] std::string toJson() const;
 
  private:
   std::vector<TraceEvent> events_;

@@ -8,6 +8,7 @@
 #include "gml/collectives.h"
 #include "la/kernels.h"
 #include "la/rand.h"
+#include "obs/trace_sink.h"
 #include "resilient/restore_overlap.h"
 
 namespace rgml::gml {
@@ -413,10 +414,34 @@ void DistBlockMatrix::restoreSnapshot(const resilient::Snapshot& snapshot) {
     throw apgas::ApgasError(
         "DistBlockMatrix::restoreSnapshot: missing grid metadata");
   }
-  if (meta->grid() == grid_) {
-    restoreBlockByBlock(snapshot);
-  } else {
-    restoreRepartitioned(snapshot, meta->grid());
+  // The two restore paths the paper's §VII-C cost analysis contrasts:
+  // same grid = whole-block copies; new grid = overlap-region assembly.
+  const bool sameGrid = meta->grid() == grid_;
+  obs::TraceSink* sink = obs::TraceSink::current();
+  std::size_t span = 0;
+  if (sink != nullptr) {
+    Runtime& rt = Runtime::world();
+    span = sink->open(obs::Category::Restore,
+                      sameGrid ? "restore.block-by-block"
+                               : "restore.repartitioned",
+                      -1, static_cast<int>(rt.here().id()), rt.time());
+  }
+  try {
+    if (sameGrid) {
+      restoreBlockByBlock(snapshot);
+    } else {
+      restoreRepartitioned(snapshot, meta->grid());
+    }
+  } catch (...) {
+    if (sink != nullptr) {
+      sink->close(span, Runtime::world().time(), 0, {{"aborted", "true"}});
+    }
+    throw;
+  }
+  if (sink != nullptr) {
+    sink->close(span, Runtime::world().time(), snapshot.totalBytes(),
+                {{"path", sameGrid ? "block-by-block" : "repartitioned"},
+                 {"entries", std::to_string(snapshot.numEntries())}});
   }
 }
 

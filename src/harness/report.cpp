@@ -44,6 +44,23 @@ std::string num(double v) {
   return os.str();
 }
 
+/// One compact line per span for the divergence trace tails.
+std::string spanLine(const obs::Span& s) {
+  std::ostringstream os;
+  os << '[' << num(s.startTime) << "s.." << num(s.endTime) << "s] "
+     << obs::toString(s.category) << ' ' << s.name;
+  if (s.iteration >= 0) os << " iter=" << s.iteration;
+  if (s.place >= 0) os << " p" << s.place;
+  if (s.bytes > 0) os << " bytes=" << s.bytes;
+  for (const auto& [key, value] : s.args) os << ' ' << key << '=' << value;
+  return os.str();
+}
+
+/// How many trailing spans a divergence entry quotes. Enough to show the
+/// failing step, the restore that preceded it, and the checkpoint context
+/// without bloating the report.
+constexpr std::size_t kTraceTailSpans = 16;
+
 }  // namespace
 
 void writeJsonReport(const SweepResult& result, std::ostream& os) {
@@ -86,7 +103,19 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
        << f.firstDivergentIteration << ", \"minimal_reproducer\": \""
        << jsonEscape(f.minimalReproducer.describe())
        << "\", \"injector_setup\": \"" << jsonEscape(f.reproducerSetup)
-       << "\"}";
+       << '"';
+    if (!f.spans.empty()) {
+      os << ", \"trace_tail\": [";
+      const std::size_t start =
+          f.spans.size() > kTraceTailSpans ? f.spans.size() - kTraceTailSpans
+                                           : 0;
+      for (std::size_t j = start; j < f.spans.size(); ++j) {
+        os << (j > start ? ", " : "") << '"' << jsonEscape(spanLine(f.spans[j]))
+           << '"';
+      }
+      os << ']';
+    }
+    os << '}';
   }
   os << (result.failures.empty() ? "" : "\n    ") << "],\n";
 
@@ -117,6 +146,44 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
 std::string toJson(const SweepResult& result) {
   std::ostringstream os;
   writeJsonReport(result, os);
+  return os.str();
+}
+
+std::vector<obs::TraceLane> traceLanes(const SweepResult& result) {
+  std::vector<obs::TraceLane> lanes;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const ScenarioOutcome& o = result.outcomes[i];
+    if (o.spans.empty()) continue;
+    obs::TraceLane lane;
+    lane.pid = static_cast<int>(i) + 1;
+    lane.name = std::string(toString(o.app)) + ' ' + o.schedule.describe();
+    lane.spans = o.spans;
+    lanes.push_back(std::move(lane));
+  }
+  return lanes;
+}
+
+void writeChromeTrace(const SweepResult& result, std::ostream& os) {
+  obs::writeChromeTrace(traceLanes(result), os);
+}
+
+std::string toChromeTraceJson(const SweepResult& result) {
+  std::ostringstream os;
+  writeChromeTrace(result, os);
+  return os.str();
+}
+
+void writeMetricsJson(const SweepResult& result, std::ostream& os) {
+  obs::MetricsRegistry folded;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    folded.merge(o.metrics);
+  }
+  folded.writeJson(os);
+}
+
+std::string toMetricsJson(const SweepResult& result) {
+  std::ostringstream os;
+  writeMetricsJson(result, os);
   return os.str();
 }
 

@@ -18,12 +18,21 @@
 //         "failures_handled": N, "restore_ms": x, "total_ms": x } ]
 //   }
 // }
+// When the sweep ran with SweepOptions::captureTraces, each divergence
+// entry additionally carries a "trace_tail" array — the last few spans of
+// the failing scenario's trace, rendered one compact line per span — and
+// the whole sweep can be exported as a Chrome trace-event file
+// (writeChromeTrace, one lane per scenario) or a folded metrics document
+// (writeMetricsJson). All of these derive from simulated time only, so
+// they are byte-identical at any --jobs value.
 #pragma once
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "harness/sweeper.h"
+#include "obs/chrome_trace.h"
 
 namespace rgml::harness {
 
@@ -35,5 +44,23 @@ void writeJsonReport(const SweepResult& result, std::ostream& os);
 
 /// One-paragraph human summary (CLI output, test failure messages).
 [[nodiscard]] std::string summarize(const SweepResult& result);
+
+/// One Chrome-trace lane per scenario that captured spans: pid is the
+/// 1-based scenario index, the lane name is "<app> <schedule>", and tids
+/// within the lane are the emitting places. Empty when the sweep ran
+/// without captureTraces.
+[[nodiscard]] std::vector<obs::TraceLane> traceLanes(
+    const SweepResult& result);
+
+/// Chrome trace-event JSON for the whole sweep (load in Perfetto or
+/// chrome://tracing). Lanes are folded in scenario-index order.
+void writeChromeTrace(const SweepResult& result, std::ostream& os);
+[[nodiscard]] std::string toChromeTraceJson(const SweepResult& result);
+
+/// All scenario metrics registries folded in scenario-index order
+/// (counters add up, histograms merge bucket-wise), written as the
+/// MetricsRegistry JSON document.
+void writeMetricsJson(const SweepResult& result, std::ostream& os);
+[[nodiscard]] std::string toMetricsJson(const SweepResult& result);
 
 }  // namespace rgml::harness

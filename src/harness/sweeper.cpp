@@ -5,6 +5,7 @@
 
 #include "apgas/runtime.h"
 #include "harness/job_pool.h"
+#include "obs/trace_sink.h"
 
 namespace rgml::harness {
 
@@ -172,6 +173,13 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
 
   const int worldAtStart = Runtime::world().numPlaces();
   framework::ResilientExecutor executor(ec);
+  // Per-scenario trace capture. The local sink is installed for the
+  // executor run only — capture is switched off as soon as run() returns,
+  // so the digest/leak bookkeeping below never pollutes the trace. With
+  // captureTraces off, nullptr is installed instead, which also shields an
+  // ambient sink (e.g. a bench driver tracing itself) from scenario noise.
+  obs::TraceSink sink;
+  obs::SinkScope traceScope(options_.captureTraces ? &sink : nullptr);
   try {
     // Dispatch kills are armed immediately before run() so their offsets
     // count application dispatches only (matching the golden-derived
@@ -182,6 +190,7 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
       }
     }
     const framework::RunStats stats = executor.run(chaos->app(), &injector);
+    obs::TraceSink::swap(nullptr);  // stop capture; scope restores later
     out.failuresHandled = stats.failuresHandled;
     out.restoreMs = stats.restoreTime * 1000.0;
     out.totalMs = stats.totalTime * 1000.0;
@@ -265,6 +274,12 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
   } catch (const std::exception& e) {
     out.kind = OutcomeKind::ExecutorError;
     out.detail = e.what();
+  }
+  if (options_.captureTraces) {
+    obs::TraceSink::swap(nullptr);  // idempotent after the in-try swap
+    sink.abandonOpen(Runtime::initialized() ? Runtime::world().time() : 0.0);
+    out.spans = sink.takeSpans();
+    out.metrics = sink.metrics();
   }
   return out;
 }

@@ -35,6 +35,8 @@
 
 #include "harness/golden.h"
 #include "harness/schedule.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rgml::harness {
 
@@ -65,6 +67,12 @@ struct ScenarioOutcome {
   /// For failures: the shrunk schedule and its FaultInjector setup.
   FaultSchedule minimalReproducer;
   std::string reproducerSetup;
+  /// Captured only when SweepOptions::captureTraces is set: the scenario's
+  /// span trace (executor steps, store saves/commits/restores, runtime
+  /// comms) and folded metrics. Spans carry simulated time only, so they
+  /// are identical at any job count.
+  std::vector<obs::Span> spans;
+  obs::MetricsRegistry metrics;
 };
 
 struct SweepOptions {
@@ -84,6 +92,10 @@ struct SweepOptions {
   bool pairKills = false;
   /// Shrink failing schedules to minimal reproducers.
   bool shrinkFailures = true;
+  /// Install a per-scenario TraceSink around the executor run and attach
+  /// the captured spans/metrics to each ScenarioOutcome (report trace
+  /// tails, writeChromeTrace, writeMetricsJson).
+  bool captureTraces = false;
   double tolerance = 1e-6;
   /// Step budget = stepBudgetFactor * iterations (+ a constant slack);
   /// exceeded = NonTermination.

@@ -1,0 +1,102 @@
+#include "obs/chrome_trace.h"
+
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+namespace rgml::obs {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+/// Simulated seconds -> Chrome trace microseconds.
+std::string us(double seconds) { return num(seconds * 1e6); }
+
+int tidOf(const Span& s) { return s.place >= 0 ? s.place : 0; }
+
+}  // namespace
+
+void writeChromeTrace(const std::vector<TraceLane>& lanes,
+                      std::ostream& os) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+
+  for (const TraceLane& lane : lanes) {
+    sep();
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+       << lane.pid << ", \"tid\": 0, \"args\": {\"name\": \""
+       << jsonEscape(lane.name) << "\"}}";
+    std::set<int> tids;
+    for (const Span& s : lane.spans) tids.insert(tidOf(s));
+    for (int tid : tids) {
+      sep();
+      os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+         << lane.pid << ", \"tid\": " << tid
+         << ", \"args\": {\"name\": \"place " << tid << "\"}}";
+    }
+    for (const Span& s : lane.spans) {
+      sep();
+      os << "  {\"name\": \"" << jsonEscape(s.name) << "\", \"cat\": \""
+         << toString(s.category) << "\", \"ph\": \"X\", \"ts\": "
+         << us(s.startTime) << ", \"dur\": "
+         << us(s.endTime - s.startTime) << ", \"pid\": " << lane.pid
+         << ", \"tid\": " << tidOf(s) << ", \"args\": {\"iteration\": "
+         << s.iteration << ", \"bytes\": " << s.bytes
+         << ", \"depth\": " << s.depth;
+      for (const auto& [key, value] : s.args) {
+        os << ", \"" << jsonEscape(key) << "\": \"" << jsonEscape(value)
+           << '"';
+      }
+      os << "}}";
+    }
+  }
+  os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string toChromeTraceJson(const std::vector<TraceLane>& lanes) {
+  std::ostringstream os;
+  writeChromeTrace(lanes, os);
+  return os.str();
+}
+
+}  // namespace rgml::obs

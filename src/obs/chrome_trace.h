@@ -1,0 +1,35 @@
+// Chrome trace-event exporter: serialises captured spans as the JSON
+// object format consumed by Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing.
+//
+// Each TraceLane becomes one "process" (pid + process_name metadata);
+// each emitting place becomes a "thread" (tid) inside it, so a chaos
+// sweep exports one lane per scenario and the per-place timelines line
+// up vertically. Every span is a complete event ("ph": "X") with
+// microsecond ts/dur derived from *simulated* seconds — the export is
+// byte-identical across job counts and machines.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace rgml::obs {
+
+/// One process row of the exported trace.
+struct TraceLane {
+  int pid = 1;
+  std::string name;          ///< process_name metadata (scenario label)
+  std::vector<Span> spans;
+};
+
+/// Write `lanes` as a Chrome trace-event JSON object
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+void writeChromeTrace(const std::vector<TraceLane>& lanes, std::ostream& os);
+
+[[nodiscard]] std::string toChromeTraceJson(
+    const std::vector<TraceLane>& lanes);
+
+}  // namespace rgml::obs

@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rgml::obs {
+
+namespace {
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : upperBounds_(std::move(upperBounds)),
+      bucketCounts_(upperBounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < upperBounds_.size(); ++i) {
+    if (upperBounds_[i] <= upperBounds_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: upper bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = upperBounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < upperBounds_.size(); ++i) {
+    if (value <= upperBounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  if (bucketCounts_.empty()) bucketCounts_.assign(1, 0);
+  ++bucketCounts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 && upperBounds_.empty()) {
+    *this = other;
+    return;
+  }
+  if (upperBounds_ != other.upperBounds_) {
+    throw std::invalid_argument(
+        "Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < bucketCounts_.size(); ++i) {
+    bucketCounts_[i] += other.bucketCounts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upperBounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upperBounds))).first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] = value;
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << num(value);
+    first = false;
+  }
+  os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << name
+       << "\": {\"count\": " << hist.count()
+       << ", \"sum\": " << num(hist.sum()) << ", \"bounds\": [";
+    for (std::size_t i = 0; i < hist.upperBounds().size(); ++i) {
+      os << (i ? ", " : "") << num(hist.upperBounds()[i]);
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t i = 0; i < hist.bucketCounts().size(); ++i) {
+      os << (i ? ", " : "") << hist.bucketCounts()[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+}  // namespace rgml::obs

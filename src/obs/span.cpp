@@ -1,0 +1,27 @@
+#include "obs/span.h"
+
+namespace rgml::obs {
+
+const char* toString(Category category) {
+  switch (category) {
+    case Category::Step:
+      return "step";
+    case Category::CheckpointSave:
+      return "checkpoint-save";
+    case Category::CheckpointCommit:
+      return "checkpoint-commit";
+    case Category::CheckpointCancel:
+      return "checkpoint-cancel";
+    case Category::Restore:
+      return "restore";
+    case Category::Comms:
+      return "comms";
+    case Category::Kill:
+      return "kill";
+    case Category::Run:
+      return "run";
+  }
+  return "?";
+}
+
+}  // namespace rgml::obs

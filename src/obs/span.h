@@ -1,0 +1,62 @@
+// Span: the unit of the unified observability layer (src/obs/).
+//
+// A span is one timed interval of work in the simulated execution — an
+// executor step, a store save, a restore path, a data message — tagged
+// with the category, logical iteration, place, payload bytes, and
+// free-form key/value annotations (restore mode, victim place, code
+// path). Spans carry *simulated* time only: no wall-clock field exists,
+// so a captured trace is bit-identical across job counts and machines.
+//
+// The obs module depends on nothing but the standard library; every
+// layer of the system (apgas runtime, resilient store, GML matrices,
+// framework executor, chaos harness) can include it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rgml::obs {
+
+/// What kind of work a span measures. Mirrors the phases the paper's
+/// evaluation attributes time to (step / checkpoint / restore), plus the
+/// runtime-level activities underneath them.
+enum class Category {
+  Step,              ///< one application iteration
+  CheckpointSave,    ///< snapshotting state into the store
+  CheckpointCommit,  ///< atomic promotion of an in-progress snapshot
+  CheckpointCancel,  ///< discarding a half-taken snapshot
+  Restore,           ///< rollback work (store + GML restore paths)
+  Comms,             ///< data messages between places
+  Kill,              ///< a place failure
+  Run,               ///< anything else (whole-run umbrella, harness)
+};
+
+[[nodiscard]] const char* toString(Category category);
+
+struct Span {
+  Category category = Category::Run;
+  std::string name;        ///< e.g. "step", "store.save", "comm"
+  long iteration = -1;     ///< logical iteration; -1 when not applicable
+  int place = -1;          ///< emitting place; -1 when not place-bound
+  double startTime = 0.0;  ///< simulated seconds
+  double endTime = 0.0;    ///< simulated seconds (== startTime: instant)
+  std::uint64_t bytes = 0; ///< payload bytes attributed to this span
+  int depth = 0;           ///< nesting depth at emission (0 = top level)
+  /// Extra annotations, e.g. {"mode", "shrink"}, {"victim", "3"},
+  /// {"path", "repartitioned"}. Exported into the Chrome-trace `args`.
+  std::vector<std::pair<std::string, std::string>> args;
+
+  [[nodiscard]] double duration() const { return endTime - startTime; }
+
+  /// The value of annotation `key`; empty string when absent.
+  [[nodiscard]] std::string arg(const std::string& key) const {
+    for (const auto& [k, v] : args) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+};
+
+}  // namespace rgml::obs

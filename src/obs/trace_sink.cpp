@@ -1,0 +1,85 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+
+namespace rgml::obs {
+
+namespace {
+thread_local TraceSink* currentSink = nullptr;
+}  // namespace
+
+TraceSink* TraceSink::current() noexcept { return currentSink; }
+
+TraceSink* TraceSink::swap(TraceSink* sink) noexcept {
+  TraceSink* previous = currentSink;
+  currentSink = sink;
+  return previous;
+}
+
+void TraceSink::span(Category category, std::string name, long iteration,
+                     int place, double startTime, double endTime,
+                     std::uint64_t bytes, Args args) {
+  Span s;
+  s.category = category;
+  s.name = std::move(name);
+  s.iteration = iteration;
+  s.place = place;
+  s.startTime = startTime;
+  s.endTime = endTime;
+  s.bytes = bytes;
+  s.depth = static_cast<int>(openStack_.size());
+  s.args = std::move(args);
+  spans_.push_back(std::move(s));
+}
+
+void TraceSink::instant(Category category, std::string name, long iteration,
+                        int place, double at, std::uint64_t bytes,
+                        Args args) {
+  span(category, std::move(name), iteration, place, at, at, bytes,
+       std::move(args));
+}
+
+std::size_t TraceSink::open(Category category, std::string name,
+                            long iteration, int place, double startTime) {
+  Span s;
+  s.category = category;
+  s.name = std::move(name);
+  s.iteration = iteration;
+  s.place = place;
+  s.startTime = startTime;
+  s.endTime = startTime;  // placeholder: unclosed spans export as instants
+  s.depth = static_cast<int>(openStack_.size());
+  spans_.push_back(std::move(s));
+  const std::size_t id = spans_.size() - 1;
+  openStack_.push_back(id);
+  return id;
+}
+
+void TraceSink::close(std::size_t id, double endTime, std::uint64_t bytes,
+                      Args args) {
+  if (id >= spans_.size()) return;
+  Span& s = spans_[id];
+  s.endTime = endTime;
+  s.bytes += bytes;
+  for (auto& kv : args) s.args.push_back(std::move(kv));
+  openStack_.erase(std::remove(openStack_.begin(), openStack_.end(), id),
+                   openStack_.end());
+}
+
+void TraceSink::abandonOpen(double endTime) {
+  while (!openStack_.empty()) {
+    const std::size_t id = openStack_.back();
+    openStack_.pop_back();
+    Span& s = spans_[id];
+    s.endTime = endTime;
+    s.args.emplace_back("aborted", "true");
+  }
+}
+
+void TraceSink::clear() {
+  spans_.clear();
+  openStack_.clear();
+  metrics_ = MetricsRegistry{};
+}
+
+}  // namespace rgml::obs

@@ -1,0 +1,106 @@
+// TraceSink: the per-world collector of the observability layer.
+//
+// One sink gathers the spans and metrics of one simulated execution. The
+// "current" sink is a thread_local pointer — the same per-thread-local-
+// world model as apgas::Runtime (PR 3's WorldGuard): each worker thread
+// of a parallel sweep installs its own sink around its own scenario, so
+// concurrent scenarios record into disjoint sinks with zero sharing, and
+// folding the sinks in scenario-index order yields output identical to a
+// serial run at any job count.
+//
+// Emission points (apgas::Runtime, resilient::AppResilientStore,
+// gml::DistBlockMatrix, framework::ResilientExecutor) consult
+// TraceSink::current() and do nothing when it is null — tracing costs
+// one pointer test when disabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace rgml::obs {
+
+class TraceSink {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  // ---- the thread-local current sink ---------------------------------
+  /// The calling thread's installed sink; null = tracing disabled.
+  [[nodiscard]] static TraceSink* current() noexcept;
+  /// Install `sink` (may be null) for the calling thread; returns the
+  /// previously installed sink. Prefer SinkScope.
+  static TraceSink* swap(TraceSink* sink) noexcept;
+
+  // ---- complete spans -------------------------------------------------
+  /// Record a finished span in one call. Depth is the number of spans
+  /// currently open via open().
+  void span(Category category, std::string name, long iteration, int place,
+            double startTime, double endTime, std::uint64_t bytes = 0,
+            Args args = {});
+
+  /// Record a zero-duration event (failures, kills, fire-and-forget
+  /// transfers that advance no clock).
+  void instant(Category category, std::string name, long iteration,
+               int place, double at, std::uint64_t bytes = 0,
+               Args args = {});
+
+  // ---- open/close spans (nesting) ------------------------------------
+  /// Open a span; returns its id for close(). Spans opened while another
+  /// is open record a greater depth. Until closed, the span exports as
+  /// zero-duration at its start time.
+  std::size_t open(Category category, std::string name, long iteration,
+                   int place, double startTime);
+
+  /// Close span `id`, filling its end time and (optionally) bytes and
+  /// annotations. Closing out of LIFO order is tolerated.
+  void close(std::size_t id, double endTime, std::uint64_t bytes = 0,
+             Args args = {});
+
+  /// Close every still-open span at `endTime`, annotating each with
+  /// {"aborted", "true"} — called after an exception unwound through
+  /// the emission sites.
+  void abandonOpen(double endTime);
+
+  [[nodiscard]] std::size_t openCount() const noexcept {
+    return openStack_.size();
+  }
+
+  // ---- results --------------------------------------------------------
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::vector<Span> takeSpans() { return std::move(spans_); }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  void clear();
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<std::size_t> openStack_;  ///< indices into spans_
+  MetricsRegistry metrics_;
+};
+
+/// RAII: installs `sink` as the calling thread's current sink and
+/// restores the previous one on destruction. Pass null to disable
+/// tracing for a scope (e.g. golden runs inside a traced sweep).
+class SinkScope {
+ public:
+  explicit SinkScope(TraceSink* sink) : previous_(TraceSink::swap(sink)) {}
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+  ~SinkScope() { TraceSink::swap(previous_); }
+
+ private:
+  TraceSink* previous_;
+};
+
+}  // namespace rgml::obs

@@ -1,8 +1,34 @@
 #include "resilient/app_resilient_store.h"
 
 #include "apgas/exceptions.h"
+#include "apgas/runtime.h"
+#include "obs/trace_sink.h"
 
 namespace rgml::resilient {
+
+namespace {
+
+/// Simulated time for span boundaries; 0 when no world is live (the
+/// store is then being used outside a simulation, e.g. a pure unit test).
+double simNow() {
+  return apgas::Runtime::initialized() ? apgas::Runtime::world().time() : 0.0;
+}
+
+int herePlace() {
+  return apgas::Runtime::initialized()
+             ? static_cast<int>(apgas::Runtime::world().here().id())
+             : -1;
+}
+
+obs::TraceSink::Args statsArgs(
+    const AppResilientStore::CheckpointStats& stats) {
+  return {{"fresh_bytes", std::to_string(stats.freshBytes)},
+          {"carried_bytes", std::to_string(stats.carriedBytes)},
+          {"fresh_entries", std::to_string(stats.freshEntries)},
+          {"carried_entries", std::to_string(stats.carriedEntries)}};
+}
+
+}  // namespace
 
 void AppResilientStore::startNewSnapshot() {
   if (inProgress_) {
@@ -13,6 +39,12 @@ void AppResilientStore::startNewSnapshot() {
   inProgress_ = std::make_unique<AppSnapshot>();
   inProgress_->iteration = iteration_;
   pendingStats_ = CheckpointStats{};
+  if (auto* sink = obs::TraceSink::current()) {
+    snapshotSink_ = sink;
+    snapshotSpan_ = sink->open(obs::Category::CheckpointSave,
+                               "store.snapshot", iteration_, herePlace(),
+                               simNow());
+  }
 }
 
 void AppResilientStore::save(Snapshottable& obj) {
@@ -20,6 +52,7 @@ void AppResilientStore::save(Snapshottable& obj) {
     throw apgas::ApgasError(
         "AppResilientStore::save: no snapshot in progress");
   }
+  const double t0 = simNow();
   std::shared_ptr<Snapshot> snapshot;
   if (mode_ == CheckpointMode::Delta && committed_) {
     if (auto prev = committed_->find(&obj)) {
@@ -31,6 +64,15 @@ void AppResilientStore::save(Snapshottable& obj) {
   pendingStats_.carriedBytes += snapshot->carriedBytes();
   pendingStats_.carriedEntries += snapshot->numCarried();
   pendingStats_.freshEntries += snapshot->numEntries() - snapshot->numCarried();
+  if (auto* sink = obs::TraceSink::current()) {
+    sink->span(obs::Category::CheckpointSave, "store.save",
+               inProgress_->iteration, herePlace(), t0, simNow(),
+               snapshot->freshBytes() + snapshot->carriedBytes(),
+               {{"fresh_bytes", std::to_string(snapshot->freshBytes())},
+                {"carried_bytes", std::to_string(snapshot->carriedBytes())},
+                {"entries", std::to_string(snapshot->numEntries())},
+                {"carried_entries", std::to_string(snapshot->numCarried())}});
+  }
   inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }
 
@@ -39,12 +81,18 @@ void AppResilientStore::saveReadOnly(Snapshottable& obj) {
     throw apgas::ApgasError(
         "AppResilientStore::saveReadOnly: no snapshot in progress");
   }
+  const double t0 = simNow();
   if (mode_ != CheckpointMode::Full && committed_) {
     if (auto existing = committed_->find(&obj)) {
       // The whole Snapshot is reused by pointer: nothing is copied, every
       // entry counts as carried.
       pendingStats_.carriedBytes += existing->totalBytes();
       pendingStats_.carriedEntries += existing->numEntries();
+      if (auto* sink = obs::TraceSink::current()) {
+        sink->span(obs::Category::CheckpointSave, "store.save-readonly",
+                   inProgress_->iteration, herePlace(), t0, simNow(),
+                   existing->totalBytes(), {{"reused", "true"}});
+      }
       inProgress_->objects.emplace_back(&obj, std::move(existing));
       return;
     }
@@ -52,6 +100,11 @@ void AppResilientStore::saveReadOnly(Snapshottable& obj) {
   auto snapshot = obj.makeSnapshot();
   pendingStats_.freshBytes += snapshot->freshBytes();
   pendingStats_.freshEntries += snapshot->numEntries();
+  if (auto* sink = obs::TraceSink::current()) {
+    sink->span(obs::Category::CheckpointSave, "store.save-readonly",
+               inProgress_->iteration, herePlace(), t0, simNow(),
+               snapshot->freshBytes(), {{"reused", "false"}});
+  }
   inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }
 
@@ -62,14 +115,44 @@ void AppResilientStore::commit() {
   }
   committed_ = std::move(inProgress_);
   lastStats_ = pendingStats_;
+  if (auto* sink = obs::TraceSink::current()) {
+    const double now = simNow();
+    if (sink == snapshotSink_) {
+      sink->close(snapshotSpan_, now,
+                  lastStats_.freshBytes + lastStats_.carriedBytes,
+                  statsArgs(lastStats_));
+    }
+    sink->instant(obs::Category::CheckpointCommit, "store.commit",
+                  committed_->iteration, herePlace(), now,
+                  lastStats_.freshBytes + lastStats_.carriedBytes,
+                  statsArgs(lastStats_));
+    sink->metrics().add("checkpoint.commits");
+    sink->metrics().add("checkpoint.fresh_bytes", lastStats_.freshBytes);
+    sink->metrics().add("checkpoint.carried_bytes",
+                        lastStats_.carriedBytes);
+  }
+  snapshotSink_ = nullptr;
 }
 
 void AppResilientStore::cancelSnapshot() {
   // Dropping the in-progress AppSnapshot releases its fresh Snapshots and
   // its references to reused/carried ones; the committed snapshot those
   // were taken from holds its own shared_ptrs and stays fully intact.
+  const bool wasInProgress = inProgress_ != nullptr;
   inProgress_.reset();
   pendingStats_ = CheckpointStats{};
+  if (wasInProgress) {
+    if (auto* sink = obs::TraceSink::current()) {
+      const double now = simNow();
+      if (sink == snapshotSink_) {
+        sink->close(snapshotSpan_, now, 0, {{"cancelled", "true"}});
+      }
+      sink->instant(obs::Category::CheckpointCancel, "store.cancel",
+                    iteration_, herePlace(), now);
+      sink->metrics().add("checkpoint.cancels");
+    }
+  }
+  snapshotSink_ = nullptr;
 }
 
 void AppResilientStore::restore() {
@@ -77,8 +160,29 @@ void AppResilientStore::restore() {
     throw apgas::ApgasError(
         "AppResilientStore::restore: no committed snapshot");
   }
-  for (auto& [obj, snapshot] : committed_->objects) {
-    obj->restoreSnapshot(*snapshot);
+  obs::TraceSink* sink = obs::TraceSink::current();
+  std::size_t span = 0;
+  if (sink != nullptr) {
+    span = sink->open(obs::Category::Restore, "store.restore",
+                      committed_->iteration, herePlace(), simNow());
+  }
+  try {
+    for (auto& [obj, snapshot] : committed_->objects) {
+      obj->restoreSnapshot(*snapshot);
+    }
+  } catch (...) {
+    // A cascading failure mid-restore: close the span so the executor's
+    // retry opens a fresh one at the right depth.
+    if (sink != nullptr) {
+      sink->close(span, simNow(), 0, {{"aborted", "true"}});
+    }
+    throw;
+  }
+  if (sink != nullptr) {
+    sink->close(span, simNow(), committedBytes(),
+                {{"objects", std::to_string(committed_->objects.size())}});
+    sink->metrics().add("restore.count");
+    sink->metrics().add("restore.bytes", committedBytes());
   }
 }
 

@@ -32,6 +32,10 @@
 
 #include "resilient/snapshot.h"
 
+namespace rgml::obs {
+class TraceSink;
+}
+
 namespace rgml::resilient {
 
 /// What save()/saveReadOnly() ship per checkpoint.
@@ -130,6 +134,12 @@ class AppResilientStore {
   std::unique_ptr<AppSnapshot> inProgress_;
   CheckpointStats pendingStats_;  ///< accumulates while in progress
   CheckpointStats lastStats_;     ///< promoted by commit()
+
+  /// Observability: the umbrella span opened at startNewSnapshot and
+  /// closed by commit/cancelSnapshot, plus the sink it was opened on (so
+  /// a sink swapped mid-checkpoint never receives a stray close).
+  obs::TraceSink* snapshotSink_ = nullptr;
+  std::size_t snapshotSpan_ = 0;
 };
 
 }  // namespace rgml::resilient

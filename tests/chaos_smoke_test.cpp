@@ -144,6 +144,41 @@ TEST(ChaosSmoke, PrunedSweepWithTwoJobsIsCleanAndDeterministic) {
   EXPECT_EQ(toJson(result), toJson(serialSweeper.run()));
 }
 
+TEST(ChaosSmoke, TracedSweepIsDeterministicAcrossJobCounts) {
+  // With trace capture on, the report (now carrying trace tails for any
+  // divergence), the Chrome-trace export, and the folded metrics must all
+  // be byte-identical at any job count — spans record simulated time only.
+  SweepOptions opt = prunedOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.captureTraces = true;
+  opt.jobs = 2;
+  const SweepResult traced = ChaosSweeper(opt).run();
+  EXPECT_TRUE(traced.allOk()) << summarize(traced);
+
+  SweepOptions serialOpt = opt;
+  serialOpt.jobs = 1;
+  const SweepResult serial = ChaosSweeper(serialOpt).run();
+
+  EXPECT_EQ(toJson(traced), toJson(serial));
+  EXPECT_EQ(toChromeTraceJson(traced), toChromeTraceJson(serial));
+  EXPECT_EQ(toMetricsJson(traced), toMetricsJson(serial));
+
+  // Every scenario captured spans, and the export carries events from all
+  // three instrumented layers: executor steps, store checkpoints, runtime
+  // comms.
+  ASSERT_FALSE(traced.outcomes.empty());
+  for (const ScenarioOutcome& o : traced.outcomes) {
+    EXPECT_FALSE(o.spans.empty()) << o.schedule.describe();
+    EXPECT_GT(o.metrics.counter("executor.steps"), 0u);
+  }
+  const std::string trace = toChromeTraceJson(traced);
+  for (const char* needle :
+       {"\"traceEvents\"", "\"step\"", "\"store.snapshot\"", "\"comm\"",
+        "\"restore\"", "\"ph\": \"X\""}) {
+    EXPECT_NE(trace.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
 TEST(ChaosSmoke, FullSweepWhenRequested) {
   if (std::getenv("CHAOS_FULL") == nullptr) {
     GTEST_SKIP() << "set CHAOS_FULL=1 to run the exhaustive sweep";

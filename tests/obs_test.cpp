@@ -1,0 +1,343 @@
+// Tests for the unified observability layer (src/obs/): histogram
+// bucketing, metrics registry JSON, span nesting via open/close, sink
+// install/restore, the Chrome trace-event exporter, thread isolation of
+// the per-world sinks, and end-to-end emission through the chaos harness
+// (runtime comms + store checkpoints + executor steps/restores in one
+// captured trace).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/sweeper.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_sink.h"
+
+namespace rgml::obs {
+namespace {
+
+// ---- histograms -----------------------------------------------------------
+
+TEST(Histogram, BucketsCountAndOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (bounds are inclusive upper edges)
+  h.observe(3.0);   // bucket 2
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  ASSERT_EQ(h.bucketCounts().size(), 4u);
+  EXPECT_EQ(h.bucketCounts()[0], 2);
+  EXPECT_EQ(h.bucketCounts()[1], 0);
+  EXPECT_EQ(h.bucketCounts()[2], 1);
+  EXPECT_EQ(h.bucketCounts()[3], 1);
+}
+
+TEST(Histogram, BoundsMustStrictlyIncrease) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a({1.0, 2.0});
+  a.observe(0.5);
+  Histogram b({1.0, 2.0});
+  b.observe(1.5);
+  b.observe(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+  EXPECT_EQ(a.bucketCounts()[0], 1);
+  EXPECT_EQ(a.bucketCounts()[1], 1);
+  EXPECT_EQ(a.bucketCounts()[2], 1);
+
+  Histogram mismatched({3.0});
+  mismatched.observe(1.0);
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+
+  // Merging into a never-used default histogram adopts the source.
+  Histogram fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.count(), 3);
+  EXPECT_EQ(fresh.upperBounds(), a.upperBounds());
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndMerge) {
+  MetricsRegistry r;
+  r.add("steps");
+  r.add("steps", 4);
+  r.add("bytes", 100);
+  r.set("progress", 0.5);
+  EXPECT_EQ(r.counter("steps"), 5u);
+  EXPECT_EQ(r.counter("missing"), 0u);
+
+  MetricsRegistry other;
+  other.add("steps", 10);
+  other.set("progress", 0.9);
+  other.histogram("lat", {1.0}).observe(0.2);
+  r.merge(other);
+  EXPECT_EQ(r.counter("steps"), 15u);
+  EXPECT_DOUBLE_EQ(r.gauges().at("progress"), 0.9);
+  EXPECT_EQ(r.histograms().at("lat").count(), 1);
+}
+
+TEST(MetricsRegistry, JsonIsSortedAndComplete) {
+  MetricsRegistry r;
+  r.add("zebra", 2);
+  r.add("alpha", 1);
+  r.set("gauge.x", 1.25);
+  r.histogram("h", {1.0, 2.0}).observe(1.5);
+  const std::string json = r.toJson();
+  // std::map ordering: "alpha" prints before "zebra".
+  EXPECT_LT(json.find("\"alpha\": 1"), json.find("\"zebra\": 2"));
+  EXPECT_NE(json.find("\"gauge.x\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"h\": {\"count\": 1, \"sum\": 1.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [1, 2]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [0, 1, 0]"), std::string::npos);
+}
+
+// ---- spans and sinks ------------------------------------------------------
+
+TEST(TraceSink, OpenCloseRecordsNestingDepths) {
+  TraceSink sink;
+  const std::size_t outer = sink.open(Category::Step, "outer", 1, 0, 1.0);
+  const std::size_t inner =
+      sink.open(Category::CheckpointSave, "inner", 1, 0, 2.0);
+  sink.span(Category::Comms, "leaf", 1, 0, 2.5, 2.6, 64);
+  sink.close(inner, 3.0, 128, {{"k", "v"}});
+  sink.close(outer, 4.0);
+  EXPECT_EQ(sink.openCount(), 0u);
+
+  const auto& spans = sink.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_DOUBLE_EQ(spans[0].endTime, 4.0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].bytes, 128u);
+  EXPECT_EQ(spans[1].arg("k"), "v");
+  EXPECT_EQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[2].depth, 2);  // emitted while two spans were open
+  EXPECT_EQ(spans[2].bytes, 64u);
+}
+
+TEST(TraceSink, AbandonOpenMarksAborted) {
+  TraceSink sink;
+  sink.open(Category::Step, "step", 7, 1, 1.0);
+  sink.open(Category::Restore, "restore", 7, 1, 2.0);
+  sink.abandonOpen(9.0);
+  EXPECT_EQ(sink.openCount(), 0u);
+  for (const Span& s : sink.spans()) {
+    EXPECT_DOUBLE_EQ(s.endTime, 9.0);
+    EXPECT_EQ(s.arg("aborted"), "true");
+  }
+}
+
+TEST(TraceSink, ScopeInstallsAndRestores) {
+  EXPECT_EQ(TraceSink::current(), nullptr);
+  TraceSink outer;
+  {
+    SinkScope outerScope(&outer);
+    EXPECT_EQ(TraceSink::current(), &outer);
+    TraceSink inner;
+    {
+      SinkScope innerScope(&inner);
+      EXPECT_EQ(TraceSink::current(), &inner);
+    }
+    EXPECT_EQ(TraceSink::current(), &outer);
+    {
+      SinkScope off(nullptr);  // e.g. golden runs inside a traced sweep
+      EXPECT_EQ(TraceSink::current(), nullptr);
+    }
+    EXPECT_EQ(TraceSink::current(), &outer);
+  }
+  EXPECT_EQ(TraceSink::current(), nullptr);
+}
+
+TEST(TraceSink, ThreadsHaveIsolatedSinks) {
+  // thread_local current sink: concurrent scopes on different threads must
+  // never observe each other (run under TSan via the tsan label).
+  TraceSink a, b;
+  std::thread ta([&] {
+    SinkScope scope(&a);
+    for (int i = 0; i < 100; ++i) {
+      TraceSink::current()->instant(Category::Comms, "a", i, 0, i * 1.0);
+    }
+  });
+  std::thread tb([&] {
+    SinkScope scope(&b);
+    for (int i = 0; i < 100; ++i) {
+      TraceSink::current()->instant(Category::Comms, "b", i, 1, i * 1.0);
+    }
+  });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(a.spans().size(), 100u);
+  ASSERT_EQ(b.spans().size(), 100u);
+  for (const Span& s : a.spans()) EXPECT_EQ(s.name, "a");
+  for (const Span& s : b.spans()) EXPECT_EQ(s.name, "b");
+  EXPECT_EQ(TraceSink::current(), nullptr);
+}
+
+// ---- Chrome trace exporter ------------------------------------------------
+
+TEST(ChromeTrace, ExportIsWellFormed) {
+  TraceLane lane;
+  lane.pid = 3;
+  lane.name = "linreg shrink[it5@p1]";
+  Span s;
+  s.category = Category::Step;
+  s.name = "step";
+  s.iteration = 5;
+  s.place = 2;
+  s.startTime = 1.5;
+  s.endTime = 2.0;
+  s.bytes = 42;
+  s.args = {{"mode", "shrink"}};
+  lane.spans.push_back(s);
+
+  const std::string json = toChromeTraceJson({lane});
+  for (const char* needle :
+       {"\"traceEvents\"", "\"process_name\"",
+        "\"name\": \"linreg shrink[it5@p1]\"", "\"thread_name\"",
+        "\"name\": \"place 2\"", "\"ph\": \"X\"", "\"cat\": \"step\"",
+        "\"ts\": 1500000", "\"dur\": 500000", "\"pid\": 3, \"tid\": 2",
+        "\"iteration\": 5", "\"bytes\": 42", "\"mode\": \"shrink\"",
+        "\"displayTimeUnit\": \"ms\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  long braces = 0, brackets = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) inString = !inString;
+    if (inString) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+// ---- end-to-end emission through the harness ------------------------------
+
+harness::SweepOptions tracedOptions() {
+  harness::SweepOptions opt;
+  opt.apps = {harness::AppKind::LinReg};
+  opt.iterations = 10;
+  opt.places = 4;
+  opt.spares = 2;
+  opt.checkpointInterval = 4;
+  opt.allVictims = false;
+  opt.captureTraces = true;
+  return opt;
+}
+
+harness::FaultSchedule killSchedule(framework::RestoreMode mode) {
+  harness::FaultSchedule schedule;
+  schedule.mode = mode;
+  harness::KillEvent kill;
+  kill.trigger = harness::KillEvent::Trigger::Iteration;
+  kill.at = 6;  // after the first committed checkpoint (interval 4)
+  kill.victim = 1;
+  schedule.kills.push_back(kill);
+  return schedule;
+}
+
+long countByName(const std::vector<Span>& spans, const std::string& name) {
+  long n = 0;
+  for (const Span& s : spans) n += s.name == name;
+  return n;
+}
+
+TEST(ObsIntegration, ScenarioTraceCoversAllThreeLayers) {
+  harness::ChaosSweeper sweeper(tracedOptions());
+  const harness::ScenarioOutcome out = sweeper.runScenario(
+      harness::AppKind::LinReg, killSchedule(framework::RestoreMode::Shrink));
+  ASSERT_EQ(out.kind, harness::OutcomeKind::Ok) << out.detail;
+  ASSERT_FALSE(out.spans.empty());
+
+  // Executor layer: one step span per executed iteration (10 + 2 replayed
+  // after the rollback to iteration 4... at least the nominal 10), each
+  // annotated with the restore mode.
+  EXPECT_GE(countByName(out.spans, "step"), 10);
+  // Store layer: checkpoint umbrellas with real payload bytes.
+  EXPECT_GE(countByName(out.spans, "store.snapshot"), 2);
+  bool sawSaveBytes = false;
+  for (const Span& s : out.spans) {
+    if (s.name == "store.save" && s.bytes > 0) sawSaveBytes = true;
+  }
+  EXPECT_TRUE(sawSaveBytes);
+  // Runtime layer: data messages between places.
+  EXPECT_GT(countByName(out.spans, "comm") +
+                countByName(out.spans, "data-transfer"),
+            0);
+
+  // The failure and its recovery, fully attributed.
+  ASSERT_EQ(countByName(out.spans, "failure"), 1);
+  bool sawRestore = false;
+  for (const Span& s : out.spans) {
+    if (s.name != "restore") continue;
+    sawRestore = true;
+    EXPECT_EQ(s.arg("mode"), "shrink");
+    EXPECT_EQ(s.arg("victim"), "1");
+    EXPECT_GT(s.duration(), 0.0);
+  }
+  EXPECT_TRUE(sawRestore);
+
+  // Metrics folded alongside the spans.
+  EXPECT_GE(out.metrics.counter("executor.steps"), 10u);
+  EXPECT_GE(out.metrics.counter("checkpoint.commits"), 2u);
+  EXPECT_EQ(out.metrics.counter("executor.failures"), 1u);
+  EXPECT_EQ(out.metrics.counter("restore.count"), 1u);
+  EXPECT_GT(out.metrics.counter("comms.data_msgs"), 0u);
+}
+
+TEST(ObsIntegration, RestorePathNamesDistinguishGridChanges) {
+  // Shrink keeps the checkpointed grid (dead place's blocks reassigned):
+  // the matrix restore must take — and label — the block-by-block path.
+  harness::ChaosSweeper sweeper(tracedOptions());
+  const harness::ScenarioOutcome shrank = sweeper.runScenario(
+      harness::AppKind::LinReg, killSchedule(framework::RestoreMode::Shrink));
+  ASSERT_EQ(shrank.kind, harness::OutcomeKind::Ok) << shrank.detail;
+  EXPECT_GT(countByName(shrank.spans, "restore.block-by-block"), 0);
+  EXPECT_EQ(countByName(shrank.spans, "restore.repartitioned"), 0);
+
+  // ShrinkRebalance repartitions over the surviving places: the same
+  // failure must now take the overlap-region path.
+  const harness::ScenarioOutcome rebalanced = sweeper.runScenario(
+      harness::AppKind::LinReg,
+      killSchedule(framework::RestoreMode::ShrinkRebalance));
+  ASSERT_EQ(rebalanced.kind, harness::OutcomeKind::Ok) << rebalanced.detail;
+  EXPECT_GT(countByName(rebalanced.spans, "restore.repartitioned"), 0);
+}
+
+TEST(ObsIntegration, DivergenceReportsCarryTraceTails) {
+  // A sweep that fails while tracing attaches the tail of the failing
+  // scenario's trace to its divergence entry — the post-mortem payload.
+  harness::SweepOptions opt = tracedOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.shrinkFailures = false;
+  // An impossible tolerance makes every compared scenario "diverge" —
+  // cheaper than a broken app and exercises the same reporting path.
+  opt.tolerance = -1.0;
+  const harness::SweepResult result = harness::ChaosSweeper(opt).run();
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_FALSE(result.failures.front().spans.empty());
+  const std::string json = harness::toJson(result);
+  EXPECT_NE(json.find("\"trace_tail\""), std::string::npos);
+  EXPECT_NE(json.find("step iter="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgml::obs

@@ -3,6 +3,9 @@
 // timeline rendering.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "apgas/runtime.h"
 #include "framework/resilient_executor.h"
 #include "framework/trace.h"
@@ -105,6 +108,8 @@ TEST_F(TraceTest, FailureRunRecordsFailureAndRestore) {
   const auto restores = trace.ofKind(TraceEvent::Kind::Restore);
   ASSERT_EQ(restores.size(), 1u);
   EXPECT_EQ(restores[0].iteration, 10);  // rollback target
+  // The restore is attributed to the failure that triggered it.
+  EXPECT_EQ(restores[0].victim, 2);
   EXPECT_NEAR(trace.totalTime(TraceEvent::Kind::Restore),
               stats.restoreTime, 1e-12);
 
@@ -155,6 +160,67 @@ TEST_F(TraceTest, TimelineRendersEveryEvent) {
   EXPECT_NE(timeline.find("restore"), std::string::npos);
   EXPECT_NE(timeline.find("mode shrink"), std::string::npos);
   EXPECT_NE(timeline.find("place 3"), std::string::npos);
+}
+
+TEST_F(TraceTest, TimelineSurvivesOversizedLines) {
+  // Regression: timeline() used to append snprintf's *would-be* length
+  // from a fixed 160-byte stack buffer; events whose rendered line
+  // exceeded the buffer made it read (and copy) past the end — ASan
+  // reports a stack-buffer-overflow on the pre-fix code. Extreme but
+  // representable values blow well past 160 characters per line.
+  ExecutionTrace trace;
+  TraceEvent step;
+  step.kind = TraceEvent::Kind::Step;
+  step.iteration = std::numeric_limits<long>::max();
+  step.startTime = -1e300;
+  step.endTime = 1e300;
+  trace.record(step);
+  TraceEvent failure = step;
+  failure.kind = TraceEvent::Kind::Failure;
+  failure.victim = std::numeric_limits<int>::max();
+  trace.record(failure);
+  TraceEvent restore = failure;
+  restore.kind = TraceEvent::Kind::Restore;
+  restore.mode = RestoreMode::ShrinkRebalance;
+  trace.record(restore);
+
+  const std::string timeline = trace.timeline();
+  std::size_t lines = 0;
+  for (char c : timeline) lines += c == '\n';
+  EXPECT_EQ(lines, trace.size());
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back(), '\n');
+  // Nothing was truncated: every rendered value survives in full.
+  EXPECT_NE(timeline.find(std::to_string(std::numeric_limits<long>::max())),
+            std::string::npos);
+  EXPECT_NE(timeline.find("failure"), std::string::npos);
+  EXPECT_NE(timeline.find("mode shrink-rebalance"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonExportCarriesVictimAndMode) {
+  auto pg = PlaceGroup::firstPlaces(4);
+  TracedApp app(pg);
+  ExecutionTrace trace;
+  FaultInjector injector;
+  injector.killOnIteration(15, 3);
+  ExecutorConfig cfg;
+  cfg.places = pg;
+  cfg.checkpointInterval = 10;
+  cfg.trace = &trace;
+  ResilientExecutor executor(cfg);
+  executor.run(app, &injector);
+
+  const std::string json = trace.toJson();
+  EXPECT_NE(json.find("\"kind\": \"failure\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"restore\""), std::string::npos);
+  EXPECT_NE(json.find("\"victim\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"shrink\""), std::string::npos);
+  // Step events carry neither field.
+  const auto firstStep = json.find("\"kind\": \"step\"");
+  ASSERT_NE(firstStep, std::string::npos);
+  const auto firstStepEnd = json.find('}', firstStep);
+  EXPECT_EQ(json.substr(firstStep, firstStepEnd - firstStep).find("victim"),
+            std::string::npos);
 }
 
 TEST_F(TraceTest, KindNames) {

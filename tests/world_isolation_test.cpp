@@ -127,6 +127,41 @@ TEST(WorldIsolation, ConcurrentWorldsShareNoStatsClocksOrListeners) {
   EXPECT_EQ(bStats.bytesSent, 1234u);
 }
 
+TEST(WorldIsolation, StatsStartAtZeroPerAttachedWorld) {
+  // The documented reset semantics of Runtime::stats(): init() always
+  // starts counters at zero, detach()/attach() carry them with the parked
+  // world, and a fresh world never inherits a predecessor's traffic —
+  // otherwise bench rows and sweep scenarios could report inflated
+  // dataMsgs/bytesSent.
+  Runtime::init(3);
+  Runtime::world().noteDataTransfer(777);
+  ASSERT_EQ(Runtime::world().stats().dataMsgs, 1);
+  {
+    WorldGuard guard(3);  // same topology, brand-new world
+    EXPECT_EQ(Runtime::world().stats().dataMsgs, 0)
+        << "a fresh world must not inherit the outer world's stats";
+    EXPECT_EQ(Runtime::world().stats().bytesSent, 0u);
+    Runtime::world().noteDataTransfer(111);
+  }
+  // The outer world resumed with its own counters intact — and without
+  // the inner world's transfer.
+  EXPECT_EQ(Runtime::world().stats().dataMsgs, 1);
+  EXPECT_EQ(Runtime::world().stats().bytesSent, 777u);
+
+  // detach()/attach() round-trips the running totals.
+  auto parked = Runtime::detach();
+  Runtime::init(2);
+  EXPECT_EQ(Runtime::world().stats().dataMsgs, 0);
+  Runtime::attach(std::move(parked));
+  EXPECT_EQ(Runtime::world().stats().dataMsgs, 1);
+  EXPECT_EQ(Runtime::world().stats().bytesSent, 777u);
+
+  // Re-init on the same thread starts from zero again.
+  Runtime::init(3);
+  EXPECT_EQ(Runtime::world().stats().dataMsgs, 0);
+  EXPECT_EQ(Runtime::world().stats().bytesSent, 0u);
+}
+
 TEST(WorldIsolation, ConcurrentSweepsOfDifferentAppsStayGolden) {
   // Two full chaos sweeps — different apps, different kill schedules —
   // running simultaneously. Each scenario checks its result digest against

@@ -55,6 +55,12 @@ void usage(std::ostream& os) {
         "  --out FILE    JSON report path (default chaos_report.json)\n"
         "  --bench-out FILE  wall-clock/throughput artifact\n"
         "                (default BENCH_sweep.json; 'none' to skip)\n"
+        "  --trace-out FILE  capture per-scenario span traces and write a\n"
+        "                Chrome trace-event JSON (open in Perfetto or\n"
+        "                chrome://tracing); also attaches trace tails to\n"
+        "                divergence entries in the report\n"
+        "  --metrics-out FILE  write folded counters/histograms JSON\n"
+        "                (implies trace capture)\n"
         "  --no-shrink   skip minimal-reproducer shrinking\n";
 }
 
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
   opt.jobs = rgml::harness::defaultJobCount();
   std::string outPath = "chaos_report.json";
   std::string benchOutPath = "BENCH_sweep.json";
+  std::string traceOutPath;
+  std::string metricsOutPath;
 
   auto needValue = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -144,6 +152,12 @@ int main(int argc, char** argv) {
       outPath = needValue(i);
     } else if (arg == "--bench-out") {
       benchOutPath = needValue(i);
+    } else if (arg == "--trace-out") {
+      traceOutPath = needValue(i);
+      opt.captureTraces = true;
+    } else if (arg == "--metrics-out") {
+      metricsOutPath = needValue(i);
+      opt.captureTraces = true;
     } else if (arg == "--no-shrink") {
       opt.shrinkFailures = false;
     } else {
@@ -169,6 +183,23 @@ int main(int argc, char** argv) {
   ChaosSweeper sweeper(opt);
   const rgml::harness::SweepResult result = sweeper.run();
   rgml::harness::writeJsonReport(result, out);
+
+  if (!traceOutPath.empty()) {
+    std::ofstream trace(traceOutPath);
+    if (!trace) {
+      std::cerr << "cannot write " << traceOutPath << '\n';
+      return 2;
+    }
+    rgml::harness::writeChromeTrace(result, trace);
+  }
+  if (!metricsOutPath.empty()) {
+    std::ofstream metrics(metricsOutPath);
+    if (!metrics) {
+      std::cerr << "cannot write " << metricsOutPath << '\n';
+      return 2;
+    }
+    rgml::harness::writeMetricsJson(result, metrics);
+  }
 
   // Perf trajectory artifact: wall-clock facts only (everything the main
   // report deliberately omits to stay byte-identical across job counts).
