@@ -60,20 +60,34 @@ inline std::string benchTraceOut(int argc, char** argv) {
   return {};
 }
 
-/// Per-driver span capture for --trace-out: each traced() call installs a
-/// fresh TraceSink around one measured run and banks the captured spans as
-/// one Chrome-trace lane. Runs may execute concurrently on sweepRows
-/// workers (the lane list is mutex-guarded); write() sorts lanes by name,
-/// so the exported file is identical at any job count — give each run a
-/// unique, sortable name (e.g. "linreg p08 shrink").
+/// --metrics-out FILE argument; empty = metrics export off.
+inline std::string benchMetricsOut(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Per-driver capture for --trace-out / --metrics-out: each traced() call
+/// installs a fresh TraceSink around one measured run and banks the
+/// captured spans as one Chrome-trace lane plus the run's metrics
+/// registry. Runs may execute concurrently on sweepRows workers (the
+/// banks are mutex-guarded); write() sorts lanes by name and folds the
+/// registries in that same order, so both exported files are identical
+/// at any job count — give each run a unique, sortable name (e.g.
+/// "linreg p08 shrink").
 class BenchTracer {
  public:
-  explicit BenchTracer(std::string path) : path_(std::move(path)) {}
+  explicit BenchTracer(std::string tracePath, std::string metricsPath = {})
+      : tracePath_(std::move(tracePath)),
+        metricsPath_(std::move(metricsPath)) {}
 
-  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return !tracePath_.empty() || !metricsPath_.empty();
+  }
 
-  /// Run `fn` (returning non-void) with tracing installed and bank the
-  /// spans under `name`; with tracing disabled, just runs `fn`.
+  /// Run `fn` (returning non-void) with capture installed and bank the
+  /// spans/metrics under `name`; with capture disabled, just runs `fn`.
   template <typename Fn>
   auto traced(const std::string& name, Fn&& fn) {
     if (!enabled()) return fn();
@@ -84,11 +98,13 @@ class BenchTracer {
         apgas::Runtime::initialized() ? apgas::Runtime::world().time() : 0.0);
     std::lock_guard<std::mutex> lock(mutex_);
     lanes_.push_back(obs::TraceLane{0, name, sink.takeSpans()});
+    registries_.emplace_back(name, std::move(sink.metrics()));
     return result;
   }
 
-  /// Write the banked lanes as Chrome trace-event JSON; no-op when
-  /// tracing is off. Returns false when the file cannot be written.
+  /// Write the banked capture — Chrome trace-event JSON when --trace-out
+  /// was given, the folded MetricsRegistry JSON when --metrics-out was.
+  /// Returns false when a file cannot be written.
   bool write() {
     if (!enabled()) return true;
     std::sort(lanes_.begin(), lanes_.end(),
@@ -98,20 +114,41 @@ class BenchTracer {
     for (std::size_t i = 0; i < lanes_.size(); ++i) {
       lanes_[i].pid = static_cast<int>(i) + 1;
     }
-    std::ofstream os(path_);
-    if (!os) {
-      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
-      return false;
+    if (!tracePath_.empty()) {
+      std::ofstream os(tracePath_);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", tracePath_.c_str());
+        return false;
+      }
+      obs::writeChromeTrace(lanes_, os);
+      std::printf("# trace: %s (%zu lanes)\n", tracePath_.c_str(),
+                  lanes_.size());
     }
-    obs::writeChromeTrace(lanes_, os);
-    std::printf("# trace: %s (%zu lanes)\n", path_.c_str(), lanes_.size());
+    if (!metricsPath_.empty()) {
+      std::sort(registries_.begin(), registries_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      obs::MetricsRegistry folded;
+      for (const auto& [name, registry] : registries_) {
+        folded.merge(registry);
+      }
+      std::ofstream os(metricsPath_);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", metricsPath_.c_str());
+        return false;
+      }
+      folded.writeJson(os);
+      std::printf("# metrics: %s (%zu runs folded)\n", metricsPath_.c_str(),
+                  registries_.size());
+    }
     return true;
   }
 
  private:
-  std::string path_;
+  std::string tracePath_;
+  std::string metricsPath_;
   std::mutex mutex_;
   std::vector<obs::TraceLane> lanes_;
+  std::vector<std::pair<std::string, obs::MetricsRegistry>> registries_;
 };
 
 /// printf into a std::string (rows are formatted off-thread, then printed

@@ -20,16 +20,27 @@ int main(int argc, char** argv) {
               config.features, config.rowsPerPlace, config.iterations);
   std::printf("%8s %24s %22s %10s\n", "places", "non-resilient(ms/iter)",
               "resilient(ms/iter)", "overhead");
+  // --trace-out / --metrics-out: one lane per (places, finish mode) run;
+  // the resilient lanes carry the finish.ack spans behind the overhead.
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv),
+                            bench::benchMetricsOut(argc, argv));
   const std::vector<int> counts = apps::paperPlaceCounts();
   bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
                    [&](std::size_t i) {
     const int places = counts[i];
-    const double plain =
-        bench::timePerIterationMs<apps::LinReg>(config, places, false);
-    const double resilient =
-        bench::timePerIterationMs<apps::LinReg>(config, places, true);
+    const double plain = tracer.traced(
+        bench::rowf("linreg p%02d non-resilient", places), [&] {
+          return bench::timePerIterationMs<apps::LinReg>(config, places,
+                                                         false);
+        });
+    const double resilient = tracer.traced(
+        bench::rowf("linreg p%02d resilient", places), [&] {
+          return bench::timePerIterationMs<apps::LinReg>(config, places,
+                                                         true);
+        });
     return bench::rowf("%8d %24.1f %22.1f %9.0f%%\n", places, plain,
                        resilient, (resilient / plain - 1.0) * 100.0);
   });
+  tracer.write();
   return 0;
 }

@@ -22,16 +22,26 @@ int main(int argc, char** argv) {
               config.pagesPerPlace, config.linksPerPage, config.iterations);
   std::printf("%8s %24s %22s %10s\n", "places", "non-resilient(ms/iter)",
               "resilient(ms/iter)", "overhead");
+  // --trace-out / --metrics-out: one lane per (places, finish mode) run.
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv),
+                            bench::benchMetricsOut(argc, argv));
   const std::vector<int> counts = apps::paperPlaceCounts();
   bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
                    [&](std::size_t i) {
     const int places = counts[i];
-    const double plain =
-        bench::timePerIterationMs<apps::PageRank>(config, places, false);
-    const double resilient =
-        bench::timePerIterationMs<apps::PageRank>(config, places, true);
+    const double plain = tracer.traced(
+        bench::rowf("pagerank p%02d non-resilient", places), [&] {
+          return bench::timePerIterationMs<apps::PageRank>(config, places,
+                                                           false);
+        });
+    const double resilient = tracer.traced(
+        bench::rowf("pagerank p%02d resilient", places), [&] {
+          return bench::timePerIterationMs<apps::PageRank>(config, places,
+                                                           true);
+        });
     return bench::rowf("%8d %24.1f %22.1f %9.1f%%\n", places, plain,
                        resilient, (resilient / plain - 1.0) * 100.0);
   });
+  tracer.write();
   return 0;
 }

@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   using namespace rgml;
   using framework::RestoreMode;
   const auto config = apps::benchPageRankConfig();
-  // --trace-out FILE: one Chrome-trace lane per (places, restore mode) run.
-  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv));
+  // --trace-out / --metrics-out: one lane per (places, restore mode) run.
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv),
+                            bench::benchMetricsOut(argc, argv));
   std::printf("# Figure 7: PageRank total runtime with one failure (s)\n");
   std::printf("%8s %18s %10s %18s %15s\n", "places", "shrink-rebalance",
               "shrink", "replace-redundant", "non-resilient");

@@ -86,9 +86,10 @@ int main(int argc, char** argv) {
       "# Table III: mean time per checkpoint (ms); first/steady breakdown\n");
   std::printf("%8s %22s %22s %22s\n", "places", "LinReg (first/steady)",
               "LogReg (first/steady)", "PageRank (first/steady)");
-  // --trace-out FILE: one Chrome-trace lane per (app, places) measurement,
+  // --trace-out / --metrics-out: one lane per (app, places) measurement,
   // showing the three checkpoints' store.save/commit spans.
-  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv));
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv),
+                            bench::benchMetricsOut(argc, argv));
   const std::vector<int> counts = apps::paperPlaceCounts();
   bench::sweepRows(bench::benchJobs(argc, argv), counts.size(),
                    [&](std::size_t i) {

@@ -24,13 +24,18 @@ namespace {
 constexpr int kPlaces = 44;
 
 template <typename ResilientApp, typename Config>
-std::string makeRow(const char* name, const Config& config) {
+std::string makeRow(const char* name, const Config& config,
+                    rgml::bench::BenchTracer& tracer) {
   using rgml::framework::RestoreMode;
   std::string row = rgml::bench::rowf("%-10s", name);
   for (RestoreMode mode : {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
                            RestoreMode::ReplaceRedundant}) {
-    const auto stats = rgml::bench::runWithFailure<ResilientApp>(
-        config, kPlaces, mode);
+    const auto stats = tracer.traced(
+        rgml::bench::rowf("%s %s", name, rgml::framework::toString(mode)),
+        [&] {
+          return rgml::bench::runWithFailure<ResilientApp>(config, kPlaces,
+                                                           mode);
+        });
     row += rgml::bench::rowf(" %7.0f %7.0f",
                              stats.checkpointTime / stats.totalTime * 100,
                              stats.restoreTime / stats.totalTime * 100);
@@ -51,21 +56,26 @@ int main(int argc, char** argv) {
               "repl-redundant");
   std::printf("%-10s %7s %7s %7s %7s %7s %7s\n", "app", "C%", "R%", "C%",
               "R%", "C%", "R%");
+  // --trace-out / --metrics-out: one lane per (app, mode) run — the Table
+  // IV inputs for trace_report's overhead-attribution view.
+  bench::BenchTracer tracer(bench::benchTraceOut(argc, argv),
+                            bench::benchMetricsOut(argc, argv));
   const std::vector<std::function<std::string()>> rows{
-      [] {
-        return makeRow<apps::LinRegResilient>("LinReg",
-                                              apps::benchLinRegConfig());
+      [&] {
+        return makeRow<apps::LinRegResilient>(
+            "LinReg", apps::benchLinRegConfig(), tracer);
       },
-      [] {
-        return makeRow<apps::LogRegResilient>("LogReg",
-                                              apps::benchLogRegConfig());
+      [&] {
+        return makeRow<apps::LogRegResilient>(
+            "LogReg", apps::benchLogRegConfig(), tracer);
       },
-      [] {
-        return makeRow<apps::PageRankResilient>("PageRank",
-                                                apps::benchPageRankConfig());
+      [&] {
+        return makeRow<apps::PageRankResilient>(
+            "PageRank", apps::benchPageRankConfig(), tracer);
       },
   };
   bench::sweepRows(bench::benchJobs(argc, argv), rows.size(),
                    [&](std::size_t i) { return rows[i](); });
+  tracer.write();
   return 0;
 }

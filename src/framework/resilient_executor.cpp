@@ -105,17 +105,22 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         throw StepBudgetExceeded(config_.maxSteps, iter);
       }
       const double s0 = rt.time();
-      if (sink != nullptr) {
-        stepSpan = sink->open(obs::Category::Step, "step", iter + 1,
-                              rt.here().id(), s0);
-      }
-      app.step();
-      if (sink != nullptr) {
-        sink->close(stepSpan, rt.time(), 0, {{"mode", modeName}});
-        sink->metrics().add("executor.steps");
-        sink->metrics()
-            .histogram("executor.step_seconds", kSecondsBuckets)
-            .observe(rt.time() - s0);
+      {
+        // Phase tag: every span emitted beneath app.step() — comms, finish
+        // acks — attributes to the "step" phase in the analysis layer.
+        obs::PhaseScope phase("step");
+        if (sink != nullptr) {
+          stepSpan = sink->open(obs::Category::Step, "step", iter + 1,
+                                rt.here().id(), s0);
+        }
+        app.step();
+        if (sink != nullptr) {
+          sink->close(stepSpan, rt.time(), 0, {{"mode", modeName}});
+          sink->metrics().add("executor.steps");
+          sink->metrics()
+              .histogram("executor.step_seconds", kSecondsBuckets)
+              .observe(rt.time() - s0);
+        }
       }
       record(TraceEvent::Kind::Step, iter + 1, s0, rt.time());
       ++stats.stepsExecuted;
@@ -132,6 +137,7 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
       if (iter % config_.checkpointInterval == 0) {
         const double c0 = rt.time();
         std::size_t ckptSpan = 0;
+        obs::PhaseScope phase("checkpoint");
         if (sink != nullptr) {
           ckptSpan = sink->open(obs::Category::CheckpointSave, "checkpoint",
                                 iter, rt.here().id(), c0);
@@ -162,28 +168,31 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
       const double r0 = rt.time();
       const apgas::PlaceId victim = firstDeadPlaceOf(ep);
       std::size_t restoreSpan = 0;
-      if (sink != nullptr) {
-        // The failure interrupted whichever step/checkpoint spans were
-        // open; close them before recording the recovery work.
-        sink->abandonOpen(r0);
-        sink->instant(obs::Category::Kill, "failure", iter,
-                      static_cast<int>(victim), r0, 0,
-                      {{"victim", std::to_string(victim)},
-                       {"mode", modeName}});
-        restoreSpan = sink->open(obs::Category::Restore, "restore", iter,
-                                 rt.here().id(), r0);
-      }
-      record(TraceEvent::Kind::Failure, iter, r0, r0, victim);
-      iter = handleFailure(app);
-      if (sink != nullptr) {
-        sink->close(restoreSpan, rt.time(), 0,
-                    {{"mode", modeName},
-                     {"victim", std::to_string(victim)},
-                     {"restored_to", std::to_string(iter)}});
-        sink->metrics().add("executor.failures");
-        sink->metrics()
-            .histogram("executor.restore_seconds", kSecondsBuckets)
-            .observe(rt.time() - r0);
+      {
+        obs::PhaseScope phase("restore");
+        if (sink != nullptr) {
+          // The failure interrupted whichever step/checkpoint spans were
+          // open; close them before recording the recovery work.
+          sink->abandonOpen(r0);
+          sink->instant(obs::Category::Kill, "failure", iter,
+                        static_cast<int>(victim), r0, 0,
+                        {{"victim", std::to_string(victim)},
+                         {"mode", modeName}});
+          restoreSpan = sink->open(obs::Category::Restore, "restore", iter,
+                                   rt.here().id(), r0);
+        }
+        record(TraceEvent::Kind::Failure, iter, r0, r0, victim);
+        iter = handleFailure(app);
+        if (sink != nullptr) {
+          sink->close(restoreSpan, rt.time(), 0,
+                      {{"mode", modeName},
+                       {"victim", std::to_string(victim)},
+                       {"restored_to", std::to_string(iter)}});
+          sink->metrics().add("executor.failures");
+          sink->metrics()
+              .histogram("executor.restore_seconds", kSecondsBuckets)
+              .observe(rt.time() - r0);
+        }
       }
       record(TraceEvent::Kind::Restore, iter, r0, rt.time(), victim);
       stats.restoreTime += rt.time() - r0;
@@ -192,6 +201,7 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         // Re-establish full double-storage redundancy (including the
         // read-only snapshots, re-saved over the new group).
         const double c0 = rt.time();
+        obs::PhaseScope phase("checkpoint");
         store_ = resilient::AppResilientStore{};
         store_.setIteration(iter);
         app.checkpoint(store_);

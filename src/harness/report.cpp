@@ -3,40 +3,14 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/analysis/attribution.h"
+#include "obs/json_util.h"
+
 namespace rgml::harness {
 
 namespace {
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream esc;
-          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c);
-          out += esc.str();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using obs::jsonEscape;
 
 std::string num(double v) {
   std::ostringstream os;
@@ -58,8 +32,31 @@ std::string spanLine(const obs::Span& s) {
 
 /// How many trailing spans a divergence entry quotes. Enough to show the
 /// failing step, the restore that preceded it, and the checkpoint context
-/// without bloating the report.
-constexpr std::size_t kTraceTailSpans = 16;
+/// without bloating the report. (Finish-bookkeeping spans ride along in
+/// the tail since PR 5, hence more room than the original 16.)
+constexpr std::size_t kTraceTailSpans = 32;
+
+/// Compact per-scenario attribution summary (self-time seconds and
+/// percentages per bucket) for the "attribution" report field.
+void writeAttributionSummary(
+    std::ostream& os, const obs::analysis::AttributionReport& a) {
+  auto buckets = [&](const char* key,
+                     const std::vector<obs::analysis::AttributionBucket>&
+                         list) {
+    os << '"' << key << "\": [";
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      os << (i ? ", " : "") << "{\"key\": \"" << jsonEscape(list[i].key)
+         << "\", \"seconds\": " << num(list[i].selfSeconds)
+         << ", \"pct\": " << num(list[i].pct) << '}';
+    }
+    os << ']';
+  };
+  os << "{\"total_seconds\": " << num(a.totalSeconds) << ", ";
+  buckets("by_phase", a.byPhase);
+  os << ", ";
+  buckets("by_category", a.byCategory);
+  os << '}';
+}
 
 }  // namespace
 
@@ -136,7 +133,13 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
        << "\", \"kind\": \"" << toString(o.kind)
        << "\", \"failures_handled\": " << o.failuresHandled
        << ", \"restore_ms\": " << num(o.restoreMs)
-       << ", \"total_ms\": " << num(o.totalMs) << "}";
+       << ", \"total_ms\": " << num(o.totalMs);
+    if (!o.spans.empty()) {
+      os << ", \"attribution\": ";
+      writeAttributionSummary(os,
+                              obs::analysis::attributeSelfTime(o.spans));
+    }
+    os << "}";
   }
   os << (result.outcomes.empty() ? "" : "\n    ") << "]\n";
 
@@ -185,6 +188,53 @@ std::string toMetricsJson(const SweepResult& result) {
   std::ostringstream os;
   writeMetricsJson(result, os);
   return os.str();
+}
+
+void writeBenchSummary(const SweepResult& result, std::ostream& os) {
+  long ok = 0;
+  long unrecoverable = 0;
+  double totalMs = 0.0;
+  double restoreMs = 0.0;
+  bool haveMetrics = false;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.kind == OutcomeKind::Ok) ++ok;
+    if (o.kind == OutcomeKind::Unrecoverable) ++unrecoverable;
+    totalMs += o.totalMs;
+    restoreMs += o.restoreMs;
+    haveMetrics = haveMetrics || !o.metrics.empty();
+  }
+
+  os << "{\n  \"chaos_sweep_bench\": {\n    \"deterministic\": {\n"
+     << "      \"scenarios\": " << result.scenariosRun << ",\n"
+     << "      \"ok\": " << ok << ",\n"
+     << "      \"failures\": " << result.failures.size() << ",\n"
+     << "      \"unrecoverable_by_design\": " << unrecoverable << ",\n"
+     << "      \"total_simulated_ms\": " << num(totalMs) << ",\n"
+     << "      \"total_restore_ms\": " << num(restoreMs) << ",\n"
+     << "      \"worst_restore_ms\": {";
+  bool first = true;
+  for (const auto& [mode, ms] : result.worstRestoreMs) {
+    os << (first ? "" : ", ") << '"' << mode << "\": " << num(ms);
+    first = false;
+  }
+  os << "}";
+  if (haveMetrics) {
+    // Re-indent the folded metrics document under "metrics".
+    std::istringstream metrics(toMetricsJson(result));
+    os << ",\n      \"metrics\": ";
+    std::string line;
+    bool firstLine = true;
+    while (std::getline(metrics, line)) {
+      if (!firstLine) os << "\n      " << line;
+      else os << line;
+      firstLine = false;
+    }
+  }
+  os << "\n    },\n    \"wall\": {\n"
+     << "      \"jobs\": " << result.jobsUsed << ",\n"
+     << "      \"wall_seconds\": " << num(result.wallSeconds) << ",\n"
+     << "      \"scenarios_per_sec\": " << num(result.scenariosPerSec)
+     << "\n    }\n  }\n}\n";
 }
 
 std::string summarize(const SweepResult& result) {

@@ -63,4 +63,18 @@ void writeChromeTrace(const SweepResult& result, std::ostream& os);
 void writeMetricsJson(const SweepResult& result, std::ostream& os);
 [[nodiscard]] std::string toMetricsJson(const SweepResult& result);
 
+/// BENCH_*.json perf artifact, split for the perf gate:
+///
+/// {"chaos_sweep_bench": {
+///    "deterministic": { scenario/outcome counts, simulated totals,
+///                       worst_restore_ms, "metrics": {...} when the
+///                       sweep captured traces },
+///    "wall":          { "jobs": N, "wall_seconds": x,
+///                       "scenarios_per_sec": x }}}
+///
+/// Everything under "deterministic" derives from simulated time only and
+/// must be byte-identical run-to-run; "wall" is machine-dependent and is
+/// ignored by baselines/tolerances.json.
+void writeBenchSummary(const SweepResult& result, std::ostream& os);
+
 }  // namespace rgml::harness

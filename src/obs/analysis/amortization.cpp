@@ -1,0 +1,88 @@
+#include "obs/analysis/amortization.h"
+
+#include "framework/checkpoint_interval.h"
+
+namespace rgml::obs::analysis {
+
+namespace {
+
+/// count/sum of an exported histogram; zeros when it was never observed.
+void histTotals(const MetricsRegistry& m, const std::string& name,
+                long& count, double& sum) {
+  const auto it = m.histograms().find(name);
+  if (it == m.histograms().end()) {
+    count = 0;
+    sum = 0.0;
+    return;
+  }
+  count = it->second.count();
+  sum = it->second.sum();
+}
+
+}  // namespace
+
+AmortizationReport computeAmortization(const MetricsRegistry& metrics,
+                                       double observedSeconds,
+                                       double expectedMtbfSeconds) {
+  AmortizationReport r;
+  histTotals(metrics, "executor.step_seconds", r.steps, r.stepSeconds);
+  histTotals(metrics, "executor.checkpoint_seconds", r.checkpoints,
+             r.checkpointSeconds);
+  histTotals(metrics, "executor.restore_seconds", r.restores,
+             r.restoreSeconds);
+  r.avgStepSeconds = r.steps > 0 ? r.stepSeconds / r.steps : 0.0;
+  r.avgCheckpointSeconds =
+      r.checkpoints > 0 ? r.checkpointSeconds / r.checkpoints : 0.0;
+
+  r.freshBytes = metrics.counter("checkpoint.fresh_bytes");
+  r.carriedBytes = metrics.counter("checkpoint.carried_bytes");
+  r.freshEntries =
+      static_cast<long>(metrics.counter("checkpoint.fresh_entries"));
+  r.carriedEntries =
+      static_cast<long>(metrics.counter("checkpoint.carried_entries"));
+  const double volume =
+      static_cast<double>(r.freshBytes) + static_cast<double>(r.carriedBytes);
+  r.carriedFraction =
+      volume > 0.0 ? static_cast<double>(r.carriedBytes) / volume : 0.0;
+
+  r.checkpointOverheadPct =
+      r.stepSeconds > 0.0 ? r.checkpointSeconds / r.stepSeconds * 100.0
+                          : 0.0;
+  r.restoreOverheadPct =
+      r.stepSeconds > 0.0 ? r.restoreSeconds / r.stepSeconds * 100.0 : 0.0;
+
+  const long failures =
+      static_cast<long>(metrics.counter("executor.failures"));
+  if (observedSeconds <= 0.0) {
+    observedSeconds = r.stepSeconds + r.checkpointSeconds + r.restoreSeconds;
+  }
+  if (expectedMtbfSeconds > 0.0) {
+    r.mtbfSeconds = expectedMtbfSeconds;
+  } else if (failures > 0 && observedSeconds > 0.0) {
+    r.mtbfSeconds = observedSeconds / static_cast<double>(failures);
+    r.mtbfObserved = true;
+  }
+
+  if (r.mtbfSeconds <= 0.0) {
+    r.note =
+        "no failures observed and no --mtbf given; cannot recommend an "
+        "interval";
+    return r;
+  }
+  if (r.avgStepSeconds <= 0.0 || r.avgCheckpointSeconds <= 0.0) {
+    r.note = "missing step or checkpoint cost observations";
+    return r;
+  }
+
+  r.recommendedInterval = framework::youngIntervalIterations(
+      r.avgCheckpointSeconds, r.mtbfSeconds, r.avgStepSeconds);
+  const double intervalSeconds =
+      static_cast<double>(r.recommendedInterval) * r.avgStepSeconds;
+  r.recommendedOverheadPct =
+      (r.avgCheckpointSeconds / intervalSeconds +
+       intervalSeconds / (2.0 * r.mtbfSeconds)) *
+      100.0;
+  return r;
+}
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,73 @@
+// Checkpoint-amortization model (paper §V, citing Young 1974).
+//
+// Folds the metrics a traced run exports — step/checkpoint/restore
+// duration histograms and the store's fresh/carried checkpoint volume
+// counters — into a recommendation: given the observed per-iteration
+// cost, per-checkpoint cost, and failure rate, what checkpoint interval
+// minimizes expected overhead? The interval comes from
+// framework::youngIntervalIterations (the one deliberate dependency of
+// the analysis layer outside src/obs/ — the recommendation must be the
+// same formula the executor's users apply).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rgml::obs::analysis {
+
+struct AmortizationReport {
+  // Observed costs (simulated seconds), from the exported histograms.
+  long steps = 0;
+  double stepSeconds = 0.0;  ///< total across the run(s)
+  double avgStepSeconds = 0.0;
+  long checkpoints = 0;
+  double checkpointSeconds = 0.0;
+  double avgCheckpointSeconds = 0.0;
+  long restores = 0;
+  double restoreSeconds = 0.0;
+
+  // Checkpoint volume, from the store counters. Fresh bytes were
+  // serialized this commit; carried bytes rode along from the previous
+  // snapshot (delta/read-only reuse), so carriedFraction is the fraction
+  // of checkpoint volume the incremental store avoided recopying.
+  std::uint64_t freshBytes = 0;
+  std::uint64_t carriedBytes = 0;
+  long freshEntries = 0;
+  long carriedEntries = 0;
+  double carriedFraction = 0.0;
+
+  /// Checkpoint overhead actually paid: checkpoint / step seconds * 100.
+  double checkpointOverheadPct = 0.0;
+  /// Restore overhead actually paid: restore / step seconds * 100.
+  double restoreOverheadPct = 0.0;
+
+  /// Mean time between failures used by the model (simulated seconds):
+  /// observed span of the run divided by failures, unless the caller
+  /// supplied an expected MTBF. 0 when neither is available.
+  double mtbfSeconds = 0.0;
+  bool mtbfObserved = false;  ///< true: derived from observed failures
+
+  /// Young's recommended interval, in iterations (>= 1); 0 when no MTBF
+  /// is available (nothing to amortize against).
+  long recommendedInterval = 0;
+  /// Expected overhead at the recommended interval, per Young's
+  /// first-order model: ckpt/(interval*step) + (interval*step)/(2*mtbf).
+  double recommendedOverheadPct = 0.0;
+
+  /// Human-readable caveat when inputs were missing ("no failures
+  /// observed; pass --mtbf", ...). Empty when the model is complete.
+  std::string note;
+};
+
+/// Build the report from folded metrics. `observedSeconds` anchors the
+/// failure-rate estimate (pass the trace makespan; <= 0 → derived from
+/// the histogram sums). `expectedMtbfSeconds` > 0 overrides the observed
+/// failure rate — required to get a recommendation from a failure-free
+/// run.
+[[nodiscard]] AmortizationReport computeAmortization(
+    const MetricsRegistry& metrics, double observedSeconds = 0.0,
+    double expectedMtbfSeconds = 0.0);
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,130 @@
+#include "obs/analysis/attribution.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rgml::obs::analysis {
+
+namespace {
+
+void recomputePct(AttributionReport& report) {
+  auto fix = [&](std::vector<AttributionBucket>& buckets) {
+    for (AttributionBucket& b : buckets) {
+      b.pct = report.totalSeconds > 0.0
+                  ? b.selfSeconds / report.totalSeconds * 100.0
+                  : 0.0;
+    }
+  };
+  fix(report.byCategory);
+  fix(report.byPhase);
+}
+
+void foldBuckets(std::vector<AttributionBucket>& into,
+                 const std::vector<AttributionBucket>& from) {
+  std::map<std::string, AttributionBucket> merged;
+  for (const AttributionBucket& b : into) merged[b.key] = b;
+  for (const AttributionBucket& b : from) {
+    AttributionBucket& m = merged[b.key];
+    m.key = b.key;
+    m.selfSeconds += b.selfSeconds;
+    m.spans += b.spans;
+    m.bytes += b.bytes;
+  }
+  into.clear();
+  for (auto& [key, b] : merged) into.push_back(std::move(b));
+}
+
+}  // namespace
+
+std::string phaseKeyOf(const Span& span) {
+  if (span.category == Category::Finish) return kFinishPhase;
+  if (!span.phase.empty()) return span.phase;
+  return kUntaggedPhase;
+}
+
+std::vector<double> selfTimes(const std::vector<Span>& spans) {
+  std::vector<double> self(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    self[i] = std::max(0.0, spans[i].duration());
+  }
+
+  // Group by place: nesting is only meaningful on one simulated clock.
+  std::map<int, std::vector<std::size_t>> byPlace;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    byPlace[spans[i].place].push_back(i);
+  }
+
+  for (auto& [place, idx] : byPlace) {
+    // Parents before children: earlier start first; at equal start the
+    // longer interval first; then emission order (open() records the
+    // parent before spans nested inside it).
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      const Span& sa = spans[a];
+      const Span& sb = spans[b];
+      if (sa.startTime != sb.startTime) return sa.startTime < sb.startTime;
+      if (sa.endTime != sb.endTime) return sa.endTime > sb.endTime;
+      if (sa.depth != sb.depth) return sa.depth < sb.depth;
+      return a < b;
+    });
+
+    std::vector<std::size_t> stack;  // enclosing spans, innermost last
+    for (std::size_t i : idx) {
+      const Span& s = spans[i];
+      while (!stack.empty() && spans[stack.back()].endTime <= s.startTime) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        // `s` is nested in the stack top: the covered stretch is the
+        // child's, not the parent's. Clamp to the parent's interval so a
+        // child running past its parent (abandoned spans closed at a
+        // later time) never pushes the parent's self time negative.
+        const Span& parent = spans[stack.back()];
+        const double covered =
+            std::min(s.endTime, parent.endTime) - s.startTime;
+        self[stack.back()] -= std::max(0.0, covered);
+      }
+      stack.push_back(i);
+    }
+  }
+
+  for (double& t : self) t = std::max(0.0, t);
+  return self;
+}
+
+AttributionReport attributeSelfTime(const std::vector<Span>& spans) {
+  const std::vector<double> self = selfTimes(spans);
+
+  std::map<std::string, AttributionBucket> byCategory;
+  std::map<std::string, AttributionBucket> byPhase;
+  AttributionReport report;
+
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    report.totalSeconds += self[i];
+    for (auto* grouped : {&byCategory, &byPhase}) {
+      const std::string key = grouped == &byCategory
+                                  ? std::string(toString(s.category))
+                                  : phaseKeyOf(s);
+      AttributionBucket& b = (*grouped)[key];
+      b.key = key;
+      b.selfSeconds += self[i];
+      b.spans += 1;
+      b.bytes += s.bytes;
+    }
+  }
+
+  for (auto& [key, b] : byCategory) report.byCategory.push_back(b);
+  for (auto& [key, b] : byPhase) report.byPhase.push_back(b);
+  recomputePct(report);
+  return report;
+}
+
+void mergeAttribution(AttributionReport& into,
+                      const AttributionReport& other) {
+  into.totalSeconds += other.totalSeconds;
+  foldBuckets(into.byCategory, other.byCategory);
+  foldBuckets(into.byPhase, other.byPhase);
+  recomputePct(into);
+}
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,66 @@
+// Self-time attribution: where did the simulated seconds actually go?
+//
+// Spans nest (executor step > comm > finish ack; checkpoint > store
+// snapshot > store saves), so summing raw durations double-counts. This
+// pass computes each span's *self time* — its duration minus the time
+// covered by spans nested inside it on the same place — and aggregates
+// self time two ways:
+//
+//   by category  the Span::Category taxonomy (step, checkpoint-save,
+//                comms, finish, ...),
+//   by phase     the executor phase taxonomy of the paper's Table IV
+//                (step vs checkpoint vs restore vs finish-bookkeeping),
+//                using Span::phase tags with Category::Finish spans
+//                pulled into their own bucket.
+//
+// Because every simulated second of a span belongs to exactly one
+// innermost span, the per-bucket percentages sum to 100 (up to rounding)
+// by construction in both views.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace rgml::obs::analysis {
+
+/// Phase bucket names used by the by-phase view.
+inline constexpr const char* kFinishPhase = "finish-bookkeeping";
+inline constexpr const char* kUntaggedPhase = "untagged";
+
+/// Self time aggregated under one key (a category or phase label).
+struct AttributionBucket {
+  std::string key;
+  double selfSeconds = 0.0;
+  double pct = 0.0;  ///< selfSeconds / report total * 100
+  long spans = 0;    ///< spans contributing (including zero-self ones)
+  std::uint64_t bytes = 0;  ///< payload bytes on contributing spans
+};
+
+struct AttributionReport {
+  double totalSeconds = 0.0;  ///< sum of all self time == busy time
+  std::vector<AttributionBucket> byCategory;  ///< sorted by key
+  std::vector<AttributionBucket> byPhase;     ///< sorted by key
+};
+
+/// The phase bucket a span belongs to in the Table-IV view.
+[[nodiscard]] std::string phaseKeyOf(const Span& span);
+
+/// Per-span self time, parallel to `spans`: duration minus the time
+/// covered by spans nested inside it on the same place, clamped to >= 0.
+[[nodiscard]] std::vector<double> selfTimes(const std::vector<Span>& spans);
+
+/// Attribute the self time of `spans` (one scenario or one whole trace;
+/// pass the concatenation of lanes for a sweep-wide view).
+[[nodiscard]] AttributionReport attributeSelfTime(
+    const std::vector<Span>& spans);
+
+/// Fold `other` into `into` (summing seconds/spans/bytes per key) and
+/// recompute percentages. Used to aggregate per-lane reports in lane
+/// order — deterministic at any worker count.
+void mergeAttribution(AttributionReport& into,
+                      const AttributionReport& other);
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,187 @@
+#include "obs/analysis/critical_path.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "obs/analysis/attribution.h"
+
+namespace rgml::obs::analysis {
+
+namespace {
+
+/// Best-dp-at-or-before-time lookup. Entries are appended in
+/// nondecreasing time with strictly increasing dp (worse candidates are
+/// dropped at insert), so a query is one binary search.
+class BestByTime {
+ public:
+  void insert(double time, double dp, std::size_t idx) {
+    if (!entries_.empty() && dp <= entries_.back().dp) return;
+    if (!entries_.empty() && entries_.back().time == time) {
+      entries_.back() = {time, dp, idx};
+      return;
+    }
+    entries_.push_back({time, dp, idx});
+  }
+
+  /// The entry with the greatest dp among time <= t; false when none.
+  [[nodiscard]] bool query(double t, double& dp, std::size_t& idx) const {
+    const auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), t,
+        [](double value, const Entry& e) { return value < e.time; });
+    if (it == entries_.begin()) return false;
+    dp = std::prev(it)->dp;
+    idx = std::prev(it)->idx;
+    return true;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    double dp;
+    std::size_t idx;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// The target place of a comms span, or -1 when it has none (local
+/// transfers record no "to").
+int commTargetOf(const Span& s) {
+  if (s.category != Category::Comms) return -1;
+  const std::string to = s.arg("to");
+  if (to.empty()) return -1;
+  return std::atoi(to.c_str());
+}
+
+}  // namespace
+
+CriticalPath extractCriticalPath(const std::vector<Span>& spans,
+                                 std::size_t topK) {
+  CriticalPath result;
+  if (spans.empty()) return result;
+
+  const std::size_t n = spans.size();
+  std::vector<std::size_t> byStart(n);
+  std::vector<std::size_t> byEnd(n);
+  for (std::size_t i = 0; i < n; ++i) byStart[i] = byEnd[i] = i;
+  std::sort(byStart.begin(), byStart.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (spans[a].startTime != spans[b].startTime) {
+                return spans[a].startTime < spans[b].startTime;
+              }
+              return a < b;
+            });
+  std::sort(byEnd.begin(), byEnd.end(), [&](std::size_t a, std::size_t b) {
+    if (spans[a].endTime != spans[b].endTime) {
+      return spans[a].endTime < spans[b].endTime;
+    }
+    return a < b;
+  });
+
+  std::map<int, BestByTime> seqBest;  // same-place predecessor chains
+  std::map<int, BestByTime> inBest;   // incoming comms per target place
+  std::vector<double> dp(n, 0.0);
+  std::vector<std::ptrdiff_t> pred(n, -1);
+  std::vector<char> processed(n, 0);
+
+  std::size_t finalized = 0;
+  for (const std::size_t i : byStart) {
+    const Span& s = spans[i];
+    // Finalize every span that ended before this one starts. A span
+    // ending exactly at s.startTime finalizes only if its own dp is
+    // already computed; the blocked case is a zero-duration span at this
+    // very timestamp that start-order has not reached yet — skipping it
+    // loses only a zero-weight link.
+    while (finalized < n) {
+      const std::size_t j = byEnd[finalized];
+      const Span& e = spans[j];
+      if (e.endTime > s.startTime) break;
+      if (e.endTime == s.startTime && !processed[j]) break;
+      seqBest[e.place].insert(e.endTime, dp[j], j);
+      const int target = commTargetOf(e);
+      if (target >= 0) inBest[target].insert(e.endTime, dp[j], j);
+      ++finalized;
+    }
+
+    double bestDp = 0.0;
+    std::ptrdiff_t bestIdx = -1;
+    double candDp = 0.0;
+    std::size_t candIdx = 0;
+    const auto seq = seqBest.find(s.place);
+    if (seq != seqBest.end() &&
+        seq->second.query(s.startTime, candDp, candIdx) &&
+        candDp > bestDp) {
+      bestDp = candDp;
+      bestIdx = static_cast<std::ptrdiff_t>(candIdx);
+    }
+    const auto in = inBest.find(s.place);
+    if (in != inBest.end() &&
+        in->second.query(s.startTime, candDp, candIdx) &&
+        candDp > bestDp) {
+      bestDp = candDp;
+      bestIdx = static_cast<std::ptrdiff_t>(candIdx);
+    }
+    dp[i] = bestDp + std::max(0.0, s.duration());
+    pred[i] = bestIdx;
+    processed[i] = 1;
+  }
+
+  std::size_t tail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dp[i] > dp[tail]) tail = i;
+    result.makespanSeconds =
+        std::max(result.makespanSeconds, spans[i].endTime);
+  }
+  result.lengthSeconds = dp[tail];
+
+  // Walk the predecessor chain back, then reverse into time order.
+  std::vector<std::size_t> chain;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(tail); i >= 0;
+       i = pred[static_cast<std::size_t>(i)]) {
+    chain.push_back(static_cast<std::size_t>(i));
+  }
+  std::reverse(chain.begin(), chain.end());
+  for (const std::size_t i : chain) {
+    const Span& s = spans[i];
+    CriticalPathEntry e;
+    e.spanIndex = i;
+    e.category = toString(s.category);
+    e.name = s.name;
+    e.phase = phaseKeyOf(s);
+    e.place = s.place;
+    e.iteration = s.iteration;
+    e.startTime = s.startTime;
+    e.endTime = s.endTime;
+    result.entries.push_back(std::move(e));
+  }
+
+  std::map<std::string, CriticalPathCategory> byCategory;
+  for (const CriticalPathEntry& e : result.entries) {
+    CriticalPathCategory& c = byCategory[e.category];
+    c.key = e.category;
+    c.seconds += e.duration();
+    c.spans += 1;
+    c.top.push_back(e);
+  }
+  for (auto& [key, c] : byCategory) {
+    c.pct = result.lengthSeconds > 0.0
+                ? c.seconds / result.lengthSeconds * 100.0
+                : 0.0;
+    std::stable_sort(c.top.begin(), c.top.end(),
+                     [](const CriticalPathEntry& a,
+                        const CriticalPathEntry& b) {
+                       return a.duration() > b.duration();
+                     });
+    if (c.top.size() > topK) c.top.resize(topK);
+    result.byCategory.push_back(std::move(c));
+  }
+  std::sort(result.byCategory.begin(), result.byCategory.end(),
+            [](const CriticalPathCategory& a,
+               const CriticalPathCategory& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.key < b.key;
+            });
+  return result;
+}
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,64 @@
+// Critical-path extraction across places.
+//
+// The spans of one lane (one scenario or run) form a DAG: span B can
+// causally follow span A when they ran on the same place and A ended
+// before B started, or when A is a data message ("comms" span with a
+// "to" annotation) targeting B's place that arrived before B started —
+// the only two orderings the simulated APGAS runtime enforces. The
+// critical path is the chain with the greatest total duration; its
+// length is a lower bound on the makespan, and the gap between the two
+// is time every place spent idle.
+//
+// Extraction is O(n log n): spans are processed in start-time order and
+// finalized into per-place monotone best-so-far structures at their end
+// times, so each span's best predecessor is two binary searches. All
+// tie-breaks are by span index, so the result is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace rgml::obs::analysis {
+
+/// One span on the critical path (a flattened copy of its key fields —
+/// reports outlive the loaded trace).
+struct CriticalPathEntry {
+  std::size_t spanIndex = 0;  ///< index into the analyzed span vector
+  std::string category;       ///< toString(Span::category)
+  std::string name;
+  std::string phase;  ///< phaseKeyOf(span)
+  int place = -1;
+  long iteration = -1;
+  double startTime = 0.0;
+  double endTime = 0.0;
+  [[nodiscard]] double duration() const { return endTime - startTime; }
+};
+
+/// Aggregated contribution of one category to the path, with its top-k
+/// longest member spans.
+struct CriticalPathCategory {
+  std::string key;
+  double seconds = 0.0;
+  double pct = 0.0;  ///< seconds / path length * 100
+  long spans = 0;
+  std::vector<CriticalPathEntry> top;  ///< longest first, <= topK
+};
+
+struct CriticalPath {
+  double lengthSeconds = 0.0;    ///< sum of durations along the path
+  double makespanSeconds = 0.0;  ///< latest span end in the lane
+  std::vector<CriticalPathEntry> entries;  ///< in time order
+  /// Contributions by category, largest first (ties by key). Percentages
+  /// are of lengthSeconds.
+  std::vector<CriticalPathCategory> byCategory;
+};
+
+/// Extract the critical path of `spans` (one lane). `topK` bounds the
+/// per-category contributor lists.
+[[nodiscard]] CriticalPath extractCriticalPath(
+    const std::vector<Span>& spans, std::size_t topK = 3);
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,91 @@
+// Minimal JSON parser for the trace-analysis layer.
+//
+// Parses the documents this repo itself emits — Chrome trace-event files,
+// MetricsRegistry exports, BENCH_*.json summaries — into a simple value
+// tree. Objects preserve member order (our writers emit sorted or fixed
+// key order, so iteration over members is deterministic). Numbers are
+// doubles, which is exact for every integer the emitters produce (span
+// ids, byte counts and bucket counts all fit in 2^53).
+//
+// Depends on the standard library only, like the rest of src/obs/.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rgml::obs::analysis {
+
+/// Thrown on malformed input or a type mismatch. `what()` includes the
+/// byte offset for parse errors.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  /// Parse a complete JSON document (trailing whitespace allowed, any
+  /// other trailing content is an error). Throws JsonError.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  /// Parse the contents of `path`. Throws JsonError (also for I/O
+  /// failures, so callers have one error path).
+  [[nodiscard]] static JsonValue parseFile(const std::string& path);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool isNull() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool isBool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool isNumber() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool isString() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool isArray() const noexcept {
+    return type_ == Type::Array;
+  }
+  [[nodiscard]] bool isObject() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  // Typed accessors; throw JsonError on type mismatch.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asNumber() const;
+  [[nodiscard]] long asLong() const;  ///< asNumber() truncated toward zero
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;  ///< array
+  [[nodiscard]] const Members& members() const;               ///< object
+
+  /// Object member lookup; null when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Object member lookup that throws JsonError naming the missing key.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  // Convenience lookups with defaults (absent key or wrong type → dflt).
+  [[nodiscard]] double numberOr(const std::string& key, double dflt) const;
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     std::string dflt) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  Members members_;
+};
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,64 @@
+// Perf regression gate: diff a freshly generated BENCH_*.json summary
+// against a committed baseline with per-metric tolerances.
+//
+// Both documents are flattened to dotted leaf paths
+// ("chaos_sweep_bench.deterministic.total_simulated_ms", arrays by
+// index). Numeric leaves compare within the tolerance of the first
+// matching rule; string/bool leaves must match exactly; keys present on
+// one side only are violations — a benchmark that silently stops
+// reporting a metric must fail the gate, not pass it.
+//
+// The default (no matching rule) tolerance is exact equality: the
+// simulator is deterministic, so BENCH values drift only when the code
+// changes — tolerances.json opts out the wall-clock section instead of
+// every deterministic metric opting in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json.h"
+
+namespace rgml::obs::analysis {
+
+/// One tolerance rule; rules apply in order, first prefix match wins.
+struct ToleranceRule {
+  std::string prefix;  ///< leaf-path prefix ("" matches everything)
+  bool ignore = false;
+  double rel = 0.0;  ///< allowed |delta| as a fraction of |baseline|
+  double abs = 0.0;  ///< allowed absolute |delta| (floor; covers 0 bases)
+};
+
+struct GateViolation {
+  std::string path;
+  std::string kind;  ///< "regression", "missing", "extra", "mismatch"
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double allowed = 0.0;
+  std::string detail;  ///< human-readable one-liner
+};
+
+struct GateResult {
+  long compared = 0;  ///< leaves checked (not ignored)
+  long ignored = 0;
+  std::vector<GateViolation> violations;
+  [[nodiscard]] bool pass() const noexcept { return violations.empty(); }
+};
+
+/// Parse {"rules": [{"prefix": ..., "ignore"/"rel"/"abs": ...}, ...]}.
+/// Throws JsonError on shape mismatch.
+[[nodiscard]] std::vector<ToleranceRule> loadToleranceRules(
+    const JsonValue& root);
+
+/// Diff `fresh` against `baseline` under `rules`. Deterministic:
+/// violations are ordered by leaf path.
+[[nodiscard]] GateResult diffBenchmarks(
+    const JsonValue& baseline, const JsonValue& fresh,
+    const std::vector<ToleranceRule>& rules);
+
+/// Render the result for the CLI ("<label>: N leaves OK" or the
+/// violation list).
+[[nodiscard]] std::string formatGateResult(const GateResult& result,
+                                           const std::string& label);
+
+}  // namespace rgml::obs::analysis

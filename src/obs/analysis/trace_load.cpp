@@ -1,0 +1,110 @@
+#include "obs/analysis/trace_load.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rgml::obs::analysis {
+
+namespace {
+
+/// The keys the exporter writes into `args` from dedicated Span fields;
+/// everything else round-trips into Span::args.
+bool isStructuralArg(const std::string& key) {
+  return key == "iteration" || key == "bytes" || key == "depth" ||
+         key == "phase";
+}
+
+}  // namespace
+
+std::vector<LoadedLane> loadChromeTrace(const JsonValue& root) {
+  const JsonValue& events = root.at("traceEvents");
+  std::map<int, LoadedLane> byPid;
+
+  for (const JsonValue& ev : events.items()) {
+    const std::string ph = ev.stringOr("ph", "");
+    const int pid = static_cast<int>(ev.numberOr("pid", 0));
+    LoadedLane& lane = byPid[pid];
+    lane.pid = pid;
+
+    if (ph == "M") {
+      if (ev.stringOr("name", "") == "process_name") {
+        if (const JsonValue* args = ev.find("args")) {
+          lane.name = args->stringOr("name", "");
+        }
+      }
+      continue;
+    }
+    if (ph != "X") continue;  // counters, flow events, ... not emitted
+
+    Span s;
+    s.name = ev.stringOr("name", "");
+    const std::string cat = ev.stringOr("cat", "");
+    if (!parseCategory(cat, s.category)) {
+      throw JsonError("unknown span category \"" + cat + "\"");
+    }
+    // ts/dur are microseconds in the trace; Span carries seconds.
+    const double ts = ev.numberOr("ts", 0.0);
+    const double dur = ev.numberOr("dur", 0.0);
+    s.startTime = ts / 1e6;
+    s.endTime = (ts + dur) / 1e6;
+    s.place = static_cast<int>(ev.numberOr("tid", 0));
+    if (const JsonValue* args = ev.find("args")) {
+      s.iteration = static_cast<long>(args->numberOr("iteration", -1));
+      s.bytes =
+          static_cast<std::uint64_t>(args->numberOr("bytes", 0.0));
+      s.depth = static_cast<int>(args->numberOr("depth", 0));
+      s.phase = args->stringOr("phase", "");
+      for (const auto& [key, value] : args->members()) {
+        if (!isStructuralArg(key) && value.isString()) {
+          s.args.emplace_back(key, value.asString());
+        }
+      }
+    }
+    lane.spans.push_back(std::move(s));
+  }
+
+  std::vector<LoadedLane> lanes;
+  lanes.reserve(byPid.size());
+  for (auto& [pid, lane] : byPid) lanes.push_back(std::move(lane));
+  return lanes;
+}
+
+std::vector<LoadedLane> loadChromeTraceFile(const std::string& path) {
+  return loadChromeTrace(JsonValue::parseFile(path));
+}
+
+MetricsRegistry loadMetrics(const JsonValue& root) {
+  MetricsRegistry reg;
+  for (const auto& [name, value] : root.at("counters").members()) {
+    reg.add(name, static_cast<std::uint64_t>(value.asNumber()));
+  }
+  for (const auto& [name, value] : root.at("gauges").members()) {
+    reg.set(name, value.asNumber());
+  }
+  for (const auto& [name, value] : root.at("histograms").members()) {
+    std::vector<double> bounds;
+    for (const JsonValue& b : value.at("bounds").items()) {
+      bounds.push_back(b.asNumber());
+    }
+    std::vector<long> buckets;
+    for (const JsonValue& b : value.at("buckets").items()) {
+      buckets.push_back(b.asLong());
+    }
+    try {
+      Histogram h = Histogram::fromParts(bounds, std::move(buckets),
+                                         value.at("count").asLong(),
+                                         value.at("sum").asNumber());
+      reg.histogram(name, std::move(bounds)) = std::move(h);
+    } catch (const std::invalid_argument& e) {
+      throw JsonError("histogram \"" + name + "\": " + e.what());
+    }
+  }
+  return reg;
+}
+
+MetricsRegistry loadMetricsFile(const std::string& path) {
+  return loadMetrics(JsonValue::parseFile(path));
+}
+
+}  // namespace rgml::obs::analysis

@@ -1,0 +1,46 @@
+// Loaders: Chrome trace-event files and MetricsRegistry exports back
+// into in-memory form for the analysis passes.
+//
+// These invert the exporters in obs/chrome_trace.cpp and
+// obs/metrics.cpp. One exporter lossiness is accepted: places are
+// reconstructed from the Chrome `tid`, and the exporter maps place -1
+// (not-place-bound spans) to tid 0, so such spans come back on place 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace rgml::obs::analysis {
+
+/// One Chrome-trace process lane ("pid"): a scenario (chaos sweeps) or a
+/// whole run (bench drivers), with its spans in emission order.
+struct LoadedLane {
+  int pid = 0;
+  std::string name;  ///< process_name metadata; empty when absent
+  std::vector<Span> spans;
+};
+
+/// Parse a Chrome trace-event document (the writeChromeTrace format)
+/// into lanes sorted by pid. "M" metadata events name the lanes; "X"
+/// events become spans; other phases are ignored. Throws JsonError on a
+/// document that is not a trace.
+[[nodiscard]] std::vector<LoadedLane> loadChromeTrace(
+    const JsonValue& root);
+
+/// loadChromeTrace(JsonValue::parseFile(path)).
+[[nodiscard]] std::vector<LoadedLane> loadChromeTraceFile(
+    const std::string& path);
+
+/// Parse a MetricsRegistry::writeJson document back into a registry.
+/// Histograms are validated on reassembly (bucket counts must match the
+/// bounds and sum to the count). Throws JsonError on shape mismatch.
+[[nodiscard]] MetricsRegistry loadMetrics(const JsonValue& root);
+
+/// loadMetrics(JsonValue::parseFile(path)).
+[[nodiscard]] MetricsRegistry loadMetricsFile(const std::string& path);
+
+}  // namespace rgml::obs::analysis

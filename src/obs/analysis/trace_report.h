@@ -1,0 +1,57 @@
+// Report assembly for the trace_report CLI: per-lane attribution and
+// critical paths, an overall attribution fold, and the amortization
+// model, rendered as a human table or a JSON document.
+//
+// Lane analyses are independent — the CLI analyzes lanes in parallel
+// and folds them in lane order, so both renderings are byte-identical
+// at any worker count.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/amortization.h"
+#include "obs/analysis/attribution.h"
+#include "obs/analysis/critical_path.h"
+#include "obs/analysis/trace_load.h"
+
+namespace rgml::obs::analysis {
+
+/// Analysis of one trace lane (one scenario or run).
+struct LaneAnalysis {
+  int pid = 0;
+  std::string name;
+  long spanCount = 0;
+  AttributionReport attribution;
+  CriticalPath criticalPath;
+};
+
+struct TraceReport {
+  std::vector<LaneAnalysis> lanes;  ///< in lane (pid) order
+  AttributionReport overall;        ///< attribution folded across lanes
+  bool hasMetrics = false;
+  AmortizationReport amortization;  ///< meaningful when hasMetrics
+};
+
+/// Analyze one lane. Pure function of the lane — safe to run on worker
+/// threads over distinct lanes.
+[[nodiscard]] LaneAnalysis analyzeLane(const LoadedLane& lane,
+                                       std::size_t topK = 3);
+
+/// Fold per-lane analyses (in lane order) into the final report. When
+/// `metrics` is non-null the amortization model runs against it,
+/// anchored on the summed lane makespans (each lane is its own
+/// simulated clock); `expectedMtbfSeconds` > 0 overrides the observed
+/// failure rate.
+[[nodiscard]] TraceReport buildReport(std::vector<LaneAnalysis> lanes,
+                                      const MetricsRegistry* metrics,
+                                      double expectedMtbfSeconds = 0.0);
+
+/// Human-readable tables (the CLI default output).
+void writeHumanReport(const TraceReport& report, std::ostream& os);
+
+/// Deterministic JSON export ({"trace_report": {...}}).
+void writeJsonReport(const TraceReport& report, std::ostream& os);
+
+}  // namespace rgml::obs::analysis

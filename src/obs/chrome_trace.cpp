@@ -4,40 +4,11 @@
 #include <set>
 #include <sstream>
 
+#include "obs/json_util.h"
+
 namespace rgml::obs {
 
 namespace {
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream esc;
-          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c);
-          out += esc.str();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string num(double v) {
   std::ostringstream os;
@@ -83,6 +54,9 @@ void writeChromeTrace(const std::vector<TraceLane>& lanes,
          << ", \"tid\": " << tidOf(s) << ", \"args\": {\"iteration\": "
          << s.iteration << ", \"bytes\": " << s.bytes
          << ", \"depth\": " << s.depth;
+      if (!s.phase.empty()) {
+        os << ", \"phase\": \"" << jsonEscape(s.phase) << '"';
+      }
       for (const auto& [key, value] : s.args) {
         os << ", \"" << jsonEscape(key) << "\": \"" << jsonEscape(value)
            << '"';

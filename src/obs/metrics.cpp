@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json_util.h"
+
 namespace rgml::obs {
 
 namespace {
@@ -56,6 +58,32 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::fromParts(std::vector<double> upperBounds,
+                               std::vector<long> bucketCounts, long count,
+                               double sum) {
+  Histogram h(std::move(upperBounds));
+  if (bucketCounts.size() != h.upperBounds_.size() + 1) {
+    throw std::invalid_argument(
+        "Histogram::fromParts: need upperBounds.size() + 1 bucket counts");
+  }
+  long total = 0;
+  for (long c : bucketCounts) {
+    if (c < 0) {
+      throw std::invalid_argument(
+          "Histogram::fromParts: negative bucket count");
+    }
+    total += c;
+  }
+  if (total != count) {
+    throw std::invalid_argument(
+        "Histogram::fromParts: bucket counts do not sum to count");
+  }
+  h.bucketCounts_ = std::move(bucketCounts);
+  h.count_ = count;
+  h.sum_ = sum;
+  return h;
+}
+
 void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
   counters_[name] += delta;
 }
@@ -99,19 +127,21 @@ void MetricsRegistry::writeJson(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters_) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+       << "\": " << value;
     first = false;
   }
   os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : gauges_) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": " << num(value);
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+       << "\": " << num(value);
     first = false;
   }
   os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
-    os << (first ? "" : ",") << "\n    \"" << name
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
        << "\": {\"count\": " << hist.count()
        << ", \"sum\": " << num(hist.sum()) << ", \"bounds\": [";
     for (std::size_t i = 0; i < hist.upperBounds().size(); ++i) {

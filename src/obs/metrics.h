@@ -36,6 +36,13 @@ class Histogram {
   /// Fold `other` into this histogram (bucket bounds must match).
   void merge(const Histogram& other);
 
+  /// Reassemble a histogram from its exported parts (the analysis layer's
+  /// metrics loader). `bucketCounts` must have upperBounds.size() + 1
+  /// entries and sum to `count`; throws std::invalid_argument otherwise.
+  [[nodiscard]] static Histogram fromParts(std::vector<double> upperBounds,
+                                           std::vector<long> bucketCounts,
+                                           long count, double sum);
+
  private:
   std::vector<double> upperBounds_;
   std::vector<long> bucketCounts_;

@@ -18,10 +18,25 @@ const char* toString(Category category) {
       return "comms";
     case Category::Kill:
       return "kill";
+    case Category::Finish:
+      return "finish";
     case Category::Run:
       return "run";
   }
   return "?";
+}
+
+bool parseCategory(const std::string& name, Category& out) {
+  for (Category c :
+       {Category::Step, Category::CheckpointSave, Category::CheckpointCommit,
+        Category::CheckpointCancel, Category::Restore, Category::Comms,
+        Category::Kill, Category::Finish, Category::Run}) {
+    if (name == toString(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace rgml::obs

@@ -30,10 +30,15 @@ enum class Category {
   Restore,           ///< rollback work (store + GML restore paths)
   Comms,             ///< data messages between places
   Kill,              ///< a place failure
+  Finish,            ///< resilient-finish bookkeeping (place-0 ack waits)
   Run,               ///< anything else (whole-run umbrella, harness)
 };
 
 [[nodiscard]] const char* toString(Category category);
+
+/// Inverse of toString: parses the exported "cat" label back into the
+/// enum. Returns false (leaving `out` untouched) for unknown labels.
+[[nodiscard]] bool parseCategory(const std::string& name, Category& out);
 
 struct Span {
   Category category = Category::Run;
@@ -44,6 +49,12 @@ struct Span {
   double endTime = 0.0;    ///< simulated seconds (== startTime: instant)
   std::uint64_t bytes = 0; ///< payload bytes attributed to this span
   int depth = 0;           ///< nesting depth at emission (0 = top level)
+  /// The executor phase active at emission ("step", "checkpoint",
+  /// "restore"; empty outside any tagged phase). Set automatically by the
+  /// TraceSink from its phase stack (see PhaseScope), so every nested
+  /// span — store saves, comms, finish acks — is attributable to the
+  /// executor phase it ran under.
+  std::string phase;
   /// Extra annotations, e.g. {"mode", "shrink"}, {"victim", "3"},
   /// {"path", "repartitioned"}. Exported into the Chrome-trace `args`.
   std::vector<std::pair<std::string, std::string>> args;

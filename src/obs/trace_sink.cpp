@@ -28,6 +28,7 @@ void TraceSink::span(Category category, std::string name, long iteration,
   s.endTime = endTime;
   s.bytes = bytes;
   s.depth = static_cast<int>(openStack_.size());
+  s.phase = currentPhase();
   s.args = std::move(args);
   spans_.push_back(std::move(s));
 }
@@ -49,6 +50,7 @@ std::size_t TraceSink::open(Category category, std::string name,
   s.startTime = startTime;
   s.endTime = startTime;  // placeholder: unclosed spans export as instants
   s.depth = static_cast<int>(openStack_.size());
+  s.phase = currentPhase();
   spans_.push_back(std::move(s));
   const std::size_t id = spans_.size() - 1;
   openStack_.push_back(id);
@@ -76,9 +78,23 @@ void TraceSink::abandonOpen(double endTime) {
   }
 }
 
+void TraceSink::pushPhase(std::string phase) {
+  phaseStack_.push_back(std::move(phase));
+}
+
+void TraceSink::popPhase() noexcept {
+  if (!phaseStack_.empty()) phaseStack_.pop_back();
+}
+
+const std::string& TraceSink::currentPhase() const noexcept {
+  static const std::string kNone;
+  return phaseStack_.empty() ? kNone : phaseStack_.back();
+}
+
 void TraceSink::clear() {
   spans_.clear();
   openStack_.clear();
+  phaseStack_.clear();
   metrics_ = MetricsRegistry{};
 }
 

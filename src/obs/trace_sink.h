@@ -66,6 +66,15 @@ class TraceSink {
   /// the emission sites.
   void abandonOpen(double endTime);
 
+  // ---- executor phases ------------------------------------------------
+  /// Push/pop a phase label ("step", "checkpoint", "restore"); every span
+  /// recorded while a phase is active carries the innermost label in
+  /// Span::phase. Prefer PhaseScope.
+  void pushPhase(std::string phase);
+  void popPhase() noexcept;
+  /// The innermost active phase; empty when none.
+  [[nodiscard]] const std::string& currentPhase() const noexcept;
+
   [[nodiscard]] std::size_t openCount() const noexcept {
     return openStack_.size();
   }
@@ -86,6 +95,7 @@ class TraceSink {
  private:
   std::vector<Span> spans_;
   std::vector<std::size_t> openStack_;  ///< indices into spans_
+  std::vector<std::string> phaseStack_;
   MetricsRegistry metrics_;
 };
 
@@ -101,6 +111,24 @@ class SinkScope {
 
  private:
   TraceSink* previous_;
+};
+
+/// RAII: tags every span recorded inside the scope with an executor phase
+/// label. A no-op when the calling thread has no sink installed, so the
+/// emission sites (e.g. ResilientExecutor) can use it unconditionally.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* phase) : sink_(TraceSink::current()) {
+    if (sink_ != nullptr) sink_->pushPhase(phase);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() {
+    if (sink_ != nullptr) sink_->popPhase();
+  }
+
+ private:
+  TraceSink* sink_;
 };
 
 }  // namespace rgml::obs

@@ -130,6 +130,10 @@ void AppResilientStore::commit() {
     sink->metrics().add("checkpoint.fresh_bytes", lastStats_.freshBytes);
     sink->metrics().add("checkpoint.carried_bytes",
                         lastStats_.carriedBytes);
+    sink->metrics().add("checkpoint.fresh_entries",
+                        lastStats_.freshEntries);
+    sink->metrics().add("checkpoint.carried_entries",
+                        lastStats_.carriedEntries);
   }
   snapshotSink_ = nullptr;
 }

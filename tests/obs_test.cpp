@@ -67,6 +67,59 @@ TEST(Histogram, MergeAddsBucketwise) {
   EXPECT_EQ(fresh.upperBounds(), a.upperBounds());
 }
 
+TEST(Histogram, EdgeObservationsLandDeterministically) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(-5.0);  // below the first edge: still the first bucket
+  h.observe(0.0);
+  h.observe(1.0);  // exactly on an edge: the edge's own bucket (inclusive)
+  h.observe(2.0);
+  h.observe(4.0);  // exactly on the last finite edge: not overflow
+  h.observe(4.0000001);  // just past it: overflow
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.bucketCounts(), (std::vector<long>{3, 1, 1, 1}));
+}
+
+TEST(Histogram, MismatchedBucketLayoutsFailLoudlyThroughRegistryMerge) {
+  // A fold of registries whose histograms disagree on bucket layout must
+  // throw, not silently produce garbage percentiles.
+  MetricsRegistry a;
+  a.histogram("lat", {1.0, 2.0}).observe(0.5);
+  MetricsRegistry b;
+  b.histogram("lat", {1.0, 2.0, 4.0}).observe(0.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+
+  MetricsRegistry shifted;
+  shifted.histogram("lat", {1.5, 2.0}).observe(0.5);
+  EXPECT_THROW(a.merge(shifted), std::invalid_argument);
+
+  // Same layout merges fine even with other metrics around.
+  MetricsRegistry ok;
+  ok.histogram("lat", {1.0, 2.0}).observe(1.5);
+  a.merge(ok);
+  EXPECT_EQ(a.histograms().at("lat").count(), 2);
+}
+
+TEST(Histogram, FromPartsValidatesShapeAndTotals) {
+  const Histogram h =
+      Histogram::fromParts({1.0, 2.0}, {1, 2, 3}, 6, 10.5);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.5);
+  EXPECT_EQ(h.bucketCounts(), (std::vector<long>{1, 2, 3}));
+
+  // Wrong bucket-vector size for the bounds.
+  EXPECT_THROW((void)Histogram::fromParts({1.0, 2.0}, {1, 2}, 3, 0.0),
+               std::invalid_argument);
+  // Buckets that don't sum to the claimed count.
+  EXPECT_THROW((void)Histogram::fromParts({1.0, 2.0}, {1, 2, 3}, 7, 0.0),
+               std::invalid_argument);
+  // Negative bucket counts.
+  EXPECT_THROW((void)Histogram::fromParts({1.0, 2.0}, {-1, 2, 3}, 4, 0.0),
+               std::invalid_argument);
+  // Bounds must still strictly increase.
+  EXPECT_THROW((void)Histogram::fromParts({2.0, 1.0}, {0, 0, 0}, 0, 0.0),
+               std::invalid_argument);
+}
+
 // ---- registry -------------------------------------------------------------
 
 TEST(MetricsRegistry, CountersGaugesAndMerge) {

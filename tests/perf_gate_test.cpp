@@ -1,0 +1,177 @@
+// Tests for the perf regression gate (src/obs/analysis/perf_gate.*):
+// leaf flattening, exact-equality default, tolerance rule matching and
+// validation, missing/extra-key detection, and result formatting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json.h"
+#include "obs/analysis/perf_gate.h"
+
+namespace rgml::obs::analysis {
+namespace {
+
+JsonValue doc(const char* text) { return JsonValue::parse(text); }
+
+const char* kBench = R"({
+  "chaos_sweep_bench": {
+    "deterministic": {
+      "scenarios": 30,
+      "ok": 28,
+      "total_simulated_ms": 1234.5,
+      "modes": ["shrink", "replace-redundant"]
+    },
+    "wall": {"jobs": 8, "wall_seconds": 0.25}
+  }
+})";
+
+TEST(PerfGate, IdenticalDocumentsPass) {
+  const GateResult r = diffBenchmarks(doc(kBench), doc(kBench), {});
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.compared, 7);  // 4 numbers + 2 array strings + 1 number
+  EXPECT_EQ(r.ignored, 0);
+}
+
+TEST(PerfGate, DefaultToleranceIsExactEquality) {
+  JsonValue fresh = doc(
+      R"({"chaos_sweep_bench": {"deterministic": {"scenarios": 30,
+          "ok": 28, "total_simulated_ms": 1234.500001,
+          "modes": ["shrink", "replace-redundant"]},
+          "wall": {"jobs": 8, "wall_seconds": 0.25}}})");
+  const GateResult r = diffBenchmarks(doc(kBench), fresh, {});
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, "regression");
+  EXPECT_EQ(r.violations[0].path,
+            "chaos_sweep_bench.deterministic.total_simulated_ms");
+  EXPECT_DOUBLE_EQ(r.violations[0].baseline, 1234.5);
+  EXPECT_DOUBLE_EQ(r.violations[0].allowed, 0.0);
+}
+
+TEST(PerfGate, InflatedMetricFailsWithinIgnoredWallSection) {
+  // The seeded tolerances: wall-clock ignored, everything else exact.
+  const std::vector<ToleranceRule> rules = loadToleranceRules(doc(
+      R"({"rules": [{"prefix": "chaos_sweep_bench.wall.", "ignore": true}]})"));
+  JsonValue fresh = doc(
+      R"({"chaos_sweep_bench": {"deterministic": {"scenarios": 30,
+          "ok": 28, "total_simulated_ms": 1851.75,
+          "modes": ["shrink", "replace-redundant"]},
+          "wall": {"jobs": 2, "wall_seconds": 9.9}}})");
+  const GateResult r = diffBenchmarks(doc(kBench), fresh, rules);
+  EXPECT_EQ(r.ignored, 2);  // jobs + wall_seconds
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].path,
+            "chaos_sweep_bench.deterministic.total_simulated_ms");
+  EXPECT_FALSE(r.pass());
+}
+
+TEST(PerfGate, MissingAndExtraKeysAreViolations) {
+  // A benchmark that stops reporting a metric must fail, not pass.
+  JsonValue fresh = doc(
+      R"({"chaos_sweep_bench": {"deterministic": {"scenarios": 30,
+          "ok": 28, "modes": ["shrink", "replace-redundant"],
+          "new_metric": 1},
+          "wall": {"jobs": 8, "wall_seconds": 0.25}}})");
+  const GateResult r = diffBenchmarks(doc(kBench), fresh, {});
+  ASSERT_EQ(r.violations.size(), 2u);
+  // Baseline-side violations (in path order) precede extras.
+  EXPECT_EQ(r.violations[0].kind, "missing");
+  EXPECT_EQ(r.violations[0].path,
+            "chaos_sweep_bench.deterministic.total_simulated_ms");
+  EXPECT_EQ(r.violations[1].kind, "extra");
+  EXPECT_EQ(r.violations[1].path,
+            "chaos_sweep_bench.deterministic.new_metric");
+  EXPECT_NE(r.violations[1].detail.find("--update-baselines"),
+            std::string::npos);
+}
+
+TEST(PerfGate, StringLeavesMustMatchExactly) {
+  JsonValue fresh = doc(
+      R"({"chaos_sweep_bench": {"deterministic": {"scenarios": 30,
+          "ok": 28, "total_simulated_ms": 1234.5,
+          "modes": ["shrink", "shrink-rebalance"]},
+          "wall": {"jobs": 8, "wall_seconds": 0.25}}})");
+  const GateResult r = diffBenchmarks(doc(kBench), fresh, {});
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, "mismatch");
+  EXPECT_EQ(r.violations[0].path,
+            "chaos_sweep_bench.deterministic.modes.1");
+}
+
+TEST(PerfGate, RelativeAndAbsoluteTolerancesAllowDrift) {
+  const std::vector<ToleranceRule> rules = loadToleranceRules(doc(
+      R"({"rules": [
+            {"prefix": "a.rel", "rel": 0.10},
+            {"prefix": "a.abs", "abs": 0.5},
+            {"prefix": "a.zero", "abs": 0.5}
+         ]})"));
+  // 10% rel: 100 -> 109 passes, 100 -> 112 fails. abs 0.5 covers a zero
+  // baseline where rel alone would allow nothing.
+  const JsonValue base =
+      doc(R"({"a": {"rel": 100.0, "abs": 10.0, "zero": 0.0}})");
+  const GateResult ok = diffBenchmarks(
+      base, doc(R"({"a": {"rel": 109.0, "abs": 10.4, "zero": 0.4}})"),
+      rules);
+  EXPECT_TRUE(ok.pass()) << formatGateResult(ok, "ok");
+  const GateResult bad = diffBenchmarks(
+      base, doc(R"({"a": {"rel": 112.0, "abs": 10.6, "zero": 0.6}})"),
+      rules);
+  ASSERT_EQ(bad.violations.size(), 3u);
+  for (const GateViolation& v : bad.violations) {
+    EXPECT_EQ(v.kind, "regression") << v.path;
+    EXPECT_GT(v.allowed, 0.0) << v.path;
+  }
+}
+
+TEST(PerfGate, FirstMatchingRuleWins) {
+  const std::vector<ToleranceRule> rules = loadToleranceRules(doc(
+      R"({"rules": [
+            {"prefix": "a.b", "ignore": true},
+            {"prefix": "a.", "rel": 1.0}
+         ]})"));
+  const GateResult r = diffBenchmarks(doc(R"({"a": {"b": 1.0, "c": 1.0}})"),
+                                      doc(R"({"a": {"b": 9.0, "c": 1.5}})"),
+                                      rules);
+  // a.b ignored by the first rule; a.c allowed 100% drift by the second.
+  EXPECT_TRUE(r.pass()) << formatGateResult(r, "first-match");
+  EXPECT_EQ(r.ignored, 1);
+  EXPECT_EQ(r.compared, 1);
+}
+
+TEST(PerfGate, ImprovementsWithinToleranceStillPassExactGateFails) {
+  // The gate is symmetric: any drift beyond tolerance fails, including
+  // "improvements" — a faster number under exact equality means the
+  // baseline is stale and must be refreshed deliberately.
+  const GateResult r = diffBenchmarks(doc(R"({"ms": 100.0})"),
+                                      doc(R"({"ms": 90.0})"), {});
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, "regression");
+}
+
+TEST(PerfGate, LoadToleranceRulesValidates) {
+  EXPECT_THROW((void)loadToleranceRules(doc(R"({"no_rules": []})")),
+               JsonError);
+  EXPECT_THROW((void)loadToleranceRules(
+                   doc(R"({"rules": [{"prefix": "x", "rel": -0.1}]})")),
+               JsonError);
+  EXPECT_THROW((void)loadToleranceRules(
+                   doc(R"({"rules": [{"prefix": "x", "abs": -1}]})")),
+               JsonError);
+  EXPECT_TRUE(loadToleranceRules(doc(R"({"rules": []})")).empty());
+}
+
+TEST(PerfGate, FormatMentionsCountsAndViolations) {
+  const GateResult ok = diffBenchmarks(doc(kBench), doc(kBench), {});
+  const std::string passText = formatGateResult(ok, "BENCH.json vs base");
+  EXPECT_NE(passText.find("BENCH.json vs base"), std::string::npos);
+  EXPECT_NE(passText.find("OK"), std::string::npos);
+
+  const GateResult bad =
+      diffBenchmarks(doc(R"({"ms": 1.0})"), doc(R"({"ms": 2.0})"), {});
+  const std::string failText = formatGateResult(bad, "label");
+  EXPECT_NE(failText.find("regression"), std::string::npos);
+  EXPECT_NE(failText.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgml::obs::analysis

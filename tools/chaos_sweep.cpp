@@ -201,20 +201,16 @@ int main(int argc, char** argv) {
     rgml::harness::writeMetricsJson(result, metrics);
   }
 
-  // Perf trajectory artifact: wall-clock facts only (everything the main
-  // report deliberately omits to stay byte-identical across job counts).
+  // Perf trajectory artifact: a "deterministic" section (simulated facts
+  // the perf gate diffs exactly) plus a "wall" section (the only
+  // machine-dependent values; the gate's tolerances ignore them).
   if (benchOutPath != "none") {
     std::ofstream bench(benchOutPath);
     if (!bench) {
       std::cerr << "cannot write " << benchOutPath << '\n';
       return 2;
     }
-    bench << "{\n  \"chaos_sweep_bench\": {\n"
-          << "    \"jobs\": " << result.jobsUsed << ",\n"
-          << "    \"scenarios\": " << result.scenariosRun << ",\n"
-          << "    \"wall_seconds\": " << result.wallSeconds << ",\n"
-          << "    \"scenarios_per_sec\": " << result.scenariosPerSec
-          << "\n  }\n}\n";
+    rgml::harness::writeBenchSummary(result, bench);
   }
 
   std::cout << rgml::harness::summarize(result) << '\n'

@@ -1,0 +1,171 @@
+// perf_gate: performance regression gate over BENCH_*.json artifacts.
+//
+// Diffs freshly generated benchmark summaries against the committed
+// baselines/ directory. Both sides are flattened to dotted leaf paths;
+// numeric leaves must stay within the tolerance of the first matching
+// rule in tolerances.json, string leaves must match exactly, and keys
+// appearing on only one side fail the gate. The default tolerance is
+// exact equality — the simulator is deterministic, so the tolerance
+// file's job is to *ignore* the wall-clock section, not to loosen the
+// simulated metrics.
+//
+// Usage:
+//   perf_gate --baselines baselines BENCH_perfgate.json
+//   perf_gate --baseline old.json fresh.json
+//   perf_gate --baselines baselines --update-baselines BENCH_perfgate.json
+//
+// With --baselines DIR, each fresh file diffs against DIR/<basename> and
+// the rules load from DIR/tolerances.json when present.
+// --update-baselines copies the fresh files over their baselines instead
+// of diffing (the EXPERIMENTS.md refresh workflow after an intentional
+// performance or schema change).
+//
+// Exit status: 0 when every gate passes, 1 on any violation, 2 on
+// usage/file/parse errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/perf_gate.h"
+
+namespace {
+
+using rgml::obs::analysis::JsonError;
+using rgml::obs::analysis::JsonValue;
+using rgml::obs::analysis::ToleranceRule;
+
+void usage(std::ostream& os) {
+  os << "perf_gate — diff fresh BENCH_*.json against committed "
+        "baselines\n\n"
+        "  perf_gate --baselines DIR FRESH.json [FRESH2.json ...]\n"
+        "  perf_gate --baseline BASE.json FRESH.json\n\n"
+        "  --baselines DIR     committed baseline directory; each fresh\n"
+        "                      file diffs against DIR/<basename>\n"
+        "  --baseline FILE     explicit single baseline (one fresh file)\n"
+        "  --tolerances FILE   tolerance rules (default:\n"
+        "                      DIR/tolerances.json when it exists)\n"
+        "  --update-baselines  copy fresh files over their baselines\n"
+        "                      (refresh workflow) and exit 0\n";
+}
+
+std::string basenameOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool fileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+bool copyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  if (!in) return false;
+  std::ofstream out(to, std::ios::binary);
+  if (!out) return false;
+  out << in.rdbuf();
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselinesDir;
+  std::string baselineFile;
+  std::string tolerancesPath;
+  bool updateBaselines = false;
+  std::vector<std::string> freshFiles;
+
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[i] << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--baselines") {
+      baselinesDir = needValue(i);
+    } else if (arg == "--baseline") {
+      baselineFile = needValue(i);
+    } else if (arg == "--tolerances") {
+      tolerancesPath = needValue(i);
+    } else if (arg == "--update-baselines") {
+      updateBaselines = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      freshFiles.push_back(arg);
+    }
+  }
+  if (freshFiles.empty() || (baselinesDir.empty() && baselineFile.empty())) {
+    usage(std::cerr);
+    return 2;
+  }
+  if (!baselineFile.empty() &&
+      (freshFiles.size() != 1 || !baselinesDir.empty())) {
+    std::cerr << "--baseline takes exactly one fresh file and excludes "
+                 "--baselines\n";
+    return 2;
+  }
+
+  auto baselinePathFor = [&](const std::string& fresh) {
+    return baselineFile.empty()
+               ? baselinesDir + "/" + basenameOf(fresh)
+               : baselineFile;
+  };
+
+  if (updateBaselines) {
+    for (const std::string& fresh : freshFiles) {
+      const std::string target = baselinePathFor(fresh);
+      if (!copyFile(fresh, target)) {
+        std::cerr << "perf_gate: cannot copy " << fresh << " -> " << target
+                  << '\n';
+        return 2;
+      }
+      std::cout << "updated " << target << " from " << fresh << '\n';
+    }
+    return 0;
+  }
+
+  try {
+    std::vector<ToleranceRule> rules;
+    if (tolerancesPath.empty() && !baselinesDir.empty() &&
+        fileExists(baselinesDir + "/tolerances.json")) {
+      tolerancesPath = baselinesDir + "/tolerances.json";
+    }
+    if (!tolerancesPath.empty()) {
+      rules = rgml::obs::analysis::loadToleranceRules(
+          JsonValue::parseFile(tolerancesPath));
+    }
+
+    bool allPass = true;
+    for (const std::string& fresh : freshFiles) {
+      const std::string basePath = baselinePathFor(fresh);
+      if (!fileExists(basePath)) {
+        std::cerr << "perf_gate: no baseline " << basePath << " for "
+                  << fresh
+                  << " (seed it with --update-baselines and commit)\n";
+        return 2;
+      }
+      const auto result = rgml::obs::analysis::diffBenchmarks(
+          JsonValue::parseFile(basePath), JsonValue::parseFile(fresh),
+          rules);
+      std::cout << rgml::obs::analysis::formatGateResult(
+          result, fresh + " vs " + basePath);
+      allPass = allPass && result.pass();
+    }
+    return allPass ? 0 : 1;
+  } catch (const JsonError& e) {
+    std::cerr << "perf_gate: " << e.what() << '\n';
+    return 2;
+  }
+}

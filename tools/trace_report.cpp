@@ -1,0 +1,143 @@
+// trace_report: offline analytics over the observability layer's trace
+// and metrics artifacts.
+//
+// Loads a Chrome trace-event file (chaos_sweep --trace-out, any bench
+// driver's --trace-out) and prints, per lane and overall:
+//
+//   * self-time attribution by span category and by executor phase
+//     (step / checkpoint / restore / finish-bookkeeping — the paper's
+//     Table IV decomposition), percentages summing to 100;
+//   * the cross-place critical path (longest causally-ordered span
+//     chain) with top-k contributors per category;
+//   * with --metrics, the checkpoint-amortization model: observed
+//     step/checkpoint/restore costs and fresh/carried volume folded
+//     into a Young-formula recommended checkpoint interval.
+//
+// Lanes are analyzed on --jobs worker threads and folded in lane order,
+// so both output formats are byte-identical at any job count.
+//
+// Exit status: 0 on success, 2 on usage/file/parse errors.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/job_pool.h"
+#include "obs/analysis/trace_report.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "trace_report — overhead attribution, critical paths, "
+        "amortization\n\n"
+        "  trace_report TRACE.json [options]\n\n"
+        "  --metrics FILE  folded metrics JSON (--metrics-out artifact);\n"
+        "                  enables the checkpoint-amortization section\n"
+        "  --mtbf X        expected MTBF in simulated seconds (overrides\n"
+        "                  the failure rate observed in the metrics)\n"
+        "  --top N         top contributors listed per critical-path\n"
+        "                  category (default 3)\n"
+        "  --json          emit the JSON document instead of the tables\n"
+        "  --out FILE      write to FILE instead of stdout\n"
+        "  --jobs N        analysis worker threads (default: all cores;\n"
+        "                  output is byte-identical at any value)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rgml::obs::analysis;
+
+  std::string tracePath;
+  std::string metricsPath;
+  std::string outPath;
+  double mtbf = 0.0;
+  std::size_t topK = 3;
+  std::size_t jobs = rgml::harness::defaultJobCount();
+  bool json = false;
+
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[i] << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--metrics") {
+      metricsPath = needValue(i);
+    } else if (arg == "--mtbf") {
+      mtbf = std::atof(needValue(i));
+    } else if (arg == "--top") {
+      topK = static_cast<std::size_t>(std::atol(needValue(i)));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out") {
+      outPath = needValue(i);
+    } else if (arg == "--jobs") {
+      const long n = std::atol(needValue(i));
+      if (n < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(n);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n\n";
+      usage(std::cerr);
+      return 2;
+    } else if (tracePath.empty()) {
+      tracePath = arg;
+    } else {
+      std::cerr << "only one trace file expected\n";
+      return 2;
+    }
+  }
+  if (tracePath.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const std::vector<LoadedLane> lanes = loadChromeTraceFile(tracePath);
+
+    rgml::obs::MetricsRegistry metrics;
+    const bool haveMetrics = !metricsPath.empty();
+    if (haveMetrics) metrics = loadMetricsFile(metricsPath);
+
+    // Per-lane analyses are independent; slot-indexed results keep the
+    // fold order fixed, so output is identical at any --jobs.
+    std::vector<LaneAnalysis> analyses(lanes.size());
+    rgml::harness::parallelFor(jobs, lanes.size(), [&](std::size_t i) {
+      analyses[i] = analyzeLane(lanes[i], topK);
+    });
+
+    const TraceReport report = buildReport(
+        std::move(analyses), haveMetrics ? &metrics : nullptr, mtbf);
+
+    std::ofstream file;
+    if (!outPath.empty()) {
+      file.open(outPath);
+      if (!file) {
+        std::cerr << "cannot write " << outPath << '\n';
+        return 2;
+      }
+    }
+    std::ostream& os = outPath.empty() ? std::cout : file;
+    if (json) {
+      writeJsonReport(report, os);
+    } else {
+      writeHumanReport(report, os);
+    }
+  } catch (const JsonError& e) {
+    std::cerr << "trace_report: " << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
