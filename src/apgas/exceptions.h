@@ -70,15 +70,15 @@ class MultipleExceptions : public std::runtime_error {
   std::vector<std::exception_ptr> exceptions_;
 };
 
-/// Thrown when a snapshot value is unrecoverable because both its primary
-/// copy and its backup copy were held by places that have since died
-/// (e.g. two adjacent places failing between checkpoints).
+/// Thrown when a snapshot value is unrecoverable because every replica
+/// copy was held by a place that has since died (e.g. k adjacent places
+/// failing between checkpoints at replication factor k).
 class SnapshotLostException : public std::runtime_error {
  public:
   explicit SnapshotLostException(long key)
       : std::runtime_error("SnapshotLostException: key " +
                            std::to_string(key) +
-                           " lost (primary and backup copies both dead)"),
+                           " lost (all replica copies dead)"),
         key_(key) {}
 
   [[nodiscard]] long key() const noexcept { return key_; }
@@ -93,6 +93,16 @@ class SnapshotLostException : public std::runtime_error {
 class ApgasError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+/// A failure that is fatal *by design* rather than by bug: the fault
+/// pattern exceeded what the configured resilience can mask (a kill
+/// before the first committed checkpoint, or overlapping failures wiping
+/// out every replica of a snapshot entry). The chaos harness classifies
+/// these as cleanly fatal — distinct from divergence or executor bugs.
+class UnrecoverableError : public ApgasError {
+ public:
+  using ApgasError::ApgasError;
 };
 
 inline bool MultipleExceptions::containsDeadPlace() const {

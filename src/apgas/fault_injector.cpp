@@ -57,8 +57,34 @@ std::vector<PlaceId> FaultInjector::onIterationCompleted(long iter) {
   return victims;
 }
 
+void FaultInjector::killOnRestoreAttempt(long attempt, PlaceId victim) {
+  if (attempt < 1) {
+    throw ApgasError("killOnRestoreAttempt: attempt must be >= 1");
+  }
+  restoreKills_.push_back(RestoreKill{attempt, victim});
+}
+
+std::vector<PlaceId> FaultInjector::onRestoreAttempt(long attempt) {
+  std::vector<PlaceId> victims;
+  auto it = restoreKills_.begin();
+  while (it != restoreKills_.end()) {
+    if (it->attempt == attempt) {
+      victims.push_back(it->victim);
+      it = restoreKills_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Runtime& rt = Runtime::world();
+  for (PlaceId v : victims) {
+    if (!rt.isDead(v)) rt.kill(v);
+  }
+  return victims;
+}
+
 void FaultInjector::reset() {
   iterKills_.clear();
+  restoreKills_.clear();
   dispatchKills_.clear();
   if (dispatchHookInstalled_ && Runtime::initialized()) {
     Runtime::world().setDispatchHook({});

@@ -11,7 +11,13 @@
 //                                  exercising partial-update rollback);
 //   * killOnIteration(iter, p)   — cooperative: the resilient executor
 //                                  calls onIterationCompleted(iter) after
-//                                  each step and the injector fires there.
+//                                  each step and the injector fires there;
+//   * killOnRestoreAttempt(n, p) — cooperative: the executor calls
+//                                  onRestoreAttempt(n) at the start of its
+//                                  n-th restore attempt (counted
+//                                  cumulatively over the run), so the
+//                                  death is discovered mid-restore —
+//                                  exercising cascading-failure recovery.
 //
 // Any number of iteration AND dispatch kills may be armed simultaneously,
 // so a whole multi-failure schedule (as enumerated by the chaos harness)
@@ -42,6 +48,15 @@ class FaultInjector {
   /// Fires any kills armed for `iter`. Returns the victims killed.
   std::vector<PlaceId> onIterationCompleted(long iter);
 
+  /// Arm a kill of `victim` fired when onRestoreAttempt(attempt) is
+  /// called (attempt >= 1). Multiple restore kills may be armed at once.
+  void killOnRestoreAttempt(long attempt, PlaceId victim);
+
+  /// To be invoked by the executor at the start of each restore attempt
+  /// (1-based, cumulative across the run). Fires any kills armed for
+  /// `attempt`. Returns the victims killed.
+  std::vector<PlaceId> onRestoreAttempt(long attempt);
+
   /// Dispatch kills still armed (not yet fired).
   [[nodiscard]] std::size_t armedDispatchKills() const noexcept {
     return dispatchKills_.size();
@@ -57,6 +72,10 @@ class FaultInjector {
     long iter;
     PlaceId victim;
   };
+  struct RestoreKill {
+    long attempt;
+    PlaceId victim;
+  };
   struct DispatchKill {
     long fireAt;  ///< absolute dispatch count at which to fire
     PlaceId victim;
@@ -67,6 +86,7 @@ class FaultInjector {
   void onDispatch(long count);
 
   std::vector<IterKill> iterKills_;
+  std::vector<RestoreKill> restoreKills_;
   std::vector<DispatchKill> dispatchKills_;
   bool dispatchHookInstalled_ = false;
 };

@@ -52,6 +52,20 @@ apgas::PlaceId firstDeadPlaceOf(const std::exception_ptr& ep) {
     return apgas::kInvalidPlace;
   }
 }
+
+/// True if `ep` is (or contains) a SnapshotLostException: the committed
+/// checkpoint itself lost data, so retrying the restore cannot help.
+bool isSnapshotLoss(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const apgas::SnapshotLostException&) {
+    return true;
+  } catch (const apgas::MultipleExceptions& me) {
+    return me.containsSnapshotLoss();
+  } catch (...) {
+    return false;
+  }
+}
 }  // namespace
 
 ResilientExecutor::ResilientExecutor(ExecutorConfig config)
@@ -64,6 +78,10 @@ ResilientExecutor::ResilientExecutor(ExecutorConfig config)
   if (config_.checkpointInterval < 1) {
     throw apgas::ApgasError("ResilientExecutor: checkpointInterval < 1");
   }
+  if (config_.replication < 1) {
+    throw apgas::ApgasError("ResilientExecutor: replication < 1");
+  }
+  store_.setReplication(config_.replication);
 }
 
 RunStats ResilientExecutor::run(ResilientIterativeApp& app,
@@ -78,6 +96,7 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
   RunStats stats;
   const double t0 = rt.time();
   long iter = 0;  // completed logical iterations
+  restoreAttempts_ = 0;
 
   auto record = [&](TraceEvent::Kind kind, long iteration, double start,
                     double end, apgas::PlaceId victim = apgas::kInvalidPlace) {
@@ -182,7 +201,7 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
                                    rt.here().id(), r0);
         }
         record(TraceEvent::Kind::Failure, iter, r0, r0, victim);
-        iter = handleFailure(app);
+        iter = handleFailure(app, injector);
         if (sink != nullptr) {
           sink->close(restoreSpan, rt.time(), 0,
                       {{"mode", modeName},
@@ -203,6 +222,7 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         const double c0 = rt.time();
         obs::PhaseScope phase("checkpoint");
         store_ = resilient::AppResilientStore{};
+        store_.setReplication(config_.replication);
         store_.setIteration(iter);
         app.checkpoint(store_);
         if (store_.inProgress()) {
@@ -221,14 +241,21 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
   return stats;
 }
 
-long ResilientExecutor::handleFailure(ResilientIterativeApp& app) {
+long ResilientExecutor::handleFailure(ResilientIterativeApp& app,
+                                      apgas::FaultInjector* injector) {
   Runtime& rt = Runtime::world();
   store_.cancelSnapshot();  // discard any half-taken checkpoint
   if (!store_.hasCommitted()) {
-    throw apgas::ApgasError(
+    throw apgas::UnrecoverableError(
         "ResilientExecutor: place failure before the first committed "
         "checkpoint; cannot recover");
   }
+
+  // Elastic places created by earlier attempts of *this* recovery whose
+  // restore was interrupted by a cascading failure: reused before new
+  // places are allocated, so every created place ends up adopted into the
+  // final group (no leaked places when a kill lands mid-restore).
+  std::vector<apgas::PlaceId> elasticPool;
 
   for (long attempt = 0; attempt < config_.maxRestoreAttempts; ++attempt) {
     PlaceGroup newPlaces;
@@ -253,13 +280,29 @@ long ResilientExecutor::handleFailure(ResilientIterativeApp& app) {
       }
       case RestoreMode::ReplaceElastic: {
         const auto dead = places_.deadPlaces();
-        const auto fresh = rt.addPlaces(static_cast<int>(dead.size()));
-        newPlaces = places_.replaceDead(fresh);
+        std::vector<apgas::PlaceId> replacements;
+        for (apgas::PlaceId p : elasticPool) {
+          if (!rt.isDead(p)) replacements.push_back(p);
+        }
+        if (replacements.size() < dead.size()) {
+          const auto fresh = rt.addPlaces(
+              static_cast<int>(dead.size() - replacements.size()));
+          elasticPool.insert(elasticPool.end(), fresh.begin(), fresh.end());
+          replacements.insert(replacements.end(), fresh.begin(), fresh.end());
+        }
+        newPlaces = places_.replaceDead(replacements);
         break;
       }
     }
     if (newPlaces.empty()) {
       throw apgas::ApgasError("ResilientExecutor: no live places remain");
+    }
+
+    if (injector != nullptr) {
+      // Cooperative kill-during-restore faults fire after the recovery
+      // group is computed, so the death is discovered *while* app.restore
+      // redistributes data — a place lost with restore traffic in flight.
+      injector->onRestoreAttempt(++restoreAttempts_);
     }
 
     try {
@@ -269,6 +312,15 @@ long ResilientExecutor::handleFailure(ResilientIterativeApp& app) {
       return store_.latestCommittedIteration();
     } catch (...) {
       const std::exception_ptr ep = std::current_exception();
+      if (isSnapshotLoss(ep)) {
+        // Overlapping failures wiped out every replica of some entry:
+        // retrying cannot recreate the data. Fatal by design — at
+        // replication k this takes k overlapping kills.
+        throw apgas::UnrecoverableError(
+            "ResilientExecutor: snapshot data lost — overlapping failures "
+            "exceeded the replication factor (k=" +
+            std::to_string(config_.replication) + "); cannot recover");
+      }
       if (!isDeadPlaceFailure(ep)) std::rethrow_exception(ep);
       // Another place died during the restore: loop and try again with the
       // further-shrunk group.

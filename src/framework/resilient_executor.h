@@ -90,6 +90,13 @@ struct ExecutorConfig {
   RestoreMode mode = RestoreMode::Shrink;
   long maxRestoreAttempts = 8;  ///< cascading-failure retry bound
 
+  /// Snapshot replication factor k: copies kept per store entry, on k
+  /// distinct ring places (clamped to each object's group size). Any
+  /// k-1 simultaneous failures between checkpoints are survivable; k
+  /// overlapping ones are fatal by design (UnrecoverableError). Default
+  /// 2 — the paper's double in-memory storage.
+  int replication = 2;
+
   /// Optional event sink: every step/checkpoint/failure/restore is
   /// recorded with its simulated time interval (see framework/trace.h).
   /// Not owned; must outlive the run.
@@ -153,12 +160,16 @@ class ResilientExecutor {
  private:
   /// Computes the post-failure group per the configured mode and tells the
   /// app to roll back. Returns the checkpoint iteration restored to.
-  long handleFailure(ResilientIterativeApp& app);
+  /// `injector` (may be null) is consulted at the start of every restore
+  /// attempt so armed kill-during-restore faults fire mid-recovery.
+  long handleFailure(ResilientIterativeApp& app,
+                     apgas::FaultInjector* injector);
 
   ExecutorConfig config_;
   apgas::PlaceGroup places_;
   std::vector<apgas::PlaceId> spares_;
   resilient::AppResilientStore store_;
+  long restoreAttempts_ = 0;  ///< cumulative over the current run
 };
 
 }  // namespace rgml::framework

@@ -257,10 +257,10 @@ void DupVector::remake(const PlaceGroup& newPg) {
 }
 
 std::shared_ptr<resilient::Snapshot> DupVector::makeSnapshot() const {
-  // The replicas are identical, so one copy (plus its automatic backup on
-  // the next place) captures the whole object; every place restores from
-  // it. Saving from the first member keeps checkpoint cost independent of
-  // the replica count.
+  // The replicas are identical, so one copy (fanned out to the snapshot's
+  // k ring-placed holders) captures the whole object; every place restores
+  // from it. Saving from the first member keeps checkpoint cost independent
+  // of the replica count.
   auto snapshot = std::make_shared<resilient::Snapshot>(pg_);
   Runtime::world().at(pg_(0), [&] {
     snapshot->save(0, std::make_shared<resilient::VectorValue>(local(), 0));

@@ -77,6 +77,7 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
   os << "    \"places\": " << opt.places << ",\n";
   os << "    \"spares\": " << opt.spares << ",\n";
   os << "    \"checkpoint_interval\": " << opt.checkpointInterval << ",\n";
+  os << "    \"replication\": " << opt.replication << ",\n";
   os << "    \"tolerance\": " << num(opt.tolerance) << ",\n";
 
   long ok = 0;

@@ -59,8 +59,10 @@ std::string FaultSchedule::describe() const {
   for (std::size_t i = 0; i < kills.size(); ++i) {
     if (i > 0) os << ',';
     const KillEvent& k = kills[i];
-    os << (k.trigger == KillEvent::Trigger::Iteration ? "it" : "disp")
-       << k.at << "@p" << k.victim;
+    const char* tag = k.trigger == KillEvent::Trigger::Iteration ? "it"
+                      : k.trigger == KillEvent::Trigger::Dispatch ? "disp"
+                                                                  : "res";
+    os << tag << k.at << "@p" << k.victim;
   }
   os << ']';
   return os.str();
@@ -74,9 +76,12 @@ std::string FaultSchedule::injectorSetup() const {
     if (k.trigger == KillEvent::Trigger::Iteration) {
       os << "injector.killOnIteration(" << k.at << ", /*victim=*/"
          << k.victim << ");\n";
-    } else {
+    } else if (k.trigger == KillEvent::Trigger::Dispatch) {
       os << "injector.killAtDispatch(" << k.at << ", /*victim=*/"
          << k.victim << ");  // arm immediately before executor.run()\n";
+    } else {
+      os << "injector.killOnRestoreAttempt(" << k.at << ", /*victim=*/"
+         << k.victim << ");  // fires at the executor's restore attempt\n";
     }
   }
   return os.str();
@@ -123,6 +128,78 @@ std::vector<FaultSchedule> enumeratePairKillSchedules(
   return out;
 }
 
+std::vector<FaultSchedule> enumerateSimultaneousKillSchedules(
+    const ScheduleSpace& space, std::size_t victims) {
+  std::vector<FaultSchedule> out;
+  if (victims < 1 || space.victims.empty() ||
+      space.iterationKillPoints.empty()) {
+    return out;
+  }
+  const apgas::PlaceId maxVictim = space.victims.back();
+  for (RestoreMode mode : space.modes) {
+    for (apgas::PlaceId start : space.victims) {
+      // Adjacent run start..start+victims-1 entirely within the killable
+      // range (place 0 is immortal; spares/elastic places never enumerate).
+      if (start + static_cast<apgas::PlaceId>(victims) - 1 > maxVictim) {
+        continue;
+      }
+      for (long it : space.iterationKillPoints) {
+        FaultSchedule schedule;
+        schedule.mode = mode;
+        for (std::size_t j = 0; j < victims; ++j) {
+          schedule.kills.push_back(
+              KillEvent{KillEvent::Trigger::Iteration, it,
+                        start + static_cast<apgas::PlaceId>(j)});
+        }
+        out.push_back(std::move(schedule));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FaultSchedule> enumerateRestoreKillSchedules(
+    const ScheduleSpace& space) {
+  std::vector<FaultSchedule> out;
+  if (space.victims.size() < 2 || space.iterationKillPoints.empty()) {
+    return out;
+  }
+  const apgas::PlaceId minVictim = space.victims.front();
+  const apgas::PlaceId maxVictim = space.victims.back();
+  const long point = space.iterationKillPoints.front();
+  for (RestoreMode mode : space.modes) {
+    for (apgas::PlaceId v1 : space.victims) {
+      std::vector<apgas::PlaceId> seconds;
+      // Ring-adjacent second victim: at k=2 this hits the backup of v1's
+      // entries while the restore is reading them (the paper's gap).
+      seconds.push_back(v1 < maxVictim ? v1 + 1 : minVictim);
+      // One non-adjacent second victim for contrast, when the range
+      // allows it.
+      if (v1 + 2 <= maxVictim) {
+        seconds.push_back(v1 + 2);
+      } else if (v1 - 2 >= minVictim) {
+        seconds.push_back(v1 - 2);
+      }
+      for (apgas::PlaceId v2 : seconds) {
+        if (v2 == v1) continue;
+        out.push_back(FaultSchedule{
+            {KillEvent{KillEvent::Trigger::Iteration, point, v1},
+             KillEvent{KillEvent::Trigger::Restore, 1, v2}},
+            mode});
+      }
+    }
+  }
+  // The contrast victim can coincide with another v1's adjacent victim
+  // only as a different (v1, v2) pair, but dedup defensively anyway.
+  std::vector<FaultSchedule> unique;
+  for (FaultSchedule& s : out) {
+    if (std::find(unique.begin(), unique.end(), s) == unique.end()) {
+      unique.push_back(std::move(s));
+    }
+  }
+  return unique;
+}
+
 std::vector<FaultSchedule> shrinkCandidates(const FaultSchedule& s) {
   std::vector<FaultSchedule> out;
   if (s.kills.size() > 1) {
@@ -134,7 +211,11 @@ std::vector<FaultSchedule> shrinkCandidates(const FaultSchedule& s) {
   }
   for (std::size_t i = 0; i < s.kills.size(); ++i) {
     const KillEvent& k = s.kills[i];
-    if (k.trigger != KillEvent::Trigger::Dispatch || k.at <= 1) continue;
+    if ((k.trigger != KillEvent::Trigger::Dispatch &&
+         k.trigger != KillEvent::Trigger::Restore) ||
+        k.at <= 1) {
+      continue;
+    }
     for (long lowered : {k.at / 2, k.at - 1}) {
       if (lowered < 1) continue;
       FaultSchedule cand = s;

@@ -36,6 +36,9 @@ struct KillEvent {
     Iteration,  ///< FaultInjector::killOnIteration(at, victim)
     Dispatch,   ///< FaultInjector::killAtDispatch(at, victim), armed at
                 ///< run start so `at` counts dispatches from there
+    Restore,    ///< FaultInjector::killOnRestoreAttempt(at, victim): fires
+                ///< at the start of the executor's at-th restore attempt
+                ///< (cumulative over the run) — a kill-during-restore
   };
   Trigger trigger = Trigger::Iteration;
   long at = 0;
@@ -80,10 +83,29 @@ struct ScheduleSpace {
 [[nodiscard]] std::vector<FaultSchedule> enumeratePairKillSchedules(
     const ScheduleSpace& space);
 
+/// Simultaneous multi-kill schedules: `victims` adjacent places (a run
+/// v..v+victims-1 for every valid start v) all killed at the same
+/// iteration boundary, crossed with iteration points and modes. Adjacent
+/// runs are the worst case for ring-placed replicas: at replication k,
+/// every run of k-1 simultaneous victims is survivable and every run of
+/// exactly k wipes out all replicas of the entries saved at the run's
+/// first place (cleanly fatal).
+[[nodiscard]] std::vector<FaultSchedule> enumerateSimultaneousKillSchedules(
+    const ScheduleSpace& space, std::size_t victims);
+
+/// Kill-during-restore schedules: one iteration kill (every victim at the
+/// first recoverable point) followed by a second kill fired at the start
+/// of the resulting restore attempt — the ring-adjacent place (worst case
+/// for k=2 replication) and, when the space allows, one non-adjacent
+/// place, crossed with the modes.
+[[nodiscard]] std::vector<FaultSchedule> enumerateRestoreKillSchedules(
+    const ScheduleSpace& space);
+
 /// Strictly-simpler neighbours of `s` for delta-debugging a failure:
 /// every schedule with one kill dropped (when there is more than one),
-/// and every schedule with one dispatch index lowered (halved, and
-/// decremented). The sweeper greedily adopts any candidate that still
+/// and every schedule with one dispatch index or restore-attempt ordinal
+/// lowered (halved, and decremented). The sweeper greedily adopts any
+/// candidate that still
 /// fails until none does — the result is a minimal reproducer.
 [[nodiscard]] std::vector<FaultSchedule> shrinkCandidates(
     const FaultSchedule& s);

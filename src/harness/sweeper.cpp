@@ -146,6 +146,8 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
   for (const KillEvent& k : schedule.kills) {
     if (k.trigger == KillEvent::Trigger::Iteration) {
       injector.killOnIteration(k.at, k.victim);
+    } else if (k.trigger == KillEvent::Trigger::Restore) {
+      injector.killOnRestoreAttempt(k.at, k.victim);
     }
   }
 
@@ -154,8 +156,9 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
   ec.spares = spareIds();
   ec.checkpointInterval = options_.checkpointInterval;
   ec.mode = schedule.mode;
+  ec.replication = options_.replication;
   // Keeps any distinct-iteration multi-kill schedule recoverable (restores
-  // full double-storage redundancy between failures).
+  // full k-way redundancy between failures).
   ec.checkpointAfterRestore = true;
   ec.maxSteps = options_.stepBudgetFactor * options_.iterations + 64;
 
@@ -264,13 +267,15 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
     out.detail = "step budget " + std::to_string(e.budget()) +
                  " exhausted at iteration " +
                  std::to_string(e.iterationsCompleted());
+  } catch (const apgas::UnrecoverableError& e) {
+    // Fatal by design: a kill before the first committed checkpoint, or
+    // overlapping failures exceeding the replication factor. Reported
+    // but distinguished from bugs (and from silent divergence).
+    out.kind = OutcomeKind::Unrecoverable;
+    out.detail = e.what();
   } catch (const apgas::ApgasError& e) {
-    const std::string what = e.what();
-    out.kind = what.find("before the first committed checkpoint") !=
-                       std::string::npos
-                   ? OutcomeKind::Unrecoverable
-                   : OutcomeKind::ExecutorError;
-    out.detail = what;
+    out.kind = OutcomeKind::ExecutorError;
+    out.detail = e.what();
   } catch (const std::exception& e) {
     out.kind = OutcomeKind::ExecutorError;
     out.detail = e.what();
@@ -328,6 +333,15 @@ SweepResult ChaosSweeper::run() {
       if (options_.pairKills) {
         const auto pairs = enumeratePairKillSchedules(space);
         schedules.insert(schedules.end(), pairs.begin(), pairs.end());
+      }
+      if (options_.simultaneousKills >= 2) {
+        const auto multi = enumerateSimultaneousKillSchedules(
+            space, options_.simultaneousKills);
+        schedules.insert(schedules.end(), multi.begin(), multi.end());
+      }
+      if (options_.restoreKills) {
+        const auto restores = enumerateRestoreKillSchedules(space);
+        schedules.insert(schedules.end(), restores.begin(), restores.end());
       }
       for (FaultSchedule& schedule : schedules) {
         tasks.push_back(Task{app, std::move(schedule)});

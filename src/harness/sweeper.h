@@ -18,9 +18,10 @@
 //   * ExecutorError   — the executor threw (unexpected for an enumerated
 //                       recoverable schedule);
 //   * Unrecoverable   — failed for a reason that is *by design*
-//                       unrecoverable (e.g. no committed checkpoint);
-//                       enumeration avoids these, so seeing one is
-//                       reported but distinguished from bugs.
+//                       unrecoverable (no committed checkpoint, or
+//                       overlapping kills exceeding the snapshot
+//                       replication factor); cleanly fatal, reported but
+//                       distinguished from bugs.
 //
 // Failing schedules are automatically shrunk to a minimal reproducer
 // (kills dropped one at a time, dispatch indices lowered) and the
@@ -90,6 +91,18 @@ struct SweepOptions {
   bool allVictims = true;
   /// Add two-kill schedules (distinct iterations and victims).
   bool pairKills = false;
+  /// Snapshot replication factor k for every scenario's executor (copies
+  /// per store entry; 2 = the paper's double in-memory storage).
+  int replication = 2;
+  /// When >= 2: add schedules killing this many *adjacent* places
+  /// simultaneously at each iteration point — the worst case for
+  /// ring-placed replicas. At replication k, simultaneousKills <= k-1
+  /// must classify Ok and simultaneousKills == k must classify
+  /// unrecoverable-by-design (never divergence).
+  std::size_t simultaneousKills = 0;
+  /// Add kill-during-restore schedules: an iteration kill followed by a
+  /// second kill fired at the start of the resulting restore attempt.
+  bool restoreKills = false;
   /// Shrink failing schedules to minimal reproducers.
   bool shrinkFailures = true;
   /// Install a per-scenario TraceSink around the executor run and attach

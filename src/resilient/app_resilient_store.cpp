@@ -30,6 +30,13 @@ obs::TraceSink::Args statsArgs(
 
 }  // namespace
 
+void AppResilientStore::setReplication(int k) {
+  if (k < 1) {
+    throw apgas::ApgasError("AppResilientStore::setReplication: k must be >= 1");
+  }
+  replication_ = k;
+}
+
 void AppResilientStore::startNewSnapshot() {
   if (inProgress_) {
     throw apgas::ApgasError(
@@ -54,12 +61,16 @@ void AppResilientStore::save(Snapshottable& obj) {
   }
   const double t0 = simNow();
   std::shared_ptr<Snapshot> snapshot;
-  if (mode_ == CheckpointMode::Delta && committed_) {
-    if (auto prev = committed_->find(&obj)) {
-      snapshot = obj.makeDeltaSnapshot(*prev);
+  {
+    // Snapshots the object creates inherit the store's replication factor.
+    ReplicationScope replication(replication_);
+    if (mode_ == CheckpointMode::Delta && committed_) {
+      if (auto prev = committed_->find(&obj)) {
+        snapshot = obj.makeDeltaSnapshot(*prev);
+      }
     }
+    if (!snapshot) snapshot = obj.makeSnapshot();
   }
-  if (!snapshot) snapshot = obj.makeSnapshot();
   pendingStats_.freshBytes += snapshot->freshBytes();
   pendingStats_.carriedBytes += snapshot->carriedBytes();
   pendingStats_.carriedEntries += snapshot->numCarried();
@@ -71,7 +82,8 @@ void AppResilientStore::save(Snapshottable& obj) {
                {{"fresh_bytes", std::to_string(snapshot->freshBytes())},
                 {"carried_bytes", std::to_string(snapshot->carriedBytes())},
                 {"entries", std::to_string(snapshot->numEntries())},
-                {"carried_entries", std::to_string(snapshot->numCarried())}});
+                {"carried_entries", std::to_string(snapshot->numCarried())},
+                {"replicas", std::to_string(snapshot->replication())}});
   }
   inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }
@@ -97,13 +109,19 @@ void AppResilientStore::saveReadOnly(Snapshottable& obj) {
       return;
     }
   }
-  auto snapshot = obj.makeSnapshot();
+  std::shared_ptr<Snapshot> snapshot;
+  {
+    ReplicationScope replication(replication_);
+    snapshot = obj.makeSnapshot();
+  }
   pendingStats_.freshBytes += snapshot->freshBytes();
   pendingStats_.freshEntries += snapshot->numEntries();
   if (auto* sink = obs::TraceSink::current()) {
     sink->span(obs::Category::CheckpointSave, "store.save-readonly",
                inProgress_->iteration, herePlace(), t0, simNow(),
-               snapshot->freshBytes(), {{"reused", "false"}});
+               snapshot->freshBytes(),
+               {{"reused", "false"},
+                {"replicas", std::to_string(snapshot->replication())}});
   }
   inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }

@@ -56,6 +56,13 @@ class AppResilientStore {
   void setMode(CheckpointMode mode) noexcept { mode_ = mode; }
   [[nodiscard]] CheckpointMode mode() const noexcept { return mode_; }
 
+  /// Replication factor k for subsequent save()/saveReadOnly() calls:
+  /// every Snapshot the store asks an object to create keeps k copies of
+  /// each entry on k distinct places (clamped to the object's group
+  /// size). Default 2 — the paper's double in-memory storage.
+  void setReplication(int k);
+  [[nodiscard]] int replication() const noexcept { return replication_; }
+
   /// Begin a new application snapshot (for the iteration last given to
   /// setIteration). Throws if a snapshot is already in progress.
   void startNewSnapshot();
@@ -130,6 +137,7 @@ class AppResilientStore {
 
   long iteration_ = 0;
   CheckpointMode mode_ = CheckpointMode::Delta;
+  int replication_ = 2;
   std::unique_ptr<AppSnapshot> committed_;
   std::unique_ptr<AppSnapshot> inProgress_;
   CheckpointStats pendingStats_;  ///< accumulates while in progress

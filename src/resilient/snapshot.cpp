@@ -1,6 +1,9 @@
 #include "resilient/snapshot.h"
 
+#include <algorithm>
+
 #include "apgas/runtime.h"
+#include "obs/trace_sink.h"
 
 namespace rgml::resilient {
 
@@ -9,7 +12,22 @@ using apgas::PlaceId;
 using apgas::Runtime;
 using apgas::SnapshotLostException;
 
-Snapshot::Snapshot(apgas::PlaceGroup pg) : pg_(std::move(pg)) {
+namespace {
+thread_local int tlsDefaultReplication = 2;
+}  // namespace
+
+int defaultReplication() noexcept { return tlsDefaultReplication; }
+
+void setDefaultReplication(int k) {
+  if (k < 1) {
+    throw apgas::ApgasError("setDefaultReplication: k must be >= 1");
+  }
+  tlsDefaultReplication = k;
+}
+
+Snapshot::Snapshot(apgas::PlaceGroup pg, int replication)
+    : pg_(std::move(pg)),
+      replication_(replication > 0 ? replication : defaultReplication()) {
   if (pg_.empty()) {
     throw apgas::ApgasError("Snapshot: empty place group");
   }
@@ -25,8 +43,9 @@ Snapshot::~Snapshot() {
 
 void Snapshot::onPlaceDeath(PlaceId p) {
   for (auto& [key, entry] : entries_) {
-    if (entry.primaryPlace == p) entry.primary.reset();
-    if (entry.backupPlace == p) entry.backup.reset();
+    for (Replica& r : entry.replicas) {
+      if (r.place == p) r.value.reset();
+    }
   }
 }
 
@@ -34,25 +53,45 @@ void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value,
                     std::uint64_t version) {
   Runtime& rt = Runtime::world();
   const Place saver = rt.here();
-  if (pg_.indexOf(saver) < 0) {
+  const long idx = pg_.indexOf(saver);
+  if (idx < 0) {
     throw apgas::ApgasError(
         "Snapshot::save: saving place is not in the snapshot's group");
   }
-  const Place backup = pg_.next(saver);
+  const long groupSize = static_cast<long>(pg_.size());
+  const long k = std::min<long>(replication_, groupSize);
   // Uniform cost from any place: serialising the local copy plus one
-  // remote transfer for the backup (paper §IV-B1).
+  // remote transfer per backup replica (paper §IV-B1, k-1 transfers).
   rt.chargeSerialization(value->bytes());
-  if (backup != saver) rt.chargeComm(backup, value->bytes());
 
   Entry entry;
-  entry.primary = value;
-  entry.primaryPlace = saver.id();
-  if (backup != saver) {
-    entry.backup = value;  // shared immutable payload simulates the copy
-    entry.backupPlace = backup.id();
+  entry.replicas.push_back(Replica{value, saver.id()});
+  std::size_t backupBytes = 0;
+  for (long r = 1; r < k; ++r) {
+    const Place holder = pg_((idx + r) % groupSize);
+    // Partial fan-out window: a backup place that died before this save
+    // never receives its copy. Recording the slot anyway would leave a
+    // replica the cluster never materialised — restorable "data" on a
+    // dead place — so the slot is dropped and the entry stays
+    // under-replicated until the next checkpoint re-saves it fresh.
+    if (rt.isDead(holder.id())) continue;
+    rt.chargeComm(holder, value->bytes());
+    backupBytes += value->bytes();
+    entry.replicas.push_back(Replica{value, holder.id()});
   }
   entry.version = version;
   entries_[key] = std::move(entry);
+  if (auto* sink = obs::TraceSink::current()) {
+    sink->metrics().add("snapshot.replica_bytes", backupBytes);
+  }
+}
+
+bool Snapshot::fullyReplicated(const Entry& entry) const {
+  const std::size_t expected = std::min<std::size_t>(
+      static_cast<std::size_t>(replication_), pg_.size());
+  if (entry.replicas.size() != expected) return false;
+  return std::all_of(entry.replicas.begin(), entry.replicas.end(),
+                     [](const Replica& r) { return r.value != nullptr; });
 }
 
 bool Snapshot::carryForward(long key, const Snapshot& prev,
@@ -67,11 +106,11 @@ bool Snapshot::carryForward(long key, const Snapshot& prev,
   if (it == prev.entries_.end()) return false;
   const Entry& old = it->second;
   if (old.version != expectedVersion) return false;
-  // Carry only fully intact entries: a copy lost to an earlier failure
-  // must be replaced by a fresh save, or the carried entry would keep
-  // running with reduced redundancy forever.
-  if (!old.primary) return false;
-  if (old.backupPlace != apgas::kInvalidPlace && !old.backup) return false;
+  // Carry only fully intact entries: a copy lost to an earlier failure —
+  // or a backup slot skipped because its place was already dead at save
+  // time — must be replaced by a fresh save, or the carried entry would
+  // keep running with reduced redundancy forever.
+  if (!fullyReplicated(old)) return false;
 
   // The existing copies are adopted wholesale (shared immutable payloads,
   // same holder places): no data moves, so no cost is charged — this is
@@ -84,8 +123,7 @@ bool Snapshot::carryForward(long key, const Snapshot& prev,
 
 bool Snapshot::carryForwardAll(const Snapshot& prev) {
   for (const auto& [key, old] : prev.entries_) {
-    if (!old.primary) return false;
-    if (old.backupPlace != apgas::kInvalidPlace && !old.backup) return false;
+    if (!fullyReplicated(old)) return false;
   }
   for (const auto& [key, old] : prev.entries_) {
     Entry entry = old;
@@ -121,15 +159,26 @@ Snapshot::Located Snapshot::locate(long key) const {
   const Runtime& rt = Runtime::world();
   const Place here = rt.here();
   // Prefer a copy on the loading place (cheap local load).
-  if (e.primary && e.primaryPlace == here.id()) {
-    return {e.primary, Place(e.primaryPlace)};
+  for (const Replica& r : e.replicas) {
+    if (r.value && r.place == here.id()) return {r.value, Place(r.place)};
   }
-  if (e.backup && e.backupPlace == here.id()) {
-    return {e.backup, Place(e.backupPlace)};
+  // Else the nearest surviving replica in ring order from the primary;
+  // primaries are block-cyclic over the group, so this spreads restore
+  // reads across the surviving holders.
+  for (const Replica& r : e.replicas) {
+    if (r.value) return {r.value, Place(r.place)};
   }
-  if (e.primary) return {e.primary, Place(e.primaryPlace)};
-  if (e.backup) return {e.backup, Place(e.backupPlace)};
   throw SnapshotLostException(key);
+}
+
+std::vector<apgas::PlaceId> Snapshot::replicaPlaces(long key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  std::vector<apgas::PlaceId> out;
+  for (const Replica& r : it->second.replicas) {
+    if (r.value) out.push_back(r.place);
+  }
+  return out;
 }
 
 std::shared_ptr<const SnapshotValue> Snapshot::load(long key) const {
@@ -147,7 +196,10 @@ std::shared_ptr<const SnapshotValue> Snapshot::load(long key) const {
 bool Snapshot::contains(long key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
-  return it->second.primary != nullptr || it->second.backup != nullptr;
+  for (const Replica& r : it->second.replicas) {
+    if (r.value) return true;
+  }
+  return false;
 }
 
 std::vector<long> Snapshot::keys() const {
@@ -158,9 +210,10 @@ std::vector<long> Snapshot::keys() const {
 }
 
 std::size_t Snapshot::entryBytes(const Entry& entry) {
-  const SnapshotValue* v =
-      entry.primary ? entry.primary.get() : entry.backup.get();
-  return v == nullptr ? 0 : v->bytes();
+  for (const Replica& r : entry.replicas) {
+    if (r.value) return r.value->bytes();
+  }
+  return 0;
 }
 
 std::size_t Snapshot::totalBytes() const {

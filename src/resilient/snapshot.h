@@ -1,17 +1,20 @@
 // Snapshot: the resilient key/value store for one GML object's state
-// (paper §IV-B).
+// (paper §IV-B, generalised to a configurable replication factor).
 //
-// A Snapshot stores key/value pairs with *double in-memory storage*: the
-// saving place keeps the primary copy and the next place of the snapshot's
-// PlaceGroup keeps a backup. Saving costs a local copy plus one remote
-// transfer (uniform from every place); loading costs depend on where the
-// surviving copy lives. A value is lost — SnapshotLostException — only if
-// the primary and backup holders both died since the checkpoint (e.g. two
-// adjacent places).
+// A Snapshot stores key/value pairs with *k-way in-memory replication*:
+// the saving place keeps the primary copy and the next k-1 places of the
+// snapshot's PlaceGroup (ring order) each keep a backup — block-cyclic
+// placement, so the replicas of entries saved from different places
+// interleave evenly around the ring. Saving costs a local serialisation
+// plus k-1 remote transfers (uniform from every place); loading costs
+// depend on where the nearest surviving copy lives. A value is lost —
+// SnapshotLostException — only if all k holders died since the checkpoint
+// (e.g. k adjacent places). k = 2 is exactly the paper's double
+// in-memory storage.
 //
 // Keys are chosen by each Snapshottable class: place indices for vectors
 // (the paper's convention), block ids for DistBlockMatrix (finer-grained,
-// same double-storage semantics).
+// same replication semantics).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,29 @@
 #include "resilient/snapshot_value.h"
 
 namespace rgml::resilient {
+
+/// Thread-local default replication factor used by Snapshots constructed
+/// without an explicit one (thread-local so parallel chaos sweeps with
+/// per-thread worlds stay independent). Starts at 2 — the paper's double
+/// in-memory storage.
+[[nodiscard]] int defaultReplication() noexcept;
+void setDefaultReplication(int k);
+
+/// RAII override of the thread-local default replication factor; the
+/// AppResilientStore wraps makeSnapshot()/makeDeltaSnapshot() calls in
+/// one so every Snapshot an object creates inherits the store's k.
+class ReplicationScope {
+ public:
+  explicit ReplicationScope(int k) : prev_(defaultReplication()) {
+    setDefaultReplication(k);
+  }
+  ~ReplicationScope() { setDefaultReplication(prev_); }
+  ReplicationScope(const ReplicationScope&) = delete;
+  ReplicationScope& operator=(const ReplicationScope&) = delete;
+
+ private:
+  int prev_;
+};
 
 /// Interface implemented by every GML object that can be checkpointed
 /// (paper Listing 3).
@@ -52,17 +78,26 @@ class Snapshottable {
 class Snapshot {
  public:
   /// A snapshot whose copies will live on `pg` (the object's group at
-  /// checkpoint time). Registers a kill listener so that place failures
-  /// invalidate the copies that place held.
-  explicit Snapshot(apgas::PlaceGroup pg);
+  /// checkpoint time), with `replication` copies per entry on distinct
+  /// places (clamped to the group size; 0 = the thread-local default).
+  /// Registers a kill listener so that place failures invalidate the
+  /// copies that place held.
+  explicit Snapshot(apgas::PlaceGroup pg, int replication = 0);
   ~Snapshot();
 
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
+  /// The replication factor entries of this snapshot are saved with
+  /// (before clamping to the group size).
+  [[nodiscard]] int replication() const noexcept { return replication_; }
+
   /// Saves `value` under `key` from the *current place* (must be a member
-  /// of the snapshot's group): primary copy here, backup on the next place
-  /// in ring order. Charges a local copy plus one remote transfer.
+  /// of the snapshot's group): primary copy here, backups on the next
+  /// k-1 places in ring order. Charges a local serialisation plus one
+  /// remote transfer per backup. A backup slot whose place already died
+  /// is skipped — recording it would fake redundancy the cluster never
+  /// had (the transfer could not have completed).
   /// `version` is the saver's modification stamp for this key (0 when the
   /// caller does not track versions); a later delta snapshot carries the
   /// entry forward while the stamp still matches.
@@ -73,16 +108,18 @@ class Snapshot {
   /// snapshot — same payload pointers, same holder places, same version —
   /// without charging any serialisation or transfer cost (the copies
   /// already exist; nothing moves). Succeeds only when the entry's saved
-  /// version equals `expectedVersion` AND every copy the entry was created
-  /// with is still alive (a degraded entry is re-saved fresh instead, so a
-  /// delta checkpoint re-establishes full double redundancy). Returns
-  /// whether the entry was carried; on false the caller must save() fresh.
+  /// version equals `expectedVersion` AND every replica the entry was
+  /// created with is still alive AND the entry has as many replicas as
+  /// this snapshot's replication factor demands (a degraded or
+  /// under-replicated entry is re-saved fresh instead, so a delta
+  /// checkpoint re-establishes full k-way redundancy). Returns whether
+  /// the entry was carried; on false the caller must save() fresh.
   bool carryForward(long key, const Snapshot& prev,
                     std::uint64_t expectedVersion);
 
   /// All-clean fast path: carries *every* entry of `prev` into this
-  /// snapshot, succeeding only when each one is fully intact (primary and
-  /// backup copies alive). All-or-nothing — on false this snapshot is left
+  /// snapshot, succeeding only when each one is fully intact (all k
+  /// replicas alive). All-or-nothing — on false this snapshot is left
   /// unchanged and the caller must take the per-entry path. Charges
   /// nothing: like saveReadOnly, a fully clean object is pure place-0
   /// metadata reuse.
@@ -102,28 +139,37 @@ class Snapshot {
 
   /// Loads the value for `key` from the perspective of the current place,
   /// charging a local copy if a copy lives here, else one remote transfer.
-  /// Throws SnapshotLostException if both copies are gone.
+  /// Throws SnapshotLostException if every replica is gone.
   [[nodiscard]] std::shared_ptr<const SnapshotValue> load(long key) const;
 
-  /// Locates the surviving copy for `key` without charging any cost:
-  /// returns the value and the place currently holding it. Callers that
-  /// copy only a sub-region (the repartitioned restore path) use this and
-  /// charge the sub-region bytes themselves.
+  /// Locates the nearest surviving copy for `key` without charging any
+  /// cost: a copy on the loading place when one survives there, else the
+  /// first surviving replica in ring order from the primary. Returns the
+  /// value and the place currently holding it. Primaries are block-cyclic
+  /// across the group, so ring-order selection spreads restore reads
+  /// evenly over the survivors. Callers that copy only a sub-region (the
+  /// repartitioned restore path) use this and charge the sub-region bytes
+  /// themselves.
   struct Located {
     std::shared_ptr<const SnapshotValue> value;
     apgas::Place holder;
   };
   [[nodiscard]] Located locate(long key) const;
 
+  /// Places still holding a live replica of `key`, in ring order from the
+  /// primary (property tests assert distinctness and balance with this).
+  [[nodiscard]] std::vector<apgas::PlaceId> replicaPlaces(long key) const;
+
   [[nodiscard]] bool contains(long key) const;
   [[nodiscard]] std::vector<long> keys() const;
   [[nodiscard]] std::size_t numEntries() const { return entries_.size(); }
 
-  /// Total payload bytes over all live primary copies.
+  /// Total payload bytes over all entries with at least one live copy
+  /// (each entry counted once, not per replica).
   [[nodiscard]] std::size_t totalBytes() const;
 
   /// Bytes of entries saved fresh into this snapshot (actually copied and
-  /// re-backed-up at save time) vs. carried forward from a predecessor.
+  /// re-replicated at save time) vs. carried forward from a predecessor.
   [[nodiscard]] std::size_t freshBytes() const;
   [[nodiscard]] std::size_t carriedBytes() const;
   [[nodiscard]] std::size_t numCarried() const;
@@ -142,21 +188,30 @@ class Snapshot {
   }
 
  private:
-  struct Entry {
-    std::shared_ptr<const SnapshotValue> primary;
-    std::shared_ptr<const SnapshotValue> backup;
-    apgas::PlaceId primaryPlace = apgas::kInvalidPlace;
-    apgas::PlaceId backupPlace = apgas::kInvalidPlace;
-    std::uint64_t version = 0;  ///< saver's stamp at save time
-    bool carried = false;       ///< carried forward, not saved fresh
+  /// One copy of an entry's payload. The shared immutable payload
+  /// simulates the per-place copies; `value` is reset when `place` dies.
+  struct Replica {
+    std::shared_ptr<const SnapshotValue> value;
+    apgas::PlaceId place = apgas::kInvalidPlace;
   };
 
-  /// Bytes of the surviving copy for one entry (0 if both copies died).
+  struct Entry {
+    std::vector<Replica> replicas;  ///< [0] is the primary on the saver
+    std::uint64_t version = 0;      ///< saver's stamp at save time
+    bool carried = false;           ///< carried forward, not saved fresh
+  };
+
+  /// Bytes of the surviving copy for one entry (0 if every copy died).
   static std::size_t entryBytes(const Entry& entry);
+
+  /// True when every replica the entry was created with is still alive
+  /// and the entry carries the full complement this snapshot demands.
+  [[nodiscard]] bool fullyReplicated(const Entry& entry) const;
 
   void onPlaceDeath(apgas::PlaceId p);
 
   apgas::PlaceGroup pg_;
+  int replication_ = 2;
   std::map<long, Entry> entries_;
   std::shared_ptr<const SnapshotValue> meta_;
   std::uint64_t killToken_ = 0;

@@ -2,9 +2,10 @@
 //
 // Values are immutable once saved: makeSnapshot() deep-copies the live data
 // into a value, so later mutation of the application state cannot corrupt a
-// checkpoint. The "double in-memory storage" of the paper (a local copy
-// plus a backup on the next place) is simulated by two owner slots sharing
-// one immutable payload; killing a place clears its slot.
+// checkpoint. The k-way in-memory replication (the paper's double storage
+// generalised: a local copy plus backups on the next k-1 ring places) is
+// simulated by k owner slots sharing one immutable payload; killing a
+// place clears its slot.
 #pragma once
 
 #include <cstddef>

@@ -2,8 +2,8 @@
 // residual norms, ...) made checkpointable alongside the GML objects.
 //
 // The scalars conceptually live on the first place of the group; the
-// snapshot stores them there with a backup on the next place, like any
-// other snapshot value.
+// snapshot stores them there and fans out k-1 further ring-placed copies,
+// like any other snapshot value.
 #pragma once
 
 #include <vector>

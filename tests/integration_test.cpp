@@ -90,12 +90,15 @@ TEST(IntegrationTest, AdjacentDoubleFailureIsUnrecoverable) {
   cfg.places = pg;
   cfg.checkpointInterval = 10;
   ResilientExecutor executor(cfg);
+  // The executor recognises snapshot loss (both adjacent replicas of the
+  // idx-2 entries are gone) and converts it to a clean UnrecoverableError
+  // instead of retrying or surfacing the raw SnapshotLostException.
   try {
     executor.run(app, &injector);
     FAIL() << "executor should have reported unrecoverable data loss";
-  } catch (const apgas::SnapshotLostException&) {
-  } catch (const apgas::MultipleExceptions& me) {
-    EXPECT_TRUE(me.containsSnapshotLoss());
+  } catch (const apgas::UnrecoverableError& e) {
+    EXPECT_NE(std::string(e.what()).find("replication factor"),
+              std::string::npos);
   }
 }
 
@@ -150,9 +153,9 @@ TEST(IntegrationTest, ReadOnlyRedundancyHoleWithoutPostRestoreCheckpoint) {
   try {
     executor.run(app, &injector);
     FAIL() << "second failure should lose the reused read-only snapshot";
-  } catch (const apgas::SnapshotLostException&) {
-  } catch (const apgas::MultipleExceptions& me) {
-    EXPECT_TRUE(me.containsSnapshotLoss());
+  } catch (const apgas::UnrecoverableError& e) {
+    EXPECT_NE(std::string(e.what()).find("replication factor"),
+              std::string::npos);
   }
 }
 

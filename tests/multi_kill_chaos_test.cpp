@@ -1,0 +1,198 @@
+// Multi-kill chaos matrix: cascading-failure survival as a function of
+// the snapshot replication factor k.
+//
+// The contract under test (ISSUE: k-way replicated snapshot store):
+//   * any schedule with <= k-1 simultaneous victims — including a kill
+//     fired in the middle of a restore — classifies Ok (golden-identical);
+//   * exactly k overlapping kills of ring-adjacent places classify
+//     unrecoverable-by-design (cleanly fatal), never divergence or
+//     corruption;
+//   * k=2 with two adjacent simultaneous kills is the paper's known gap,
+//     and raising k to 3 closes it for the very same schedules.
+//
+// All sweeps also assert report determinism: the JSON report must be
+// byte-identical at any --jobs value.
+#include <gtest/gtest.h>
+
+#include "harness/report.h"
+#include "harness/sweeper.h"
+
+namespace rgml::harness {
+namespace {
+
+SweepOptions baseOptions() {
+  SweepOptions opt;
+  opt.apps = {AppKind::LinReg};
+  opt.iterations = 10;
+  opt.places = 4;
+  opt.spares = 2;
+  opt.checkpointInterval = 4;
+  return opt;
+}
+
+/// Outcomes of schedules with exactly `kills` kill events.
+std::vector<ScenarioOutcome> withKillCount(const SweepResult& r,
+                                           std::size_t kills) {
+  std::vector<ScenarioOutcome> out;
+  for (const ScenarioOutcome& o : r.outcomes) {
+    if (o.schedule.kills.size() == kills) out.push_back(o);
+  }
+  return out;
+}
+
+TEST(MultiKillChaos, AdjacentDoubleKillIsCleanlyFatalAtK2) {
+  // The paper's known gap: double in-memory storage cannot survive the
+  // simultaneous loss of a place and its ring neighbour. The sweep must
+  // classify every such schedule unrecoverable-by-design — a clean
+  // UnrecoverableError, never a divergence, hang or leak.
+  SweepOptions opt = baseOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.simultaneousKills = 2;
+  opt.replication = 2;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+
+  const auto doubles = withKillCount(r, 2);
+  ASSERT_FALSE(doubles.empty());
+  long fatal = 0;
+  for (const ScenarioOutcome& o : doubles) {
+    // A kill at the final iteration boundary is never observed (the run
+    // is already finished) and legitimately matches the golden result;
+    // every earlier adjacent double kill must be cleanly fatal.
+    if (o.schedule.kills[0].at == opt.iterations) {
+      EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+    } else {
+      EXPECT_EQ(o.kind, OutcomeKind::Unrecoverable) << o.schedule.describe();
+      ++fatal;
+    }
+  }
+  EXPECT_GT(fatal, 0);
+}
+
+TEST(MultiKillChaos, AdjacentDoubleKillSurvivesAtK3InEveryMode) {
+  // Identical schedules, replication raised to 3: every entry keeps a
+  // third copy two ring steps away, so any two simultaneous victims leave
+  // a survivor and all four restore modes converge to the golden result.
+  SweepOptions opt = baseOptions();  // all four restore modes
+  opt.simultaneousKills = 2;
+  opt.replication = 3;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+
+  const auto doubles = withKillCount(r, 2);
+  ASSERT_FALSE(doubles.empty());
+  for (const ScenarioOutcome& o : doubles) {
+    EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+  }
+}
+
+TEST(MultiKillChaos, TripleKillIsCleanlyFatalAtK3) {
+  // Exactly k overlapping kills at k=3: a run of three adjacent victims
+  // wipes all three replicas of the entries primaried at the run's first
+  // place — fatal by design at every observed kill point.
+  SweepOptions opt = baseOptions();
+  opt.places = 5;  // room for a 3-run inside the killable victims 1..4
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.simultaneousKills = 3;
+  opt.replication = 3;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+
+  const auto triples = withKillCount(r, 3);
+  ASSERT_FALSE(triples.empty());
+  long fatal = 0;
+  for (const ScenarioOutcome& o : triples) {
+    if (o.schedule.kills[0].at == opt.iterations) {
+      EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+    } else {
+      EXPECT_EQ(o.kind, OutcomeKind::Unrecoverable) << o.schedule.describe();
+      ++fatal;
+    }
+  }
+  EXPECT_GT(fatal, 0);
+}
+
+TEST(MultiKillChaos, KillDuringRestoreSurvivesAtK3) {
+  // A second place dies at the start of the restore triggered by the
+  // first kill. At k=3 the committed snapshot still has a live replica of
+  // everything, and the executor's second restore pass must converge —
+  // in every restore mode, including the elastic one (whose replacement
+  // places from the abandoned first attempt must be reused, not leaked).
+  SweepOptions opt = baseOptions();  // all four restore modes
+  opt.restoreKills = true;
+  opt.replication = 3;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+
+  long restoreKillScenarios = 0;
+  for (const ScenarioOutcome& o : r.outcomes) {
+    bool hasRestoreKill = false;
+    for (const KillEvent& k : o.schedule.kills) {
+      if (k.trigger == KillEvent::Trigger::Restore) hasRestoreKill = true;
+    }
+    if (!hasRestoreKill) continue;
+    ++restoreKillScenarios;
+    EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+    // The mid-restore death is retried inside the same failure-handling
+    // pass, so it still counts as one handled failure.
+    EXPECT_GE(o.failuresHandled, 1) << o.schedule.describe();
+  }
+  EXPECT_GT(restoreKillScenarios, 0);
+}
+
+TEST(MultiKillChaos, KillDuringRestoreOfRingNeighbourIsFatalAtK2) {
+  // k=2 restore kills: the victim pair overlaps the two-copy window only
+  // when the second victim is the first one's immediate ring successor
+  // (its backup holder). That pair is cleanly fatal; a non-adjacent
+  // second victim always leaves a copy and must survive.
+  SweepOptions opt = baseOptions();
+  opt.modes = {framework::RestoreMode::Shrink,
+               framework::RestoreMode::ReplaceRedundant};
+  opt.restoreKills = true;
+  opt.replication = 2;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+
+  long fatal = 0, survived = 0;
+  for (const ScenarioOutcome& o : r.outcomes) {
+    if (o.schedule.kills.size() != 2 ||
+        o.schedule.kills[1].trigger != KillEvent::Trigger::Restore) {
+      continue;
+    }
+    const bool adjacent =
+        o.schedule.kills[1].victim == o.schedule.kills[0].victim + 1;
+    if (adjacent) {
+      EXPECT_EQ(o.kind, OutcomeKind::Unrecoverable) << o.schedule.describe();
+      ++fatal;
+    } else {
+      EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+      ++survived;
+    }
+  }
+  EXPECT_GT(fatal, 0);
+  EXPECT_GT(survived, 0);
+}
+
+TEST(MultiKillChaos, MultiKillReportIsByteIdenticalAcrossJobCounts) {
+  // The full multi-kill matrix (simultaneous + restore kills) fanned over
+  // two workers must produce exactly the serial report, and the report
+  // must record the replication factor it swept under.
+  SweepOptions opt = baseOptions();
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.simultaneousKills = 2;
+  opt.restoreKills = true;
+  opt.replication = 3;
+  opt.jobs = 2;
+  const SweepResult parallel = ChaosSweeper(opt).run();
+  EXPECT_EQ(parallel.jobsUsed, 2u);
+  EXPECT_TRUE(parallel.allOk()) << summarize(parallel);
+
+  SweepOptions serialOpt = opt;
+  serialOpt.jobs = 1;
+  const SweepResult serial = ChaosSweeper(serialOpt).run();
+  EXPECT_EQ(toJson(parallel), toJson(serial));
+  EXPECT_NE(toJson(parallel).find("\"replication\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgml::harness

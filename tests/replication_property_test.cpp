@@ -1,0 +1,265 @@
+// Property tests for k-way snapshot replication: randomised group sizes,
+// replication factors and per-place block counts must always yield k
+// replicas on k distinct places in block-cyclic (ring) order, balanced
+// placement, byte-identical restores after any k-1 failures, and clean
+// data loss only when a full run of k adjacent holders dies.
+//
+// Also the partial fan-out regression tests: a commit() racing a kill
+// must never record a replica on a place that was already dead when the
+// fan-out reached it (phantom redundancy), and cancelSnapshot() after a
+// mid-checkpoint multi-kill must leave the previously committed snapshot
+// fully restorable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "apgas/runtime.h"
+#include "gml/dist_block_matrix.h"
+#include "resilient/app_resilient_store.h"
+#include "resilient/snapshot.h"
+
+namespace rgml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::PlaceId;
+using apgas::Runtime;
+using gml::DistBlockMatrix;
+using resilient::AppResilientStore;
+using resilient::Snapshot;
+using resilient::VectorValue;
+
+/// A vector value whose elements are a function of `key`, so a restored
+/// copy can be checked element-for-element against what was saved.
+std::shared_ptr<VectorValue> keyedValue(long key, long n = 16) {
+  la::Vector v(n);
+  for (long j = 0; j < n; ++j) {
+    v[j] = static_cast<double>(key) * 100.0 + static_cast<double>(j);
+  }
+  return std::make_shared<VectorValue>(std::move(v), 0);
+}
+
+TEST(ReplicationPropertyTest, KReplicasOnDistinctPlacesInRingOrder) {
+  // Random (group size, k, blocks-per-place) triples: every entry must
+  // have min(k, P) replicas on distinct places following the ring from
+  // its saver, and block-cyclic placement must load every place equally.
+  std::mt19937 rng(0xC0FFEE);
+  for (int trial = 0; trial < 24; ++trial) {
+    const long P = 2 + static_cast<long>(rng() % 7);        // 2..8
+    const int k = 1 + static_cast<int>(rng() % (P + 1));    // 1..P+1: clamps
+    const long B = 1 + static_cast<long>(rng() % 3);        // blocks/place
+    SCOPED_TRACE("P=" + std::to_string(P) + " k=" + std::to_string(k) +
+                 " B=" + std::to_string(B));
+    Runtime::init(static_cast<int>(P));
+    const PlaceGroup pg = PlaceGroup::world();
+    Snapshot snap(pg, k);
+    EXPECT_EQ(snap.replication(), k);
+    for (long i = 0; i < P; ++i) {
+      for (long b = 0; b < B; ++b) {
+        const long key = i * B + b;
+        apgas::at(Place(i), [&] { snap.save(key, keyedValue(key)); });
+      }
+    }
+
+    const long kc = std::min<long>(k, P);
+    std::map<PlaceId, long> perPlace;
+    for (long i = 0; i < P; ++i) {
+      for (long b = 0; b < B; ++b) {
+        const long key = i * B + b;
+        const std::vector<PlaceId> places = snap.replicaPlaces(key);
+        ASSERT_EQ(places.size(), static_cast<std::size_t>(kc)) << key;
+        const std::set<PlaceId> distinct(places.begin(), places.end());
+        EXPECT_EQ(distinct.size(), places.size()) << key;
+        for (long r = 0; r < kc; ++r) {
+          EXPECT_EQ(places[static_cast<std::size_t>(r)],
+                    pg((i + r) % P).id())
+              << "key " << key << " replica " << r;
+        }
+        for (PlaceId p : places) ++perPlace[p];
+      }
+    }
+    // Balance: with B entries saved per place the ring spreads replicas
+    // evenly — within one block per place (exactly equal here).
+    long mn = B * kc, mx = 0, total = 0;
+    for (long i = 0; i < P; ++i) {
+      const long count = perPlace[pg(i).id()];
+      mn = std::min(mn, count);
+      mx = std::max(mx, count);
+      total += count;
+    }
+    EXPECT_LE(mx - mn, 1);
+    EXPECT_EQ(total, P * B * kc);
+  }
+}
+
+TEST(ReplicationPropertyTest, RestoreAfterAnyKMinusOneFailuresIsByteIdentical) {
+  // Kill a *random* set of k-1 victims (not just adjacent runs): every
+  // entry must still load, element-for-element equal to what was saved.
+  std::mt19937 rng(0xBEEF);
+  for (int trial = 0; trial < 16; ++trial) {
+    const long P = 3 + static_cast<long>(rng() % 6);  // 3..8
+    const int k = 2 + static_cast<int>(rng() % (P - 1));  // 2..P
+    SCOPED_TRACE("P=" + std::to_string(P) + " k=" + std::to_string(k));
+    Runtime::init(static_cast<int>(P));
+    Snapshot snap(PlaceGroup::world(), k);
+    for (long i = 0; i < P; ++i) {
+      apgas::at(Place(i), [&] { snap.save(i, keyedValue(i)); });
+    }
+
+    std::vector<PlaceId> candidates;
+    for (long i = 1; i < P; ++i) candidates.push_back(PlaceId(i));
+    std::shuffle(candidates.begin(), candidates.end(), rng);
+    const std::size_t victims =
+        std::min<std::size_t>(static_cast<std::size_t>(k - 1),
+                              candidates.size());
+    for (std::size_t v = 0; v < victims; ++v) {
+      Runtime::world().kill(candidates[v]);
+    }
+
+    apgas::at(Place(0), [&] {
+      for (long i = 0; i < P; ++i) {
+        ASSERT_TRUE(snap.contains(i)) << "entry " << i;
+        auto v = std::dynamic_pointer_cast<const VectorValue>(snap.load(i));
+        ASSERT_NE(v, nullptr);
+        for (long j = 0; j < 16; ++j) {
+          EXPECT_EQ(v->data()[j],
+                    static_cast<double>(i) * 100.0 + static_cast<double>(j))
+              << "entry " << i << " element " << j;
+        }
+      }
+    });
+  }
+}
+
+TEST(ReplicationPropertyTest, RunOfKAdjacentFailuresLosesExactlyOneEntry) {
+  // A run of exactly k adjacent victims wipes out every replica of the
+  // entry saved from the run's first place — and only that entry: every
+  // other entry's replica span sticks out of the run on at least one side.
+  std::mt19937 rng(0xD1CE);
+  for (int trial = 0; trial < 16; ++trial) {
+    const long P = 4 + static_cast<long>(rng() % 5);      // 4..8
+    const int k = 2 + static_cast<int>(rng() % (P - 2));  // 2..P-1
+    const long v = 1 + static_cast<long>(rng() % (P - k));  // run fits in 1..P-1
+    SCOPED_TRACE("P=" + std::to_string(P) + " k=" + std::to_string(k) +
+                 " run=" + std::to_string(v));
+    Runtime::init(static_cast<int>(P));
+    Snapshot snap(PlaceGroup::world(), k);
+    for (long i = 0; i < P; ++i) {
+      apgas::at(Place(i), [&] { snap.save(i, keyedValue(i)); });
+    }
+    for (long d = 0; d < k; ++d) Runtime::world().kill(PlaceId(v + d));
+
+    EXPECT_FALSE(snap.contains(v));
+    apgas::at(Place(0), [&] {
+      EXPECT_THROW((void)snap.load(v), apgas::SnapshotLostException);
+    });
+    for (long i = 0; i < P; ++i) {
+      if (i == v) continue;
+      EXPECT_TRUE(snap.contains(i)) << "entry " << i << " wrongly lost";
+    }
+  }
+}
+
+// ---- partial fan-out window regressions -----------------------------------
+
+TEST(ReplicationRegressionTest, DeadBackupHolderIsSkippedNotRecordedAsPhantom) {
+  // A backup place that died before the fan-out reached it must be
+  // skipped. Recording it would fake redundancy the cluster never had:
+  // the kill listener has already run, so the phantom slot would never be
+  // invalidated and the entry would appear to survive the loss of every
+  // real copy.
+  Runtime::init(4);
+  Snapshot snap(PlaceGroup::world(), 3);
+  Runtime::world().kill(2);  // dies before place 1 checkpoints
+  apgas::at(Place(1), [&] { snap.save(1, keyedValue(1)); });
+  EXPECT_EQ(snap.replicaPlaces(1), (std::vector<PlaceId>{1, 3}));
+
+  Runtime::world().kill(1);
+  Runtime::world().kill(3);  // both real copies gone; no phantom on 2
+  EXPECT_FALSE(snap.contains(1));
+  apgas::at(Place(0), [&] {
+    EXPECT_THROW((void)snap.load(1), apgas::SnapshotLostException);
+  });
+}
+
+TEST(ReplicationRegressionTest, UnderReplicatedEntryIsNotCarriedForward) {
+  // The delta path must refuse to carry an entry that no longer has its
+  // full complement of k live replicas — re-saving it fresh is what
+  // re-establishes k-way redundancy after a failure.
+  Runtime::init(4);
+  Snapshot prev(PlaceGroup::world(), 3);
+  apgas::at(Place(0), [&] { prev.save(0, keyedValue(0), 7); });  // {0,1,2}
+  Runtime::world().kill(3);
+  apgas::at(Place(1), [&] { prev.save(1, keyedValue(1), 7); });  // {1,2} only
+
+  Snapshot cur(PlaceGroup::world(), 3);
+  EXPECT_FALSE(cur.carryForwardAll(prev));          // all-or-nothing refuses
+  EXPECT_EQ(cur.numEntries(), 0u);                  // ... and left unchanged
+  EXPECT_TRUE(cur.carryForward(0, prev, 7));        // intact entry carries
+  EXPECT_FALSE(cur.carryForward(1, prev, 7));       // degraded one must not
+}
+
+TEST(ReplicationRegressionTest, CancelAfterMidCheckpointDoubleKillKeepsCommitted) {
+  // The cancelSnapshot-vs-multi-replica-commit race: two adjacent places
+  // die while checkpoint 2 is between its first and last replica write.
+  // The half-committed snapshot must be discarded — never restorable —
+  // and at k=3 the committed checkpoint 1 still has a live replica of
+  // every entry, so the restore is exact.
+  Runtime::init(6);
+  auto m = DistBlockMatrix::makeDense(8, 8, 2, 2, 2, 2,
+                                      PlaceGroup::firstPlaces(4));
+  m.initRandom(7);
+  AppResilientStore store;
+  store.setReplication(3);
+
+  store.setIteration(1);
+  store.startNewSnapshot();
+  store.save(m);
+  store.commit();
+  const la::DenseMatrix committed = m.toDense();
+
+  apgas::at(Place(0), [&] {
+    la::MatrixBlock* block = m.localBlockSet().find(0, 0);
+    block->dense()(0, 0) += 1.0;
+  });
+  store.setIteration(2);
+  store.startNewSnapshot();
+  store.save(m);
+  Runtime::world().kill(2);
+  Runtime::world().kill(3);
+  store.cancelSnapshot();
+
+  EXPECT_FALSE(store.inProgress());
+  EXPECT_EQ(store.latestCommittedIteration(), 1);
+  m.remakeSameDist(PlaceGroup({0, 1, 4, 5}));
+  store.restore();
+  EXPECT_EQ(m.toDense(), committed);
+}
+
+TEST(ReplicationRegressionTest, SameAdjacentDoubleKillLosesCommittedDataAtK2) {
+  // Companion to the k=3 test above: with the paper's double storage the
+  // same adjacent pair of deaths wipes both copies of the idx-2 entries,
+  // and the loss surfaces as SnapshotLostException at restore.
+  Runtime::init(6);
+  auto m = DistBlockMatrix::makeDense(8, 8, 2, 2, 2, 2,
+                                      PlaceGroup::firstPlaces(4));
+  m.initRandom(7);
+  AppResilientStore store;  // default replication 2
+  store.setIteration(1);
+  store.startNewSnapshot();
+  store.save(m);
+  store.commit();
+
+  Runtime::world().kill(2);
+  Runtime::world().kill(3);
+  m.remakeSameDist(PlaceGroup({0, 1, 4, 5}));
+  EXPECT_THROW(store.restore(), apgas::SnapshotLostException);
+}
+
+}  // namespace
+}  // namespace rgml

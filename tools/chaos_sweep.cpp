@@ -49,6 +49,13 @@ void usage(std::ostream& os) {
         "  --victims V   all | sample (default all)\n"
         "  --midstep     add mid-step killAtDispatch points\n"
         "  --pairs       add two-kill schedules\n"
+        "  --replication K  snapshot copies per entry (default 2; any K-1\n"
+        "                simultaneous failures between checkpoints are\n"
+        "                survivable, K overlapping ones cleanly fatal)\n"
+        "  --simul M     add M-adjacent-victim simultaneous-kill schedules\n"
+        "                (M >= 2)\n"
+        "  --restore-kills  add kill-during-restore schedules (a second\n"
+        "                kill fired at the start of the restore attempt)\n"
         "  --tol X       divergence tolerance (default 1e-6)\n"
         "  --jobs N      worker threads (default: hardware threads; the\n"
         "                report is byte-identical at any job count)\n"
@@ -139,6 +146,22 @@ int main(int argc, char** argv) {
       opt.midStepKills = true;
     } else if (arg == "--pairs") {
       opt.pairKills = true;
+    } else if (arg == "--replication") {
+      const long k = std::atol(needValue(i));
+      if (k < 1) {
+        std::cerr << "--replication must be >= 1\n";
+        return 2;
+      }
+      opt.replication = static_cast<int>(k);
+    } else if (arg == "--simul") {
+      const long m = std::atol(needValue(i));
+      if (m < 2) {
+        std::cerr << "--simul must be >= 2\n";
+        return 2;
+      }
+      opt.simultaneousKills = static_cast<std::size_t>(m);
+    } else if (arg == "--restore-kills") {
+      opt.restoreKills = true;
     } else if (arg == "--tol") {
       opt.tolerance = std::atof(needValue(i));
     } else if (arg == "--jobs") {
