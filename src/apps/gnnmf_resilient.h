@@ -27,6 +27,10 @@ class GnnmfResilient final : public framework::ResilientIterativeApp {
                resilient::AppResilientStore& store, long snapshotIter,
                framework::RestoreMode mode) override;
 
+  /// The Frobenius objective the multiplicative updates minimise
+  /// (reconvergence measure after a lossy restart).
+  [[nodiscard]] double convergenceMetric() override { return objective_; }
+
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] double objective() const noexcept { return objective_; }
   /// The (sparse, read-only) data matrix — the chaos harness checks its

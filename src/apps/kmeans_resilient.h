@@ -28,6 +28,10 @@ class KMeansResilient final : public framework::ResilientIterativeApp {
                resilient::AppResilientStore& store, long snapshotIter,
                framework::RestoreMode mode) override;
 
+  /// Within-cluster inertia — Lloyd's algorithm monotonically decreases
+  /// it (reconvergence measure after a lossy restart).
+  [[nodiscard]] double convergenceMetric() override { return inertia_; }
+
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] double inertia() const noexcept { return inertia_; }
   [[nodiscard]] const gml::DupDenseMatrix& centroids() const noexcept {

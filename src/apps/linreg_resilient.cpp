@@ -41,12 +41,20 @@ void LinRegResilient::step() {
   q_.transMult(x_, xp_);
   q_.axpy(config_.lambda, p_);
 
-  const double alpha = normR2_ / p_.dot(q_);
-  w_.axpy(alpha, p_);
-  r_.axpy(-alpha, q_);
+  // The system is SPD, so p'q == 0 only for a null search direction:
+  // CG has converged to machine precision, or a lossy restore quantized
+  // the (already tiny) residual state to exactly zero. Either way there
+  // is no descent direction — updating would divide by zero and poison
+  // the weights with NaN, so hold the iterate instead.
+  const double pq = p_.dot(q_);
+  if (pq > 0.0) {
+    const double alpha = normR2_ / pq;
+    w_.axpy(alpha, p_);
+    r_.axpy(-alpha, q_);
+  }
 
   const double newNormR2 = r_.dot(r_);
-  const double beta = newNormR2 / normR2_;
+  const double beta = normR2_ > 0.0 ? newNormR2 / normR2_ : 0.0;
   normR2_ = newNormR2;
 
   p_.scale(beta);

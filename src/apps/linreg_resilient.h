@@ -31,6 +31,11 @@ class LinRegResilient final : public framework::ResilientIterativeApp {
                resilient::AppResilientStore& store, long snapshotIter,
                framework::RestoreMode mode) override;
 
+  /// CG residual norm^2 — the quantity the iteration itself drives to
+  /// zero, so it is the natural reconvergence measure after a lossy
+  /// restart.
+  [[nodiscard]] double convergenceMetric() override { return normR2_; }
+
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] double residualNormSq() const noexcept { return normR2_; }
   [[nodiscard]] const gml::DupVector& weights() const noexcept { return w_; }

@@ -27,6 +27,10 @@ class LogRegResilient final : public framework::ResilientIterativeApp {
                resilient::AppResilientStore& store, long snapshotIter,
                framework::RestoreMode mode) override;
 
+  /// The training loss gradient descent minimises (reconvergence
+  /// measure after a lossy restart).
+  [[nodiscard]] double convergenceMetric() override { return loss_; }
+
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] double loss() const noexcept { return loss_; }
   [[nodiscard]] const gml::DupVector& weights() const noexcept { return w_; }

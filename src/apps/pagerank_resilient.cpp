@@ -1,5 +1,8 @@
 #include "apps/pagerank_resilient.h"
 
+#include <cmath>
+#include <vector>
+
 #include "apgas/runtime.h"
 #include "la/kernels.h"
 #include "la/rand.h"
@@ -50,9 +53,20 @@ void PageRankResilient::step() {
 
   Runtime& rt = Runtime::world();
   rt.at(pg_(0), [&] {
+    // Uncharged harness instrumentation: snapshot the old ranks before
+    // they are overwritten so the L1 step delta (convergenceMetric) can
+    // be computed without touching the simulated cost model.
+    const auto oldRanks = p_.local().span();
+    std::vector<double> prev(oldRanks.begin(), oldRanks.end());
     gp_.copyTo(p_.local());
     la::addScalar(p_.local().span(), utp1a);
     rt.chargeDenseFlops(static_cast<double>(n));
+    double delta = 0.0;
+    const auto newRanks = p_.local().span();
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      delta += std::abs(newRanks[i] - prev[i]);
+    }
+    rankDelta_ = delta;
   });
   p_.sync();
 

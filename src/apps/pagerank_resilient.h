@@ -28,6 +28,12 @@ class PageRankResilient final : public framework::ResilientIterativeApp {
                resilient::AppResilientStore& store, long snapshotIter,
                framework::RestoreMode mode) override;
 
+  /// L1 rank delta of the last step (sum |p_new - p_old|) — the power
+  /// iteration's own convergence measure. Computed outside the cost
+  /// model: it is harness instrumentation, not algorithm work, so it
+  /// must not perturb simulated time or golden digests.
+  [[nodiscard]] double convergenceMetric() override { return rankDelta_; }
+
   [[nodiscard]] long iteration() const noexcept { return iteration_; }
   [[nodiscard]] const gml::DupVector& ranks() const noexcept { return p_; }
   /// The (sparse, read-only) link matrix — the chaos harness checks its
@@ -50,6 +56,7 @@ class PageRankResilient final : public framework::ResilientIterativeApp {
   gml::DistVector gp_;  ///< scratch
   resilient::SnapshottableScalars scalars_;  ///< {iteration}
 
+  double rankDelta_ = std::numeric_limits<double>::quiet_NaN();
   long iteration_ = 0;
 };
 

@@ -82,6 +82,8 @@ ResilientExecutor::ResilientExecutor(ExecutorConfig config)
     throw apgas::ApgasError("ResilientExecutor: replication < 1");
   }
   store_.setReplication(config_.replication);
+  store_.setMode(config_.checkpointMode);
+  store_.setLossyConfig(config_.lossy);
 }
 
 RunStats ResilientExecutor::run(ResilientIterativeApp& app,
@@ -222,7 +224,14 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         const double c0 = rt.time();
         obs::PhaseScope phase("checkpoint");
         store_ = resilient::AppResilientStore{};
+        // The fresh store must inherit the *whole* checkpoint
+        // configuration, not just k: resetting it used to silently drop a
+        // non-default mode (and the codec config), so every
+        // post-restore checkpoint of a Lossy/Delta run degraded to the
+        // default mode for the rest of the run.
         store_.setReplication(config_.replication);
+        store_.setMode(config_.checkpointMode);
+        store_.setLossyConfig(config_.lossy);
         store_.setIteration(iter);
         app.checkpoint(store_);
         if (store_.inProgress()) {

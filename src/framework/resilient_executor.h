@@ -21,6 +21,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "apgas/fault_injector.h"
@@ -70,6 +71,15 @@ class ResilientIterativeApp {
   /// One iteration of the algorithm.
   virtual void step() = 0;
 
+  /// The app's scalar convergence measure after the last step() (residual
+  /// norm, inertia, rank delta, ...): smaller = more converged. NaN (the
+  /// default) means the app does not expose one. The lossy-checkpoint
+  /// harness uses it to measure iterations-to-reconverge after a restart
+  /// from a bounded-error snapshot.
+  [[nodiscard]] virtual double convergenceMetric() {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
   /// Save the state-carrying GML objects into `store`
   /// (startNewSnapshot / save / saveReadOnly / commit).
   virtual void checkpoint(resilient::AppResilientStore& store) = 0;
@@ -89,6 +99,14 @@ struct ExecutorConfig {
   long checkpointInterval = 10;        ///< iterations between checkpoints
   RestoreMode mode = RestoreMode::Shrink;
   long maxRestoreAttempts = 8;  ///< cascading-failure retry bound
+
+  /// What each checkpoint ships (full / readonly-reuse / delta / lossy /
+  /// delta+lossy); see resilient::CheckpointMode.
+  resilient::CheckpointMode checkpointMode = resilient::CheckpointMode::Delta;
+
+  /// Codec knobs for the lossy checkpoint modes (errorBound <= 0 =
+  /// lossless compression only). Ignored unless usesLossy(checkpointMode).
+  resilient::LossyConfig lossy;
 
   /// Snapshot replication factor k: copies kept per store entry, on k
   /// distinct ring places (clamped to each object's group size). Any

@@ -305,6 +305,7 @@ GoldenRun runGolden(AppKind kind, const ChaosAppConfig& cfg,
   framework::ResilientExecutor executor(ec);
   golden.stats = executor.run(chaos->app());
   golden.result = chaos->digest();
+  golden.finalConvergenceMetric = chaos->app().convergenceMetric();
   return golden;
 }
 

@@ -84,6 +84,10 @@ struct GoldenRun {
   /// Digest hash after each completed iteration (same indexing); used to
   /// pinpoint the first divergent iteration of a failing scenario.
   std::vector<std::uint64_t> digestPerIteration;
+  /// The app's convergenceMetric() at termination (NaN when the app does
+  /// not expose one); the reconvergence target after a lossy restart.
+  double finalConvergenceMetric =
+      std::numeric_limits<double>::quiet_NaN();
   framework::RunStats stats;
 };
 

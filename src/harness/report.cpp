@@ -78,6 +78,12 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
   os << "    \"spares\": " << opt.spares << ",\n";
   os << "    \"checkpoint_interval\": " << opt.checkpointInterval << ",\n";
   os << "    \"replication\": " << opt.replication << ",\n";
+  os << "    \"checkpoint_mode\": \""
+     << resilient::toString(opt.checkpointMode) << "\",\n";
+  if (resilient::usesLossy(opt.checkpointMode)) {
+    os << "    \"lossy_error_bound\": " << num(opt.lossyErrorBound) << ",\n";
+    os << "    \"lossy_tolerance\": " << num(opt.lossyTolerance) << ",\n";
+  }
   os << "    \"tolerance\": " << num(opt.tolerance) << ",\n";
 
   long ok = 0;
@@ -135,6 +141,9 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
        << "\", \"failures_handled\": " << o.failuresHandled
        << ", \"restore_ms\": " << num(o.restoreMs)
        << ", \"total_ms\": " << num(o.totalMs);
+    if (o.reconvergeIterations >= 0) {
+      os << ", \"reconverge_iterations\": " << o.reconvergeIterations;
+    }
     if (!o.spans.empty()) {
       os << ", \"attribution\": ";
       writeAttributionSummary(os,

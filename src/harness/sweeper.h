@@ -63,6 +63,11 @@ struct ScenarioOutcome {
   std::string detail;              ///< first difference / exception text
   long firstDivergentIteration = -1;  ///< from the diagnosis rerun; -1 n/a
   long failuresHandled = 0;
+  /// Lossy checkpoint modes only: extra iterations stepped after the
+  /// nominal run for the app's convergence metric to return to the golden
+  /// final level (0 = already there at termination; -1 = not measured —
+  /// exact modes, failure-free runs, or apps without a metric).
+  long reconvergeIterations = -1;
   double restoreMs = 0.0;          ///< simulated ms spent restoring
   double totalMs = 0.0;            ///< simulated ms of the whole run
   /// For failures: the shrunk schedule and its FaultInjector setup.
@@ -94,6 +99,17 @@ struct SweepOptions {
   /// Snapshot replication factor k for every scenario's executor (copies
   /// per store entry; 2 = the paper's double in-memory storage).
   int replication = 2;
+  /// Checkpoint mode for every scenario's executor. The lossy modes get a
+  /// dedicated golden-comparison path: a restored run that differs from
+  /// the golden digest only within `lossyTolerance` classifies Ok, with
+  /// the measured iterations-to-reconverge attached to the outcome.
+  resilient::CheckpointMode checkpointMode = resilient::CheckpointMode::Delta;
+  /// Absolute error bound for the lossy codec (<= 0 = lossless
+  /// compression only). Only meaningful with a lossy checkpointMode.
+  double lossyErrorBound = 0.0;
+  /// Golden-comparison tolerance for lossy-restored runs (digest compare
+  /// + reconvergence target: metric <= golden + lossyTolerance * scale).
+  double lossyTolerance = 1e-3;
   /// When >= 2: add schedules killing this many *adjacent* places
   /// simultaneously at each iteration point — the worst case for
   /// ring-placed replicas. At replication k, simultaneousKills <= k-1

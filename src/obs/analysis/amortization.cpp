@@ -45,6 +45,18 @@ AmortizationReport computeAmortization(const MetricsRegistry& metrics,
   r.carriedFraction =
       volume > 0.0 ? static_cast<double>(r.carriedBytes) / volume : 0.0;
 
+  r.rawBytes = metrics.counter("snapshot.raw_bytes");
+  r.encodedBytes = metrics.counter("snapshot.encoded_bytes");
+  {
+    const auto it = metrics.histograms().find("snapshot.codec_seconds");
+    if (it != metrics.histograms().end()) r.codecSeconds = it->second.sum();
+  }
+  r.compressionRatio =
+      r.encodedBytes > 0
+          ? static_cast<double>(r.rawBytes) /
+                static_cast<double>(r.encodedBytes)
+          : 0.0;
+
   r.checkpointOverheadPct =
       r.stepSeconds > 0.0 ? r.checkpointSeconds / r.stepSeconds * 100.0
                           : 0.0;
@@ -74,12 +86,46 @@ AmortizationReport computeAmortization(const MetricsRegistry& metrics,
     return r;
   }
 
+  // Degenerate-cost guard. Incremental modes (delta, lossy) make many
+  // checkpoints near-free: their observations land in the histogram's
+  // first bucket (<= the lowest bound, 0.1 ms at the executor's buckets)
+  // and drag the plain average toward zero, so Young's sqrt(2*c*M)
+  // recommends "checkpoint every iteration" — an artifact of the trivial
+  // commits, not the real recopy cost. Amortize against the average of
+  // the *nontrivial* observations instead (trivial ones contribute
+  // essentially nothing to the sum, so sum/nontrivial is their mean).
+  r.checkpointCostUsed = r.avgCheckpointSeconds;
+  long trivial = 0;
+  const auto ckptHist =
+      metrics.histograms().find("executor.checkpoint_seconds");
+  if (ckptHist != metrics.histograms().end() &&
+      !ckptHist->second.bucketCounts().empty()) {
+    trivial = ckptHist->second.bucketCounts().front();
+  }
+  const long nontrivial = r.checkpoints - trivial;
+  if (r.checkpoints > 0 && nontrivial == 0) {
+    r.note =
+        "all observed checkpoints were trivial (first-bucket cost); "
+        "nothing to amortize — any interval is effectively free";
+    return r;
+  }
+  if (nontrivial > 0) {
+    const double representative =
+        r.checkpointSeconds / static_cast<double>(nontrivial);
+    if (r.avgCheckpointSeconds < 0.5 * representative) {
+      r.checkpointCostUsed = representative;
+      r.note =
+          "checkpoint cost average was dominated by trivial commits; "
+          "interval amortizes the nontrivial-checkpoint cost instead";
+    }
+  }
+
   r.recommendedInterval = framework::youngIntervalIterations(
-      r.avgCheckpointSeconds, r.mtbfSeconds, r.avgStepSeconds);
+      r.checkpointCostUsed, r.mtbfSeconds, r.avgStepSeconds);
   const double intervalSeconds =
       static_cast<double>(r.recommendedInterval) * r.avgStepSeconds;
   r.recommendedOverheadPct =
-      (r.avgCheckpointSeconds / intervalSeconds +
+      (r.checkpointCostUsed / intervalSeconds +
        intervalSeconds / (2.0 * r.mtbfSeconds)) *
       100.0;
   return r;

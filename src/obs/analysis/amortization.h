@@ -38,6 +38,14 @@ struct AmortizationReport {
   long carriedEntries = 0;
   double carriedFraction = 0.0;
 
+  // Lossy/compressed codec volume, from the snapshot counters. Zero when
+  // the run used an exact checkpoint mode (codec never engaged).
+  std::uint64_t rawBytes = 0;      ///< pre-encoding payload bytes
+  std::uint64_t encodedBytes = 0;  ///< wire bytes after encoding
+  double codecSeconds = 0.0;       ///< encode + decode wall (simulated)
+  /// rawBytes / encodedBytes; 0 when the codec never engaged.
+  double compressionRatio = 0.0;
+
   /// Checkpoint overhead actually paid: checkpoint / step seconds * 100.
   double checkpointOverheadPct = 0.0;
   /// Restore overhead actually paid: restore / step seconds * 100.
@@ -49,8 +57,19 @@ struct AmortizationReport {
   double mtbfSeconds = 0.0;
   bool mtbfObserved = false;  ///< true: derived from observed failures
 
+  /// The per-checkpoint cost Young's formula actually used. Normally
+  /// avgCheckpointSeconds, but when the checkpoint histogram is dominated
+  /// by trivial (first-bucket, <= 0.1 ms) observations — an incremental
+  /// mode carrying everything forward, or a lossy codec shrinking
+  /// checkpoints to near nothing — the raw average collapses toward zero
+  /// and Young's sqrt(2*c*M) degenerates to "checkpoint every iteration".
+  /// In that case this is the average over the *nontrivial* observations
+  /// instead, and `note` says so.
+  double checkpointCostUsed = 0.0;
+
   /// Young's recommended interval, in iterations (>= 1); 0 when no MTBF
-  /// is available (nothing to amortize against).
+  /// is available (nothing to amortize against) or every observed
+  /// checkpoint was trivial (nothing to amortize).
   long recommendedInterval = 0;
   /// Expected overhead at the recommended interval, per Young's
   /// first-order model: ckpt/(interval*step) + (interval*step)/(2*mtbf).

@@ -129,6 +129,11 @@ void writeAmortizationJson(std::ostream& os, const AmortizationReport& a,
      << inner << "\"carried_entries\": " << a.carriedEntries << ",\n"
      << inner << "\"carried_fraction\": " << num(a.carriedFraction)
      << ",\n"
+     << inner << "\"raw_bytes\": " << a.rawBytes << ",\n"
+     << inner << "\"encoded_bytes\": " << a.encodedBytes << ",\n"
+     << inner << "\"codec_seconds\": " << num(a.codecSeconds) << ",\n"
+     << inner << "\"compression_ratio\": " << num(a.compressionRatio)
+     << ",\n"
      << inner << "\"checkpoint_overhead_pct\": "
      << num(a.checkpointOverheadPct) << ",\n"
      << inner << "\"restore_overhead_pct\": " << num(a.restoreOverheadPct)
@@ -136,6 +141,8 @@ void writeAmortizationJson(std::ostream& os, const AmortizationReport& a,
      << inner << "\"mtbf_seconds\": " << num(a.mtbfSeconds) << ",\n"
      << inner << "\"mtbf_observed\": "
      << (a.mtbfObserved ? "true" : "false") << ",\n"
+     << inner << "\"checkpoint_cost_used\": " << num(a.checkpointCostUsed)
+     << ",\n"
      << inner << "\"recommended_interval\": " << a.recommendedInterval
      << ",\n"
      << inner << "\"recommended_overhead_pct\": "
@@ -222,13 +229,20 @@ void writeHumanReport(const TraceReport& report, std::ostream& os) {
        << "  observed overhead: checkpoint "
        << pct2(a.checkpointOverheadPct) << ", restore "
        << pct2(a.restoreOverheadPct) << "\n";
+    if (a.encodedBytes > 0) {
+      os << "  codec volume: raw " << a.rawBytes << " B -> encoded "
+         << a.encodedBytes << " B (" << fixed6(a.compressionRatio)
+         << "x), codec time " << fixed6(a.codecSeconds) << " s\n";
+    }
     if (!a.note.empty()) {
       os << "  " << a.note << "\n";
-    } else {
+    }
+    if (a.recommendedInterval > 0) {
       os << "  mtbf " << fixed6(a.mtbfSeconds) << " s ("
          << (a.mtbfObserved ? "observed" : "given")
          << ") -> recommended interval " << a.recommendedInterval
-         << " iteration(s), expected overhead "
+         << " iteration(s) (amortizing " << fixed6(a.checkpointCostUsed)
+         << " s/checkpoint), expected overhead "
          << pct2(a.recommendedOverheadPct) << "\n";
     }
   }

@@ -1,5 +1,7 @@
 #include "resilient/app_resilient_store.h"
 
+#include <optional>
+
 #include "apgas/exceptions.h"
 #include "apgas/runtime.h"
 #include "obs/trace_sink.h"
@@ -29,6 +31,22 @@ obs::TraceSink::Args statsArgs(
 }
 
 }  // namespace
+
+const char* toString(CheckpointMode mode) noexcept {
+  switch (mode) {
+    case CheckpointMode::Full:
+      return "full";
+    case CheckpointMode::ReadOnlyReuse:
+      return "readonly";
+    case CheckpointMode::Delta:
+      return "delta";
+    case CheckpointMode::Lossy:
+      return "lossy";
+    case CheckpointMode::DeltaLossy:
+      return "delta-lossy";
+  }
+  return "?";
+}
 
 void AppResilientStore::setReplication(int k) {
   if (k < 1) {
@@ -62,9 +80,14 @@ void AppResilientStore::save(Snapshottable& obj) {
   const double t0 = simNow();
   std::shared_ptr<Snapshot> snapshot;
   {
-    // Snapshots the object creates inherit the store's replication factor.
+    // Snapshots the object creates inherit the store's replication factor,
+    // and — in the lossy modes — its codec: every fresh Snapshot::save the
+    // object performs under this scope stores encoded bytes. Carried
+    // entries keep the encoded payload of the snapshot they came from.
     ReplicationScope replication(replication_);
-    if (mode_ == CheckpointMode::Delta && committed_) {
+    std::optional<CodecScope> codec;
+    if (usesLossy(mode_)) codec.emplace(lossy_);
+    if (usesDelta(mode_) && committed_) {
       if (auto prev = committed_->find(&obj)) {
         snapshot = obj.makeDeltaSnapshot(*prev);
       }
@@ -76,14 +99,20 @@ void AppResilientStore::save(Snapshottable& obj) {
   pendingStats_.carriedEntries += snapshot->numCarried();
   pendingStats_.freshEntries += snapshot->numEntries() - snapshot->numCarried();
   if (auto* sink = obs::TraceSink::current()) {
+    obs::TraceSink::Args args{
+        {"fresh_bytes", std::to_string(snapshot->freshBytes())},
+        {"carried_bytes", std::to_string(snapshot->carriedBytes())},
+        {"entries", std::to_string(snapshot->numEntries())},
+        {"carried_entries", std::to_string(snapshot->numCarried())},
+        {"replicas", std::to_string(snapshot->replication())}};
+    if (usesLossy(mode_)) {
+      args.emplace_back("codec", "lossy");
+      args.emplace_back("error_bound", std::to_string(lossy_.errorBound));
+    }
     sink->span(obs::Category::CheckpointSave, "store.save",
                inProgress_->iteration, herePlace(), t0, simNow(),
                snapshot->freshBytes() + snapshot->carriedBytes(),
-               {{"fresh_bytes", std::to_string(snapshot->freshBytes())},
-                {"carried_bytes", std::to_string(snapshot->carriedBytes())},
-                {"entries", std::to_string(snapshot->numEntries())},
-                {"carried_entries", std::to_string(snapshot->numCarried())},
-                {"replicas", std::to_string(snapshot->replication())}});
+               std::move(args));
   }
   inProgress_->objects.emplace_back(&obj, std::move(snapshot));
 }
@@ -112,6 +141,12 @@ void AppResilientStore::saveReadOnly(Snapshottable& obj) {
   std::shared_ptr<Snapshot> snapshot;
   {
     ReplicationScope replication(replication_);
+    // Read-only state is compressed but never quantized: lossy restarts
+    // reconverge because the iteration self-corrects *towards the same
+    // fixed point* — perturbing the input data would move the fixed point
+    // itself (Tao et al. lossy-compress only the dynamic solver state).
+    std::optional<CodecScope> codec;
+    if (usesLossy(mode_)) codec.emplace(LossyConfig{0.0});
     snapshot = obj.makeSnapshot();
   }
   pendingStats_.freshBytes += snapshot->freshBytes();

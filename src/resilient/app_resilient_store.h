@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "resilient/lossy_codec.h"
 #include "resilient/snapshot.h"
 
 namespace rgml::obs {
@@ -43,7 +45,21 @@ enum class CheckpointMode {
   Full,           ///< everything re-copied every checkpoint (baseline)
   ReadOnlyReuse,  ///< the paper's model: only saveReadOnly() skips work
   Delta,          ///< per-block version deltas; saveReadOnly() still reuses
+  Lossy,          ///< full saves through the quantizing/compressing codec
+  DeltaLossy,     ///< delta carry-forward; fresh entries go through the codec
 };
+
+/// Modes that carry unchanged entries forward instead of re-saving them.
+[[nodiscard]] constexpr bool usesDelta(CheckpointMode mode) noexcept {
+  return mode == CheckpointMode::Delta || mode == CheckpointMode::DeltaLossy;
+}
+
+/// Modes that run fresh saves through the lossy/compressed codec.
+[[nodiscard]] constexpr bool usesLossy(CheckpointMode mode) noexcept {
+  return mode == CheckpointMode::Lossy || mode == CheckpointMode::DeltaLossy;
+}
+
+[[nodiscard]] const char* toString(CheckpointMode mode) noexcept;
 
 class AppResilientStore {
  public:
@@ -55,6 +71,13 @@ class AppResilientStore {
   /// Checkpoint mode for subsequent save()/saveReadOnly() calls.
   void setMode(CheckpointMode mode) noexcept { mode_ = mode; }
   [[nodiscard]] CheckpointMode mode() const noexcept { return mode_; }
+
+  /// Codec knobs for the lossy modes (errorBound <= 0 = lossless
+  /// compression only). Ignored unless usesLossy(mode()).
+  void setLossyConfig(const LossyConfig& cfg) noexcept { lossy_ = cfg; }
+  [[nodiscard]] const LossyConfig& lossyConfig() const noexcept {
+    return lossy_;
+  }
 
   /// Replication factor k for subsequent save()/saveReadOnly() calls:
   /// every Snapshot the store asks an object to create keeps k copies of
@@ -137,6 +160,7 @@ class AppResilientStore {
 
   long iteration_ = 0;
   CheckpointMode mode_ = CheckpointMode::Delta;
+  LossyConfig lossy_;
   int replication_ = 2;
   std::unique_ptr<AppSnapshot> committed_;
   std::unique_ptr<AppSnapshot> inProgress_;

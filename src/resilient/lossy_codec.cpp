@@ -1,0 +1,349 @@
+#include "resilient/lossy_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "serialize/binary_io.h"
+
+namespace rgml::resilient {
+
+namespace {
+
+using serialize::SerializeError;
+
+thread_local bool tlsCodecActive = false;
+thread_local LossyConfig tlsCodecConfig{};
+
+// Encoded-value kinds (independent of value_serde's on-disk kinds; this
+// is the in-payload framing of a LossyValue byte stream).
+constexpr std::uint8_t kKindVector = 1;
+constexpr std::uint8_t kKindDenseBlock = 2;
+constexpr std::uint8_t kKindSparseBlock = 3;
+constexpr std::uint8_t kKindScalars = 4;
+
+// Doubles-stream sub-format tags.
+constexpr std::uint8_t kStreamLossless = 0;
+constexpr std::uint8_t kStreamQuantized = 1;
+
+// Quantum indices above this lose integer precision in the double
+// multiply back (2^52 ~ 4.5e15); such values go to the exception list.
+constexpr double kMaxQuantum = 4.0e15;
+
+void putVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+[[nodiscard]] std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void putSvarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  putVarint(out, zigzag(v));
+}
+
+[[nodiscard]] std::uint64_t bitsOf(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+[[nodiscard]] double doubleOf(std::uint64_t b) {
+  double v = 0;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+/// Bounds-checked cursor over an encoded payload.
+struct Reader {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : p(bytes.data()), end(bytes.data() + bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t byte() {
+    if (p == end) throw SerializeError("lossy codec: truncated stream");
+    return *p++;
+  }
+
+  [[nodiscard]] std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = byte();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    throw SerializeError("lossy codec: varint overflow");
+  }
+
+  [[nodiscard]] std::int64_t svarint() { return unzigzag(varint()); }
+
+  [[nodiscard]] double rawDouble() {
+    if (end - p < static_cast<std::ptrdiff_t>(sizeof(double))) {
+      throw SerializeError("lossy codec: truncated stream");
+    }
+    std::uint64_t b = 0;
+    std::memcpy(&b, p, sizeof(b));
+    p += sizeof(b);
+    return doubleOf(b);
+  }
+
+  [[nodiscard]] bool done() const noexcept { return p == end; }
+};
+
+void putRawDouble(std::vector<std::uint8_t>& out, double v) {
+  const std::uint64_t b = bitsOf(v);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&b);
+  out.insert(out.end(), bytes, bytes + sizeof(b));
+}
+
+/// Encode n doubles. errorBound > 0 quantizes (|v' - v| <= errorBound,
+/// non-finite/overflow values escaped losslessly); otherwise XOR-delta
+/// varint packs the exact bit patterns.
+void encodeDoubles(std::vector<std::uint8_t>& out, const double* v,
+                   std::size_t n, double errorBound) {
+  if (errorBound > 0.0) {
+    const double quantum = 2.0 * errorBound;
+    std::vector<std::int64_t> q(n, 0);
+    std::vector<std::size_t> exceptions;
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scaled = v[i] / quantum;
+      if (!std::isfinite(v[i]) || std::abs(scaled) > kMaxQuantum) {
+        // Keep the quantum-index stream smooth: an exception reuses the
+        // previous index (delta 0 -> 1 byte) and the real bits ride in
+        // the exception list.
+        exceptions.push_back(i);
+        q[i] = prev;
+      } else {
+        q[i] = std::llround(scaled);
+      }
+      prev = q[i];
+    }
+    out.push_back(kStreamQuantized);
+    putRawDouble(out, errorBound);
+    putVarint(out, n);
+    putVarint(out, exceptions.size());
+    std::size_t prevIdx = 0;
+    for (const std::size_t idx : exceptions) {
+      putVarint(out, idx - prevIdx);
+      prevIdx = idx;
+      putRawDouble(out, v[idx]);
+    }
+    prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      putSvarint(out, q[i] - prev);
+      prev = q[i];
+    }
+    return;
+  }
+  out.push_back(kStreamLossless);
+  putVarint(out, n);
+  std::uint64_t prevBits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = bitsOf(v[i]);
+    putVarint(out, bits ^ prevBits);
+    prevBits = bits;
+  }
+}
+
+[[nodiscard]] std::vector<double> decodeDoubles(Reader& in) {
+  const std::uint8_t mode = in.byte();
+  if (mode == kStreamQuantized) {
+    const double errorBound = in.rawDouble();
+    const std::uint64_t n = in.varint();
+    const std::uint64_t nExceptions = in.varint();
+    std::vector<std::pair<std::size_t, double>> exceptions;
+    exceptions.reserve(static_cast<std::size_t>(nExceptions));
+    std::size_t idx = 0;
+    for (std::uint64_t i = 0; i < nExceptions; ++i) {
+      idx += static_cast<std::size_t>(in.varint());
+      exceptions.emplace_back(idx, in.rawDouble());
+    }
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    const double quantum = 2.0 * errorBound;
+    std::int64_t q = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      q += in.svarint();
+      out[i] = static_cast<double>(q) * quantum;
+    }
+    for (const auto& [at, value] : exceptions) {
+      if (at >= out.size()) {
+        throw SerializeError("lossy codec: exception index out of range");
+      }
+      out[at] = value;
+    }
+    return out;
+  }
+  if (mode == kStreamLossless) {
+    const std::uint64_t n = in.varint();
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    std::uint64_t prevBits = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      prevBits ^= in.varint();
+      out[i] = doubleOf(prevBits);
+    }
+    return out;
+  }
+  throw SerializeError("lossy codec: unknown doubles-stream mode " +
+                       std::to_string(mode));
+}
+
+/// Lossless delta-varint pack of an integer array (sparse structure).
+void encodeLongs(std::vector<std::uint8_t>& out,
+                 const std::vector<long>& v) {
+  putVarint(out, v.size());
+  std::int64_t prev = 0;
+  for (const long x : v) {
+    putSvarint(out, static_cast<std::int64_t>(x) - prev);
+    prev = static_cast<std::int64_t>(x);
+  }
+}
+
+[[nodiscard]] std::vector<long> decodeLongs(Reader& in) {
+  const std::uint64_t n = in.varint();
+  std::vector<long> out(static_cast<std::size_t>(n), 0);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    prev += in.svarint();
+    out[i] = static_cast<long>(prev);
+  }
+  return out;
+}
+
+}  // namespace
+
+CodecScope::CodecScope(const LossyConfig& cfg)
+    : prevActive_(tlsCodecActive), prev_(tlsCodecConfig) {
+  tlsCodecActive = true;
+  tlsCodecConfig = cfg;
+}
+
+CodecScope::~CodecScope() {
+  tlsCodecActive = prevActive_;
+  tlsCodecConfig = prev_;
+}
+
+bool codecActive() noexcept { return tlsCodecActive; }
+
+LossyConfig activeCodecConfig() noexcept { return tlsCodecConfig; }
+
+std::shared_ptr<const SnapshotValue> LossyValue::decode() const {
+  std::call_once(decodeOnce_, [this] { decoded_ = decodeValue(encoded_); });
+  return decoded_;
+}
+
+std::shared_ptr<const LossyValue> encodeValue(const SnapshotValue& value,
+                                              const LossyConfig& cfg) {
+  std::vector<std::uint8_t> out;
+  const std::size_t raw = value.bytes();
+  if (const auto* v = dynamic_cast<const VectorValue*>(&value)) {
+    out.push_back(kKindVector);
+    putSvarint(out, v->offset());
+    encodeDoubles(out, v->data().data(),
+                  static_cast<std::size_t>(v->data().size()),
+                  cfg.errorBound);
+    return std::make_shared<LossyValue>(std::move(out), raw);
+  }
+  if (const auto* v = dynamic_cast<const DenseBlockValue*>(&value)) {
+    out.push_back(kKindDenseBlock);
+    putSvarint(out, v->blockRow());
+    putSvarint(out, v->blockCol());
+    putSvarint(out, v->rowOffset());
+    putSvarint(out, v->colOffset());
+    putSvarint(out, v->data().rows());
+    putSvarint(out, v->data().cols());
+    encodeDoubles(out, v->data().span().data(), v->data().span().size(),
+                  cfg.errorBound);
+    return std::make_shared<LossyValue>(std::move(out), raw);
+  }
+  if (const auto* v = dynamic_cast<const SparseBlockValue*>(&value)) {
+    out.push_back(kKindSparseBlock);
+    putSvarint(out, v->blockRow());
+    putSvarint(out, v->blockCol());
+    putSvarint(out, v->rowOffset());
+    putSvarint(out, v->colOffset());
+    putSvarint(out, v->data().rows());
+    putSvarint(out, v->data().cols());
+    // Structure is always lossless: a perturbed index is corruption, not
+    // approximation.
+    encodeLongs(out, v->data().rowPtr());
+    encodeLongs(out, v->data().colIdx());
+    encodeDoubles(out, v->data().values().data(), v->data().values().size(),
+                  cfg.errorBound);
+    return std::make_shared<LossyValue>(std::move(out), raw);
+  }
+  if (const auto* v = dynamic_cast<const ScalarsValue*>(&value)) {
+    // Scalars hold iteration counters and convergence state restored via
+    // exact casts — always lossless, whatever the error bound.
+    out.push_back(kKindScalars);
+    encodeDoubles(out, v->scalars().data(), v->scalars().size(), 0.0);
+    return std::make_shared<LossyValue>(std::move(out), raw);
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const SnapshotValue> decodeValue(
+    const std::vector<std::uint8_t>& encoded) {
+  Reader in(encoded);
+  const std::uint8_t kind = in.byte();
+  switch (kind) {
+    case kKindVector: {
+      const std::int64_t offset = in.svarint();
+      return std::make_shared<VectorValue>(
+          la::Vector(decodeDoubles(in)), static_cast<long>(offset));
+    }
+    case kKindDenseBlock: {
+      const long rb = static_cast<long>(in.svarint());
+      const long cb = static_cast<long>(in.svarint());
+      const long ro = static_cast<long>(in.svarint());
+      const long co = static_cast<long>(in.svarint());
+      const long m = static_cast<long>(in.svarint());
+      const long n = static_cast<long>(in.svarint());
+      std::vector<double> data = decodeDoubles(in);
+      if (static_cast<long>(data.size()) != m * n) {
+        throw SerializeError("lossy codec: dense block size mismatch");
+      }
+      return std::make_shared<DenseBlockValue>(
+          la::DenseMatrix(m, n, std::move(data)), rb, cb, ro, co);
+    }
+    case kKindSparseBlock: {
+      const long rb = static_cast<long>(in.svarint());
+      const long cb = static_cast<long>(in.svarint());
+      const long ro = static_cast<long>(in.svarint());
+      const long co = static_cast<long>(in.svarint());
+      const long m = static_cast<long>(in.svarint());
+      const long n = static_cast<long>(in.svarint());
+      std::vector<long> rowPtr = decodeLongs(in);
+      std::vector<long> colIdx = decodeLongs(in);
+      std::vector<double> values = decodeDoubles(in);
+      if (static_cast<long>(rowPtr.size()) != m + 1 ||
+          colIdx.size() != values.size()) {
+        throw SerializeError("lossy codec: sparse block shape mismatch");
+      }
+      return std::make_shared<SparseBlockValue>(
+          la::SparseCSR(m, n, std::move(rowPtr), std::move(colIdx),
+                        std::move(values)),
+          rb, cb, ro, co);
+    }
+    case kKindScalars:
+      return std::make_shared<ScalarsValue>(decodeDoubles(in));
+    default:
+      throw SerializeError("lossy codec: unknown value kind " +
+                           std::to_string(kind));
+  }
+}
+
+}  // namespace rgml::resilient

@@ -1,9 +1,11 @@
 #include "resilient/snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "apgas/runtime.h"
 #include "obs/trace_sink.h"
+#include "resilient/lossy_codec.h"
 
 namespace rgml::resilient {
 
@@ -14,6 +16,33 @@ using apgas::SnapshotLostException;
 
 namespace {
 thread_local int tlsDefaultReplication = 2;
+
+/// Wall-clock buckets for the codec-time histogram (encode + decode).
+const std::vector<double> kCodecSecondsBuckets{1e-6, 1e-5, 1e-4,
+                                               1e-3, 1e-2, 0.1};
+
+void noteCodecSeconds(double seconds) {
+  if (auto* sink = obs::TraceSink::current()) {
+    sink->metrics()
+        .histogram("snapshot.codec_seconds", kCodecSecondsBuckets)
+        .observe(seconds);
+  }
+}
+
+/// Decode a stored payload if it went through the codec; pass raw values
+/// through untouched. Decode wall time counts into the codec histogram
+/// (cached inside the LossyValue, so repeat locates cost nothing).
+std::shared_ptr<const SnapshotValue> decodeIfEncoded(
+    const std::shared_ptr<const SnapshotValue>& value) {
+  const auto* lossy = dynamic_cast<const LossyValue*>(value.get());
+  if (!lossy) return value;
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const SnapshotValue> decoded = lossy->decode();
+  noteCodecSeconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return decoded;
+}
 }  // namespace
 
 int defaultReplication() noexcept { return tlsDefaultReplication; }
@@ -60,6 +89,27 @@ void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value,
   }
   const long groupSize = static_cast<long>(pg_.size());
   const long k = std::min<long>(replication_, groupSize);
+
+  // Lossy/compressed checkpointing: encode once on the saver, then every
+  // charge below (serialisation + k-1 transfers) and every byte count the
+  // snapshot reports is the encoded wire size. Replicas share the one
+  // encoded payload, so k-way replication ships (k-1)x *encoded* bytes.
+  if (codecActive()) {
+    const auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<const LossyValue> encoded =
+        encodeValue(*value, activeCodecConfig());
+    noteCodecSeconds(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+    if (encoded) {
+      if (auto* sink = obs::TraceSink::current()) {
+        sink->metrics().add("snapshot.raw_bytes", encoded->rawBytes());
+        sink->metrics().add("snapshot.encoded_bytes", encoded->bytes());
+      }
+      value = std::move(encoded);
+    }
+  }
+
   // Uniform cost from any place: serialising the local copy plus one
   // remote transfer per backup replica (paper §IV-B1, k-1 transfers).
   rt.chargeSerialization(value->bytes());
@@ -150,6 +200,12 @@ bool Snapshot::isCarried(long key) const {
 }
 
 Snapshot::Located Snapshot::locate(long key) const {
+  Located loc = locateRaw(key);
+  loc.value = decodeIfEncoded(loc.value);
+  return loc;
+}
+
+Snapshot::Located Snapshot::locateRaw(long key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     throw apgas::ApgasError("Snapshot: no entry for key " +
@@ -182,15 +238,17 @@ std::vector<apgas::PlaceId> Snapshot::replicaPlaces(long key) const {
 }
 
 std::shared_ptr<const SnapshotValue> Snapshot::load(long key) const {
-  Located loc = locate(key);
+  Located loc = locateRaw(key);
   Runtime& rt = Runtime::world();
   // Materialising the value costs a deserialisation pass; a remote copy
-  // additionally pays the transfer (synchronous fetch).
+  // additionally pays the transfer (synchronous fetch). Both are charged
+  // at the stored size — for an encoded entry that is the wire size; the
+  // decode back to the original type happens after the transfer.
   if (loc.holder != rt.here()) {
     rt.chargeComm(loc.holder, loc.value->bytes());
   }
   rt.chargeSerialization(loc.value->bytes());
-  return loc.value;
+  return decodeIfEncoded(loc.value);
 }
 
 bool Snapshot::contains(long key) const {

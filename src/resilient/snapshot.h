@@ -101,6 +101,10 @@ class Snapshot {
   /// `version` is the saver's modification stamp for this key (0 when the
   /// caller does not track versions); a later delta snapshot carries the
   /// entry forward while the stamp still matches.
+  /// While a CodecScope is active on this thread (CheckpointMode::Lossy),
+  /// the value is encoded first and the entry stores the encoded bytes:
+  /// serialisation/transfer charges, replica accounting and every
+  /// fresh/carried/total byte count are wire (encoded) bytes.
   void save(long key, std::shared_ptr<const SnapshotValue> value,
             std::uint64_t version = 0);
 
@@ -139,7 +143,10 @@ class Snapshot {
 
   /// Loads the value for `key` from the perspective of the current place,
   /// charging a local copy if a copy lives here, else one remote transfer.
-  /// Throws SnapshotLostException if every replica is gone.
+  /// Throws SnapshotLostException if every replica is gone. An entry saved
+  /// under a CodecScope is decoded transparently: the transfer is charged
+  /// at the encoded (wire) size, the returned value is the decoded
+  /// original type.
   [[nodiscard]] std::shared_ptr<const SnapshotValue> load(long key) const;
 
   /// Locates the nearest surviving copy for `key` without charging any
@@ -149,7 +156,8 @@ class Snapshot {
   /// across the group, so ring-order selection spreads restore reads
   /// evenly over the survivors. Callers that copy only a sub-region (the
   /// repartitioned restore path) use this and charge the sub-region bytes
-  /// themselves.
+  /// themselves. Encoded entries are decoded (cached, so locating the
+  /// same entry twice decodes once).
   struct Located {
     std::shared_ptr<const SnapshotValue> value;
     apgas::Place holder;
@@ -203,6 +211,9 @@ class Snapshot {
 
   /// Bytes of the surviving copy for one entry (0 if every copy died).
   static std::size_t entryBytes(const Entry& entry);
+
+  /// locate() without decoding: the stored (possibly encoded) payload.
+  [[nodiscard]] Located locateRaw(long key) const;
 
   /// True when every replica the entry was created with is still alive
   /// and the entry carries the full complement this snapshot demands.

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "la/grid.h"
+#include "resilient/lossy_codec.h"
 #include "resilient/restore_overlap.h"
 #include "serialize/binary_io.h"
 
@@ -18,6 +19,7 @@ constexpr std::uint32_t kKindDenseBlock = 11;
 constexpr std::uint32_t kKindSparseBlock = 12;
 constexpr std::uint32_t kKindScalars = 13;
 constexpr std::uint32_t kKindGridMeta = 14;
+constexpr std::uint32_t kKindLossy = 15;
 
 void writeU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -79,6 +81,15 @@ void writeSnapshotValue(std::ostream& out, const SnapshotValue& value) {
     serialize::write(out, la::Vector(v->scalars()));
     return;
   }
+  if (const auto* v = dynamic_cast<const LossyValue*>(&value)) {
+    writeU32(out, kKindLossy);
+    writeI64(out, static_cast<std::int64_t>(v->rawBytes()));
+    writeI64(out, static_cast<std::int64_t>(v->encoded().size()));
+    out.write(reinterpret_cast<const char*>(v->encoded().data()),
+              static_cast<std::streamsize>(v->encoded().size()));
+    if (!out) throw SerializeError("write failed");
+    return;
+  }
   if (const auto* v = dynamic_cast<const GridMetaValue*>(&value)) {
     writeU32(out, kKindGridMeta);
     writeI64(out, v->grid().rows());
@@ -118,6 +129,19 @@ std::shared_ptr<const SnapshotValue> readSnapshotValue(std::istream& in) {
       la::Vector v = serialize::readVector(in);
       std::vector<double> scalars(v.data(), v.data() + v.size());
       return std::make_shared<ScalarsValue>(std::move(scalars));
+    }
+    case kKindLossy: {
+      const std::int64_t rawBytes = readI64(in);
+      const std::int64_t size = readI64(in);
+      if (size < 0) throw SerializeError("negative LossyValue size");
+      std::vector<std::uint8_t> encoded(static_cast<std::size_t>(size));
+      in.read(reinterpret_cast<char*>(encoded.data()),
+              static_cast<std::streamsize>(size));
+      if (in.gcount() != static_cast<std::streamsize>(size)) {
+        throw SerializeError("truncated stream");
+      }
+      return std::make_shared<LossyValue>(std::move(encoded),
+                                          static_cast<std::size_t>(rawBytes));
     }
     case kKindGridMeta: {
       const std::int64_t m = readI64(in);

@@ -7,6 +7,7 @@
 //   kind 12: SparseBlockValue  [i64 rb][i64 cb][i64 ro][i64 co][SparseCSR]
 //   kind 13: ScalarsValue      [Vector]
 //   kind 14: GridMetaValue     [i64 m][i64 n][i64 rowBlocks][i64 colBlocks]
+//   kind 15: LossyValue        [i64 rawBytes][i64 size][encoded bytes]
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,262 @@
+// Unit tests for the lossy/compressed snapshot codec: error-bound
+// guarantees of the quantized mode, bit-exact round trips of the
+// lossless mode (including non-finite values and exception-list
+// escapes), per-kind framing, wire-byte accounting, and the serde
+// framing of encoded values (kind 15).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <sstream>
+
+#include "resilient/lossy_codec.h"
+#include "resilient/value_serde.h"
+#include "serialize/binary_io.h"
+
+namespace rgml::resilient {
+namespace {
+
+std::vector<double> smoothSignal(std::size_t n, double scale) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = scale * std::sin(0.01 * static_cast<double>(i));
+  }
+  return v;
+}
+
+/// Encode a VectorValue holding `data` and decode it back.
+std::shared_ptr<const VectorValue> roundTrip(const std::vector<double>& data,
+                                             double errorBound,
+                                             std::size_t* encodedBytes =
+                                                 nullptr) {
+  const VectorValue original(la::Vector(data), /*offset=*/3);
+  const auto encoded = encodeValue(original, LossyConfig{errorBound});
+  if (!encoded) return nullptr;
+  if (encodedBytes != nullptr) *encodedBytes = encoded->bytes();
+  const auto decoded =
+      std::dynamic_pointer_cast<const VectorValue>(encoded->decode());
+  return decoded;
+}
+
+TEST(LossyCodec, LosslessRoundTripIsBitExact) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  std::vector<double> data(257);
+  for (double& v : data) v = dist(rng);
+  // Awkward bit patterns the XOR-varint path must preserve exactly.
+  data[0] = 0.0;
+  data[1] = -0.0;
+  data[2] = std::numeric_limits<double>::quiet_NaN();
+  data[3] = std::numeric_limits<double>::infinity();
+  data[4] = -std::numeric_limits<double>::infinity();
+  data[5] = std::numeric_limits<double>::denorm_min();
+  data[6] = -std::numeric_limits<double>::denorm_min();
+  data[7] = std::numeric_limits<double>::max();
+  data[8] = std::numeric_limits<double>::lowest();
+
+  const auto decoded = roundTrip(data, /*errorBound=*/0.0);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->offset(), 3);
+  ASSERT_EQ(decoded->size(), static_cast<long>(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->data().span()[i]),
+              std::bit_cast<std::uint64_t>(data[i]))
+        << "element " << i;
+  }
+}
+
+TEST(LossyCodec, QuantizedModeHonorsTheErrorBound) {
+  const double eb = 1e-4;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-50.0, 50.0);
+  std::vector<double> data(500);
+  for (double& v : data) v = dist(rng);
+
+  const auto decoded = roundTrip(data, eb);
+  ASSERT_NE(decoded, nullptr);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::abs(decoded->data().span()[i] - data[i]), eb)
+        << "element " << i;
+  }
+}
+
+TEST(LossyCodec, QuantizedModeEscapesNonFiniteAndOverflowExactly) {
+  const double eb = 1e-6;
+  std::vector<double> data = smoothSignal(64, 1.0);
+  data[10] = std::numeric_limits<double>::quiet_NaN();
+  data[20] = std::numeric_limits<double>::infinity();
+  data[30] = -std::numeric_limits<double>::infinity();
+  // |v| / (2*eb) far beyond the safe quantum range: must be escaped to
+  // the exception list, not wrapped through a quantum overflow.
+  data[40] = 1e300;
+  data[50] = -1e300;
+
+  const auto decoded = roundTrip(data, eb);
+  ASSERT_NE(decoded, nullptr);
+  const auto out = decoded->data().span();
+  EXPECT_TRUE(std::isnan(out[10]));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out[20]),
+            std::bit_cast<std::uint64_t>(data[20]));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out[30]),
+            std::bit_cast<std::uint64_t>(data[30]));
+  EXPECT_EQ(out[40], 1e300);
+  EXPECT_EQ(out[50], -1e300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i == 10 || i == 20 || i == 30 || i == 40 || i == 50) continue;
+    EXPECT_LE(std::abs(out[i] - data[i]), eb) << "element " << i;
+  }
+}
+
+TEST(LossyCodec, SmoothStateCompressesWellInBothModes) {
+  const std::vector<double> data = smoothSignal(1024, 3.0);
+  const std::size_t raw = data.size() * sizeof(double);
+
+  std::size_t quantized = 0;
+  ASSERT_NE(roundTrip(data, 1e-5, &quantized), nullptr);
+  EXPECT_LT(quantized, raw / 2) << "quantized stream barely compressed";
+
+  std::size_t lossless = 0;
+  ASSERT_NE(roundTrip(data, 0.0, &lossless), nullptr);
+  EXPECT_LT(lossless, raw) << "lossless stream larger than raw";
+}
+
+TEST(LossyCodec, DenseBlockRoundTripKeepsShapeAndMetadata) {
+  std::vector<double> data(6 * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.25 * static_cast<double>(i);
+  }
+  const DenseBlockValue original(la::DenseMatrix(6, 4, data), 1, 2, 6, 8);
+  const auto encoded = encodeValue(original, LossyConfig{1e-9});
+  ASSERT_NE(encoded, nullptr);
+  EXPECT_EQ(encoded->rawBytes(), original.bytes());
+  EXPECT_EQ(encoded->bytes(), encoded->encoded().size());
+
+  const auto decoded =
+      std::dynamic_pointer_cast<const DenseBlockValue>(encoded->decode());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->blockRow(), 1);
+  EXPECT_EQ(decoded->blockCol(), 2);
+  EXPECT_EQ(decoded->rowOffset(), 6);
+  EXPECT_EQ(decoded->colOffset(), 8);
+  ASSERT_EQ(decoded->data().rows(), 6);
+  ASSERT_EQ(decoded->data().cols(), 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::abs(decoded->data().span()[i] - data[i]), 1e-9);
+  }
+}
+
+TEST(LossyCodec, SparseBlockStructureIsLosslessEvenWhenQuantizing) {
+  const std::vector<long> rowPtr{0, 2, 3, 3, 5};
+  const std::vector<long> colIdx{0, 3, 1, 0, 2};
+  const std::vector<double> values{1.5, -2.25, 0.125, 4.0, -8.5};
+  const SparseBlockValue original(
+      la::SparseCSR(4, 4, rowPtr, colIdx, values), 0, 1, 0, 4);
+  const auto encoded = encodeValue(original, LossyConfig{1e-3});
+  ASSERT_NE(encoded, nullptr);
+
+  const auto decoded =
+      std::dynamic_pointer_cast<const SparseBlockValue>(encoded->decode());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->data().rowPtr(), rowPtr);
+  EXPECT_EQ(decoded->data().colIdx(), colIdx);
+  ASSERT_EQ(decoded->data().nnz(), 5);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // 0.125 sits exactly on a quantum midpoint; the reconstruction error
+    // is eb up to one rounding ulp of the quantum product.
+    EXPECT_LE(std::abs(decoded->data().values()[i] - values[i]),
+              1e-3 * (1.0 + 1e-9));
+  }
+  EXPECT_EQ(decoded->blockCol(), 1);
+  EXPECT_EQ(decoded->colOffset(), 4);
+}
+
+TEST(LossyCodec, ScalarsAreNeverQuantized) {
+  // Iteration counters ride in ScalarsValue and are restored through
+  // static_cast<long>; a quantized 12.0000001 would truncate to 11.
+  const std::vector<double> scalars{12.0, 0.62435, -3.0,
+                                    std::numeric_limits<double>::infinity()};
+  const ScalarsValue original(scalars);
+  const auto encoded = encodeValue(original, LossyConfig{0.5});
+  ASSERT_NE(encoded, nullptr);
+  const auto decoded =
+      std::dynamic_pointer_cast<const ScalarsValue>(encoded->decode());
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_EQ(decoded->scalars().size(), scalars.size());
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->scalars()[i]),
+              std::bit_cast<std::uint64_t>(scalars[i]));
+  }
+}
+
+TEST(LossyCodec, CodecScopeIsThreadLocalAndNests) {
+  EXPECT_FALSE(codecActive());
+  {
+    CodecScope outer(LossyConfig{1e-3});
+    EXPECT_TRUE(codecActive());
+    EXPECT_EQ(activeCodecConfig().errorBound, 1e-3);
+    {
+      CodecScope inner(LossyConfig{0.0});
+      EXPECT_TRUE(codecActive());
+      EXPECT_EQ(activeCodecConfig().errorBound, 0.0);
+    }
+    EXPECT_TRUE(codecActive());
+    EXPECT_EQ(activeCodecConfig().errorBound, 1e-3);
+  }
+  EXPECT_FALSE(codecActive());
+}
+
+TEST(LossyCodec, DecodeRejectsTruncatedAndGarbageStreams) {
+  const VectorValue original(la::Vector(smoothSignal(32, 1.0)), 0);
+  const auto encoded = encodeValue(original, LossyConfig{1e-5});
+  ASSERT_NE(encoded, nullptr);
+
+  std::vector<std::uint8_t> truncated = encoded->encoded();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)decodeValue(truncated), serialize::SerializeError);
+
+  EXPECT_THROW((void)decodeValue({}), serialize::SerializeError);
+  EXPECT_THROW((void)decodeValue({0xFF, 0xFF, 0xFF}),
+               serialize::SerializeError);
+}
+
+TEST(LossyCodec, SerdeFramesEncodedValuesAsKind15) {
+  const std::vector<double> data = smoothSignal(100, 2.0);
+  const VectorValue original(la::Vector(data), 5);
+  const auto encoded = encodeValue(original, LossyConfig{1e-6});
+  ASSERT_NE(encoded, nullptr);
+
+  std::stringstream buf;
+  writeSnapshotValue(buf, *encoded);
+  const auto read = readSnapshotValue(buf);
+  const auto back = std::dynamic_pointer_cast<const LossyValue>(read);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->encoded(), encoded->encoded());
+  EXPECT_EQ(back->rawBytes(), encoded->rawBytes());
+  EXPECT_EQ(back->bytes(), encoded->bytes());
+
+  const auto decoded =
+      std::dynamic_pointer_cast<const VectorValue>(back->decode());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->offset(), 5);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::abs(decoded->data().span()[i] - data[i]), 1e-6);
+  }
+}
+
+TEST(LossyCodec, EmptyAndSingleElementPayloadsRoundTrip) {
+  for (const double eb : {0.0, 1e-4}) {
+    const auto empty = roundTrip({}, eb);
+    ASSERT_NE(empty, nullptr);
+    EXPECT_EQ(empty->size(), 0);
+
+    const auto one = roundTrip({42.5}, eb);
+    ASSERT_NE(one, nullptr);
+    ASSERT_EQ(one->size(), 1);
+    EXPECT_LE(std::abs(one->data().span()[0] - 42.5), std::max(eb, 0.0));
+  }
+}
+
+}  // namespace
+}  // namespace rgml::resilient

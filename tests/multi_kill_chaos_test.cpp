@@ -173,6 +173,48 @@ TEST(MultiKillChaos, KillDuringRestoreOfRingNeighbourIsFatalAtK2) {
   EXPECT_GT(survived, 0);
 }
 
+TEST(MultiKillChaos, LossyRestoreKillsReconvergeAtK3) {
+  // Lossy checkpointing composed with the multi-kill machinery: restore
+  // kills at k=3 under the quantizing codec. Every lossy restart must
+  // classify Ok within the dedicated lossy tolerance (never Divergence),
+  // and each failure-handling scenario reports how many extra iterations
+  // the solver needed to reconverge to the golden convergence level.
+  SweepOptions opt = baseOptions();
+  opt.modes = {framework::RestoreMode::Shrink,
+               framework::RestoreMode::ReplaceRedundant};
+  opt.restoreKills = true;
+  opt.replication = 3;
+  opt.checkpointMode = resilient::CheckpointMode::DeltaLossy;
+  opt.lossyErrorBound = 1e-7;
+  opt.lossyTolerance = 1e-3;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+
+  long measured = 0;
+  for (const ScenarioOutcome& o : r.outcomes) {
+    EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+    if (o.failuresHandled > 0) {
+      // A lossy restart happened: the reconvergence cost was measured
+      // (0 = the run already sat at the golden level at termination).
+      EXPECT_GE(o.reconvergeIterations, 0) << o.schedule.describe();
+      ++measured;
+    } else {
+      EXPECT_EQ(o.reconvergeIterations, -1) << o.schedule.describe();
+    }
+  }
+  EXPECT_GT(measured, 0);
+
+  // The lossy sweep's report carries the codec parameters and stays
+  // byte-identical across job counts.
+  SweepOptions par = opt;
+  par.jobs = 2;
+  const SweepResult parallel = ChaosSweeper(par).run();
+  EXPECT_EQ(toJson(parallel), toJson(r));
+  EXPECT_NE(toJson(r).find("\"checkpoint_mode\": \"delta-lossy\""),
+            std::string::npos);
+  EXPECT_NE(toJson(r).find("\"lossy_error_bound\""), std::string::npos);
+}
+
 TEST(MultiKillChaos, MultiKillReportIsByteIdenticalAcrossJobCounts) {
   // The full multi-kill matrix (simultaneous + restore kills) fanned over
   // two workers must produce exactly the serial report, and the report

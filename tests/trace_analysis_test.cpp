@@ -356,6 +356,61 @@ TEST(Amortization, ExplicitMtbfOverridesAndFailureFreeRunsNeedIt) {
             framework::youngIntervalIterations(0.05, 100.0, 0.02));
 }
 
+TEST(Amortization, TrivialCheckpointCostsDoNotShrinkTheInterval) {
+  // Regression: a delta/lossy run where most commits carry everything
+  // forward leaves the checkpoint histogram dominated by first-bucket
+  // observations. The raw average collapses toward zero and Young's
+  // formula used to recommend near-"checkpoint every iteration"; the
+  // model must amortize the nontrivial-commit cost instead.
+  MetricsRegistry m;
+  Histogram& steps = m.histogram("executor.step_seconds", kSecondsBuckets);
+  for (int i = 0; i < 100; ++i) steps.observe(0.02);
+  Histogram& ckpts =
+      m.histogram("executor.checkpoint_seconds", kSecondsBuckets);
+  for (int i = 0; i < 20; ++i) ckpts.observe(5e-5);  // trivial commits
+  ckpts.observe(0.05);
+  ckpts.observe(0.05);
+  m.add("executor.failures", 2);
+
+  const AmortizationReport r = computeAmortization(m, 10.0);
+  const double representative = r.checkpointSeconds / 2.0;
+  EXPECT_NEAR(r.checkpointCostUsed, representative, 1e-12);
+  EXPECT_FALSE(r.note.empty());
+  EXPECT_EQ(r.recommendedInterval,
+            framework::youngIntervalIterations(representative, 5.0, 0.02));
+  EXPECT_GT(r.recommendedInterval,
+            framework::youngIntervalIterations(r.avgCheckpointSeconds, 5.0,
+                                               0.02));
+
+  // Degenerate end of the same bug: *every* commit trivial. There is
+  // nothing to amortize, so no interval at all beats advising one every
+  // iteration.
+  MetricsRegistry allTrivial;
+  allTrivial.histogram("executor.step_seconds", kSecondsBuckets)
+      .observe(0.02);
+  Histogram& t =
+      allTrivial.histogram("executor.checkpoint_seconds", kSecondsBuckets);
+  for (int i = 0; i < 8; ++i) t.observe(5e-5);
+  allTrivial.add("executor.failures", 1);
+  const AmortizationReport r2 = computeAmortization(allTrivial, 10.0);
+  EXPECT_EQ(r2.recommendedInterval, 0);
+  EXPECT_NE(r2.note.find("trivial"), std::string::npos) << r2.note;
+}
+
+TEST(Amortization, CodecVolumeFoldsFromSnapshotCounters) {
+  MetricsRegistry m;
+  m.add("snapshot.raw_bytes", 1000);
+  m.add("snapshot.encoded_bytes", 250);
+  m.histogram("snapshot.codec_seconds",
+              {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1})
+      .observe(2e-4);
+  const AmortizationReport r = computeAmortization(m);
+  EXPECT_EQ(r.rawBytes, 1000u);
+  EXPECT_EQ(r.encodedBytes, 250u);
+  EXPECT_NEAR(r.compressionRatio, 4.0, 1e-12);
+  EXPECT_NEAR(r.codecSeconds, 2e-4, 1e-12);
+}
+
 // ---- end-to-end: fig7-style PageRank restore scenario ---------------------
 
 harness::ScenarioOutcome runPageRankRestoreScenario() {

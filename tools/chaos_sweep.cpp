@@ -56,6 +56,14 @@ void usage(std::ostream& os) {
         "                (M >= 2)\n"
         "  --restore-kills  add kill-during-restore schedules (a second\n"
         "                kill fired at the start of the restore attempt)\n"
+        "  --ckpt-mode M full|readonly|delta|lossy|delta-lossy checkpoint\n"
+        "                mode for every scenario (default delta). Lossy\n"
+        "                modes classify against the golden result within\n"
+        "                --lossy-tol and report iterations-to-reconverge\n"
+        "  --lossy-eb X  absolute error bound for the lossy codec\n"
+        "                (default 0 = lossless compression only)\n"
+        "  --lossy-tol X golden tolerance for lossy-restored runs\n"
+        "                (default 1e-3)\n"
         "  --tol X       divergence tolerance (default 1e-6)\n"
         "  --jobs N      worker threads (default: hardware threads; the\n"
         "                report is byte-identical at any job count)\n"
@@ -160,6 +168,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.simultaneousKills = static_cast<std::size_t>(m);
+    } else if (arg == "--ckpt-mode") {
+      const std::string v = needValue(i);
+      if (v == "full") {
+        opt.checkpointMode = rgml::resilient::CheckpointMode::Full;
+      } else if (v == "readonly") {
+        opt.checkpointMode = rgml::resilient::CheckpointMode::ReadOnlyReuse;
+      } else if (v == "delta") {
+        opt.checkpointMode = rgml::resilient::CheckpointMode::Delta;
+      } else if (v == "lossy") {
+        opt.checkpointMode = rgml::resilient::CheckpointMode::Lossy;
+      } else if (v == "delta-lossy") {
+        opt.checkpointMode = rgml::resilient::CheckpointMode::DeltaLossy;
+      } else {
+        std::cerr << "unknown checkpoint mode: " << v << '\n';
+        return 2;
+      }
+    } else if (arg == "--lossy-eb") {
+      opt.lossyErrorBound = std::atof(needValue(i));
+    } else if (arg == "--lossy-tol") {
+      opt.lossyTolerance = std::atof(needValue(i));
     } else if (arg == "--restore-kills") {
       opt.restoreKills = true;
     } else if (arg == "--tol") {
