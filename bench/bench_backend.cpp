@@ -1,0 +1,290 @@
+// bench_backend: wall-clock facts for the real-threads APGAS backend,
+// checked against the simulator oracle and perf-gated.
+//
+// Writes BENCH_backend.json (--bench-out, default ./BENCH_backend.json):
+//
+// {"backend_bench": {
+//    "deterministic": {            // gated exactly
+//      "bookkeeping_per_finish_p<P>.simulated" / ".threads" / ".match",
+//      "gemm_scaling_ok", "spmm_scaling_ok",   // >=1.5x from 1->4 place
+//                                              // threads OR hw_threads<4
+//      "restore.outcome", "restore.failures_handled",
+//      "restore.restored_to", "restore.reconverge_bucket" },
+//    "wall": {                     // machine-dependent; gate ignores it
+//      "hw_threads", "gemm_ms_p1/2/4", "gemm_speedup_p2/4",
+//      "spmm_ms_p1/2/4", "spmm_speedup_p2/4",
+//      "finish_us_p<P>.plain" / ".resilient"  for P in {1,2,4,8},
+//      "restore_ms", "total_ms" }}}
+//
+// Three experiments:
+//  1. Kernel scaling — a row-partitioned gemm / spmm fanned out with
+//     ateach over 1/2/4 places on the Threads backend. Real worker
+//     threads, disjoint output slices; wall time should drop as places
+//     are added when the hardware has the cores (the deterministic flag
+//     encodes "speedup >= 1.5 OR hardware_concurrency < 4" so single-core
+//     CI boxes gate the *facts*, multi-core boxes also gate the scaling).
+//  2. Finish overhead — repeated empty-task fan-outs per place count,
+//     resilient on/off. The paper's Figs 2-4 bottleneck: in resilient
+//     mode every finish routes Register/Spawn/Terminate/Ack bookkeeping
+//     through one control point. The per-finish bookkeeping message count
+//     must be identical on both backends (1 + 2*tasks + 1).
+//  3. Fig5-style restore — LinReg, kill one place at iteration 12 of 20
+//     (checkpoint interval 5) on the Threads backend, classified by the
+//     chaos sweeper against its simulated golden run: the outcome facts
+//     are deterministic, the restore/total wall times are the fig5
+//     analogue measured on real threads.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apgas/runtime.h"
+#include "harness/report.h"
+#include "harness/sweeper.h"
+#include "la/kernels.h"
+#include "la/rand.h"
+
+namespace {
+
+using namespace rgml;
+using apgas::Backend;
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+using apgas::RuntimeConfig;
+
+double wallMs(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Row-partitioned C = A * B over `places` worker threads: place i owns
+/// rows [i*m/P, (i+1)*m/P) of A and C; B is shared read-only. Output
+/// slices are disjoint, so the fan-out is race-free by construction.
+double gemmWallMs(int places, int reps) {
+  RuntimeConfig cfg;
+  cfg.numPlaces = places;
+  cfg.backend = Backend::Threads;
+  apgas::WorldGuard guard(cfg);
+  const long m = 512, k = 384, n = 48;
+  const la::DenseMatrix b = la::makeUniformDense(k, n, 7);
+  std::vector<la::DenseMatrix> aBlocks;
+  std::vector<la::DenseMatrix> cBlocks;
+  for (int p = 0; p < places; ++p) {
+    const long r0 = m * p / places;
+    const long rows = m * (p + 1) / places - r0;
+    aBlocks.push_back(la::makeUniformDense(rows, k, 100 + p));
+    cBlocks.emplace_back(rows, n);
+  }
+  const PlaceGroup pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    apgas::ateach(pg, [&](Place p) {
+      const auto i = static_cast<std::size_t>(p.id());
+      la::gemm(aBlocks[i], b, cBlocks[i]);
+    });
+  }
+  return wallMs(t0);
+}
+
+/// Row-partitioned sparse C = A * B, same shape as gemmWallMs.
+double spmmWallMs(int places, int reps) {
+  RuntimeConfig cfg;
+  cfg.numPlaces = places;
+  cfg.backend = Backend::Threads;
+  apgas::WorldGuard guard(cfg);
+  const long n = 20000, cols = 16;
+  const la::DenseMatrix b = la::makeUniformDense(n, cols, 9);
+  std::vector<la::SparseCSR> aBlocks;
+  std::vector<la::DenseMatrix> cBlocks;
+  for (int p = 0; p < places; ++p) {
+    const long r0 = n * p / places;
+    const long rows = n * (p + 1) / places - r0;
+    aBlocks.push_back(la::makeUniformSparse(rows, n, 8, 200 + p));
+    cBlocks.emplace_back(rows, cols);
+  }
+  const PlaceGroup pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    apgas::ateach(pg, [&](Place p) {
+      const auto i = static_cast<std::size_t>(p.id());
+      la::spmm(aBlocks[i], b, cBlocks[i]);
+    });
+  }
+  return wallMs(t0);
+}
+
+struct FinishProbe {
+  double usPerFinish = 0.0;
+  long bookkeepingPerFinish = 0;
+};
+
+/// `reps` empty-task fan-outs (one task per place) on `backend`.
+FinishProbe finishProbe(Backend backend, int places, bool resilient,
+                        int reps) {
+  RuntimeConfig cfg;
+  cfg.numPlaces = places;
+  cfg.resilientFinish = resilient;
+  cfg.backend = backend;
+  apgas::WorldGuard guard(cfg);
+  Runtime& rt = Runtime::world();
+  const PlaceGroup pg = PlaceGroup::firstPlaces(static_cast<std::size_t>(places));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    apgas::ateach(pg, [](Place) {});
+  }
+  FinishProbe probe;
+  probe.usPerFinish = wallMs(t0) * 1000.0 / reps;
+  probe.bookkeepingPerFinish = rt.stats().bookkeepingMsgs / reps;
+  return probe;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+const char* reconvBucket(long iters) {
+  if (iters < 0) return "n/a";
+  if (iters == 0) return "0";
+  if (iters <= 2) return "1-2";
+  if (iters <= 8) return "3-8";
+  return ">8";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string benchOut = "BENCH_backend.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-out" && i + 1 < argc) {
+      benchOut = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "bench_backend [--bench-out FILE]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // 1. Kernel scaling over place threads.
+  const int kGemmReps = 20, kSpmmReps = 20;
+  const double gemm1 = gemmWallMs(1, kGemmReps);
+  const double gemm2 = gemmWallMs(2, kGemmReps);
+  const double gemm4 = gemmWallMs(4, kGemmReps);
+  const double spmm1 = spmmWallMs(1, kSpmmReps);
+  const double spmm2 = spmmWallMs(2, kSpmmReps);
+  const double spmm4 = spmmWallMs(4, kSpmmReps);
+  const double gemmSpeedup2 = gemm2 > 0 ? gemm1 / gemm2 : 0.0;
+  const double gemmSpeedup4 = gemm4 > 0 ? gemm1 / gemm4 : 0.0;
+  const double spmmSpeedup2 = spmm2 > 0 ? spmm1 / spmm2 : 0.0;
+  const double spmmSpeedup4 = spmm4 > 0 ? spmm1 / spmm4 : 0.0;
+  const bool gemmOk = gemmSpeedup4 >= 1.5 || hw < 4;
+  const bool spmmOk = spmmSpeedup4 >= 1.5 || hw < 4;
+
+  // 2. Finish overhead curves + cross-backend bookkeeping counts.
+  const int kFinishReps = 200;
+  struct Curve {
+    int places;
+    FinishProbe plain, resilient, simulatedResilient;
+  };
+  std::vector<Curve> curves;
+  for (int p : {1, 2, 4, 8}) {
+    Curve c;
+    c.places = p;
+    c.plain = finishProbe(Backend::Threads, p, false, kFinishReps);
+    c.resilient = finishProbe(Backend::Threads, p, true, kFinishReps);
+    c.simulatedResilient =
+        finishProbe(Backend::Simulated, p, true, kFinishReps);
+    curves.push_back(c);
+  }
+
+  // 3. Fig5-style restore on the Threads backend, classified against the
+  // simulated golden run.
+  harness::SweepOptions opt;
+  opt.apps = {harness::AppKind::LinReg};
+  opt.modes = {framework::RestoreMode::Shrink};
+  opt.iterations = 20;
+  opt.checkpointInterval = 5;
+  opt.places = 4;
+  opt.spares = 1;
+  opt.backend = Backend::Threads;
+  opt.shrinkFailures = false;
+  harness::ChaosSweeper sweeper(opt);
+  harness::FaultSchedule schedule;
+  schedule.mode = framework::RestoreMode::Shrink;
+  schedule.kills.push_back(harness::KillEvent{
+      harness::KillEvent::Trigger::Iteration, 12, 2});
+  apgas::WorldGuard restoreGuard;
+  const harness::ScenarioOutcome restore =
+      sweeper.runScenario(harness::AppKind::LinReg, schedule);
+
+  std::ofstream out(benchOut);
+  if (!out) {
+    std::cerr << "cannot write " << benchOut << '\n';
+    return 2;
+  }
+  out << "{\n  \"backend_bench\": {\n    \"deterministic\": {\n";
+  for (const Curve& c : curves) {
+    out << "      \"bookkeeping_per_finish_p" << c.places
+        << ".simulated\": " << c.simulatedResilient.bookkeepingPerFinish
+        << ",\n      \"bookkeeping_per_finish_p" << c.places
+        << ".threads\": " << c.resilient.bookkeepingPerFinish
+        << ",\n      \"bookkeeping_per_finish_p" << c.places
+        << ".match\": "
+        << (c.resilient.bookkeepingPerFinish ==
+                    c.simulatedResilient.bookkeepingPerFinish
+                ? 1
+                : 0)
+        << ",\n";
+  }
+  out << "      \"gemm_scaling_ok\": " << (gemmOk ? 1 : 0) << ",\n"
+      << "      \"spmm_scaling_ok\": " << (spmmOk ? 1 : 0) << ",\n"
+      << "      \"restore.outcome\": \"" << harness::toString(restore.kind)
+      << "\",\n"
+      << "      \"restore.failures_handled\": " << restore.failuresHandled
+      << ",\n"
+      << "      \"restore.restored_to\": " << restore.restoredTo << ",\n"
+      << "      \"restore.reconverge_bucket\": \""
+      << reconvBucket(restore.reconvergeIterations) << "\"\n"
+      << "    },\n    \"wall\": {\n"
+      << "      \"hw_threads\": " << hw << ",\n"
+      << "      \"gemm_ms_p1\": " << num(gemm1) << ",\n"
+      << "      \"gemm_ms_p2\": " << num(gemm2) << ",\n"
+      << "      \"gemm_ms_p4\": " << num(gemm4) << ",\n"
+      << "      \"gemm_speedup_p2\": " << num(gemmSpeedup2) << ",\n"
+      << "      \"gemm_speedup_p4\": " << num(gemmSpeedup4) << ",\n"
+      << "      \"spmm_ms_p1\": " << num(spmm1) << ",\n"
+      << "      \"spmm_ms_p2\": " << num(spmm2) << ",\n"
+      << "      \"spmm_ms_p4\": " << num(spmm4) << ",\n"
+      << "      \"spmm_speedup_p2\": " << num(spmmSpeedup2) << ",\n"
+      << "      \"spmm_speedup_p4\": " << num(spmmSpeedup4) << ",\n";
+  for (const Curve& c : curves) {
+    out << "      \"finish_us_p" << c.places
+        << ".plain\": " << num(c.plain.usPerFinish) << ",\n"
+        << "      \"finish_us_p" << c.places
+        << ".resilient\": " << num(c.resilient.usPerFinish) << ",\n";
+  }
+  out << "      \"restore_ms\": " << num(restore.restoreMs) << ",\n"
+      << "      \"total_ms\": " << num(restore.totalMs) << "\n"
+      << "    }\n  }\n}\n";
+
+  std::cout << "gemm 1->4 places: " << gemmSpeedup4 << "x, spmm: "
+            << spmmSpeedup4 << "x (hw_threads=" << hw << ")\n"
+            << "restore: " << harness::toString(restore.kind)
+            << ", restored_to=" << restore.restoredTo << ", "
+            << restore.restoreMs << " ms of " << restore.totalMs
+            << " ms total\nwrote " << benchOut << '\n';
+  const bool restoreOk = restore.kind == harness::OutcomeKind::Ok &&
+                         restore.failuresHandled == 1;
+  return (gemmOk && spmmOk && restoreOk) ? 0 : 1;
+}

@@ -1,6 +1,18 @@
 // Micro-benchmarks (real wall time) for the local linear algebra kernels —
 // the OpenBLAS substitute underlying every distributed operation.
+//
+// Besides the stock google-benchmark CLI, `--bench-out FILE` writes a
+// BENCH_micro.json perf artifact: a "deterministic" section (which
+// benchmarks ran — diffed exactly by the perf gate) and a "wall" section
+// (per-benchmark real ns — gated with a wide tolerance, since kernel
+// times vary run-to-run and machine-to-machine).
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "la/kernels.h"
 #include "la/rand.h"
@@ -148,6 +160,59 @@ void BM_SparseNnzCount(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseNnzCount)->Arg(1000)->Arg(10000);
 
+/// Collects every run's name and adjusted real time instead of printing.
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      results.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+  }
+  std::vector<std::pair<std::string, double>> results;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --bench-out before google-benchmark sees the argument list.
+  std::string benchOut;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--bench-out" && i + 1 < argc) {
+      benchOut = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filteredArgc = static_cast<int>(args.size());
+  benchmark::Initialize(&filteredArgc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filteredArgc, args.data())) {
+    return 1;
+  }
+  if (benchOut.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream out(benchOut);
+  if (!out) {
+    std::cerr << "cannot write " << benchOut << '\n';
+    return 1;
+  }
+  out << "{\n  \"micro_la\": {\n    \"deterministic\": {\n"
+      << "      \"benchmarks_run\": " << reporter.results.size()
+      << "\n    },\n    \"wall\": {\n";
+  for (std::size_t i = 0; i < reporter.results.size(); ++i) {
+    out << "      \"" << reporter.results[i].first
+        << ".real_ns\": " << reporter.results[i].second
+        << (i + 1 < reporter.results.size() ? "," : "") << '\n';
+  }
+  out << "    }\n  }\n}\n";
+  return 0;
+}

@@ -11,46 +11,58 @@ void FaultInjector::killNow(PlaceId p) { Runtime::world().kill(p); }
 void FaultInjector::killAtDispatch(long n, PlaceId victim) {
   if (n < 1) throw ApgasError("killAtDispatch: n must be >= 1");
   Runtime& rt = Runtime::world();
-  dispatchKills_.push_back(DispatchKill{rt.dispatchCount() + n, victim});
-  if (!dispatchHookInstalled_) {
+  bool install = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dispatchKills_.push_back(DispatchKill{rt.dispatchCount() + n, victim});
+    if (!dispatchHookInstalled_) {
+      dispatchHookInstalled_ = true;
+      install = true;
+    }
+  }
+  if (install) {
     // One shared hook serves every armed kill; the runtime invokes a
     // *copy* of it, so self-uninstallation from onDispatch is safe.
     rt.setDispatchHook([this](long count) { onDispatch(count); });
-    dispatchHookInstalled_ = true;
   }
 }
 
 void FaultInjector::onDispatch(long count) {
   std::vector<PlaceId> victims;
-  std::erase_if(dispatchKills_, [&](const DispatchKill& k) {
-    if (k.fireAt > count) return false;
-    victims.push_back(k.victim);
-    return true;
-  });
-  Runtime& rt = Runtime::world();
-  if (dispatchKills_.empty()) {
-    rt.setDispatchHook({});
-    dispatchHookInstalled_ = false;
+  bool uninstall = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(dispatchKills_, [&](const DispatchKill& k) {
+      if (k.fireAt > count) return false;
+      victims.push_back(k.victim);
+      return true;
+    });
+    if (dispatchKills_.empty() && dispatchHookInstalled_) {
+      dispatchHookInstalled_ = false;
+      uninstall = true;
+    }
   }
+  Runtime& rt = Runtime::world();
+  if (uninstall) rt.setDispatchHook({});
   for (PlaceId v : victims) {
     if (!rt.isDead(v)) rt.kill(v);
   }
 }
 
 void FaultInjector::killOnIteration(long iter, PlaceId victim) {
+  std::lock_guard<std::mutex> lock(mu_);
   iterKills_.push_back(IterKill{iter, victim});
 }
 
 std::vector<PlaceId> FaultInjector::onIterationCompleted(long iter) {
   std::vector<PlaceId> victims;
-  auto it = iterKills_.begin();
-  while (it != iterKills_.end()) {
-    if (it->iter == iter) {
-      victims.push_back(it->victim);
-      it = iterKills_.erase(it);
-    } else {
-      ++it;
-    }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(iterKills_, [&](const IterKill& k) {
+      if (k.iter != iter) return false;
+      victims.push_back(k.victim);
+      return true;
+    });
   }
   Runtime& rt = Runtime::world();
   for (PlaceId v : victims) rt.kill(v);
@@ -61,19 +73,19 @@ void FaultInjector::killOnRestoreAttempt(long attempt, PlaceId victim) {
   if (attempt < 1) {
     throw ApgasError("killOnRestoreAttempt: attempt must be >= 1");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   restoreKills_.push_back(RestoreKill{attempt, victim});
 }
 
 std::vector<PlaceId> FaultInjector::onRestoreAttempt(long attempt) {
   std::vector<PlaceId> victims;
-  auto it = restoreKills_.begin();
-  while (it != restoreKills_.end()) {
-    if (it->attempt == attempt) {
-      victims.push_back(it->victim);
-      it = restoreKills_.erase(it);
-    } else {
-      ++it;
-    }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(restoreKills_, [&](const RestoreKill& k) {
+      if (k.attempt != attempt) return false;
+      victims.push_back(k.victim);
+      return true;
+    });
   }
   Runtime& rt = Runtime::world();
   for (PlaceId v : victims) {
@@ -83,13 +95,18 @@ std::vector<PlaceId> FaultInjector::onRestoreAttempt(long attempt) {
 }
 
 void FaultInjector::reset() {
-  iterKills_.clear();
-  restoreKills_.clear();
-  dispatchKills_.clear();
-  if (dispatchHookInstalled_ && Runtime::initialized()) {
+  bool uninstall = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    iterKills_.clear();
+    restoreKills_.clear();
+    dispatchKills_.clear();
+    uninstall = dispatchHookInstalled_;
+    dispatchHookInstalled_ = false;
+  }
+  if (uninstall && Runtime::initialized()) {
     Runtime::world().setDispatchHook({});
   }
-  dispatchHookInstalled_ = false;
 }
 
 }  // namespace rgml::apgas

@@ -22,8 +22,14 @@
 // Any number of iteration AND dispatch kills may be armed simultaneously,
 // so a whole multi-failure schedule (as enumerated by the chaos harness)
 // can be armed up front before the run starts.
+// Thread safety: on the Threads backend the dispatch hook fires on
+// whichever worker spawns a task, concurrently with the driving thread
+// arming/resetting kills — so one internal mutex guards every armed-kill
+// list, and kills always fire outside it (kill_race_test replays this
+// under TSan).
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "apgas/place.h"
@@ -59,6 +65,7 @@ class FaultInjector {
 
   /// Dispatch kills still armed (not yet fired).
   [[nodiscard]] std::size_t armedDispatchKills() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
     return dispatchKills_.size();
   }
 
@@ -85,6 +92,9 @@ class FaultInjector {
   /// uninstalling the hook once none remain.
   void onDispatch(long count);
 
+  /// Guards the armed-kill lists and the hook flag; never held while
+  /// killing (Runtime::kill takes its own locks and fans out listeners).
+  mutable std::mutex mu_;
   std::vector<IterKill> iterKills_;
   std::vector<RestoreKill> restoreKills_;
   std::vector<DispatchKill> dispatchKills_;

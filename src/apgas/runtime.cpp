@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "apgas/threads/threads_backend.h"
 #include "obs/trace_sink.h"
 
 namespace rgml::apgas {
@@ -17,33 +18,54 @@ constexpr std::uint64_t kCtrlBytes = 48;
 }  // namespace
 
 thread_local std::unique_ptr<Runtime> Runtime::instance_;
+thread_local Runtime* Runtime::borrowed_ = nullptr;
 
-Runtime::Runtime(int numPlaces, const CostModel& cm, bool resilient)
-    : cm_(cm),
-      resilient_(resilient),
-      clocks_(static_cast<std::size_t>(numPlaces), 0.0),
-      heaps_(static_cast<std::size_t>(numPlaces)) {
+Runtime::Runtime(const RuntimeConfig& config)
+    : cm_(config.costModel),
+      backendKind_(config.backend),
+      resilient_(config.resilientFinish),
+      clocks_(static_cast<std::size_t>(config.numPlaces), 0.0),
+      heaps_(static_cast<std::size_t>(config.numPlaces)) {
   hereStack_.push_back(0);
+  if (backendKind_ == Backend::Threads) {
+    engine_ = std::make_unique<threads::ThreadsBackend>(*this,
+                                                        config.numPlaces);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::init(const RuntimeConfig& config) {
+  if (config.numPlaces < 1) {
+    throw ApgasError("Runtime::init: need at least 1 place");
+  }
+  instance_.reset();  // tear down the old world before building the new
+  instance_.reset(new Runtime(config));
 }
 
 void Runtime::init(int numPlaces, const CostModel& cm, bool resilientFinish) {
-  if (numPlaces < 1) throw ApgasError("Runtime::init: need at least 1 place");
-  instance_.reset(new Runtime(numPlaces, cm, resilientFinish));
+  RuntimeConfig config;
+  config.numPlaces = numPlaces;
+  config.costModel = cm;
+  config.resilientFinish = resilientFinish;
+  init(config);
 }
 
 Runtime& Runtime::world() {
-  if (!instance_) {
-    std::ostringstream os;
-    os << "Runtime::world(): no simulated world on thread "
-       << std::this_thread::get_id()
-       << " (never initialised, or already torn down); call Runtime::init()"
-          " or open a WorldGuard on this thread first";
-    throw ApgasError(os.str());
-  }
-  return *instance_;
+  if (instance_) return *instance_;
+  // Threads-backend place workers don't own a world; they borrow the one
+  // that owns them, so application code runs unchanged on either backend.
+  if (borrowed_ != nullptr) return *borrowed_;
+  std::ostringstream os;
+  os << "Runtime::world(): no world on thread " << std::this_thread::get_id()
+     << " (never initialised, or already torn down); call Runtime::init()"
+        " or open a WorldGuard on this thread first";
+  throw ApgasError(os.str());
 }
 
-bool Runtime::initialized() { return static_cast<bool>(instance_); }
+bool Runtime::initialized() {
+  return static_cast<bool>(instance_) || borrowed_ != nullptr;
+}
 
 std::unique_ptr<Runtime> Runtime::detach() { return std::move(instance_); }
 
@@ -51,12 +73,71 @@ void Runtime::attach(std::unique_ptr<Runtime> world) {
   instance_ = std::move(world);
 }
 
+void Runtime::setBorrowed(Runtime* world) noexcept { borrowed_ = world; }
+
+int Runtime::numPlaces() const noexcept {
+  if (engine_) return engine_->numPlaces();
+  return static_cast<int>(clocks_.size());
+}
+
+int Runtime::numLivePlaces() const noexcept {
+  if (engine_) return engine_->numLivePlaces();
+  return numPlaces() - static_cast<int>(dead_.size());
+}
+
+bool Runtime::isDead(PlaceId p) const noexcept {
+  if (engine_) return engine_->isDead(p);
+  return dead_.contains(p);
+}
+
+Place Runtime::here() const {
+  if (engine_) return engine_->here();
+  return Place(hereStack_.back());
+}
+
+long Runtime::dispatchCount() const noexcept {
+  return dispatchCount_.load(std::memory_order_relaxed);
+}
+
+void Runtime::setDispatchHook(std::function<void(long)> hook) {
+  std::lock_guard<std::mutex> lock(hookMutex_);
+  dispatchHook_ = std::move(hook);
+}
+
+void Runtime::noteDispatch() {
+  const long count = dispatchCount_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::function<void(long)> hook;
+  {
+    std::lock_guard<std::mutex> lock(hookMutex_);
+    hook = dispatchHook_;
+  }
+  // Invoke a copy outside the lock: the hook may disarm itself via
+  // setDispatchHook({}) or kill a place (which takes other locks).
+  if (hook) hook(count);
+}
+
+double Runtime::clock(PlaceId p) const {
+  if (engine_) return engine_->now();
+  return clocks_.at(static_cast<std::size_t>(p));
+}
+
+double Runtime::time() const {
+  if (engine_) return engine_->now();
+  return clocks_.at(0);
+}
+
 std::vector<PlaceId> Runtime::addPlaces(int n) {
+  if (engine_) {
+    auto fresh = engine_->addPlaces(n);
+    std::lock_guard<std::mutex> lock(heapMutex_);
+    heaps_.resize(heaps_.size() + fresh.size());
+    return fresh;
+  }
   // Joining places start "now": at the maximum clock over live places, as a
   // real dynamically-created process would.
   double now = 0.0;
   for (int p = 0; p < numPlaces(); ++p) {
-    if (!isDead(p)) now = std::max(now, clocks_[p]);
+    if (!isDead(p)) now = std::max(now, clocks_[static_cast<std::size_t>(p)]);
   }
   std::vector<PlaceId> fresh;
   fresh.reserve(static_cast<std::size_t>(n));
@@ -74,28 +155,43 @@ void Runtime::kill(PlaceId p) {
         "kill(0): place zero is immortal in the paper's failure model");
   }
   if (p < 0 || p >= numPlaces()) throw ApgasError("kill: no such place");
-  if (dead_.contains(p)) return;
-  dead_.insert(p);
-  heaps_[static_cast<std::size_t>(p)].clear();
-  ++stats_.placesKilled;
-  if (auto* sink = obs::TraceSink::current()) {
-    sink->instant(obs::Category::Kill, "kill", -1, static_cast<int>(p),
-                  clocks_[static_cast<std::size_t>(p)], 0,
-                  {{"victim", std::to_string(p)}});
-    sink->metrics().add("runtime.places_killed");
+  // Serialise whole kill fanouts: a listener must never observe two
+  // concurrent kills interleaving (the snapshot store's replica
+  // bookkeeping depends on one-at-a-time notifications).
+  std::lock_guard<std::mutex> killLock(killMutex_);
+  if (engine_) {
+    if (!engine_->kill(p)) return;  // already dead
+  } else {
+    if (dead_.contains(p)) return;
+    dead_.insert(p);
+    wipeHeap(p);
+    ++stats_.placesKilled;
+    if (auto* sink = obs::TraceSink::current()) {
+      sink->instant(obs::Category::Kill, "kill", -1, static_cast<int>(p),
+                    clocks_[static_cast<std::size_t>(p)], 0,
+                    {{"victim", std::to_string(p)}});
+      sink->addMetric("runtime.places_killed");
+    }
   }
-  // Copy: a listener may (un)register other listeners.
-  auto listeners = killListeners_;
+  // Copy under the registration lock: a listener may (un)register other
+  // listeners, and foreign threads may be registering concurrently.
+  std::unordered_map<std::uint64_t, std::function<void(PlaceId)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listenerMutex_);
+    listeners = killListeners_;
+  }
   for (auto& [token, fn] : listeners) fn(p);
 }
 
 std::uint64_t Runtime::addKillListener(std::function<void(PlaceId)> fn) {
+  std::lock_guard<std::mutex> lock(listenerMutex_);
   const std::uint64_t token = nextListener_++;
   killListeners_.emplace(token, std::move(fn));
   return token;
 }
 
 void Runtime::removeKillListener(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(listenerMutex_);
   killListeners_.erase(token);
 }
 
@@ -107,10 +203,14 @@ double Runtime::chargeBookkeeping(double sendTime) {
 }
 
 void Runtime::finish(const std::function<void()>& body) {
+  if (engine_) {
+    engine_->finish(body);
+    return;
+  }
   ++stats_.finishes;
   const PlaceId home = hereStack_.back();
   clocks_[home] += cm_.finishSetup;
-  finishStack_.push_back(FinishFrame{home, clocks_[home], 0, {}});
+  finishStack_.push_back(FinishFrame{home, clocks_[home], 0, {}, {}});
   const std::size_t idx = finishStack_.size() - 1;
   if (resilient_) {
     chargeBookkeeping(clocks_[home]);  // finish registration
@@ -144,12 +244,10 @@ void Runtime::finish(const std::function<void()>& body) {
       // The ack wait is the critical-path cost of resilient finish — the
       // quantity Figs. 2-4 and Table IV's bookkeeping column measure.
       const double blocked = clocks_[home] - before;
-      sink->metrics().add("finish.count");
+      sink->addMetric("finish.count");
       static const std::vector<double> kAckBuckets{1e-6, 1e-5, 1e-4, 1e-3,
                                                    1e-2, 0.1,  1.0};
-      sink->metrics()
-          .histogram("finish.ack_wait_seconds", kAckBuckets)
-          .observe(blocked);
+      sink->observeMetric("finish.ack_wait_seconds", kAckBuckets, blocked);
       if (blocked > 0.0) {
         sink->span(obs::Category::Finish, "finish.ack", -1,
                    static_cast<int>(home), before, clocks_[home], 0,
@@ -169,16 +267,14 @@ void Runtime::throwCollected(FinishFrame& frame) {
 }
 
 void Runtime::asyncAt(Place p, const std::function<void()>& body) {
+  if (engine_) {
+    engine_->asyncAt(p, body);
+    return;
+  }
   if (finishStack_.empty()) {
     throw ApgasError("asyncAt outside any finish scope");
   }
-  ++dispatchCount_;
-  if (dispatchHook_) {
-    // Invoke a copy: the hook may disarm itself via setDispatchHook({}),
-    // which would otherwise destroy the closure mid-call.
-    auto hook = dispatchHook_;
-    hook(dispatchCount_);
-  }
+  noteDispatch();
 
   ++stats_.asyncsSpawned;
   const PlaceId spawner = hereStack_.back();
@@ -248,6 +344,10 @@ void Runtime::runTask(std::size_t idx, PlaceId target, double spawnTime,
 }
 
 void Runtime::at(Place p, const std::function<void()>& body) {
+  if (engine_) {
+    engine_->at(p, body);
+    return;
+  }
   const PlaceId target = p.id();
   if (target < 0 || target >= numPlaces()) {
     throw ApgasError("at: no such place");
@@ -274,30 +374,38 @@ void Runtime::at(Place p, const std::function<void()>& body) {
 }
 
 void Runtime::chargeDenseFlops(double flops) {
+  if (engine_) return;  // wall time: compute costs itself
   const PlaceId p = hereStack_.back();
   if (isDead(p)) return;
   clocks_[p] += cm_.denseComputeTime(flops);
 }
 
 void Runtime::chargeSparseFlops(double flops) {
+  if (engine_) return;
   const PlaceId p = hereStack_.back();
   if (isDead(p)) return;
   clocks_[p] += cm_.sparseComputeTime(flops);
 }
 
 void Runtime::chargeLocalCopy(std::uint64_t bytes) {
+  if (engine_) return;
   const PlaceId p = hereStack_.back();
   if (isDead(p)) return;
   clocks_[p] += cm_.copyTime(bytes);
 }
 
 void Runtime::chargeSerialization(std::uint64_t bytes) {
+  if (engine_) return;
   const PlaceId p = hereStack_.back();
   if (isDead(p)) return;
   clocks_[p] += cm_.serializeTime(bytes);
 }
 
 void Runtime::chargeComm(Place to, std::uint64_t bytes) {
+  if (engine_) {
+    engine_->chargeComm(to, bytes);
+    return;
+  }
   const PlaceId from = hereStack_.back();
   if (isDead(from)) return;
   if (to.id() == from) {
@@ -316,12 +424,16 @@ void Runtime::chargeComm(Place to, std::uint64_t bytes) {
     sink->span(obs::Category::Comms, "comm", -1, static_cast<int>(from),
                start, clocks_[from], bytes,
                {{"to", std::to_string(to.id())}});
-    sink->metrics().add("comms.data_msgs");
-    sink->metrics().add("comms.bytes_sent", bytes);
+    sink->addMetric("comms.data_msgs");
+    sink->addMetric("comms.bytes_sent", bytes);
   }
 }
 
 void Runtime::noteDataTransfer(std::uint64_t bytes) {
+  if (engine_) {
+    engine_->noteDataTransfer(bytes);
+    return;
+  }
   ++stats_.dataMsgs;
   stats_.bytesSent += bytes;
   if (auto* sink = obs::TraceSink::current()) {
@@ -332,26 +444,45 @@ void Runtime::noteDataTransfer(std::uint64_t bytes) {
                   static_cast<int>(hereStack_.back()),
                   clocks_[static_cast<std::size_t>(hereStack_.back())],
                   bytes);
-    sink->metrics().add("comms.data_msgs");
-    sink->metrics().add("comms.bytes_sent", bytes);
+    sink->addMetric("comms.data_msgs");
+    sink->addMetric("comms.bytes_sent", bytes);
   }
 }
 
 void Runtime::advance(double seconds) {
+  if (engine_) return;  // wall time advances itself
   const PlaceId p = hereStack_.back();
   if (isDead(p)) return;
   clocks_[p] += seconds;
+}
+
+const RuntimeStats& Runtime::stats() const noexcept {
+  if (engine_) engine_->snapshotStats(stats_);
+  return stats_;
+}
+
+void Runtime::resetStats() {
+  stats_ = RuntimeStats{};
+  if (engine_) engine_->resetStats();
+}
+
+void Runtime::wipeHeap(PlaceId p) {
+  std::lock_guard<std::mutex> lock(heapMutex_);
+  if (p < 0 || static_cast<std::size_t>(p) >= heaps_.size()) return;
+  heaps_[static_cast<std::size_t>(p)].clear();
 }
 
 void Runtime::heapPut(PlaceId p, std::uint64_t key,
                       std::shared_ptr<void> obj) {
   if (p < 0 || p >= numPlaces()) throw ApgasError("heapPut: no such place");
   if (isDead(p)) return;  // writes to a dead place are lost
+  std::lock_guard<std::mutex> lock(heapMutex_);
   heaps_[static_cast<std::size_t>(p)][key] = std::move(obj);
 }
 
 std::shared_ptr<void> Runtime::heapGet(PlaceId p, std::uint64_t key) const {
   if (p < 0 || p >= numPlaces()) throw ApgasError("heapGet: no such place");
+  std::lock_guard<std::mutex> lock(heapMutex_);
   const auto& heap = heaps_[static_cast<std::size_t>(p)];
   auto it = heap.find(key);
   return it == heap.end() ? nullptr : it->second;
@@ -359,10 +490,12 @@ std::shared_ptr<void> Runtime::heapGet(PlaceId p, std::uint64_t key) const {
 
 void Runtime::heapErase(PlaceId p, std::uint64_t key) {
   if (p < 0 || p >= numPlaces()) return;
+  std::lock_guard<std::mutex> lock(heapMutex_);
   heaps_[static_cast<std::size_t>(p)].erase(key);
 }
 
 void Runtime::heapEraseAll(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(heapMutex_);
   for (auto& heap : heaps_) heap.erase(key);
 }
 

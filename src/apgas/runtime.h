@@ -1,13 +1,20 @@
-// The simulated APGAS runtime: places, async/finish/at, virtual time,
-// resilient finish bookkeeping, place failure, and per-place heaps.
+// The APGAS runtime facade: places, async/finish/at, time, resilient
+// finish bookkeeping, place failure, and per-place heaps — over one of
+// two interchangeable execution backends (RuntimeConfig::backend):
+//
+//   * Simulated (default): one host thread runs every place on virtual
+//     clocks. Deterministic; the golden oracle for every chaos scenario.
+//   * Threads: each place is a dedicated worker thread with a real MPSC
+//     message inbox, real finish termination detection, and wall-clock
+//     time (src/apgas/threads/threads_backend.h).
 //
 // -------------------------------------------------------------------------
 // Substitution note (see DESIGN.md §2)
 //
 // The paper runs on the X10 runtime: real OS processes ("places"), real
 // sockets, and a resilient `finish` implementation whose bookkeeping
-// messages funnel through place 0. This module substitutes a deterministic
-// in-process simulation:
+// messages funnel through place 0. The simulated backend substitutes a
+// deterministic in-process simulation:
 //
 //   * Places are logical entities with private heaps (Runtime owns a
 //     per-place map from handle id to object). Killing a place destroys its
@@ -24,12 +31,19 @@
 //   * In resilient mode, every finish/task control transition charges a
 //     bookkeeping message that serialises on place 0's clock — the exact
 //     mechanism the paper blames for the resilient-finish overhead.
+//
+// The Threads backend replaces the clocks with wall time and the
+// depth-first schedule with true parallel execution, but keeps the same
+// observable semantics (stats counters, exception classification, heap
+// contents); backend_equivalence_test holds the two to that contract.
 // -------------------------------------------------------------------------
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -38,11 +52,18 @@
 #include "apgas/exceptions.h"
 #include "apgas/place.h"
 #include "apgas/place_group.h"
+#include "apgas/runtime_config.h"
 
 namespace rgml::apgas {
 
+namespace threads {
+class ThreadsBackend;
+}
+
 /// Aggregate counters for one run; used by tests (to assert message
-/// complexity) and by the benchmark harness (ablation data).
+/// complexity) and by the benchmark harness (ablation data). Identical
+/// across backends for the same program — the cross-backend invariant
+/// bench_backend and backend_equivalence_test assert.
 struct RuntimeStats {
   long asyncsSpawned = 0;        ///< tasks spawned via async/asyncAt
   long finishes = 0;             ///< finish scopes entered
@@ -54,14 +75,19 @@ struct RuntimeStats {
 
 class Runtime {
  public:
-  /// (Re)initialise the calling thread's world with `numPlaces` live
-  /// places, a cost model and the finish mode. Destroys the thread's
-  /// previous world; every test and benchmark starts with an init() call.
+  /// (Re)initialise the calling thread's world from `config`. Destroys
+  /// the thread's previous world; every test and benchmark starts with an
+  /// init() call.
   ///
-  /// Worlds are thread-local: each OS thread owns a private simulated
-  /// world (places, heaps, clocks, stats, kill listeners) with zero
-  /// sharing, so independent scenarios can run on a thread pool without
-  /// synchronisation. Use WorldGuard to scope a world to a block.
+  /// Worlds are thread-local: each OS thread owns a private world
+  /// (places, heaps, clocks, stats, kill listeners) with zero sharing
+  /// between worlds, so independent scenarios can run on a thread pool
+  /// without synchronisation. Use WorldGuard to scope a world to a block.
+  /// (A Threads-backend world additionally owns its place worker threads,
+  /// on which Runtime::world() resolves to that world.)
+  static void init(const RuntimeConfig& config);
+
+  /// Legacy spelling: simulated backend.
   static void init(int numPlaces, const CostModel& cm = CostModel{},
                    bool resilientFinish = false);
 
@@ -81,58 +107,62 @@ class Runtime {
   /// one; null clears the slot).
   static void attach(std::unique_ptr<Runtime> world);
 
+  ~Runtime();
+
+  /// Which engine executes this world.
+  [[nodiscard]] Backend backend() const noexcept { return backendKind_; }
+
   // ---- topology -------------------------------------------------------
   /// Total places ever created (live + dead); ids are 0..numPlaces()-1.
-  [[nodiscard]] int numPlaces() const noexcept {
-    return static_cast<int>(clocks_.size());
-  }
+  [[nodiscard]] int numPlaces() const noexcept;
 
   /// Number of currently live places.
-  [[nodiscard]] int numLivePlaces() const noexcept {
-    return numPlaces() - static_cast<int>(dead_.size());
-  }
+  [[nodiscard]] int numLivePlaces() const noexcept;
 
-  [[nodiscard]] bool isDead(PlaceId p) const noexcept {
-    return dead_.contains(p);
-  }
+  [[nodiscard]] bool isDead(PlaceId p) const noexcept;
 
   /// Elastic X10: create `n` fresh places, returning their ids. A new
-  /// place's clock starts at the current global maximum (it "joins now").
+  /// place's clock starts at the current global maximum (it "joins now");
+  /// on the Threads backend a fresh worker thread spins up per place.
+  /// Only call quiescently (no tasks in flight).
   std::vector<PlaceId> addPlaces(int n);
 
   // ---- failure injection ----------------------------------------------
   /// Kill place `p` immediately: marks it dead, destroys its heap, freezes
-  /// its clock, and notifies kill listeners (e.g. snapshot stores, which
-  /// must drop the copies that place held). Killing place 0 throws
-  /// ApgasError: the paper's model assumes place zero is immortal.
+  /// its clock (poisons its inbox on the Threads backend), and notifies
+  /// kill listeners (e.g. snapshot stores, which must drop the copies that
+  /// place held). Killing place 0 throws ApgasError: the paper's model
+  /// assumes place zero is immortal. Thread-safe: concurrent kills
+  /// serialise, and listener fanout runs outside the registration lock.
   void kill(PlaceId p);
 
   /// Registers a callback invoked from kill(p). Returns a token usable
-  /// with removeKillListener.
+  /// with removeKillListener. Thread-safe.
   std::uint64_t addKillListener(std::function<void(PlaceId)> fn);
   void removeKillListener(std::uint64_t token);
 
   /// Hook invoked before every asyncAt dispatch with the running dispatch
   /// count (1-based). FaultInjector uses this to kill a place mid-step.
-  void setDispatchHook(std::function<void(long)> hook) {
-    dispatchHook_ = std::move(hook);
-  }
+  /// Thread-safe; on the Threads backend the hook runs on whichever
+  /// thread spawns, so it must be safe to call concurrently.
+  void setDispatchHook(std::function<void(long)> hook);
 
   /// The running asyncAt dispatch count (1-based, monotonic since init).
   /// FaultInjector converts relative kill offsets into absolute counts
   /// against this value; the chaos harness reads it at iteration
   /// boundaries to enumerate mid-step kill points.
-  [[nodiscard]] long dispatchCount() const noexcept { return dispatchCount_; }
+  [[nodiscard]] long dispatchCount() const noexcept;
 
   // ---- task model -------------------------------------------------------
   /// The place the current task is executing on.
-  [[nodiscard]] Place here() const { return Place(hereStack_.back()); }
+  [[nodiscard]] Place here() const;
 
   /// Runs `body`, waiting for all transitively spawned tasks. Rethrows a
   /// single collected exception as-is; aggregates several into
   /// MultipleExceptions. In resilient mode charges the place-0 bookkeeping
   /// protocol (finish registration, per-task spawn/termination messages,
-  /// final completion ack).
+  /// final completion ack) — simulated on place 0's control clock, or as
+  /// real messages through the Threads backend's control thread.
   void finish(const std::function<void()>& body);
 
   /// Spawns `body` as a task on place `p` within the innermost finish. If
@@ -156,11 +186,14 @@ class Runtime {
     return result;
   }
 
-  // ---- virtual time -----------------------------------------------------
-  [[nodiscard]] double clock(PlaceId p) const { return clocks_.at(p); }
+  // ---- time -------------------------------------------------------------
+  /// Simulated backend: place p's virtual clock. Threads backend: wall
+  /// seconds since world construction (one global clock).
+  [[nodiscard]] double clock(PlaceId p) const;
 
-  /// Virtual time as observed by the main task's home (place 0).
-  [[nodiscard]] double time() const { return clocks_.at(0); }
+  /// Time as observed by the main task's home (place 0): virtual seconds
+  /// (simulated) or wall seconds since construction (Threads).
+  [[nodiscard]] double time() const;
 
   /// Charge dense compute work to the current place's clock.
   void chargeDenseFlops(double flops);
@@ -172,7 +205,9 @@ class Runtime {
   void chargeSerialization(std::uint64_t bytes);
   /// Charge a data message of `bytes` from the current place to `to`
   /// (advances the *current* place's clock by the full transfer time;
-  /// callers model synchronous pulls/pushes).
+  /// callers model synchronous pulls/pushes). On the Threads backend no
+  /// clock exists — the real copy is the cost — but the message/byte
+  /// accounting and comm span are identical.
   void chargeComm(Place to, std::uint64_t bytes);
   /// Count one data message of `bytes` in the stats without advancing any
   /// clock. For collectives that model their critical-path time separately
@@ -180,11 +215,13 @@ class Runtime {
   /// payload transfer exactly once.
   void noteDataTransfer(std::uint64_t bytes);
   /// Explicitly advance the current place's clock (tests, custom costs).
+  /// No-op on the Threads backend: wall time advances itself.
   void advance(double seconds);
 
   [[nodiscard]] const CostModel& costModel() const noexcept { return cm_; }
   [[nodiscard]] bool resilientFinish() const noexcept { return resilient_; }
-  /// Toggle resilient finish (benchmarks flip this between sweeps).
+  /// Toggle resilient finish (benchmarks flip this between sweeps; only
+  /// call quiescently — never while a finish is in flight).
   void setResilientFinish(bool on) noexcept { resilient_ = on; }
 
   /// Stats are a member of the world, not a process-global: Runtime::init
@@ -194,11 +231,13 @@ class Runtime {
   /// sweep scenarios each init their own world, so per-row numbers can
   /// never be inflated by a predecessor (world_isolation_test guards
   /// this).
-  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
-  void resetStats() { stats_ = RuntimeStats{}; }
+  [[nodiscard]] const RuntimeStats& stats() const noexcept;
+  void resetStats();
 
   // ---- per-place heaps (backing store for PLH / GlobalRef) -------------
-  [[nodiscard]] std::uint64_t allocHandleId() { return nextHandle_++; }
+  [[nodiscard]] std::uint64_t allocHandleId() {
+    return nextHandle_.fetch_add(1, std::memory_order_relaxed);
+  }
   void heapPut(PlaceId p, std::uint64_t key, std::shared_ptr<void> obj);
   [[nodiscard]] std::shared_ptr<void> heapGet(PlaceId p,
                                               std::uint64_t key) const;
@@ -207,7 +246,9 @@ class Runtime {
   void heapEraseAll(std::uint64_t key);
 
  private:
-  Runtime(int numPlaces, const CostModel& cm, bool resilient);
+  friend class threads::ThreadsBackend;
+
+  explicit Runtime(const RuntimeConfig& config);
 
   /// A same-place async: with one worker thread per place (the paper runs
   /// X10_NTHREADS=1), it only runs once the spawning task blocks at the
@@ -242,31 +283,55 @@ class Runtime {
 
   void throwCollected(FinishFrame& frame);
 
+  /// Count one asyncAt dispatch and invoke the dispatch hook (a copy, so
+  /// the hook may disarm itself). Shared by both backends' asyncAt.
+  void noteDispatch();
+
+  /// Destroy place p's heap (kill path; locked when the engine runs).
+  void wipeHeap(PlaceId p);
+
+  /// Engine worker threads resolve Runtime::world() through this.
+  static void setBorrowed(Runtime* world) noexcept;
+
   CostModel cm_;
+  Backend backendKind_ = Backend::Simulated;
   bool resilient_ = false;
   double ctrlClock_ = 0.0;  ///< place-0 bookkeeping processor (resilient)
   std::vector<double> clocks_;
   std::unordered_set<PlaceId> dead_;
   std::vector<PlaceId> hereStack_;
   std::vector<FinishFrame> finishStack_;
-  RuntimeStats stats_;
+  /// Engine worlds snapshot their atomic counters into this on stats().
+  mutable RuntimeStats stats_;
 
-  std::uint64_t nextHandle_ = 1;
+  std::atomic<std::uint64_t> nextHandle_{1};
+  /// Guards heaps_ structure and entries; only contended on the Threads
+  /// backend (the simulated world is single-threaded).
+  mutable std::mutex heapMutex_;
   std::vector<std::unordered_map<std::uint64_t, std::shared_ptr<void>>>
       heaps_;
 
+  std::mutex listenerMutex_;  ///< guards killListeners_/nextListener_
   std::uint64_t nextListener_ = 1;
   std::unordered_map<std::uint64_t, std::function<void(PlaceId)>>
       killListeners_;
+  std::mutex killMutex_;  ///< serialises concurrent kill() fanouts
+  std::mutex hookMutex_;  ///< guards dispatchHook_
   std::function<void(long)> dispatchHook_;
-  long dispatchCount_ = 0;
+  std::atomic<long> dispatchCount_{0};
 
   static thread_local std::unique_ptr<Runtime> instance_;
+  static thread_local Runtime* borrowed_;
+
+  /// Present iff backendKind_ == Backend::Threads. Declared last so it is
+  /// destroyed first: the destructor joins the place workers, which may
+  /// still touch the members above until then.
+  std::unique_ptr<threads::ThreadsBackend> engine_;
 };
 
-/// RAII scope for a thread-local simulated world: parks the calling
-/// thread's current world (if any), initialises a fresh one, and restores
-/// the previous world on destruction. A worker thread wraps each unit of
+/// RAII scope for a thread-local world: parks the calling thread's
+/// current world (if any), initialises a fresh one, and restores the
+/// previous world on destruction. A worker thread wraps each unit of
 /// work in a WorldGuard so private heaps, clocks, fault hooks and stats
 /// never leak between jobs — and so an enclosing driver's world survives.
 class WorldGuard {
@@ -275,6 +340,11 @@ class WorldGuard {
                       bool resilientFinish = false)
       : previous_(Runtime::detach()) {
     Runtime::init(numPlaces, cm, resilientFinish);
+  }
+
+  explicit WorldGuard(const RuntimeConfig& config)
+      : previous_(Runtime::detach()) {
+    Runtime::init(config);
   }
 
   /// Park the current world without initialising a new one; the scope

@@ -1,0 +1,56 @@
+// RuntimeConfig: how a world executes — the simulated single-thread
+// backend with virtual clocks (the golden oracle), or the real-threads
+// backend where every place is a dedicated worker thread with a real
+// message queue and wall-clock time (src/apgas/threads/).
+//
+// The two backends expose the identical Runtime API, so framework/,
+// resilient/, gml/ and apps/ run unchanged on either; only *time* and
+// physical parallelism differ. The simulator stays deterministic and is
+// used to check the threaded execution (see tests/backend_equivalence_test
+// and EXPERIMENTS.md "Real-threads backend").
+#pragma once
+
+#include <string>
+
+#include "apgas/cost_model.h"
+
+namespace rgml::apgas {
+
+enum class Backend {
+  /// One host thread simulates every place on virtual clocks
+  /// (deterministic; the default and the golden oracle).
+  Simulated,
+  /// Each place runs on a dedicated worker thread with an MPSC inbox of
+  /// serialized closures, real finish termination detection, and
+  /// wall-clock time. Resilient-finish bookkeeping still serialises
+  /// through a single control thread, reproducing the paper's place-0
+  /// bottleneck in wall-clock.
+  Threads,
+};
+
+[[nodiscard]] inline const char* toString(Backend backend) {
+  return backend == Backend::Threads ? "threads" : "simulated";
+}
+
+/// Parses "simulated" / "threads"; returns false for anything else.
+[[nodiscard]] inline bool parseBackend(const std::string& name,
+                                       Backend& out) {
+  if (name == "simulated") {
+    out = Backend::Simulated;
+    return true;
+  }
+  if (name == "threads") {
+    out = Backend::Threads;
+    return true;
+  }
+  return false;
+}
+
+struct RuntimeConfig {
+  int numPlaces = 1;
+  CostModel costModel;
+  bool resilientFinish = false;
+  Backend backend = Backend::Simulated;
+};
+
+}  // namespace rgml::apgas

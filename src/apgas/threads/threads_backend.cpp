@@ -1,0 +1,543 @@
+#include "apgas/threads/threads_backend.h"
+
+#include <string>
+#include <utility>
+
+#include "apgas/runtime.h"
+#include "obs/trace_sink.h"
+
+namespace rgml::apgas::threads {
+
+namespace {
+/// Generation counter distinguishing engines: a host thread's cached
+/// ThreadCtx belongs to exactly one engine and resets on mismatch, so
+/// worlds created and destroyed back-to-back on one thread (sweep jobs)
+/// can never see each other's finish stacks.
+std::atomic<std::uint64_t> nextEngineId{1};
+}  // namespace
+
+/// Per-OS-thread execution state. `place` is fixed for a thread's
+/// lifetime — the world-owning thread is place 0, each worker its own
+/// place — exactly X10's one-worker-per-place model. The finish stack
+/// tracks which FinishState governs asyncs spawned by the code this
+/// thread is currently running (task messages carry their governing
+/// finish and push it around the body).
+struct ThreadsBackend::ThreadCtx {
+  std::uint64_t engineId = 0;
+  PlaceId place = 0;
+  std::vector<std::shared_ptr<FinishState>> finishStack;
+};
+
+ThreadsBackend::ThreadCtx& ThreadsBackend::ctx() const {
+  thread_local ThreadCtx tls;
+  if (tls.engineId != engineId_) {
+    tls.engineId = engineId_;
+    tls.place = 0;
+    tls.finishStack.clear();
+  }
+  return tls;
+}
+
+ThreadsBackend::ThreadsBackend(Runtime& rt, int numPlaces)
+    : rt_(rt),
+      engineId_(nextEngineId.fetch_add(1, std::memory_order_relaxed)),
+      t0_(std::chrono::steady_clock::now()) {
+  {
+    std::lock_guard<std::mutex> lock(placesMutex_);
+    for (int i = 0; i < numPlaces; ++i) places_.emplace_back();
+    numPlaces_.store(numPlaces, std::memory_order_release);
+  }
+  ctx().place = 0;  // the constructing thread serves place 0
+  for (PlaceId p = 1; p < numPlaces; ++p) startWorker(p);
+  ctrlThread_ = std::thread([this] { ctrlLoop(); });
+}
+
+ThreadsBackend::~ThreadsBackend() {
+  shutdown_.store(true, std::memory_order_release);
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(placesMutex_);
+    for (auto& ps : places_) {
+      wake(ps.inbox);
+      if (ps.worker.joinable()) workers.push_back(std::move(ps.worker));
+    }
+  }
+  for (auto& t : workers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(ctrlMu_);
+    ctrlStop_ = true;
+  }
+  ctrlCv_.notify_all();
+  if (ctrlThread_.joinable()) ctrlThread_.join();
+}
+
+void ThreadsBackend::startWorker(PlaceId p) {
+  place(p).worker = std::thread([this, p] { workerLoop(p); });
+}
+
+ThreadsBackend::PlaceState& ThreadsBackend::place(PlaceId p) const {
+  std::lock_guard<std::mutex> lock(placesMutex_);
+  return places_[static_cast<std::size_t>(p)];
+}
+
+int ThreadsBackend::numLivePlaces() const noexcept {
+  std::lock_guard<std::mutex> lock(placesMutex_);
+  int live = 0;
+  for (const auto& ps : places_) {
+    if (!ps.dead.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+bool ThreadsBackend::isDead(PlaceId p) const noexcept {
+  if (p < 0 || p >= numPlaces()) return false;
+  return place(p).dead.load(std::memory_order_acquire);
+}
+
+Place ThreadsBackend::here() const { return Place(ctx().place); }
+
+double ThreadsBackend::now() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+std::vector<PlaceId> ThreadsBackend::addPlaces(int n) {
+  std::vector<PlaceId> fresh;
+  fresh.reserve(static_cast<std::size_t>(n));
+  {
+    std::lock_guard<std::mutex> lock(placesMutex_);
+    for (int i = 0; i < n; ++i) {
+      fresh.push_back(static_cast<PlaceId>(places_.size()));
+      places_.emplace_back();
+    }
+    numPlaces_.store(static_cast<int>(places_.size()),
+                     std::memory_order_release);
+  }
+  for (PlaceId p : fresh) startWorker(p);
+  return fresh;
+}
+
+// ---- inbox primitives -----------------------------------------------------
+
+bool ThreadsBackend::push(PlaceId p, TaskMsg msg) {
+  PlaceState& ps = place(p);
+  if (ps.dead.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lock(ps.inbox.mu);
+    if (ps.inbox.poisoned) return false;
+    ps.inbox.q.push_back(std::move(msg));
+    ++ps.inbox.epoch;
+  }
+  ps.inbox.cv.notify_all();
+  return true;
+}
+
+void ThreadsBackend::wake(Inbox& in) {
+  {
+    std::lock_guard<std::mutex> lock(in.mu);
+    ++in.epoch;
+  }
+  in.cv.notify_all();
+}
+
+bool ThreadsBackend::drainOne(Inbox& in) {
+  TaskMsg msg;
+  {
+    std::lock_guard<std::mutex> lock(in.mu);
+    if (in.q.empty()) return false;
+    msg = std::move(in.q.front());
+    in.q.pop_front();
+  }
+  execute(msg);
+  return true;
+}
+
+void ThreadsBackend::taskDone(FinishState& fs, Inbox& homeInbox) {
+  bool zero = false;
+  {
+    std::lock_guard<std::mutex> lock(fs.mu);
+    zero = --fs.pending == 0;
+  }
+  if (zero) wake(homeInbox);
+}
+
+void ThreadsBackend::execute(TaskMsg& msg) {
+  // Run under the spawner's sink so spans/metrics land in the right
+  // scenario regardless of which thread executes the closure.
+  obs::SinkScope sinkScope(msg.sink);
+  ThreadCtx& c = ctx();
+
+  if (msg.at) {
+    std::exception_ptr err;
+    if (isDead(msg.target)) {
+      err = std::make_exception_ptr(DeadPlaceException(msg.target));
+    } else {
+      c.finishStack.push_back(msg.fs);  // origin's finish (may be null)
+      try {
+        msg.body();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      c.finishStack.pop_back();
+      if (!err && isDead(msg.target)) {
+        err = std::make_exception_ptr(DeadPlaceException(msg.target));
+      }
+    }
+    std::shared_ptr<AtState> st = msg.at;
+    Inbox& originInbox = place(st->origin).inbox;
+    st->error = err;  // published by the release store below
+    st->done.store(true, std::memory_order_release);
+    wake(originInbox);
+    return;
+  }
+
+  if (isDead(msg.target)) {
+    // The place died between enqueue and pop: the task never runs.
+    std::lock_guard<std::mutex> lock(msg.fs->mu);
+    msg.fs->errors.push_back(
+        std::make_exception_ptr(DeadPlaceException(msg.target)));
+  } else {
+    c.finishStack.push_back(msg.fs);
+    try {
+      msg.body();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(msg.fs->mu);
+      msg.fs->errors.push_back(std::current_exception());
+    }
+    c.finishStack.pop_back();
+    if (isDead(msg.target)) {
+      // Died while running: its heap effects are gone (kill() wiped it)
+      // and the finish must observe the failure.
+      std::lock_guard<std::mutex> lock(msg.fs->mu);
+      msg.fs->errors.push_back(
+          std::make_exception_ptr(DeadPlaceException(msg.target)));
+    } else if (rt_.resilientFinish()) {
+      ctrlSend(CtrlMsg::Terminate);  // task termination bookkeeping
+    }
+  }
+  taskDone(*msg.fs, place(msg.fs->home).inbox);
+}
+
+// ---- blocking waits (cooperative: drain own inbox) ------------------------
+
+void ThreadsBackend::waitFinish(FinishState& fs, Inbox& own) {
+  for (;;) {
+    if (drainOne(own)) continue;
+    std::uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      epoch = own.epoch;
+    }
+    // Epoch captured before the pending check: a completion that lands in
+    // between bumps the epoch past `epoch`, so the wait below returns
+    // immediately instead of sleeping through the wakeup.
+    {
+      std::lock_guard<std::mutex> lock(fs.mu);
+      if (fs.pending == 0) return;
+    }
+    std::unique_lock<std::mutex> lock(own.mu);
+    own.cv.wait(lock, [&] { return own.epoch != epoch; });
+  }
+}
+
+void ThreadsBackend::waitAt(AtState& st, Inbox& own) {
+  for (;;) {
+    if (drainOne(own)) continue;
+    std::uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      epoch = own.epoch;
+    }
+    if (st.done.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(own.mu);
+    own.cv.wait(lock, [&] { return own.epoch != epoch; });
+  }
+}
+
+// ---- task model -----------------------------------------------------------
+
+void ThreadsBackend::finish(const std::function<void()>& body) {
+  ThreadCtx& c = ctx();
+  stats_.finishes.fetch_add(1, std::memory_order_relaxed);
+  auto fs = std::make_shared<FinishState>();
+  fs->home = c.place;
+  const bool resilient = rt_.resilientFinish();
+  if (resilient) ctrlSend(CtrlMsg::Register);  // finish registration
+  c.finishStack.push_back(fs);
+  try {
+    body();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(fs->mu);
+    fs->errors.push_back(std::current_exception());
+  }
+  Inbox& own = place(c.place).inbox;
+  waitFinish(*fs, own);
+  c.finishStack.pop_back();
+  if (resilient) {
+    // The finish cannot complete until the control thread has drained
+    // every spawn/termination message and acknowledged completion — the
+    // paper's place-0 serialisation, now a real blocked wait.
+    const double before = now();
+    AckWaiter waiter;
+    ctrlSend(CtrlMsg::Ack, &waiter);
+    {
+      std::unique_lock<std::mutex> lock(waiter.mu);
+      waiter.cv.wait(lock, [&] { return waiter.done; });
+    }
+    const double after = now();
+    if (auto* sink = obs::TraceSink::current()) {
+      obs::TidScope tidScope(obs::osThreadTag());
+      const double blocked = after - before;
+      sink->addMetric("finish.count");
+      static const std::vector<double> kAckBuckets{1e-6, 1e-5, 1e-4, 1e-3,
+                                                   1e-2, 0.1,  1.0};
+      sink->observeMetric("finish.ack_wait_seconds", kAckBuckets, blocked);
+      long tasks = 0;
+      {
+        std::lock_guard<std::mutex> lock(fs->mu);
+        tasks = fs->tasks;
+      }
+      if (blocked > 0.0) {
+        sink->span(obs::Category::Finish, "finish.ack", -1,
+                   static_cast<int>(fs->home), before, after, 0,
+                   {{"tasks", std::to_string(tasks)}});
+      }
+    }
+  }
+  throwCollected(*fs);
+}
+
+void ThreadsBackend::throwCollected(FinishState& fs) {
+  std::vector<std::exception_ptr> errors;
+  {
+    std::lock_guard<std::mutex> lock(fs.mu);
+    errors = std::move(fs.errors);
+  }
+  if (errors.empty()) return;
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  throw MultipleExceptions(std::move(errors));
+}
+
+void ThreadsBackend::asyncAt(Place p, const std::function<void()>& body) {
+  ThreadCtx& c = ctx();
+  if (c.finishStack.empty() || !c.finishStack.back()) {
+    throw ApgasError("asyncAt outside any finish scope");
+  }
+  rt_.noteDispatch();
+
+  stats_.asyncsSpawned.fetch_add(1, std::memory_order_relaxed);
+  const PlaceId target = p.id();
+  if (target < 0 || target >= numPlaces()) {
+    throw ApgasError("asyncAt: no such place");
+  }
+  std::shared_ptr<FinishState> fs = c.finishStack.back();
+  {
+    std::lock_guard<std::mutex> lock(fs->mu);
+    ++fs->tasks;
+    ++fs->pending;
+  }
+  if (rt_.resilientFinish()) {
+    // Spawn bookkeeping is sent before the dead check, exactly as the
+    // simulator charges it — the message is in flight either way.
+    ctrlSend(CtrlMsg::Spawn);
+  }
+
+  TaskMsg msg;
+  msg.body = body;
+  msg.fs = fs;
+  msg.target = target;
+  msg.sink = obs::TraceSink::current();
+  if (!push(target, std::move(msg))) {
+    // Dead or poisoned: the task never runs; the finish observes the
+    // failure. (A same-place async lands in our own inbox and runs when
+    // this thread blocks — the simulator's deferred-task order.)
+    {
+      std::lock_guard<std::mutex> lock(fs->mu);
+      fs->errors.push_back(
+          std::make_exception_ptr(DeadPlaceException(target)));
+    }
+    taskDone(*fs, place(fs->home).inbox);
+  }
+}
+
+void ThreadsBackend::at(Place p, const std::function<void()>& body) {
+  const PlaceId target = p.id();
+  if (target < 0 || target >= numPlaces()) {
+    throw ApgasError("at: no such place");
+  }
+  ThreadCtx& c = ctx();
+  if (target == c.place) {
+    if (isDead(target)) throw DeadPlaceException(target);
+    body();
+    if (isDead(target)) throw DeadPlaceException(target);
+    return;
+  }
+  if (isDead(target)) throw DeadPlaceException(target);
+
+  auto st = std::make_shared<AtState>();
+  st->origin = c.place;
+  TaskMsg msg;
+  msg.body = body;
+  msg.fs = c.finishStack.empty() ? nullptr : c.finishStack.back();
+  msg.at = st;
+  msg.target = target;
+  msg.sink = obs::TraceSink::current();
+  if (!push(target, std::move(msg))) throw DeadPlaceException(target);
+  waitAt(*st, place(c.place).inbox);
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+// ---- failure --------------------------------------------------------------
+
+bool ThreadsBackend::kill(PlaceId p) {
+  PlaceState& ps = place(p);
+  if (ps.dead.exchange(true, std::memory_order_acq_rel)) return false;
+  rt_.wipeHeap(p);
+  stats_.placesKilled.fetch_add(1, std::memory_order_relaxed);
+  if (auto* sink = obs::TraceSink::current()) {
+    obs::TidScope tidScope(obs::osThreadTag());
+    sink->instant(obs::Category::Kill, "kill", -1, static_cast<int>(p),
+                  now(), 0, {{"victim", std::to_string(p)}});
+    sink->addMetric("runtime.places_killed");
+  }
+  // Poison and drain the inbox: queued work completes exceptionally with
+  // DeadPlaceException (GASPI-style failure notification — senders learn
+  // through their finish/at, listeners through Runtime::kill's fanout),
+  // and the place's worker exits once it observes the poisoned, empty
+  // queue.
+  std::deque<TaskMsg> orphans;
+  {
+    std::lock_guard<std::mutex> lock(ps.inbox.mu);
+    ps.inbox.poisoned = true;
+    orphans.swap(ps.inbox.q);
+    ++ps.inbox.epoch;
+  }
+  ps.inbox.cv.notify_all();
+  for (TaskMsg& msg : orphans) {
+    if (msg.at) {
+      msg.at->error =
+          std::make_exception_ptr(DeadPlaceException(msg.target));
+      msg.at->done.store(true, std::memory_order_release);
+      wake(place(msg.at->origin).inbox);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(msg.fs->mu);
+        msg.fs->errors.push_back(
+            std::make_exception_ptr(DeadPlaceException(msg.target)));
+      }
+      taskDone(*msg.fs, place(msg.fs->home).inbox);
+    }
+  }
+  return true;
+}
+
+// ---- accounting -----------------------------------------------------------
+
+void ThreadsBackend::chargeComm(Place to, std::uint64_t bytes) {
+  ThreadCtx& c = ctx();
+  if (isDead(c.place)) return;
+  if (to.id() == c.place) return;  // local copy: no message
+  stats_.dataMsgs.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytesSent.fetch_add(bytes, std::memory_order_relaxed);
+  if (auto* sink = obs::TraceSink::current()) {
+    obs::TidScope tidScope(obs::osThreadTag());
+    const double t = now();
+    sink->span(obs::Category::Comms, "comm", -1, static_cast<int>(c.place),
+               t, t, bytes, {{"to", std::to_string(to.id())}});
+    sink->addMetric("comms.data_msgs");
+    sink->addMetric("comms.bytes_sent", bytes);
+  }
+}
+
+void ThreadsBackend::noteDataTransfer(std::uint64_t bytes) {
+  stats_.dataMsgs.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytesSent.fetch_add(bytes, std::memory_order_relaxed);
+  if (auto* sink = obs::TraceSink::current()) {
+    obs::TidScope tidScope(obs::osThreadTag());
+    sink->instant(obs::Category::Comms, "data-transfer", -1,
+                  static_cast<int>(ctx().place), now(), bytes);
+    sink->addMetric("comms.data_msgs");
+    sink->addMetric("comms.bytes_sent", bytes);
+  }
+}
+
+void ThreadsBackend::snapshotStats(RuntimeStats& out) const {
+  out.asyncsSpawned = stats_.asyncsSpawned.load(std::memory_order_relaxed);
+  out.finishes = stats_.finishes.load(std::memory_order_relaxed);
+  out.bookkeepingMsgs =
+      stats_.bookkeepingMsgs.load(std::memory_order_relaxed);
+  out.dataMsgs = stats_.dataMsgs.load(std::memory_order_relaxed);
+  out.bytesSent = stats_.bytesSent.load(std::memory_order_relaxed);
+  out.placesKilled = stats_.placesKilled.load(std::memory_order_relaxed);
+}
+
+void ThreadsBackend::resetStats() {
+  stats_.asyncsSpawned.store(0, std::memory_order_relaxed);
+  stats_.finishes.store(0, std::memory_order_relaxed);
+  stats_.bookkeepingMsgs.store(0, std::memory_order_relaxed);
+  stats_.dataMsgs.store(0, std::memory_order_relaxed);
+  stats_.bytesSent.store(0, std::memory_order_relaxed);
+  stats_.placesKilled.store(0, std::memory_order_relaxed);
+}
+
+// ---- threads --------------------------------------------------------------
+
+void ThreadsBackend::ctrlLoop() {
+  // The stand-in for the place-0 finish bookkeeper: one thread drains
+  // every Register/Spawn/Terminate message and answers Acks. No
+  // artificial per-message delay is added — the serialisation through
+  // this single queue *is* the measured cost.
+  obs::TidScope tidScope(obs::osThreadTag());
+  for (;;) {
+    CtrlMsg msg;
+    {
+      std::unique_lock<std::mutex> lock(ctrlMu_);
+      ctrlCv_.wait(lock, [&] { return !ctrlQ_.empty() || ctrlStop_; });
+      if (ctrlQ_.empty()) return;
+      msg = ctrlQ_.front();
+      ctrlQ_.pop_front();
+    }
+    if (msg.waiter != nullptr) {
+      // Notify while holding the waiter's mutex: the waiter lives on the
+      // acking thread's stack and is destroyed the moment wait() returns,
+      // so an unlocked notify could touch a dead condition_variable. The
+      // waiter cannot leave cv.wait until this lock is released.
+      std::lock_guard<std::mutex> lock(msg.waiter->mu);
+      msg.waiter->done = true;
+      msg.waiter->cv.notify_all();
+    }
+  }
+}
+
+void ThreadsBackend::ctrlSend(CtrlMsg::Kind kind, AckWaiter* waiter) {
+  stats_.bookkeepingMsgs.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ctrlMu_);
+    ctrlQ_.push_back(CtrlMsg{kind, waiter});
+  }
+  ctrlCv_.notify_all();
+}
+
+void ThreadsBackend::workerLoop(PlaceId p) {
+  // Application code on this thread resolves Runtime::world() to the
+  // world that owns this engine.
+  Runtime::setBorrowed(&rt_);
+  ThreadCtx& c = ctx();
+  c.place = p;
+  obs::TidScope tidScope(obs::osThreadTag());
+  Inbox& in = place(p).inbox;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(in.mu);
+      in.cv.wait(lock, [&] {
+        return !in.q.empty() || in.poisoned ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+      if (in.q.empty()) break;  // poisoned or shut down
+    }
+    drainOne(in);
+  }
+  Runtime::setBorrowed(nullptr);
+}
+
+}  // namespace rgml::apgas::threads

@@ -1,0 +1,201 @@
+// The real-threads APGAS backend (RuntimeConfig::backend == Threads).
+//
+// Where the simulated backend (src/apgas/runtime.cpp) runs every place on
+// one host thread with virtual clocks, this engine gives each place a
+// dedicated OS worker thread and a real MPSC inbox of serialized
+// closures, modelled on GASPI-style async one-sided communication with
+// explicit failure notification:
+//
+//   * asyncAt(p) enqueues the closure into p's inbox; p's worker pops and
+//     runs it. A same-place async goes through the spawner's own inbox,
+//     so it runs only once the spawner blocks — the same deferred-to-the-
+//     finish-boundary order the simulator (and X10 with one worker per
+//     place) produces.
+//   * finish uses real termination detection: a per-finish atomic task
+//     counter plus condition-variable wakeups. A thread blocked in finish
+//     (or at) cooperatively drains its own place's inbox, so nested
+//     place-shift chains cannot deadlock.
+//   * In resilient mode every finish/task control transition enqueues a
+//     bookkeeping message to a single control thread (the stand-in for
+//     the place-0 finish bookkeeper), and finish completion blocks on a
+//     real ack through that queue — the paper's place-0 serialisation
+//     bottleneck, now measured in wall-clock (finish.ack_wait_seconds).
+//   * kill(p) = mark dead, wipe the heap, then poison-and-drain p's
+//     inbox: queued tasks complete exceptionally with DeadPlaceException
+//     and p's worker exits. Failure notification fans out to registered
+//     kill listeners via Runtime::kill.
+//
+// Time is wall-clock (seconds since world construction) and spans carry
+// real OS thread tags; nothing about timing is deterministic. Everything
+// about *semantics* (stats counters, exception classification, heap
+// contents) is expected to match the simulator — backend_equivalence_test
+// and bench_backend assert exactly that.
+//
+// Threading contract: application code (finish/asyncAt/at) may only run
+// on the world-owning thread (which doubles as place 0's worker) or on
+// the engine's own place threads. Foreign threads may call kill(),
+// add/removeKillListener() and the stats accessors — kill_race_test
+// hammers precisely that surface.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apgas/place.h"
+
+namespace rgml::obs {
+class TraceSink;
+}
+
+namespace rgml::apgas {
+class Runtime;
+struct RuntimeStats;
+}  // namespace rgml::apgas
+
+namespace rgml::apgas::threads {
+
+class ThreadsBackend {
+ public:
+  /// Spawns worker threads for places 1..numPlaces-1 (the constructing
+  /// thread serves place 0) plus the control thread.
+  ThreadsBackend(Runtime& rt, int numPlaces);
+  ~ThreadsBackend();
+
+  ThreadsBackend(const ThreadsBackend&) = delete;
+  ThreadsBackend& operator=(const ThreadsBackend&) = delete;
+
+  // ---- topology / time ------------------------------------------------
+  [[nodiscard]] int numPlaces() const noexcept {
+    return numPlaces_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int numLivePlaces() const noexcept;
+  [[nodiscard]] bool isDead(PlaceId p) const noexcept;
+  [[nodiscard]] Place here() const;
+  /// Wall-clock seconds since world construction.
+  [[nodiscard]] double now() const noexcept;
+  std::vector<PlaceId> addPlaces(int n);
+
+  // ---- task model -----------------------------------------------------
+  void finish(const std::function<void()>& body);
+  void asyncAt(Place p, const std::function<void()>& body);
+  void at(Place p, const std::function<void()>& body);
+
+  /// Marks p dead, wipes its heap, poisons its inbox (queued tasks fail
+  /// with DeadPlaceException) and lets its worker exit. Returns false if
+  /// p was already dead. Listener fanout is Runtime::kill's job.
+  bool kill(PlaceId p);
+
+  // ---- accounting -----------------------------------------------------
+  void chargeComm(Place to, std::uint64_t bytes);
+  void noteDataTransfer(std::uint64_t bytes);
+  void snapshotStats(RuntimeStats& out) const;
+  void resetStats();
+
+ private:
+  struct FinishState {
+    PlaceId home = 0;
+    std::mutex mu;
+    long pending = 0;  ///< spawned, not yet completed
+    long tasks = 0;    ///< total spawned (ack span annotation)
+    std::vector<std::exception_ptr> errors;
+  };
+
+  /// One synchronous at() shift in flight.
+  struct AtState {
+    PlaceId origin = 0;
+    std::exception_ptr error;          // written before done is released
+    std::atomic<bool> done{false};
+  };
+
+  struct TaskMsg {
+    std::function<void()> body;
+    std::shared_ptr<FinishState> fs;   // governing finish (null: bare at)
+    std::shared_ptr<AtState> at;       // non-null for at() shifts
+    obs::TraceSink* sink = nullptr;    // spawner's sink, installed to run
+    PlaceId target = 0;
+  };
+
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<TaskMsg> q;
+    std::uint64_t epoch = 0;  ///< bumps on push/poison/wake
+    bool poisoned = false;
+  };
+
+  struct PlaceState {
+    Inbox inbox;
+    std::atomic<bool> dead{false};
+    std::thread worker;  // default-constructed for place 0 (the owner)
+  };
+
+  struct AckWaiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct CtrlMsg {
+    enum Kind { Register, Spawn, Terminate, Ack } kind = Register;
+    AckWaiter* waiter = nullptr;
+  };
+
+  struct AtomicStats {
+    std::atomic<long> asyncsSpawned{0};
+    std::atomic<long> finishes{0};
+    std::atomic<long> bookkeepingMsgs{0};
+    std::atomic<long> dataMsgs{0};
+    std::atomic<long> placesKilled{0};
+    std::atomic<std::uint64_t> bytesSent{0};
+  };
+
+  struct ThreadCtx;
+  [[nodiscard]] ThreadCtx& ctx() const;
+
+  [[nodiscard]] PlaceState& place(PlaceId p) const;
+  /// Enqueue into p's inbox; false if p is dead/poisoned.
+  bool push(PlaceId p, TaskMsg msg);
+  static void wake(Inbox& in);
+  /// Pop-and-execute one message from `in`; false if it was empty.
+  bool drainOne(Inbox& in);
+  void execute(TaskMsg& msg);
+  static void taskDone(FinishState& fs, Inbox& homeInbox);
+  /// Drain own inbox until fs has no pending tasks.
+  void waitFinish(FinishState& fs, Inbox& own);
+  /// Drain own inbox until the at() shift completes.
+  void waitAt(AtState& st, Inbox& own);
+  static void throwCollected(FinishState& fs);
+
+  void ctrlSend(CtrlMsg::Kind kind, AckWaiter* waiter = nullptr);
+  void ctrlLoop();
+  void workerLoop(PlaceId p);
+  void startWorker(PlaceId p);
+
+  Runtime& rt_;
+  const std::uint64_t engineId_;
+  const std::chrono::steady_clock::time_point t0_;
+  std::atomic<int> numPlaces_{0};
+  /// deque: PlaceState holds a mutex/cv/thread and must never move;
+  /// structural access (growth, indexing) is guarded by placesMutex_.
+  mutable std::mutex placesMutex_;
+  mutable std::deque<PlaceState> places_;
+  mutable AtomicStats stats_;
+
+  std::mutex ctrlMu_;
+  std::condition_variable ctrlCv_;
+  std::deque<CtrlMsg> ctrlQ_;
+  bool ctrlStop_ = false;
+  std::thread ctrlThread_;
+
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace rgml::apgas::threads

@@ -137,10 +137,11 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         app.step();
         if (sink != nullptr) {
           sink->close(stepSpan, rt.time(), 0, {{"mode", modeName}});
-          sink->metrics().add("executor.steps");
-          sink->metrics()
-              .histogram("executor.step_seconds", kSecondsBuckets)
-              .observe(rt.time() - s0);
+          // Locked helpers: Threads-backend workers may be recording into
+          // the same sink concurrently.
+          sink->addMetric("executor.steps");
+          sink->observeMetric("executor.step_seconds", kSecondsBuckets,
+                              rt.time() - s0);
         }
       }
       record(TraceEvent::Kind::Step, iter + 1, s0, rt.time());
@@ -171,10 +172,9 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         }
         if (sink != nullptr) {
           sink->close(ckptSpan, rt.time(), 0, {{"mode", modeName}});
-          sink->metrics().add("executor.checkpoints");
-          sink->metrics()
-              .histogram("executor.checkpoint_seconds", kSecondsBuckets)
-              .observe(rt.time() - c0);
+          sink->addMetric("executor.checkpoints");
+          sink->observeMetric("executor.checkpoint_seconds",
+                              kSecondsBuckets, rt.time() - c0);
         }
         record(TraceEvent::Kind::Checkpoint, iter, c0, rt.time());
         stats.checkpointTime += rt.time() - c0;
@@ -204,15 +204,15 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
         }
         record(TraceEvent::Kind::Failure, iter, r0, r0, victim);
         iter = handleFailure(app, injector);
+        stats.lastRestoredTo = iter;
         if (sink != nullptr) {
           sink->close(restoreSpan, rt.time(), 0,
                       {{"mode", modeName},
                        {"victim", std::to_string(victim)},
                        {"restored_to", std::to_string(iter)}});
-          sink->metrics().add("executor.failures");
-          sink->metrics()
-              .histogram("executor.restore_seconds", kSecondsBuckets)
-              .observe(rt.time() - r0);
+          sink->addMetric("executor.failures");
+          sink->observeMetric("executor.restore_seconds", kSecondsBuckets,
+                              rt.time() - r0);
         }
       }
       record(TraceEvent::Kind::Restore, iter, r0, rt.time(), victim);

@@ -143,12 +143,17 @@ struct ExecutorConfig {
   bool checkpointAfterRestore = false;
 };
 
-/// Outcome of one executor run, in simulated seconds.
+/// Outcome of one executor run. Times are in the backend's clock domain:
+/// simulated seconds on the Simulated backend, wall seconds on Threads.
 struct RunStats {
   long stepsExecuted = 0;        ///< total step() calls (incl. re-executed)
   long iterationsCompleted = 0;  ///< logical iterations at termination
   long checkpointsTaken = 0;
   long failuresHandled = 0;
+  /// Checkpoint iteration the most recent successful restore rolled back
+  /// to; -1 when the run handled no failure. Backend-independent — the
+  /// equivalence harness asserts it matches across Simulated and Threads.
+  long lastRestoredTo = -1;
   double totalTime = 0.0;
   double checkpointTime = 0.0;
   double restoreTime = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "apgas/runtime.h"
 #include "gml/collectives.h"
@@ -194,8 +195,19 @@ void DistVector::mult(const DistBlockMatrix& A, const DupVector& x) {
         }
         auto seg = plh_.atPlace(owner.id());
         if (!seg) throw apgas::DeadPlaceException(owner.id());
-        for (long g = g0; g < g1; ++g) {
-          (*seg)[g - segOffset(s)] += tmp[g - r0];
+        {
+          // On the Threads backend several matrix places scatter-add into
+          // the same owner segment concurrently; serialise the += so the
+          // accumulation is race-free. The combine ORDER still depends on
+          // thread scheduling there, so the unaligned path is not
+          // bit-reproducible across backends — the apps keep their
+          // matrices row-aligned and take the fast path above, which
+          // writes only place-local segments.
+          static std::mutex scatterMu;
+          std::lock_guard<std::mutex> lock(scatterMu);
+          for (long g = g0; g < g1; ++g) {
+            (*seg)[g - segOffset(s)] += tmp[g - r0];
+          }
         }
         rt.chargeDenseFlops(static_cast<double>(g1 - g0));
       }

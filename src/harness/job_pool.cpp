@@ -1,12 +1,28 @@
 #include "harness/job_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace rgml::harness {
 
 std::size_t defaultJobCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t threadBudgetedJobs(std::size_t requested,
+                               std::size_t threadsPerJob) {
+  std::size_t budget = defaultJobCount();
+  if (const char* env = std::getenv("RGML_JOBS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      budget = static_cast<std::size_t>(parsed);
+    }
+  }
+  const std::size_t perJob = std::max<std::size_t>(1, threadsPerJob);
+  const std::size_t fit = std::max<std::size_t>(1, budget / perJob);
+  return std::max<std::size_t>(1, std::min(requested, fit));
 }
 
 JobPool::JobPool(std::size_t threads) {

@@ -35,6 +35,17 @@ namespace rgml::harness {
 /// Job count to use when the user asked for "all cores".
 [[nodiscard]] std::size_t defaultJobCount();
 
+/// Clamp a requested sweep job count to the machine's thread budget when
+/// every job owns `threadsPerJob` OS threads (the Threads backend spawns
+/// one worker per place plus a control thread per world, so J concurrent
+/// jobs hold J * threadsPerJob threads alive). The budget is the RGML_JOBS
+/// environment variable when set (> 0), else defaultJobCount(). Always
+/// returns at least 1 — oversubscription degrades to fewer concurrent
+/// worlds, never to a deadlock (a blocked place thread drains its own
+/// inbox, so a single world makes progress on any thread count).
+[[nodiscard]] std::size_t threadBudgetedJobs(std::size_t requested,
+                                             std::size_t threadsPerJob);
+
 class JobPool {
  public:
   /// Spawns `threads` workers (>= 1; pass defaultJobCount() for all

@@ -265,4 +265,26 @@ std::string summarize(const SweepResult& result) {
   return os.str();
 }
 
+namespace {
+const char* reconvergenceBucket(long iters) {
+  if (iters < 0) return "n/a";
+  if (iters == 0) return "0";
+  if (iters <= 2) return "1-2";
+  if (iters <= 8) return "3-8";
+  return ">8";
+}
+}  // namespace
+
+std::string classificationReport(const SweepResult& result) {
+  std::ostringstream os;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    os << toString(o.app) << '|' << toString(o.schedule.mode) << '|'
+       << o.schedule.describe() << '|' << toString(o.kind)
+       << "|failures=" << o.failuresHandled
+       << "|restored_to=" << o.restoredTo
+       << "|reconv=" << reconvergenceBucket(o.reconvergeIterations) << '\n';
+  }
+  return os.str();
+}
+
 }  // namespace rgml::harness

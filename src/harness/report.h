@@ -45,6 +45,19 @@ void writeJsonReport(const SweepResult& result, std::ostream& os);
 /// One-paragraph human summary (CLI output, test failure messages).
 [[nodiscard]] std::string summarize(const SweepResult& result);
 
+/// The backend-equivalence classification report: one line per scenario,
+/// in scenario order —
+///
+///   app|mode|schedule|kind|failures=N|restored_to=N|reconv=<bucket>
+///
+/// with reconvergence bucketed (n/a, 0, 1-2, 3-8, >8) so lossy restarts
+/// compare on the paper-relevant magnitude rather than the exact count.
+/// Deliberately omits every wall- or detail-dependent field (restore_ms,
+/// total_ms, exception texts, first_divergent_iteration): a Simulated and
+/// a Threads sweep of the same corpus must produce byte-identical
+/// reports, and the backend_equivalence_test asserts exactly that.
+[[nodiscard]] std::string classificationReport(const SweepResult& result);
+
 /// One Chrome-trace lane per scenario that captured spans: pid is the
 /// 1-based scenario index, the lane name is "<app> <schedule>", and tids
 /// within the lane are the emitting places. Empty when the sweep ran

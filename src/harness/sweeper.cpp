@@ -48,9 +48,12 @@ ChaosSweeper::ChaosSweeper(SweepOptions options)
   }
 }
 
-void ChaosSweeper::initWorld() {
-  Runtime::init(static_cast<int>(options_.places + options_.spares),
-                apgas::CostModel{}, /*resilientFinish=*/true);
+void ChaosSweeper::initWorld(apgas::Backend backend) {
+  apgas::RuntimeConfig config;
+  config.numPlaces = static_cast<int>(options_.places + options_.spares);
+  config.resilientFinish = true;
+  config.backend = backend;
+  Runtime::init(config);
 }
 
 std::vector<apgas::PlaceId> ChaosSweeper::spareIds() const {
@@ -67,7 +70,9 @@ const GoldenRun& ChaosSweeper::golden(AppKind app) {
   std::lock_guard lock(goldenMutex_);
   auto it = golden_.find(app);
   if (it == golden_.end()) {
-    initWorld();
+    // The oracle is always the deterministic simulator, even when the
+    // scenarios themselves run on the Threads backend.
+    initWorld(apgas::Backend::Simulated);
     ChaosAppConfig cfg{options_.iterations, options_.seed};
     it = golden_
              .emplace(app, runGolden(app, cfg, options_.places,
@@ -137,7 +142,7 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
   out.app = app;
   out.schedule = schedule;
 
-  initWorld();
+  initWorld(options_.backend);
   ChaosAppConfig cfg{options_.iterations, options_.seed};
   auto chaos =
       options_.appFactory(app, cfg, PlaceGroup::firstPlaces(options_.places));
@@ -198,6 +203,7 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
     const framework::RunStats stats = executor.run(chaos->app(), &injector);
     obs::TraceSink::swap(nullptr);  // stop capture; scope restores later
     out.failuresHandled = stats.failuresHandled;
+    out.restoredTo = stats.lastRestoredTo;
     out.restoreMs = stats.restoreTime * 1000.0;
     out.totalMs = stats.totalTime * 1000.0;
 
@@ -363,6 +369,14 @@ SweepResult ChaosSweeper::run() {
   SweepResult result;
   result.options = options_;
   result.jobsUsed = std::max<std::size_t>(1, options_.jobs);
+  if (options_.backend == apgas::Backend::Threads) {
+    // Every concurrent Threads-backend world holds places+spares-1 place
+    // workers plus a control thread alive in addition to the sweep job
+    // thread itself; clamp the fan-out so J worlds fit the machine's
+    // thread budget (RGML_JOBS overrides) instead of oversubscribing.
+    result.jobsUsed = threadBudgetedJobs(
+        result.jobsUsed, options_.places + options_.spares + 1);
+  }
   for (framework::RestoreMode mode : options_.modes) {
     result.worstRestoreMs[toString(mode)] = 0.0;
   }

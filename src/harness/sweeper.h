@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "apgas/runtime_config.h"
 #include "harness/golden.h"
 #include "harness/schedule.h"
 #include "obs/metrics.h"
@@ -63,6 +64,10 @@ struct ScenarioOutcome {
   std::string detail;              ///< first difference / exception text
   long firstDivergentIteration = -1;  ///< from the diagnosis rerun; -1 n/a
   long failuresHandled = 0;
+  /// Iteration the executor rolled back to on the run's LAST handled
+  /// failure (-1 = no failure). Backend-independent — the equivalence
+  /// harness asserts Simulated and Threads agree on it.
+  long restoredTo = -1;
   /// Lossy checkpoint modes only: extra iterations stepped after the
   /// nominal run for the app's convergence metric to return to the golden
   /// final level (0 = already there at termination; -1 = not measured —
@@ -126,6 +131,14 @@ struct SweepOptions {
   /// tails, writeChromeTrace, writeMetricsJson).
   bool captureTraces = false;
   double tolerance = 1e-6;
+  /// Execution backend for the scenario runs. The golden (failure-free)
+  /// oracle ALWAYS runs on the simulated backend regardless of this
+  /// setting, so a Threads sweep is checked against the deterministic
+  /// reference. Note: dispatch-kill offsets (midStepKills) fire at a
+  /// racy point under Threads — their *classification* stays meaningful
+  /// but scenario-to-scenario placement is no longer reproducible, so
+  /// cross-backend equivalence corpora stick to iteration/restore kills.
+  apgas::Backend backend = apgas::Backend::Simulated;
   /// Step budget = stepBudgetFactor * iterations (+ a constant slack);
   /// exceeded = NonTermination.
   long stepBudgetFactor = 10;
@@ -199,7 +212,7 @@ class ChaosSweeper {
   /// runScenario calls are safe; run() warms the cache serially before
   /// fanning out, making worker accesses pure reads.
   const GoldenRun& golden(AppKind app);
-  void initWorld();
+  void initWorld(apgas::Backend backend);
   [[nodiscard]] std::vector<apgas::PlaceId> spareIds() const;
 
   SweepOptions options_;

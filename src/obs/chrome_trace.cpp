@@ -57,6 +57,12 @@ void writeChromeTrace(const std::vector<TraceLane>& lanes,
       if (!s.phase.empty()) {
         os << ", \"phase\": \"" << jsonEscape(s.phase) << '"';
       }
+      if (s.tid >= 0) {
+        // The chrome "tid" field above stays = place (trace_load maps it
+        // back into Span::place); the real OS thread tag from the Threads
+        // backend rides along as an annotation instead.
+        os << ", \"tid\": \"" << s.tid << '"';
+      }
       for (const auto& [key, value] : s.args) {
         os << ", \"" << jsonEscape(key) << "\": \"" << jsonEscape(value)
            << '"';

@@ -1,11 +1,13 @@
 // Span: the unit of the unified observability layer (src/obs/).
 //
-// A span is one timed interval of work in the simulated execution — an
-// executor step, a store save, a restore path, a data message — tagged
-// with the category, logical iteration, place, payload bytes, and
-// free-form key/value annotations (restore mode, victim place, code
-// path). Spans carry *simulated* time only: no wall-clock field exists,
-// so a captured trace is bit-identical across job counts and machines.
+// A span is one timed interval of work in one execution — an executor
+// step, a store save, a restore path, a data message — tagged with the
+// category, logical iteration, place, payload bytes, and free-form
+// key/value annotations (restore mode, victim place, code path). Span
+// times are in the owning backend's clock domain: simulated seconds on
+// the Simulated backend (bit-identical across job counts and machines),
+// real wall-clock seconds on the Threads backend, where spans also carry
+// the emitting OS thread's tag in `tid` (see obs::TidScope).
 //
 // The obs module depends on nothing but the standard library; every
 // layer of the system (apgas runtime, resilient store, GML matrices,
@@ -45,6 +47,11 @@ struct Span {
   std::string name;        ///< e.g. "step", "store.save", "comm"
   long iteration = -1;     ///< logical iteration; -1 when not applicable
   int place = -1;          ///< emitting place; -1 when not place-bound
+  /// Process-unique tag of the emitting OS thread (obs::osThreadTag),
+  /// stamped by the sink from the active TidScope. -1 on the simulated
+  /// backend, where all places share one host thread and a real thread
+  /// id would break cross-machine trace determinism.
+  int tid = -1;
   double startTime = 0.0;  ///< simulated seconds
   double endTime = 0.0;    ///< simulated seconds (== startTime: instant)
   std::uint64_t bytes = 0; ///< payload bytes attributed to this span

@@ -1,12 +1,27 @@
 #include "obs/trace_sink.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace rgml::obs {
 
 namespace {
 thread_local TraceSink* currentSink = nullptr;
+/// The tag TidScope installs; spans record it. -1 = no scope active.
+thread_local int currentTid = -1;
 }  // namespace
+
+int osThreadTag() noexcept {
+  static std::atomic<int> nextTag{0};
+  thread_local int tag = nextTag.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+TidScope::TidScope(int tag) noexcept : previous_(currentTid) {
+  currentTid = tag;
+}
+
+TidScope::~TidScope() { currentTid = previous_; }
 
 TraceSink* TraceSink::current() noexcept { return currentSink; }
 
@@ -24,12 +39,14 @@ void TraceSink::span(Category category, std::string name, long iteration,
   s.name = std::move(name);
   s.iteration = iteration;
   s.place = place;
+  s.tid = currentTid;
   s.startTime = startTime;
   s.endTime = endTime;
   s.bytes = bytes;
-  s.depth = static_cast<int>(openStack_.size());
-  s.phase = currentPhase();
   s.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.depth = static_cast<int>(openStack_.size());
+  s.phase = phaseStack_.empty() ? std::string{} : phaseStack_.back();
   spans_.push_back(std::move(s));
 }
 
@@ -47,10 +64,12 @@ std::size_t TraceSink::open(Category category, std::string name,
   s.name = std::move(name);
   s.iteration = iteration;
   s.place = place;
+  s.tid = currentTid;
   s.startTime = startTime;
   s.endTime = startTime;  // placeholder: unclosed spans export as instants
+  std::lock_guard<std::mutex> lock(mu_);
   s.depth = static_cast<int>(openStack_.size());
-  s.phase = currentPhase();
+  s.phase = phaseStack_.empty() ? std::string{} : phaseStack_.back();
   spans_.push_back(std::move(s));
   const std::size_t id = spans_.size() - 1;
   openStack_.push_back(id);
@@ -59,6 +78,7 @@ std::size_t TraceSink::open(Category category, std::string name,
 
 void TraceSink::close(std::size_t id, double endTime, std::uint64_t bytes,
                       Args args) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= spans_.size()) return;
   Span& s = spans_[id];
   s.endTime = endTime;
@@ -69,6 +89,7 @@ void TraceSink::close(std::size_t id, double endTime, std::uint64_t bytes,
 }
 
 void TraceSink::abandonOpen(double endTime) {
+  std::lock_guard<std::mutex> lock(mu_);
   while (!openStack_.empty()) {
     const std::size_t id = openStack_.back();
     openStack_.pop_back();
@@ -79,19 +100,38 @@ void TraceSink::abandonOpen(double endTime) {
 }
 
 void TraceSink::pushPhase(std::string phase) {
+  std::lock_guard<std::mutex> lock(mu_);
   phaseStack_.push_back(std::move(phase));
 }
 
 void TraceSink::popPhase() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!phaseStack_.empty()) phaseStack_.pop_back();
 }
 
 const std::string& TraceSink::currentPhase() const noexcept {
+  // Phases are pushed/popped only by the thread driving the executor, so
+  // reading the innermost label from that same thread needs no lock (and
+  // returning a reference under one would not help a cross-thread reader
+  // anyway — those read Span::phase, stamped under the lock in span()).
   static const std::string kNone;
   return phaseStack_.empty() ? kNone : phaseStack_.back();
 }
 
+void TraceSink::addMetric(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.add(name, delta);
+}
+
+void TraceSink::observeMetric(const std::string& name,
+                              const std::vector<double>& buckets,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.histogram(name, buckets).observe(value);
+}
+
 void TraceSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
   openStack_.clear();
   phaseStack_.clear();

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,27 @@
 #include "obs/span.h"
 
 namespace rgml::obs {
+
+/// A small process-unique tag for the calling OS thread (0, 1, 2, ... in
+/// first-call order). Stable for the thread's lifetime; used instead of
+/// std::thread::id so traces carry compact, human-readable thread tags.
+[[nodiscard]] int osThreadTag() noexcept;
+
+/// RAII: stamps every span the calling thread records (on any sink)
+/// with `tag` until destruction. The Threads backend opens one per
+/// worker/ctrl thread and around its main-thread entry points; the
+/// simulated backend never opens one, so its spans keep tid = -1 and
+/// stay bit-identical across machines.
+class TidScope {
+ public:
+  explicit TidScope(int tag) noexcept;
+  TidScope(const TidScope&) = delete;
+  TidScope& operator=(const TidScope&) = delete;
+  ~TidScope();
+
+ private:
+  int previous_;
+};
 
 class TraceSink {
  public:
@@ -76,14 +98,30 @@ class TraceSink {
   [[nodiscard]] const std::string& currentPhase() const noexcept;
 
   [[nodiscard]] std::size_t openCount() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
     return openStack_.size();
   }
 
+  // ---- locked metric helpers ------------------------------------------
+  // The sink is internally synchronised: on the Threads backend many
+  // place workers record into one sink concurrently. Mutating the
+  // registry through metrics() is only safe single-threaded (simulated
+  // backend, or after all workers quiesced); concurrent emitters use
+  // these helpers, which take the sink's lock.
+  void addMetric(const std::string& name, std::uint64_t delta = 1);
+  void observeMetric(const std::string& name,
+                     const std::vector<double>& buckets, double value);
+
   // ---- results --------------------------------------------------------
+  /// Direct span access; only safe once no other thread is recording
+  /// (the Threads backend joins its workers before reports are read).
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
   }
-  [[nodiscard]] std::vector<Span> takeSpans() { return std::move(spans_); }
+  [[nodiscard]] std::vector<Span> takeSpans() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(spans_);
+  }
 
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
@@ -93,6 +131,7 @@ class TraceSink {
   void clear();
 
  private:
+  mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::vector<std::size_t> openStack_;  ///< indices into spans_
   std::vector<std::string> phaseStack_;

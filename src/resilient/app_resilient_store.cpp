@@ -179,13 +179,13 @@ void AppResilientStore::commit() {
                   committed_->iteration, herePlace(), now,
                   lastStats_.freshBytes + lastStats_.carriedBytes,
                   statsArgs(lastStats_));
-    sink->metrics().add("checkpoint.commits");
-    sink->metrics().add("checkpoint.fresh_bytes", lastStats_.freshBytes);
-    sink->metrics().add("checkpoint.carried_bytes",
+    sink->addMetric("checkpoint.commits");
+    sink->addMetric("checkpoint.fresh_bytes", lastStats_.freshBytes);
+    sink->addMetric("checkpoint.carried_bytes",
                         lastStats_.carriedBytes);
-    sink->metrics().add("checkpoint.fresh_entries",
+    sink->addMetric("checkpoint.fresh_entries",
                         lastStats_.freshEntries);
-    sink->metrics().add("checkpoint.carried_entries",
+    sink->addMetric("checkpoint.carried_entries",
                         lastStats_.carriedEntries);
   }
   snapshotSink_ = nullptr;
@@ -206,7 +206,7 @@ void AppResilientStore::cancelSnapshot() {
       }
       sink->instant(obs::Category::CheckpointCancel, "store.cancel",
                     iteration_, herePlace(), now);
-      sink->metrics().add("checkpoint.cancels");
+      sink->addMetric("checkpoint.cancels");
     }
   }
   snapshotSink_ = nullptr;
@@ -238,8 +238,8 @@ void AppResilientStore::restore() {
   if (sink != nullptr) {
     sink->close(span, simNow(), committedBytes(),
                 {{"objects", std::to_string(committed_->objects.size())}});
-    sink->metrics().add("restore.count");
-    sink->metrics().add("restore.bytes", committedBytes());
+    sink->addMetric("restore.count");
+    sink->addMetric("restore.bytes", committedBytes());
   }
 }
 

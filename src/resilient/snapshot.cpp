@@ -71,6 +71,7 @@ Snapshot::~Snapshot() {
 }
 
 void Snapshot::onPlaceDeath(PlaceId p) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : entries_) {
     for (Replica& r : entry.replicas) {
       if (r.place == p) r.value.reset();
@@ -103,8 +104,8 @@ void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value,
                          .count());
     if (encoded) {
       if (auto* sink = obs::TraceSink::current()) {
-        sink->metrics().add("snapshot.raw_bytes", encoded->rawBytes());
-        sink->metrics().add("snapshot.encoded_bytes", encoded->bytes());
+        sink->addMetric("snapshot.raw_bytes", encoded->rawBytes());
+        sink->addMetric("snapshot.encoded_bytes", encoded->bytes());
       }
       value = std::move(encoded);
     }
@@ -130,9 +131,12 @@ void Snapshot::save(long key, std::shared_ptr<const SnapshotValue> value,
     entry.replicas.push_back(Replica{value, holder.id()});
   }
   entry.version = version;
-  entries_[key] = std::move(entry);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = std::move(entry);
+  }
   if (auto* sink = obs::TraceSink::current()) {
-    sink->metrics().add("snapshot.replica_bytes", backupBytes);
+    sink->addMetric("snapshot.replica_bytes", backupBytes);
   }
 }
 
@@ -152,6 +156,9 @@ bool Snapshot::carryForward(long key, const Snapshot& prev,
         "Snapshot::carryForward: carrying place is not in the snapshot's "
         "group");
   }
+  // Lock both maps (this is always a fresh snapshot carrying from an
+  // older, distinct one; scoped_lock orders the two safely).
+  std::scoped_lock lock(mu_, prev.mu_);
   auto it = prev.entries_.find(key);
   if (it == prev.entries_.end()) return false;
   const Entry& old = it->second;
@@ -172,6 +179,7 @@ bool Snapshot::carryForward(long key, const Snapshot& prev,
 }
 
 bool Snapshot::carryForwardAll(const Snapshot& prev) {
+  std::scoped_lock lock(mu_, prev.mu_);
   for (const auto& [key, old] : prev.entries_) {
     if (!fullyReplicated(old)) return false;
   }
@@ -184,17 +192,20 @@ bool Snapshot::carryForwardAll(const Snapshot& prev) {
 }
 
 std::uint64_t Snapshot::savedVersion(long key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   return it == entries_.end() ? 0 : it->second.version;
 }
 
 std::uint64_t Snapshot::versionSum() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t sum = 0;
   for (const auto& [key, entry] : entries_) sum += entry.version;
   return sum;
 }
 
 bool Snapshot::isCarried(long key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   return it != entries_.end() && it->second.carried;
 }
@@ -206,6 +217,11 @@ Snapshot::Located Snapshot::locate(long key) const {
 }
 
 Snapshot::Located Snapshot::locateRaw(long key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locateRawLocked(key);
+}
+
+Snapshot::Located Snapshot::locateRawLocked(long key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     throw apgas::ApgasError("Snapshot: no entry for key " +
@@ -228,6 +244,7 @@ Snapshot::Located Snapshot::locateRaw(long key) const {
 }
 
 std::vector<apgas::PlaceId> Snapshot::replicaPlaces(long key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return {};
   std::vector<apgas::PlaceId> out;
@@ -252,6 +269,7 @@ std::shared_ptr<const SnapshotValue> Snapshot::load(long key) const {
 }
 
 bool Snapshot::contains(long key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   for (const Replica& r : it->second.replicas) {
@@ -261,6 +279,7 @@ bool Snapshot::contains(long key) const {
 }
 
 std::vector<long> Snapshot::keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<long> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) out.push_back(key);
@@ -275,12 +294,14 @@ std::size_t Snapshot::entryBytes(const Entry& entry) {
 }
 
 std::size_t Snapshot::totalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [key, entry] : entries_) total += entryBytes(entry);
   return total;
 }
 
 std::size_t Snapshot::freshBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [key, entry] : entries_) {
     if (!entry.carried) total += entryBytes(entry);
@@ -289,6 +310,7 @@ std::size_t Snapshot::freshBytes() const {
 }
 
 std::size_t Snapshot::carriedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [key, entry] : entries_) {
     if (entry.carried) total += entryBytes(entry);
@@ -297,6 +319,7 @@ std::size_t Snapshot::carriedBytes() const {
 }
 
 std::size_t Snapshot::numCarried() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t count = 0;
   for (const auto& [key, entry] : entries_) {
     if (entry.carried) ++count;

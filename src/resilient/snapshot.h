@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "apgas/place_group.h"
@@ -170,7 +171,10 @@ class Snapshot {
 
   [[nodiscard]] bool contains(long key) const;
   [[nodiscard]] std::vector<long> keys() const;
-  [[nodiscard]] std::size_t numEntries() const { return entries_.size(); }
+  [[nodiscard]] std::size_t numEntries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Total payload bytes over all entries with at least one live copy
   /// (each entry counted once, not per replica).
@@ -220,9 +224,17 @@ class Snapshot {
   [[nodiscard]] bool fullyReplicated(const Entry& entry) const;
 
   void onPlaceDeath(apgas::PlaceId p);
+  /// locateRaw with mu_ already held (shared by locate/load/contains).
+  [[nodiscard]] Located locateRawLocked(long key) const;
 
   apgas::PlaceGroup pg_;
   int replication_ = 2;
+  /// Guards entries_ (structure and the replica value pointers). On the
+  /// Threads backend a collective save runs one task per place
+  /// concurrently into this one snapshot, and a kill listener may reset
+  /// replica values from yet another thread; on the simulated backend the
+  /// lock is uncontended.
+  mutable std::mutex mu_;
   std::map<long, Entry> entries_;
   std::shared_ptr<const SnapshotValue> meta_;
   std::uint64_t killToken_ = 0;

@@ -1,0 +1,93 @@
+// The two-backend contract: the fast-mode chaos corpus must classify
+// byte-identically on the deterministic simulator (the golden oracle) and
+// on the real-threads backend. Wall-clock fields differ by design; the
+// classification report (outcome kind, failures handled, restored-to
+// iteration, reconvergence bucket) must not.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/report.h"
+#include "harness/sweeper.h"
+
+namespace {
+
+using rgml::apgas::Backend;
+using rgml::harness::AppKind;
+using rgml::harness::ChaosSweeper;
+using rgml::harness::SweepOptions;
+using rgml::harness::SweepResult;
+
+/// The corpus both backends run: iteration-boundary and kill-during-
+/// restore kills only — dispatch kills land at a scheduler-dependent
+/// point under real threads, so they are exercised by kill_race_test
+/// instead of compared here.
+SweepOptions corpus(Backend backend) {
+  SweepOptions opt;
+  opt.apps = {AppKind::LinReg};
+  opt.iterations = 8;
+  opt.places = 4;
+  opt.spares = 1;
+  opt.checkpointInterval = 3;
+  opt.shrinkFailures = false;
+  opt.jobs = 2;
+  opt.backend = backend;
+  return opt;
+}
+
+SweepResult runCorpus(const SweepOptions& opt) {
+  ChaosSweeper sweeper(opt);
+  return sweeper.run();
+}
+
+TEST(BackendEquivalenceTest, LinRegAllModesClassifyIdentically) {
+  const SweepResult simulated = runCorpus(corpus(Backend::Simulated));
+  const SweepResult threaded = runCorpus(corpus(Backend::Threads));
+  ASSERT_GT(simulated.scenariosRun, 0);
+  EXPECT_EQ(simulated.scenariosRun, threaded.scenariosRun);
+  EXPECT_TRUE(simulated.allOk()) << summarize(simulated);
+  EXPECT_TRUE(threaded.allOk()) << summarize(threaded);
+  const std::string expect = classificationReport(simulated);
+  const std::string got = classificationReport(threaded);
+  EXPECT_EQ(expect, got);
+}
+
+TEST(BackendEquivalenceTest, PageRankElasticModesClassifyIdentically) {
+  SweepOptions opt = corpus(Backend::Simulated);
+  opt.apps = {AppKind::PageRank};
+  opt.modes = {rgml::framework::RestoreMode::Shrink,
+               rgml::framework::RestoreMode::ReplaceElastic};
+  opt.allVictims = false;  // sampled victims keep tier-1 time in check
+  const SweepResult simulated = runCorpus(opt);
+  opt.backend = Backend::Threads;
+  const SweepResult threaded = runCorpus(opt);
+  ASSERT_GT(simulated.scenariosRun, 0);
+  EXPECT_TRUE(simulated.allOk()) << summarize(simulated);
+  EXPECT_TRUE(threaded.allOk()) << summarize(threaded);
+  EXPECT_EQ(classificationReport(simulated), classificationReport(threaded));
+}
+
+TEST(BackendEquivalenceTest, RestoreKillsClassifyIdentically) {
+  SweepOptions opt = corpus(Backend::Simulated);
+  opt.restoreKills = true;
+  opt.modes = {rgml::framework::RestoreMode::ReplaceRedundant};
+  opt.allVictims = false;
+  const SweepResult simulated = runCorpus(opt);
+  opt.backend = Backend::Threads;
+  const SweepResult threaded = runCorpus(opt);
+  ASSERT_GT(simulated.scenariosRun, 0);
+  EXPECT_EQ(classificationReport(simulated), classificationReport(threaded));
+}
+
+TEST(BackendEquivalenceTest, ReportOmitsWallDependentFields) {
+  const SweepResult result = runCorpus(corpus(Backend::Threads));
+  const std::string report = classificationReport(result);
+  EXPECT_NE(report.find("restored_to="), std::string::npos);
+  EXPECT_EQ(report.find("ms"), std::string::npos);
+  // One line per scenario, every line carries the outcome kind.
+  std::size_t lines = 0;
+  for (const char c : report) lines += c == '\n';
+  EXPECT_EQ(lines, static_cast<std::size_t>(result.scenariosRun));
+}
+
+}  // namespace

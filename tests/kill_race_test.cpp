@@ -1,0 +1,162 @@
+// Regression tests for kill-path thread safety: concurrent kill() +
+// in-flight asyncAt, kill-listener registration churn from foreign
+// threads, and FaultInjector dispatch-kill arming under real parallelism.
+// Carries the "tsan" ctest label so the tsan preset replays every
+// interleaving check under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apgas/fault_injector.h"
+#include "apgas/runtime.h"
+
+namespace {
+
+using namespace rgml::apgas;
+
+RuntimeConfig threadsConfig(int places) {
+  RuntimeConfig cfg;
+  cfg.numPlaces = places;
+  cfg.resilientFinish = true;
+  cfg.backend = Backend::Threads;
+  return cfg;
+}
+
+/// Swallow the failure classifications a concurrent kill may surface; any
+/// other exception type is a real bug.
+template <typename Fn>
+void tolerateDeadPlaces(Fn&& fn) {
+  try {
+    fn();
+  } catch (const DeadPlaceException&) {
+  } catch (const MultipleExceptions& me) {
+    EXPECT_TRUE(me.containsDeadPlace());
+  }
+}
+
+TEST(KillRaceTest, ConcurrentKillDuringInFlightFanout) {
+  Runtime::init(threadsConfig(6));
+  // Runtime::world() is thread-local; the killer thread borrows nothing,
+  // so it must capture the world by reference from this thread.
+  Runtime& rt = Runtime::world();
+  std::atomic<bool> go{false};
+  std::thread killer([&] {
+    while (!go.load()) std::this_thread::yield();
+    rt.kill(3);
+    rt.kill(5);
+  });
+  std::atomic<long> completed{0};
+  for (int round = 0; round < 50; ++round) {
+    if (round == 5) go.store(true);
+    tolerateDeadPlaces([&] {
+      finish([&] {
+        for (int p = 1; p < 6; ++p) {
+          asyncAt(Place(p), [&] {
+            // Nested fan-out keeps tasks in flight while the kills land.
+            finish([&] { async([&] { completed.fetch_add(1); }); });
+          });
+        }
+      });
+    });
+  }
+  killer.join();
+  EXPECT_TRUE(rt.isDead(3));
+  EXPECT_TRUE(rt.isDead(5));
+  EXPECT_GT(completed.load(), 0);
+  // The world stays usable on the survivors.
+  std::atomic<int> alive{0};
+  finish([&] {
+    for (int p : {0, 1, 2, 4}) {
+      asyncAt(Place(p), [&] { alive.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(alive.load(), 4);
+}
+
+TEST(KillRaceTest, ListenerChurnRacesWithKills) {
+  Runtime::init(threadsConfig(8));
+  Runtime& rt = Runtime::world();
+  std::atomic<bool> stop{false};
+  std::atomic<long> notifications{0};
+  // Churner: registers and removes listeners while kills fan out.
+  std::thread churner([&] {
+    while (!stop.load()) {
+      std::vector<std::uint64_t> tokens;
+      for (int i = 0; i < 8; ++i) {
+        tokens.push_back(rt.addKillListener(
+            [&notifications](PlaceId) { notifications.fetch_add(1); }));
+      }
+      for (const auto token : tokens) rt.removeKillListener(token);
+    }
+  });
+  // Killer: a second foreign thread killing a disjoint victim set.
+  std::thread killer([&] {
+    for (PlaceId p : {7, 6}) rt.kill(p);
+  });
+  for (PlaceId p : {5, 4}) rt.kill(p);
+  killer.join();
+  stop.store(true);
+  churner.join();
+  for (PlaceId p : {4, 5, 6, 7}) EXPECT_TRUE(rt.isDead(p));
+  EXPECT_EQ(rt.numLivePlaces(), 4);
+  // A listener registered for the whole run sees each kill exactly once.
+  std::atomic<long> seen{0};
+  rt.addKillListener([&seen](PlaceId) { seen.fetch_add(1); });
+  rt.kill(3);
+  rt.kill(3);
+  EXPECT_EQ(seen.load(), 1);
+}
+
+TEST(KillRaceTest, DispatchKillFiresFromConcurrentSpawns) {
+  Runtime::init(threadsConfig(4));
+  FaultInjector injector;
+  // Workers spawn nested asyncs concurrently, so noteDispatch() — and
+  // with it the injector's hook — runs from several threads at once.
+  injector.killAtDispatch(20, 2);
+  injector.killAtDispatch(30, 3);
+  Runtime& rt = Runtime::world();
+  long survivors = 0;
+  for (int round = 0; round < 40 && rt.numLivePlaces() > 1; ++round) {
+    tolerateDeadPlaces([&] {
+      finish([&] {
+        for (int p = 1; p < 4; ++p) {
+          if (rt.isDead(p)) continue;
+          asyncAt(Place(p), [&] {
+            finish([&] {
+              async([&] {});
+            });
+          });
+        }
+      });
+      ++survivors;
+    });
+  }
+  EXPECT_TRUE(rt.isDead(2));
+  EXPECT_TRUE(rt.isDead(3));
+  EXPECT_EQ(injector.armedDispatchKills(), 0u);
+  EXPECT_GT(survivors, 0);
+  injector.reset();
+}
+
+TEST(KillRaceTest, InjectorResetRacesWithDispatches) {
+  Runtime::init(threadsConfig(3));
+  for (int round = 0; round < 20; ++round) {
+    FaultInjector injector;
+    injector.killAtDispatch(1000000, 2);  // armed but never fires
+    std::thread resetter([&] { injector.reset(); });
+    tolerateDeadPlaces([&] {
+      finish([&] {
+        for (int p = 0; p < 3; ++p) {
+          asyncAt(Place(p), [] {});
+        }
+      });
+    });
+    resetter.join();
+    EXPECT_EQ(injector.armedDispatchKills(), 0u);
+  }
+  EXPECT_EQ(Runtime::world().numLivePlaces(), 3);
+}
+
+}  // namespace

@@ -48,7 +48,7 @@ TEST(WorldIsolation, WorldOnUninitialisedThreadThrowsDescriptiveError) {
   });
   t.join();
   ASSERT_TRUE(threw) << "expected ApgasError from a world-less thread";
-  EXPECT_NE(message.find("no simulated world on thread"), std::string::npos)
+  EXPECT_NE(message.find("no world on thread"), std::string::npos)
       << message;
   EXPECT_NE(message.find("WorldGuard"), std::string::npos) << message;
 }

@@ -65,6 +65,11 @@ void usage(std::ostream& os) {
         "  --lossy-tol X golden tolerance for lossy-restored runs\n"
         "                (default 1e-3)\n"
         "  --tol X       divergence tolerance (default 1e-6)\n"
+        "  --backend B   simulated | threads execution backend for the\n"
+        "                scenario runs (default simulated). The golden\n"
+        "                oracle always runs simulated; with threads the\n"
+        "                --jobs fan-out is clamped to the machine's thread\n"
+        "                budget (RGML_JOBS overrides)\n"
         "  --jobs N      worker threads (default: hardware threads; the\n"
         "                report is byte-identical at any job count)\n"
         "  --out FILE    JSON report path (default chaos_report.json)\n"
@@ -192,6 +197,12 @@ int main(int argc, char** argv) {
       opt.restoreKills = true;
     } else if (arg == "--tol") {
       opt.tolerance = std::atof(needValue(i));
+    } else if (arg == "--backend") {
+      const std::string v = needValue(i);
+      if (!rgml::apgas::parseBackend(v, opt.backend)) {
+        std::cerr << "unknown backend: " << v << '\n';
+        return 2;
+      }
     } else if (arg == "--jobs") {
       const long jobs = std::atol(needValue(i));
       if (jobs < 1) {
