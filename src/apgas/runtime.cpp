@@ -456,8 +456,15 @@ void Runtime::advance(double seconds) {
   clocks_[p] += seconds;
 }
 
-const RuntimeStats& Runtime::stats() const noexcept {
-  if (engine_) engine_->snapshotStats(stats_);
+RuntimeStats Runtime::stats() const noexcept {
+  // Returned by value: foreign threads may call this concurrently (see the
+  // threading contract in runtime.h), so the engine snapshot must not pass
+  // through shared mutable state.
+  if (engine_) {
+    RuntimeStats snap;
+    engine_->snapshotStats(snap);
+    return snap;
+  }
   return stats_;
 }
 
@@ -475,8 +482,12 @@ void Runtime::wipeHeap(PlaceId p) {
 void Runtime::heapPut(PlaceId p, std::uint64_t key,
                       std::shared_ptr<void> obj) {
   if (p < 0 || p >= numPlaces()) throw ApgasError("heapPut: no such place");
-  if (isDead(p)) return;  // writes to a dead place are lost
   std::lock_guard<std::mutex> lock(heapMutex_);
+  // Dead check under heapMutex_: kill() flips the dead flag *before*
+  // wipeHeap() takes this mutex, so a put that locks after the wipe sees
+  // dead and drops, and one that locks before it is wiped with the rest —
+  // either way no live data survives on a dead place's heap.
+  if (isDead(p)) return;  // writes to a dead place are lost
   heaps_[static_cast<std::size_t>(p)][key] = std::move(obj);
 }
 

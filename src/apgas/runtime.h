@@ -231,7 +231,9 @@ class Runtime {
   /// sweep scenarios each init their own world, so per-row numbers can
   /// never be inflated by a predecessor (world_isolation_test guards
   /// this).
-  [[nodiscard]] const RuntimeStats& stats() const noexcept;
+  /// Returned by value so concurrent readers never share a snapshot
+  /// buffer (engine worlds aggregate their atomic counters on each call).
+  [[nodiscard]] RuntimeStats stats() const noexcept;
   void resetStats();
 
   // ---- per-place heaps (backing store for PLH / GlobalRef) -------------
@@ -301,8 +303,9 @@ class Runtime {
   std::unordered_set<PlaceId> dead_;
   std::vector<PlaceId> hereStack_;
   std::vector<FinishFrame> finishStack_;
-  /// Engine worlds snapshot their atomic counters into this on stats().
-  mutable RuntimeStats stats_;
+  /// Simulator-path counters; engine worlds keep their own atomics and
+  /// stats() snapshots those into a local instead.
+  RuntimeStats stats_;
 
   std::atomic<std::uint64_t> nextHandle_{1};
   /// Guards heaps_ structure and entries; only contended on the Threads

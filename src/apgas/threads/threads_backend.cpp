@@ -230,13 +230,16 @@ void ThreadsBackend::waitFinish(FinishState& fs, Inbox& own) {
     }
     // Epoch captured before the pending check: a completion that lands in
     // between bumps the epoch past `epoch`, so the wait below returns
-    // immediately instead of sleeping through the wakeup.
+    // immediately instead of sleeping through the wakeup. A message pushed
+    // between drainOne() and the capture is covered by the queue check in
+    // the predicate — its epoch bump is already folded into `epoch`, so the
+    // epoch comparison alone would sleep through it.
     {
       std::lock_guard<std::mutex> lock(fs.mu);
       if (fs.pending == 0) return;
     }
     std::unique_lock<std::mutex> lock(own.mu);
-    own.cv.wait(lock, [&] { return own.epoch != epoch; });
+    own.cv.wait(lock, [&] { return own.epoch != epoch || !own.q.empty(); });
   }
 }
 
@@ -250,7 +253,7 @@ void ThreadsBackend::waitAt(AtState& st, Inbox& own) {
     }
     if (st.done.load(std::memory_order_acquire)) return;
     std::unique_lock<std::mutex> lock(own.mu);
-    own.cv.wait(lock, [&] { return own.epoch != epoch; });
+    own.cv.wait(lock, [&] { return own.epoch != epoch || !own.q.empty(); });
   }
 }
 

@@ -203,8 +203,7 @@ void DistVector::mult(const DistBlockMatrix& A, const DupVector& x) {
           // bit-reproducible across backends — the apps keep their
           // matrices row-aligned and take the fast path above, which
           // writes only place-local segments.
-          static std::mutex scatterMu;
-          std::lock_guard<std::mutex> lock(scatterMu);
+          std::lock_guard<std::mutex> lock(*scatterMu_);
           for (long g = g0; g < g1; ++g) {
             (*seg)[g - segOffset(s)] += tmp[g - r0];
           }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "apgas/place_group.h"
@@ -118,6 +119,10 @@ class DistVector final : public resilient::Snapshottable {
   std::vector<long> segSizes_;
   std::vector<long> segOffsets_;
   apgas::PlaceLocalHandle<la::Vector> plh_;
+  /// Serialises unaligned mult() scatter-adds into this vector's segments.
+  /// Shared-ptr so copies (which share plh_) share it, and so independent
+  /// vectors in concurrent sweep worlds never contend on each other.
+  std::shared_ptr<std::mutex> scatterMu_ = std::make_shared<std::mutex>();
 
   friend class DupVector;        // transMult reads segments
   friend class DistBlockMatrix;  // mult scatter-adds into segments
