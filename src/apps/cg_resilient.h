@@ -1,0 +1,100 @@
+// RESILIENT Preconditioned Conjugate Gradient on a sparse SPD banded
+// system A x = b, expressed in the framework's four-method programming
+// model — the first app of the Krylov suite.
+//
+// Beyond the checkpoint/restore rollback the other apps implement, PCG
+// opts into RestoreMode::AlgorithmBased (supportsAlgorithmRecovery() ==
+// true): the lost partition is reconstructed WITHOUT rewinding the run.
+// The read-only inputs A and b are reloaded from the replicated store,
+// the duplicated iterate x and direction p are re-broadcast from any
+// surviving replica, and the residual state is rebuilt from the Krylov
+// recurrence itself — r = b - A x, z = M^{-1} r, rz = r'z — so the run
+// continues from the CURRENT iteration with zero rollback.
+//
+// Consistency requirement: algorithm-based recovery is only sound for
+// failures observed at an iteration boundary (cooperative iteration
+// kills, kills during checkpoint or restore). step() is ordered so its
+// first persistent-state mutation happens after the first collectives, a
+// dead place therefore surfaces before x/r/p change. A mid-step dispatch
+// kill CAN interrupt between updates, leaving the recurrence state
+// half-advanced — such schedules must use the rollback modes (the chaos
+// corpora for algorithm-based mode enumerate boundary kills only).
+//
+// The Jacobi preconditioner is rebuilt deterministically from A's values
+// on every restore, so it is identical before and after recovery
+// regardless of how the blocks were re-dealt (see gml::Preconditioner).
+#pragma once
+
+#include <cstdint>
+
+#include "framework/resilient_executor.h"
+#include "gml/dist_block_matrix.h"
+#include "gml/dist_vector.h"
+#include "gml/dup_vector.h"
+#include "gml/solvers.h"
+#include "resilient/snapshottable_scalars.h"
+
+namespace rgml::apps {
+
+struct CgResilientConfig {
+  long nPerPlace = 16;      ///< unknowns per place (n = nPerPlace * places)
+  long band = 2;            ///< half-bandwidth of the SPD band matrix
+  long blocksPerPlace = 2;  ///< row blocks per place in A
+  long iterations = 12;     ///< PCG iterations to run
+  std::uint64_t seed = 77;
+};
+
+class CgResilient final : public framework::ResilientIterativeApp {
+ public:
+  CgResilient(const CgResilientConfig& config, const apgas::PlaceGroup& pg);
+
+  void init();
+
+  // -- framework programming model ---------------------------------------
+  [[nodiscard]] bool isFinished() override;
+  void step() override;
+  void checkpoint(resilient::AppResilientStore& store) override;
+  void restore(const apgas::PlaceGroup& newPlaces,
+               resilient::AppResilientStore& store, long snapshotIter,
+               framework::RestoreMode mode) override;
+  [[nodiscard]] bool supportsAlgorithmRecovery() const override {
+    return true;
+  }
+
+  /// Residual norm^2 — what PCG itself drives to zero.
+  [[nodiscard]] double convergenceMetric() override { return normR2_; }
+
+  [[nodiscard]] long iteration() const noexcept { return iteration_; }
+  [[nodiscard]] double residualNormSq() const noexcept { return normR2_; }
+  [[nodiscard]] const gml::DupVector& solution() const noexcept {
+    return x_;
+  }
+  [[nodiscard]] const gml::DistBlockMatrix& matrix() const noexcept {
+    return A_;
+  }
+  [[nodiscard]] const apgas::PlaceGroup& places() const noexcept {
+    return pg_;
+  }
+
+ private:
+  CgResilientConfig config_;
+  apgas::PlaceGroup pg_;
+
+  gml::DistBlockMatrix A_;  ///< read-only: saveReadOnly at checkpoints
+  gml::DistVector b_;       ///< read-only
+  gml::DupVector x_;
+  gml::DupVector r_;
+  gml::DupVector p_;
+  gml::DupVector z_;     ///< derived (M^{-1} r): rebuilt on restore
+  gml::DistVector t_;    ///< scratch (not checkpointed)
+  gml::DistVector rd_;   ///< scratch: distributed residual
+  gml::DupVector tDup_;  ///< scratch
+  gml::JacobiPreconditioner M_;              ///< rebuilt from A on restore
+  resilient::SnapshottableScalars scalars_;  ///< {rz, normR2, iteration}
+
+  double rz_ = 0.0;
+  double normR2_ = 0.0;
+  long iteration_ = 0;
+};
+
+}  // namespace rgml::apps

@@ -51,6 +51,7 @@ void GnnmfResilient::restore(const PlaceGroup& newPlaces,
                              long snapshotIter, RestoreMode mode) {
   switch (mode) {
     case RestoreMode::Shrink:
+    case RestoreMode::AlgorithmBased:  // unreachable: executor falls back
       v_.remakeShrink(newPlaces);
       w_.remakeShrink(newPlaces);
       break;

@@ -64,6 +64,7 @@ void KMeansResilient::restore(const PlaceGroup& newPlaces,
                               long snapshotIter, RestoreMode mode) {
   switch (mode) {
     case RestoreMode::Shrink:
+    case RestoreMode::AlgorithmBased:  // unreachable: executor falls back
       x_.remakeShrink(newPlaces);
       break;
     case RestoreMode::ShrinkRebalance:

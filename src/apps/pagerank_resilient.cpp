@@ -93,6 +93,7 @@ void PageRankResilient::restore(const PlaceGroup& newPlaces,
                                 long snapshotIter, RestoreMode mode) {
   switch (mode) {
     case RestoreMode::Shrink:
+    case RestoreMode::AlgorithmBased:  // unreachable: executor falls back
       g_.remakeShrink(newPlaces);
       break;
     case RestoreMode::ShrinkRebalance:

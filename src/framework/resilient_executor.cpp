@@ -21,6 +21,8 @@ const char* toString(RestoreMode mode) {
       return "replace-redundant";
     case RestoreMode::ReplaceElastic:
       return "replace-elastic";
+    case RestoreMode::AlgorithmBased:
+      return "algorithm-based";
   }
   return "?";
 }
@@ -203,7 +205,7 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
                                    rt.here().id(), r0);
         }
         record(TraceEvent::Kind::Failure, iter, r0, r0, victim);
-        iter = handleFailure(app, injector);
+        iter = handleFailure(app, injector, iter);
         stats.lastRestoredTo = iter;
         if (sink != nullptr) {
           sink->close(restoreSpan, rt.time(), 0,
@@ -251,9 +253,13 @@ RunStats ResilientExecutor::run(ResilientIterativeApp& app,
 }
 
 long ResilientExecutor::handleFailure(ResilientIterativeApp& app,
-                                      apgas::FaultInjector* injector) {
+                                      apgas::FaultInjector* injector,
+                                      long currentIter) {
   Runtime& rt = Runtime::world();
   store_.cancelSnapshot();  // discard any half-taken checkpoint
+  // Even AlgorithmBased recovery needs a committed snapshot: the app's
+  // read-only inputs (A, b) are reloaded from the replicated store while
+  // the iterate is reconstructed from surviving replicas.
   if (!store_.hasCommitted()) {
     throw apgas::UnrecoverableError(
         "ResilientExecutor: place failure before the first committed "
@@ -287,6 +293,15 @@ long ResilientExecutor::handleFailure(ResilientIterativeApp& app,
         }
         break;
       }
+      case RestoreMode::AlgorithmBased:
+        newPlaces = places_.filterDead();
+        if (!app.supportsAlgorithmRecovery()) {
+          // The app cannot rebuild the lost partition from its recurrence;
+          // fall back to rollback semantics (mirrors the out-of-spares
+          // fallback of ReplaceRedundant).
+          effectiveMode = RestoreMode::Shrink;
+        }
+        break;
       case RestoreMode::ReplaceElastic: {
         const auto dead = places_.deadPlaces();
         std::vector<apgas::PlaceId> replacements;
@@ -318,7 +333,12 @@ long ResilientExecutor::handleFailure(ResilientIterativeApp& app,
       app.restore(newPlaces, store_, store_.latestCommittedIteration(),
                   effectiveMode);
       places_ = newPlaces;
-      return store_.latestCommittedIteration();
+      // Algorithm-based recovery rebuilt the live state in place: no
+      // rollback happened, so the run resumes at the current iteration
+      // instead of re-executing from the checkpoint.
+      return effectiveMode == RestoreMode::AlgorithmBased
+                 ? currentIter
+                 : store_.latestCommittedIteration();
     } catch (...) {
       const std::exception_ptr ep = std::current_exception();
       if (isSnapshotLoss(ep)) {

@@ -18,6 +18,14 @@
 //   * ReplaceElastic    — (the paper's future work, implemented here) a
 //                         brand-new place is created on demand to replace
 //                         the dead one.
+//   * AlgorithmBased    — no rollback at all: the app reconstructs the
+//                         lost partition from the algorithm's own
+//                         recurrence plus surviving replicas (read-only
+//                         inputs come from the replicated store), and the
+//                         run continues from the CURRENT iteration. Only
+//                         apps that opt in via supportsAlgorithmRecovery()
+//                         use it; others fall back to Shrink, mirroring
+//                         the out-of-spares fallback of ReplaceRedundant.
 #pragma once
 
 #include <functional>
@@ -37,6 +45,7 @@ enum class RestoreMode {
   ShrinkRebalance,
   ReplaceRedundant,
   ReplaceElastic,
+  AlgorithmBased,
 };
 
 [[nodiscard]] const char* toString(RestoreMode mode);
@@ -91,6 +100,15 @@ class ResilientIterativeApp {
   virtual void restore(const apgas::PlaceGroup& newPlaces,
                        resilient::AppResilientStore& store, long snapshotIter,
                        RestoreMode mode) = 0;
+
+  /// True when the app implements RestoreMode::AlgorithmBased in
+  /// restore(): reconstructing the lost partition from the algorithm's
+  /// recurrence + surviving data WITHOUT rewinding its iteration state
+  /// (read-only inputs may be reloaded from `store`). The executor falls
+  /// back to Shrink for apps that return false.
+  [[nodiscard]] virtual bool supportsAlgorithmRecovery() const {
+    return false;
+  }
 };
 
 struct ExecutorConfig {
@@ -182,11 +200,13 @@ class ResilientExecutor {
 
  private:
   /// Computes the post-failure group per the configured mode and tells the
-  /// app to roll back. Returns the checkpoint iteration restored to.
-  /// `injector` (may be null) is consulted at the start of every restore
-  /// attempt so armed kill-during-restore faults fire mid-recovery.
+  /// app to roll back. Returns the iteration the run continues from: the
+  /// checkpoint iteration restored to, or `currentIter` unchanged when an
+  /// AlgorithmBased recovery succeeded (no rollback). `injector` (may be
+  /// null) is consulted at the start of every restore attempt so armed
+  /// kill-during-restore faults fire mid-recovery.
   long handleFailure(ResilientIterativeApp& app,
-                     apgas::FaultInjector* injector);
+                     apgas::FaultInjector* injector, long currentIter);
 
   ExecutorConfig config_;
   apgas::PlaceGroup places_;

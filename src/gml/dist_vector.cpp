@@ -263,6 +263,18 @@ void DistVector::cellAdd(const DistVector& o) {
   });
 }
 
+void DistVector::axpy(double a, const DistVector& x) {
+  if (x.n_ != n_ || x.pg_.size() != pg_.size()) {
+    throw apgas::ApgasError("DistVector::axpy: incompatible distributions");
+  }
+  ateach(pg_, [&](Place p) {
+    la::Vector& seg = localSegment();
+    const la::Vector& xseg = *x.plh_.atPlace(p.id());
+    la::axpy(a, xseg.span(), seg.span());
+    Runtime::world().chargeDenseFlops(2.0 * static_cast<double>(seg.size()));
+  });
+}
+
 void DistVector::cellMult(const DistVector& o) {
   if (o.n_ != n_ || o.pg_.size() != pg_.size()) {
     throw apgas::ApgasError(

@@ -68,6 +68,8 @@ class DistVector final : public resilient::Snapshottable {
 
   void scale(double a);
   void cellAdd(const DistVector& o);
+  /// this += a * x (matching distribution).
+  void axpy(double a, const DistVector& x);
   /// Elementwise multiply / divide by a matching distribution.
   void cellMult(const DistVector& o);
   void cellDiv(const DistVector& o);

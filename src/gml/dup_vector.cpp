@@ -256,6 +256,62 @@ void DupVector::remake(const PlaceGroup& newPg) {
       newPg, [n](Place) { return std::make_shared<la::Vector>(n); });
 }
 
+void DupVector::remakeFromSurvivor(const PlaceGroup& newPg) {
+  if (newPg.empty()) {
+    throw apgas::ApgasError("DupVector::remakeFromSurvivor: empty group");
+  }
+  Runtime& rt = Runtime::world();
+  // Any live replica of the old group is a valid source — they are
+  // identical by the DupVector invariant.
+  Place src = Place(apgas::kInvalidPlace);
+  for (std::size_t i = 0; i < pg_.size(); ++i) {
+    if (!pg_(i).isDead()) {
+      src = pg_(i);
+      break;
+    }
+  }
+  if (src.id() == apgas::kInvalidPlace) {
+    throw apgas::DeadPlaceException(pg_(0).id());
+  }
+  la::Vector saved(n_);
+  rt.at(src, [&] { la::copy(local().span(), saved.span()); });
+
+  remake(newPg);
+
+  // Populate every LIVE replica directly (flat broadcast from the
+  // survivor), deferring the dead-place report until all survivors hold
+  // the data. The executor computes the recovery group before armed
+  // kill-during-restore faults fire, so `newPg` may already contain a
+  // fresh corpse — if the exception surfaced mid-broadcast the retry
+  // could pick a zeroed replica as its "survivor" and silently lose the
+  // iterate. With the deferred throw, every live member is a valid
+  // source for the retry.
+  apgas::PlaceId firstDead = apgas::kInvalidPlace;
+  const auto bytes = static_cast<std::uint64_t>(n_) * sizeof(double);
+  for (std::size_t i = 0; i < newPg.size(); ++i) {
+    const Place dst = newPg(i);
+    if (dst.isDead()) {
+      if (firstDead == apgas::kInvalidPlace) firstDead = dst.id();
+      continue;
+    }
+    try {
+      rt.at(dst, [&] {
+        if (dst == src) {
+          rt.chargeLocalCopy(bytes);
+        } else {
+          rt.chargeComm(src, bytes);
+        }
+        la::copy(saved.span(), local().span());
+      });
+    } catch (const apgas::DeadPlaceException& e) {
+      if (firstDead == apgas::kInvalidPlace) firstDead = e.place();
+    }
+  }
+  if (firstDead != apgas::kInvalidPlace) {
+    throw apgas::DeadPlaceException(firstDead);
+  }
+}
+
 std::shared_ptr<resilient::Snapshot> DupVector::makeSnapshot() const {
   // The replicas are identical, so one copy (fanned out to the snapshot's
   // k ring-placed holders) captures the whole object; every place restores

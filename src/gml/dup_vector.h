@@ -84,6 +84,13 @@ class DupVector final : public resilient::Snapshottable {
   /// number of places.
   void remake(const apgas::PlaceGroup& newPg);
 
+  /// Algorithm-based recovery: reallocate over `newPg` and repopulate
+  /// every replica from a surviving replica of the CURRENT group — no
+  /// snapshot involved. The data flow is survivor -> newPg(0) ->
+  /// broadcast. Throws DeadPlaceException when no member of the current
+  /// group is live (then only a checkpoint can recover the data).
+  void remakeFromSurvivor(const apgas::PlaceGroup& newPg);
+
   // -- Snapshottable ------------------------------------------------------
   /// Saves ONE replica (they are identical) from the first member, which
   /// the store doubles as usual (local + next place). Checkpoint cost is

@@ -1,6 +1,10 @@
 #include "gml/solvers.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "apgas/runtime.h"
 #include "la/kernels.h"
@@ -9,6 +13,15 @@ namespace rgml::gml {
 
 using apgas::Place;
 using apgas::Runtime;
+
+namespace {
+/// True when |v| is large enough to divide by without drifting into
+/// Inf/NaN territory (rejects zero and denormals).
+bool safePivot(double v) {
+  return std::abs(v) >= std::numeric_limits<double>::min() &&
+         std::isfinite(v);
+}
+}  // namespace
 
 SolveResult conjugateGradientNormal(const DistBlockMatrix& A,
                                     const DistVector& b, DupVector& x,
@@ -42,7 +55,13 @@ SolveResult conjugateGradientNormal(const DistBlockMatrix& A,
     t.mult(A, p);
     q.transMult(A, t);
     q.axpy(lambda, p);
-    const double alpha = normR2 / p.dot(q);
+    const double pq = p.dot(q);
+    const double alpha = normR2 / pq;
+    // The system is SPD, so p'q == 0 only for a null search direction:
+    // converged to machine precision, or underflow annihilated the
+    // direction. Updating would divide by (near-)zero and poison x with
+    // NaN — hold the current iterate instead (header contract).
+    if (!(pq > 0.0) || !std::isfinite(alpha)) break;
     x.axpy(alpha, p);
     r.axpy(-alpha, q);
     const double next = r.dot(r);
@@ -127,6 +146,22 @@ SolveResult jacobi(const DistBlockMatrix& A, const DistVector& b,
     rt.chargeDenseFlops(static_cast<double>(seg.size()));
   });
 
+  // The iteration divides the residual by every diagonal entry each
+  // step; a (near-)zero one would emit Inf/NaN into x forever after.
+  // Fail loudly up front, naming the row (header contract).
+  {
+    la::Vector d(n);
+    diag.copyTo(d);
+    for (long i = 0; i < n; ++i) {
+      if (!safePivot(d[i])) {
+        throw apgas::ApgasError(
+            "jacobi: zero (or near-zero) diagonal at row " +
+            std::to_string(i) + " (value " + std::to_string(d[i]) +
+            "); D^{-1} does not exist");
+      }
+    }
+  }
+
   auto t = DistVector::make(n, pg);
   auto resid = DistVector::make(n, pg);
   auto deltaDup = DupVector::make(n, pg);
@@ -148,6 +183,297 @@ SolveResult jacobi(const DistBlockMatrix& A, const DistVector& b,
     x.cellAdd(deltaDup);
     ++result.iterations;
   }
+  return result;
+}
+
+// -- Krylov suite ---------------------------------------------------------
+
+void IdentityPreconditioner::setup(const DistBlockMatrix&) {}
+
+void IdentityPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  if (r.size() != z.size()) {
+    throw apgas::ApgasError("IdentityPreconditioner: dimension mismatch");
+  }
+  la::copy(r.span(), z.span());
+}
+
+void JacobiPreconditioner::setup(const DistBlockMatrix& A) {
+  if (A.rows() != A.cols()) {
+    throw apgas::ApgasError("JacobiPreconditioner: need a square matrix");
+  }
+  const long n = A.rows();
+  invDiag_ = la::Vector(n);
+  Runtime& rt = Runtime::world();
+  const Place here = rt.here();
+  for (apgas::PlaceId p : A.placeGroup()) {
+    const auto bs = A.blockSetAt(p);
+    if (!bs) throw apgas::DeadPlaceException(p);
+    long pulled = 0;
+    for (const la::MatrixBlock& block : *bs) {
+      const long r0 = block.rowOffset();
+      const long c0 = block.colOffset();
+      const long lo = std::max(r0, c0);
+      const long hi = std::min(r0 + block.rows(), c0 + block.cols());
+      for (long g = lo; g < hi; ++g) {
+        invDiag_[g] = block.at(g - r0, g - c0);
+      }
+      pulled += std::max(0L, hi - lo);
+    }
+    if (pulled > 0 && Place(p) != here) {
+      rt.chargeComm(Place(p),
+                    static_cast<std::uint64_t>(pulled) * sizeof(double));
+    }
+  }
+  for (long i = 0; i < n; ++i) {
+    if (!safePivot(invDiag_[i])) {
+      throw apgas::ApgasError(
+          "JacobiPreconditioner: zero (or near-zero) diagonal at row " +
+          std::to_string(i));
+    }
+    invDiag_[i] = 1.0 / invDiag_[i];
+  }
+}
+
+void JacobiPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  if (r.size() != invDiag_.size() || z.size() != invDiag_.size()) {
+    throw apgas::ApgasError("JacobiPreconditioner: dimension mismatch");
+  }
+  for (long i = 0; i < r.size(); ++i) z[i] = r[i] * invDiag_[i];
+}
+
+void Ilu0Preconditioner::setup(const DistBlockMatrix& A) {
+  if (A.rows() != A.cols()) {
+    throw apgas::ApgasError("Ilu0Preconditioner: need a square matrix");
+  }
+  if (!A.isSparse()) {
+    throw apgas::ApgasError("Ilu0Preconditioner: sparse matrices only");
+  }
+  const long n = A.rows();
+  Runtime& rt = Runtime::world();
+  const Place here = rt.here();
+  // Gather the blocks into one global CSR: the factorization is serial
+  // and replicated, which keeps apply() independent of A's partitioning.
+  la::SparseCSR global(n, n);
+  for (apgas::PlaceId p : A.placeGroup()) {
+    const auto bs = A.blockSetAt(p);
+    if (!bs) throw apgas::DeadPlaceException(p);
+    std::uint64_t bytes = 0;
+    for (const la::MatrixBlock& block : *bs) {
+      global.pasteSubFrom(block.sparse(), block.rowOffset(),
+                          block.colOffset());
+      bytes += block.bytes();
+    }
+    if (bytes > 0 && Place(p) != here) rt.chargeComm(Place(p), bytes);
+  }
+  factors_ = la::ilu0Factor(global);
+  // Factorization cost ~ one pattern-restricted elimination pass.
+  rt.chargeSparseFlops(2.0 * static_cast<double>(factors_.lu.nnz()));
+}
+
+void Ilu0Preconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  la::ilu0Solve(factors_, r, z);
+}
+
+void applyReplicated(const Preconditioner& M, const DupVector& r,
+                     DupVector& z) {
+  if (r.size() != z.size()) {
+    throw apgas::ApgasError("applyReplicated: dimension mismatch");
+  }
+  apgas::ateach(r.placeGroup(), [&](Place p) {
+    if (z.placeGroup().indexOf(p) < 0) {
+      throw apgas::ApgasError(
+          "applyReplicated: z not duplicated at this place");
+    }
+    M.apply(r.local(), z.local());
+    Runtime::world().chargeSparseFlops(M.applyFlops());
+  });
+}
+
+SolveResult pcg(const DistBlockMatrix& A, const DistVector& b, DupVector& x,
+                const Preconditioner& M, long maxIterations,
+                double tolerance) {
+  if (A.rows() != A.cols() || A.rows() != b.size() ||
+      A.cols() != x.size()) {
+    throw apgas::ApgasError("pcg: need a square system");
+  }
+  const auto& pg = A.placeGroup();
+  const long n = A.cols();
+  auto t = DistVector::make(n, pg);      // scratch: A * direction
+  auto rDist = DistVector::make(n, pg);  // scratch: distributed residual
+  auto r = DupVector::make(n, pg);
+  auto z = DupVector::make(n, pg);
+  auto p = DupVector::make(n, pg);
+  auto tDup = DupVector::make(n, pg);
+
+  // r0 = b - A x0; z0 = M^{-1} r0; p0 = z0.
+  t.mult(A, x);
+  rDist.copyFrom(b);
+  rDist.axpy(-1.0, t);
+  r.copyFromDist(rDist);
+  applyReplicated(M, r, z);
+  p.copyFrom(z);
+  double rz = r.dot(z);
+
+  SolveResult result;
+  result.residual = r.norm2();
+  for (long k = 0; k < maxIterations; ++k) {
+    if (result.residual <= tolerance) {
+      result.converged = true;
+      break;
+    }
+    t.mult(A, p);
+    const double pq = t.dot(p);
+    const double alpha = rz / pq;
+    // Breakdown guard (header contract): non-positive curvature means no
+    // SPD descent direction — hold the iterate instead of poisoning it.
+    if (!(pq > 0.0) || !std::isfinite(alpha)) break;
+    x.axpy(alpha, p);
+    tDup.copyFromDist(t);
+    r.axpy(-alpha, tDup);
+    applyReplicated(M, r, z);
+    const double rzNew = r.dot(z);
+    const double beta = rz > 0.0 ? rzNew / rz : 0.0;
+    rz = rzNew;
+    p.scale(beta);
+    p.cellAdd(z);
+    ++result.iterations;
+    result.residual = r.norm2();
+  }
+  result.converged = result.converged || result.residual <= tolerance;
+  return result;
+}
+
+SolveResult gmres(const DistBlockMatrix& A, const DistVector& b,
+                  DupVector& x, const Preconditioner& M, long restart,
+                  long maxRestarts, double tolerance) {
+  if (A.rows() != A.cols() || A.rows() != b.size() ||
+      A.cols() != x.size()) {
+    throw apgas::ApgasError("gmres: need a square system");
+  }
+  if (restart < 1) throw apgas::ApgasError("gmres: restart < 1");
+  const auto& pg = A.placeGroup();
+  const long n = A.cols();
+  const long m = std::min(restart, n);
+
+  auto t = DistVector::make(n, pg);      // scratch: A * v
+  auto rDist = DistVector::make(n, pg);  // scratch: distributed residual
+  auto w = DupVector::make(n, pg);       // new basis candidate
+  auto z = DupVector::make(n, pg);       // pre-preconditioner gather
+  std::vector<DupVector> V;
+  V.reserve(static_cast<std::size_t>(m) + 1);
+  for (long j = 0; j <= m; ++j) V.push_back(DupVector::make(n, pg));
+
+  // Hessenberg column-major, plus the Givens rotations and the rotated
+  // right-hand side g (all replicated host-side scalars).
+  std::vector<double> H(static_cast<std::size_t>((m + 1) * m), 0.0);
+  auto h = [&](long i, long j) -> double& {
+    return H[static_cast<std::size_t>(j * (m + 1) + i)];
+  };
+  std::vector<double> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+
+  SolveResult result;
+  for (long outer = 0; outer < maxRestarts; ++outer) {
+    // w = M^{-1}(b - A x).
+    t.mult(A, x);
+    rDist.copyFrom(b);
+    rDist.axpy(-1.0, t);
+    z.copyFromDist(rDist);
+    applyReplicated(M, z, w);
+    const double beta = w.norm2();
+    result.residual = beta;
+    if (!(beta > tolerance) || !std::isfinite(beta)) {
+      // Converged — or non-finite state, where the guard holds the
+      // iterate rather than normalising by a NaN.
+      result.converged = beta <= tolerance;
+      return result;
+    }
+    V[0].copyFrom(w);
+    V[0].scale(1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    long cols = 0;     // Arnoldi columns completed this cycle
+    bool happy = false;
+    for (long j = 0; j < m; ++j) {
+      // w = M^{-1} A v_j, orthogonalised against the basis (MGS).
+      t.mult(A, V[static_cast<std::size_t>(j)]);
+      z.copyFromDist(t);
+      applyReplicated(M, z, w);
+      for (long i = 0; i <= j; ++i) {
+        h(i, j) = w.dot(V[static_cast<std::size_t>(i)]);
+        w.axpy(-h(i, j), V[static_cast<std::size_t>(i)]);
+      }
+      const double hnext = w.norm2();
+      if (!std::isfinite(hnext)) break;  // guard: abandon the cycle
+      h(j + 1, j) = hnext;
+      // Happy breakdown: the Krylov space is exhausted — the cycle's
+      // least-squares solution is exact in span(V_0..j).
+      if (hnext <= 1e-14 * std::max(1.0, beta)) {
+        happy = true;
+      } else {
+        V[static_cast<std::size_t>(j + 1)].copyFrom(w);
+        V[static_cast<std::size_t>(j + 1)].scale(1.0 / hnext);
+      }
+      // Apply the accumulated Givens rotations, then a new one zeroing
+      // h(j+1, j); |g[j+1]| tracks the preconditioned residual norm.
+      for (long i = 0; i < j; ++i) {
+        const double tmp = cs[static_cast<std::size_t>(i)] * h(i, j) +
+                           sn[static_cast<std::size_t>(i)] * h(i + 1, j);
+        h(i + 1, j) = -sn[static_cast<std::size_t>(i)] * h(i, j) +
+                      cs[static_cast<std::size_t>(i)] * h(i + 1, j);
+        h(i, j) = tmp;
+      }
+      const double denom = std::hypot(h(j, j), h(j + 1, j));
+      if (denom > 0.0 && std::isfinite(denom)) {
+        cs[static_cast<std::size_t>(j)] = h(j, j) / denom;
+        sn[static_cast<std::size_t>(j)] = h(j + 1, j) / denom;
+      } else {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      }
+      h(j, j) = cs[static_cast<std::size_t>(j)] * h(j, j) +
+                sn[static_cast<std::size_t>(j)] * h(j + 1, j);
+      h(j + 1, j) = 0.0;
+      g[static_cast<std::size_t>(j + 1)] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] *= cs[static_cast<std::size_t>(j)];
+      ++result.iterations;
+      cols = j + 1;
+      result.residual = std::abs(g[static_cast<std::size_t>(j + 1)]);
+      if (happy || result.residual <= tolerance) break;
+    }
+
+    // Back-substitute y from the rotated Hessenberg and update x.
+    std::vector<double> y(static_cast<std::size_t>(cols), 0.0);
+    bool solvable = true;
+    for (long i = cols - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (long l = i + 1; l < cols; ++l) {
+        acc -= h(i, l) * y[static_cast<std::size_t>(l)];
+      }
+      if (!safePivot(h(i, i)) || !std::isfinite(acc)) {
+        // Guard: a singular least-squares pivot cannot produce a finite
+        // update — hold the iterate (header contract).
+        solvable = false;
+        break;
+      }
+      y[static_cast<std::size_t>(i)] = acc / h(i, i);
+    }
+    if (!solvable) return result;
+    for (long i = 0; i < cols; ++i) {
+      if (y[static_cast<std::size_t>(i)] != 0.0) {
+        x.axpy(y[static_cast<std::size_t>(i)],
+               V[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (result.residual <= tolerance || happy) {
+      result.converged = result.residual <= tolerance;
+      return result;
+    }
+  }
+  result.converged = result.residual <= tolerance;
   return result;
 }
 

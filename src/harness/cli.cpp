@@ -1,0 +1,49 @@
+#include "harness/cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+
+namespace rgml::harness::cli {
+
+bool parseDouble(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;  // trailing garbage
+  if (errno == ERANGE) return false;                    // over/underflow
+  out = v;
+  return true;
+}
+
+bool parseLong(const std::string& text, long& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+double requireDouble(const char* flag, const char* text) {
+  double v = 0.0;
+  if (!parseDouble(text, v)) {
+    std::cerr << flag << ": invalid number '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+long requireLong(const char* flag, const char* text) {
+  long v = 0;
+  if (!parseLong(text, v)) {
+    std::cerr << flag << ": invalid number '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace rgml::harness::cli

@@ -1,0 +1,27 @@
+// Checked numeric flag parsing for the command-line tools.
+//
+// std::atof/std::atol silently return 0 on garbage ("1e-3x", "abc"),
+// which for a sweep tool means a typo'd tolerance or error bound quietly
+// changes the run's semantics instead of failing. These helpers parse the
+// full token with strtod/strtol, reject empty input, trailing garbage and
+// out-of-range values, and the require* variants exit(2) naming the flag
+// so a bad invocation dies in milliseconds with an actionable message.
+#pragma once
+
+#include <string>
+
+namespace rgml::harness::cli {
+
+/// Parse `text` as a double. Returns false (out untouched) when the text
+/// is empty, is not a full valid number (trailing garbage), or overflows.
+[[nodiscard]] bool parseDouble(const std::string& text, double& out);
+
+/// Parse `text` as a long in base 10 with the same strictness.
+[[nodiscard]] bool parseLong(const std::string& text, long& out);
+
+/// Tool-main variants: on malformed input print
+/// "<flag>: invalid number '<text>'" to stderr and exit(2).
+[[nodiscard]] double requireDouble(const char* flag, const char* text);
+[[nodiscard]] long requireLong(const char* flag, const char* text);
+
+}  // namespace rgml::harness::cli

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "apgas/runtime.h"
+#include "apps/cg_resilient.h"
+#include "apps/gmres_resilient.h"
 #include "apps/gnnmf_resilient.h"
 #include "apps/kmeans_resilient.h"
 #include "apps/linreg_resilient.h"
@@ -256,6 +258,65 @@ class GnnmfChaos final : public ChaosApp {
   apps::GnnmfResilient app_;
 };
 
+class CgChaos final : public ChaosApp {
+ public:
+  CgChaos(const ChaosAppConfig& cfg, const PlaceGroup& pg)
+      : app_(makeConfig(cfg), pg) {}
+
+  static apps::CgResilientConfig makeConfig(const ChaosAppConfig& cfg) {
+    apps::CgResilientConfig c;
+    c.nPerPlace = 16;
+    c.band = 2;
+    c.blocksPerPlace = 2;
+    c.iterations = cfg.iterations;
+    c.seed = cfg.seed + 5;
+    return c;
+  }
+
+  void init() override { app_.init(); }
+  framework::ResilientIterativeApp& app() override { return app_; }
+  [[nodiscard]] ResultDigest digest() const override {
+    ResultDigest d;
+    appendVector(app_.solution().local(), d.dense);
+    sparseSummary(app_.matrix(), d);
+    d.iterations = app_.iteration();
+    return d;
+  }
+
+ private:
+  apps::CgResilient app_;
+};
+
+class GmresChaos final : public ChaosApp {
+ public:
+  GmresChaos(const ChaosAppConfig& cfg, const PlaceGroup& pg)
+      : app_(makeConfig(cfg), pg) {}
+
+  static apps::GmresResilientConfig makeConfig(const ChaosAppConfig& cfg) {
+    apps::GmresResilientConfig c;
+    c.nPerPlace = 16;
+    c.band = 2;
+    c.blocksPerPlace = 2;
+    c.restart = 4;
+    c.cycles = cfg.iterations;
+    c.seed = cfg.seed + 6;
+    return c;
+  }
+
+  void init() override { app_.init(); }
+  framework::ResilientIterativeApp& app() override { return app_; }
+  [[nodiscard]] ResultDigest digest() const override {
+    ResultDigest d;
+    appendVector(app_.solution().local(), d.dense);
+    sparseSummary(app_.matrix(), d);
+    d.iterations = app_.iteration();
+    return d;
+  }
+
+ private:
+  apps::GmresResilient app_;
+};
+
 }  // namespace
 
 std::unique_ptr<ChaosApp> makeChaosApp(AppKind kind,
@@ -272,6 +333,10 @@ std::unique_ptr<ChaosApp> makeChaosApp(AppKind kind,
       return std::make_unique<KMeansChaos>(cfg, pg);
     case AppKind::Gnnmf:
       return std::make_unique<GnnmfChaos>(cfg, pg);
+    case AppKind::Cg:
+      return std::make_unique<CgChaos>(cfg, pg);
+    case AppKind::Gmres:
+      return std::make_unique<GmresChaos>(cfg, pg);
   }
   throw apgas::ApgasError("makeChaosApp: unknown AppKind");
 }

@@ -19,6 +19,10 @@ const char* toString(AppKind kind) {
       return "kmeans";
     case AppKind::Gnnmf:
       return "gnnmf";
+    case AppKind::Cg:
+      return "cg";
+    case AppKind::Gmres:
+      return "gmres";
   }
   return "?";
 }
@@ -35,7 +39,8 @@ bool parseAppKind(const std::string& s, AppKind& out) {
 
 std::vector<AppKind> allAppKinds() {
   return {AppKind::LinReg, AppKind::LogReg, AppKind::PageRank,
-          AppKind::KMeans, AppKind::Gnnmf};
+          AppKind::KMeans, AppKind::Gnnmf,  AppKind::Cg,
+          AppKind::Gmres};
 }
 
 bool parseRestoreMode(const std::string& s, RestoreMode& out) {
@@ -45,10 +50,20 @@ bool parseRestoreMode(const std::string& s, RestoreMode& out) {
       return true;
     }
   }
+  // Not in the classic enumeration set, but a valid mode: only the
+  // Krylov apps implement it, so sweeps opt in explicitly.
+  if (s == toString(RestoreMode::AlgorithmBased)) {
+    out = RestoreMode::AlgorithmBased;
+    return true;
+  }
   return false;
 }
 
 std::vector<RestoreMode> allRestoreModes() {
+  // Deliberately excludes AlgorithmBased: the default sweep space crosses
+  // every mode with every kill kind, and algorithm-based recovery is only
+  // sound for iteration-boundary kills on apps that opt in. Krylov
+  // corpora add it explicitly with boundary-kill-only schedules.
   return {RestoreMode::Shrink, RestoreMode::ShrinkRebalance,
           RestoreMode::ReplaceRedundant, RestoreMode::ReplaceElastic};
 }

@@ -18,17 +18,20 @@
 namespace rgml::harness {
 
 /// Which benchmark application a scenario drives.
-enum class AppKind { LinReg, LogReg, PageRank, KMeans, Gnnmf };
+enum class AppKind { LinReg, LogReg, PageRank, KMeans, Gnnmf, Cg, Gmres };
 
 [[nodiscard]] const char* toString(AppKind kind);
-/// Parse "linreg" / "logreg" / "pagerank" / "kmeans" / "gnnmf".
+/// Parse "linreg" / "logreg" / "pagerank" / "kmeans" / "gnnmf" / "cg" /
+/// "gmres".
 [[nodiscard]] bool parseAppKind(const std::string& s, AppKind& out);
 [[nodiscard]] std::vector<AppKind> allAppKinds();
 
 /// Parse "shrink" / "shrink-rebalance" / "replace-redundant" /
-/// "replace-elastic" (the toString(RestoreMode) spellings).
+/// "replace-elastic" / "algorithm-based" (the toString(RestoreMode)
+/// spellings).
 [[nodiscard]] bool parseRestoreMode(const std::string& s,
                                     framework::RestoreMode& out);
+/// The classic rollback modes; excludes AlgorithmBased (see schedule.cpp).
 [[nodiscard]] std::vector<framework::RestoreMode> allRestoreModes();
 
 struct KillEvent {

@@ -1,0 +1,35 @@
+// ILU(0): incomplete LU factorization with zero fill-in on a SparseCSR
+// pattern (the ITSOL/ILUPACK family's workhorse preconditioner).
+//
+// The factors L (unit lower) and U (upper, including the diagonal) share
+// the sparsity pattern of A: L's entries live in A's strict lower
+// triangle, U's in the upper triangle plus diagonal. Both are kept in one
+// combined CSR matrix, so applying the preconditioner is one forward and
+// one backward triangular sweep over A's own structure.
+#pragma once
+
+#include <vector>
+
+#include "la/sparse_csr.h"
+#include "la/vector.h"
+
+namespace rgml::la {
+
+struct Ilu0 {
+  /// Combined factors on A's pattern: strict lower = L (unit diagonal
+  /// implied), upper incl. diagonal = U.
+  SparseCSR lu;
+  /// Value-array index of each row's diagonal entry.
+  std::vector<long> diagPos;
+};
+
+/// Factor a square sparse matrix. Throws ApgasError naming the row when a
+/// diagonal entry is structurally missing or a pivot degenerates to
+/// (near-)zero — ILU(0) has no pivoting, so such a matrix cannot be
+/// factored on its own pattern.
+[[nodiscard]] Ilu0 ilu0Factor(const SparseCSR& a);
+
+/// z = U^{-1} L^{-1} r (apply the preconditioner). |r| == |z| == n.
+void ilu0Solve(const Ilu0& f, const Vector& r, Vector& z);
+
+}  // namespace rgml::la

@@ -243,6 +243,38 @@ void AppResilientStore::restore() {
   }
 }
 
+void AppResilientStore::restoreOnly(Snapshottable& obj) {
+  if (!committed_) {
+    throw apgas::ApgasError(
+        "AppResilientStore::restoreOnly: no committed snapshot");
+  }
+  const std::shared_ptr<Snapshot> snapshot = committed_->find(&obj);
+  if (!snapshot) {
+    throw apgas::ApgasError(
+        "AppResilientStore::restoreOnly: object not in the committed "
+        "snapshot");
+  }
+  obs::TraceSink* sink = obs::TraceSink::current();
+  std::size_t span = 0;
+  if (sink != nullptr) {
+    span = sink->open(obs::Category::Restore, "store.restoreOnly",
+                      committed_->iteration, herePlace(), simNow());
+  }
+  try {
+    obj.restoreSnapshot(*snapshot);
+  } catch (...) {
+    if (sink != nullptr) {
+      sink->close(span, simNow(), 0, {{"aborted", "true"}});
+    }
+    throw;
+  }
+  if (sink != nullptr) {
+    sink->close(span, simNow(), snapshot->totalBytes(), {});
+    sink->addMetric("restore.count");
+    sink->addMetric("restore.bytes", snapshot->totalBytes());
+  }
+}
+
 std::size_t AppResilientStore::committedBytes() const {
   if (!committed_) return 0;
   std::size_t total = 0;

@@ -110,6 +110,12 @@ class AppResilientStore {
   /// place group by the caller first (paper Listing 5, lines 9-14).
   void restore();
 
+  /// Restore ONE object from the latest committed snapshot, leaving the
+  /// others untouched. Algorithm-based recovery uses this to reload only
+  /// the read-only inputs (A, b) while the live iterate is reconstructed
+  /// from the recurrence. Throws if `obj` is not in the snapshot.
+  void restoreOnly(Snapshottable& obj);
+
   [[nodiscard]] bool hasCommitted() const noexcept {
     return committed_ != nullptr;
   }

@@ -79,6 +79,25 @@ TEST(BackendEquivalenceTest, RestoreKillsClassifyIdentically) {
   EXPECT_EQ(classificationReport(simulated), classificationReport(threaded));
 }
 
+TEST(BackendEquivalenceTest, KrylovAlgorithmRecoveryClassifiesIdentically) {
+  // The Krylov apps under algorithm-based recovery (no rollback — the
+  // restored-to iteration IS the interrupted one) next to plain shrink:
+  // the real-threads backend must classify the whole corpus, including
+  // restored_to, byte-identically with the simulator oracle.
+  SweepOptions opt = corpus(Backend::Simulated);
+  opt.apps = {AppKind::Cg, AppKind::Gmres};
+  opt.modes = {rgml::framework::RestoreMode::Shrink,
+               rgml::framework::RestoreMode::AlgorithmBased};
+  opt.allVictims = false;  // sampled victims keep tier-1 time in check
+  const SweepResult simulated = runCorpus(opt);
+  opt.backend = Backend::Threads;
+  const SweepResult threaded = runCorpus(opt);
+  ASSERT_GT(simulated.scenariosRun, 0);
+  EXPECT_TRUE(simulated.allOk()) << summarize(simulated);
+  EXPECT_TRUE(threaded.allOk()) << summarize(threaded);
+  EXPECT_EQ(classificationReport(simulated), classificationReport(threaded));
+}
+
 TEST(BackendEquivalenceTest, ReportOmitsWallDependentFields) {
   const SweepResult result = runCorpus(corpus(Backend::Threads));
   const std::string report = classificationReport(result);

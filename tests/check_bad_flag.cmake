@@ -1,0 +1,25 @@
+# Run a tool with a malformed numeric flag and assert it dies fast with a
+# non-zero exit code and a diagnostic NAMING the flag — the contract the
+# checked cli parsers replace silent atof/atol zeroes with.
+#
+# Usage: cmake -DTOOL=<path> "-DARGS=<;-separated args>" -DFLAG=<flag>
+#              -P check_bad_flag.cmake
+if(NOT DEFINED TOOL OR NOT DEFINED ARGS OR NOT DEFINED FLAG)
+  message(FATAL_ERROR "check_bad_flag.cmake needs -DTOOL, -DARGS, -DFLAG")
+endif()
+
+execute_process(COMMAND "${TOOL}" ${ARGS}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+          "${TOOL} accepted a malformed value for ${FLAG} (exit 0)")
+endif()
+string(CONCAT all "${out}" "${err}")
+string(FIND "${all}" "${FLAG}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "${TOOL} failed (rc=${rc}) but the diagnostic does not name "
+          "${FLAG}: ${all}")
+endif()

@@ -1,0 +1,59 @@
+// Checked numeric flag parsing: the strict strtod/strtol wrappers must
+// accept exactly the full-token numbers and reject everything std::atof
+// would silently map to 0 — empty strings, trailing garbage, bare signs,
+// and out-of-range values.
+#include <gtest/gtest.h>
+
+#include "harness/cli.h"
+
+namespace rgml::harness::cli {
+namespace {
+
+TEST(CliParse, ParseDoubleAcceptsFullTokens) {
+  double v = -1.0;
+  EXPECT_TRUE(parseDouble("0", v));
+  EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(parseDouble("1e-3", v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_TRUE(parseDouble("-2.5", v));
+  EXPECT_DOUBLE_EQ(v, -2.5);
+  EXPECT_TRUE(parseDouble("+0.125", v));
+  EXPECT_DOUBLE_EQ(v, 0.125);
+  EXPECT_TRUE(parseDouble("1E6", v));
+  EXPECT_DOUBLE_EQ(v, 1e6);
+}
+
+TEST(CliParse, ParseDoubleRejectsGarbageLeavingOutUntouched) {
+  double v = 42.0;
+  EXPECT_FALSE(parseDouble("", v));
+  EXPECT_FALSE(parseDouble("abc", v));
+  EXPECT_FALSE(parseDouble("1e-3x", v));  // the atof trap: atof says 1e-3
+  EXPECT_FALSE(parseDouble("1.5 ", v));   // trailing space is garbage too
+  EXPECT_FALSE(parseDouble("-", v));
+  EXPECT_FALSE(parseDouble("1e999", v));  // overflow
+  EXPECT_EQ(v, 42.0);
+}
+
+TEST(CliParse, ParseLongAcceptsFullTokens) {
+  long v = -1;
+  EXPECT_TRUE(parseLong("0", v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parseLong("12345", v));
+  EXPECT_EQ(v, 12345);
+  EXPECT_TRUE(parseLong("-7", v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(CliParse, ParseLongRejectsGarbageLeavingOutUntouched) {
+  long v = 42;
+  EXPECT_FALSE(parseLong("", v));
+  EXPECT_FALSE(parseLong("abc", v));
+  EXPECT_FALSE(parseLong("12x", v));   // the atol trap: atol says 12
+  EXPECT_FALSE(parseLong("3.5", v));   // not an integer token
+  EXPECT_FALSE(parseLong("-", v));
+  EXPECT_FALSE(parseLong("99999999999999999999", v));  // overflow
+  EXPECT_EQ(v, 42);
+}
+
+}  // namespace
+}  // namespace rgml::harness::cli

@@ -1,0 +1,181 @@
+// Chaos corpus for the Krylov apps under algorithm-based recovery: the
+// new RestoreMode must reconstruct the lost partition from the Krylov
+// recurrence (r = b - A x from the replicated read-only inputs plus a
+// surviving replica of the iterate) and continue from the CURRENT
+// iteration — zero rollback — while classifying byte-identically at any
+// job count. The k-way replication invariants of the rollback modes
+// carry over unchanged: the read-only inputs still live in the
+// replicated store, so k simultaneous adjacent kills remain cleanly
+// fatal and k-1 remain survivable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/sweeper.h"
+
+namespace rgml::harness {
+namespace {
+
+using framework::RestoreMode;
+
+SweepOptions krylovOptions(AppKind app) {
+  SweepOptions opt;
+  opt.apps = {app};
+  opt.modes = {RestoreMode::AlgorithmBased};
+  opt.iterations = 10;
+  opt.places = 4;
+  opt.spares = 1;
+  opt.checkpointInterval = 3;
+  return opt;
+}
+
+/// Outcomes of schedules with exactly `kills` kill events.
+std::vector<ScenarioOutcome> withKillCount(const SweepResult& r,
+                                           std::size_t kills) {
+  std::vector<ScenarioOutcome> out;
+  for (const ScenarioOutcome& o : r.outcomes) {
+    if (o.schedule.kills.size() == kills) out.push_back(o);
+  }
+  return out;
+}
+
+void expectNoRollback(const SweepResult& r, long iterations) {
+  // Enumerated kill points start after the first checkpoint, so a
+  // committed snapshot of A and b always exists: every single boundary
+  // kill must classify Ok.
+  const auto singles = withKillCount(r, 1);
+  ASSERT_FALSE(singles.empty());
+  long recovered = 0;
+  for (const ScenarioOutcome& o : singles) {
+    const long at = o.schedule.kills[0].at;
+    EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe() << ": "
+                                       << o.detail;
+    if (at == iterations) {
+      // A kill at the final boundary is never observed — the run already
+      // finished, so no failure was handled.
+      EXPECT_EQ(o.failuresHandled, 0) << o.schedule.describe();
+      continue;
+    }
+    // THE no-rollback property: the executor resumed from the very
+    // iteration the failure interrupted, not from the checkpoint floor.
+    EXPECT_EQ(o.restoredTo, at) << o.schedule.describe();
+    ++recovered;
+  }
+  EXPECT_GT(recovered, 0);
+}
+
+TEST(KrylovChaos, CgBoundaryKillsRecoverWithoutRollback) {
+  SweepOptions opt = krylovOptions(AppKind::Cg);
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+  expectNoRollback(r, opt.iterations);
+}
+
+TEST(KrylovChaos, GmresBoundaryKillsRecoverWithoutRollback) {
+  SweepOptions opt = krylovOptions(AppKind::Gmres);
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+  expectNoRollback(r, opt.iterations);
+}
+
+TEST(KrylovChaos, AlgorithmBasedRestoresToLaterIterationThanShrink) {
+  // The direct contrast on the same fault space: rollback recovery
+  // restores to the checkpoint floor, algorithm-based recovery to the
+  // interrupted iteration itself. Every observed kill past the first
+  // commit must satisfy shrinkRestoredTo <= at == algorithmRestoredTo,
+  // strictly less for at least one off-checkpoint kill point.
+  SweepOptions algo = krylovOptions(AppKind::Cg);
+  SweepOptions shrink = krylovOptions(AppKind::Cg);
+  shrink.modes = {RestoreMode::Shrink};
+  const SweepResult ra = ChaosSweeper(algo).run();
+  const SweepResult rs = ChaosSweeper(shrink).run();
+  ASSERT_EQ(ra.outcomes.size(), rs.outcomes.size());
+  long strictly = 0;
+  for (std::size_t i = 0; i < ra.outcomes.size(); ++i) {
+    const ScenarioOutcome& a = ra.outcomes[i];
+    const ScenarioOutcome& s = rs.outcomes[i];
+    ASSERT_EQ(a.schedule.kills[0].at, s.schedule.kills[0].at);
+    if (a.failuresHandled == 0 || s.failuresHandled == 0) continue;
+    EXPECT_LE(s.restoredTo, a.restoredTo) << a.schedule.describe();
+    if (s.restoredTo < a.restoredTo) ++strictly;
+  }
+  EXPECT_GT(strictly, 0);
+}
+
+TEST(KrylovChaos, KillDuringAlgorithmRestoreSurvivesAtK3) {
+  // A second place dies at the start of the restore triggered by the
+  // first kill. At replication 3 the read-only inputs still have a live
+  // replica and the iterate always has a surviving duplicate, so the
+  // executor's second recovery pass must converge with no rollback.
+  SweepOptions opt = krylovOptions(AppKind::Cg);
+  opt.restoreKills = true;
+  opt.replication = 3;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+  const auto doubles = withKillCount(r, 2);
+  ASSERT_FALSE(doubles.empty());
+  for (const ScenarioOutcome& o : doubles) {
+    EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe() << ": "
+                                       << o.detail;
+  }
+}
+
+TEST(KrylovChaos, AdjacentDoubleKillIsCleanlyFatalAtK2) {
+  // Algorithm-based recovery still reads A and b from the replicated
+  // store, so losing both ring replicas of a partition is exactly as
+  // fatal as it is for the rollback modes — and must be CLASSIFIED that
+  // way (cleanly fatal, never a divergence or a poisoned iterate).
+  SweepOptions opt = krylovOptions(AppKind::Gmres);
+  opt.simultaneousKills = 2;
+  opt.replication = 2;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+  const auto doubles = withKillCount(r, 2);
+  ASSERT_FALSE(doubles.empty());
+  long fatal = 0;
+  for (const ScenarioOutcome& o : doubles) {
+    if (o.schedule.kills[0].at == opt.iterations) {
+      EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe();
+    } else {
+      EXPECT_EQ(o.kind, OutcomeKind::Unrecoverable) << o.schedule.describe();
+      ++fatal;
+    }
+  }
+  EXPECT_GT(fatal, 0);
+}
+
+TEST(KrylovChaos, AdjacentDoubleKillSurvivesAtK3) {
+  SweepOptions opt = krylovOptions(AppKind::Gmres);
+  opt.simultaneousKills = 2;
+  opt.replication = 3;
+  const SweepResult r = ChaosSweeper(opt).run();
+  EXPECT_TRUE(r.allOk()) << summarize(r);
+  const auto doubles = withKillCount(r, 2);
+  ASSERT_FALSE(doubles.empty());
+  for (const ScenarioOutcome& o : doubles) {
+    EXPECT_EQ(o.kind, OutcomeKind::Ok) << o.schedule.describe() << ": "
+                                       << o.detail;
+  }
+}
+
+TEST(KrylovChaos, ClassificationIsIdenticalAtAnyJobCount) {
+  // Both Krylov apps, both recovery families, fanned over 8 workers vs
+  // run inline: the classification report must be byte-identical.
+  SweepOptions opt = krylovOptions(AppKind::Cg);
+  opt.apps = {AppKind::Cg, AppKind::Gmres};
+  opt.modes = {RestoreMode::Shrink, RestoreMode::AlgorithmBased};
+  opt.allVictims = false;
+  opt.shrinkFailures = false;
+  opt.jobs = 1;
+  const SweepResult serial = ChaosSweeper(opt).run();
+  opt.jobs = 8;
+  const SweepResult fanned = ChaosSweeper(opt).run();
+  ASSERT_GT(serial.scenariosRun, 0);
+  EXPECT_EQ(serial.scenariosRun, fanned.scenariosRun);
+  EXPECT_EQ(classificationReport(serial), classificationReport(fanned));
+}
+
+}  // namespace
+}  // namespace rgml::harness

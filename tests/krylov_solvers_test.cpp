@@ -1,0 +1,308 @@
+// Property tests for the Krylov suite (PCG + restarted GMRES), the
+// replicated preconditioners and the ILU(0) factorization: oracle
+// agreement on band systems, preconditioner equivalence (every M must
+// reach the same solution of the same system), the breakdown contract
+// (degenerate curvature / singular pivots hold a finite iterate or throw
+// a descriptive error), and replica consistency of applyReplicated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apgas/runtime.h"
+#include "gml/solvers.h"
+#include "la/ilu0.h"
+#include "la/kernels.h"
+
+namespace rgml::gml {
+namespace {
+
+using apgas::Place;
+using apgas::PlaceGroup;
+using apgas::Runtime;
+
+class KrylovSolversTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::init(4); }
+};
+
+/// Band CSR with entry (i, j) = fn(i, j) inside the band.
+la::SparseCSR bandCSR(long n, long band,
+                      const std::function<double(long, long)>& fn) {
+  std::vector<long> rowPtr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<long> colIdx;
+  std::vector<double> values;
+  for (long i = 0; i < n; ++i) {
+    const long lo = std::max(0L, i - band);
+    const long hi = std::min(n - 1, i + band);
+    for (long j = lo; j <= hi; ++j) {
+      colIdx.push_back(j);
+      values.push_back(fn(i, j));
+    }
+    rowPtr[static_cast<std::size_t>(i) + 1] =
+        static_cast<long>(colIdx.size());
+  }
+  return {n, n, std::move(rowPtr), std::move(colIdx), std::move(values)};
+}
+
+/// Deterministic SPD band matrix (same family as the CgResilient app):
+/// strictly diagonally dominant, symmetric, half-bandwidth `band`.
+la::SparseCSR spdBandCSR(long n, long band) {
+  return bandCSR(n, band, [band](long i, long j) {
+    if (j == i) {
+      return 2.0 * static_cast<double>(band) + 1.5 +
+             0.25 * static_cast<double>(i % 7);
+    }
+    return -1.0 / (1.0 + static_cast<double>(std::labs(i - j)));
+  });
+}
+
+/// Nonsymmetric diagonally dominant band matrix (GMRES territory).
+la::SparseCSR nonsymBandCSR(long n, long band) {
+  return bandCSR(n, band, [band](long i, long j) {
+    const double d = static_cast<double>(std::labs(i - j));
+    if (j == i) {
+      return 2.0 * static_cast<double>(band) + 1.8 +
+             0.2 * static_cast<double>(i % 5);
+    }
+    return j < i ? -1.0 / (1.0 + d) : -0.6 / (1.0 + d);
+  });
+}
+
+DistBlockMatrix distFromCSR(const la::SparseCSR& global, long band,
+                            const PlaceGroup& pg) {
+  const long places = static_cast<long>(pg.size());
+  auto a = DistBlockMatrix::makeSparse(global.rows(), global.cols(),
+                                       2 * places, 1, places, 1,
+                                       2 * band + 1, pg);
+  a.initFromCSR(global);
+  return a;
+}
+
+/// True residual ||b - A x||_2 computed with distributed ops.
+double trueResidual(const DistBlockMatrix& a, const DistVector& b,
+                    const DupVector& x) {
+  auto t = DistVector::make(a.rows(), a.placeGroup());
+  t.mult(a, x);
+  auto r = DistVector::make(a.rows(), a.placeGroup());
+  r.copyFrom(b);
+  r.axpy(-1.0, t);
+  return std::sqrt(r.dot(r));
+}
+
+TEST_F(KrylovSolversTest, PcgSolvesSpdBandSystem) {
+  auto pg = PlaceGroup::world();
+  const long n = 48, band = 2;
+  auto a = distFromCSR(spdBandCSR(n, band), band, pg);
+  auto b = DistVector::make(n, pg);
+  b.initRandom(11);
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  JacobiPreconditioner m;
+  m.setup(a);
+  auto result = pcg(a, b, x, m, 100, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.residual, 1e-10);
+  EXPECT_LT(trueResidual(a, b, x), 1e-8);
+}
+
+TEST_F(KrylovSolversTest, PreconditionersAgreeOnTheSolution) {
+  // Identity, Jacobi and ILU(0) precondition the SAME system; all three
+  // runs must land on the same solution (the preconditioner changes the
+  // trajectory, never the fixed point).
+  auto pg = PlaceGroup::world();
+  const long n = 40, band = 2;
+  const la::SparseCSR global = spdBandCSR(n, band);
+
+  IdentityPreconditioner ident;
+  JacobiPreconditioner jac;
+  Ilu0Preconditioner ilu;
+  Preconditioner* preconditioners[] = {&ident, &jac, &ilu};
+
+  std::vector<la::Vector> solutions;
+  for (Preconditioner* m : preconditioners) {
+    auto a = distFromCSR(global, band, pg);
+    auto b = DistVector::make(n, pg);
+    b.initRandom(13);
+    auto x = DupVector::make(n, pg);
+    x.init(0.0);
+    m->setup(a);
+    auto result = pcg(a, b, x, *m, 200, 1e-12);
+    EXPECT_TRUE(result.converged) << m->name();
+    la::Vector xv;
+    apgas::at(Place(0), [&] { xv = x.local(); });
+    solutions.push_back(std::move(xv));
+  }
+  for (std::size_t k = 1; k < solutions.size(); ++k) {
+    for (long i = 0; i < n; ++i) {
+      EXPECT_NEAR(solutions[k][i], solutions[0][i], 1e-8)
+          << preconditioners[k]->name() << " vs identity at " << i;
+    }
+  }
+}
+
+TEST_F(KrylovSolversTest, PcgIndefiniteBreakdownHoldsIterate) {
+  // Diagonal matrix with one negative eigenvalue and b along that
+  // direction: the very first curvature p'Ap is negative, so the guard
+  // must stop before any update — zero iterations, x still the (finite)
+  // starting guess.
+  auto pg = PlaceGroup::world();
+  const long n = 8;
+  const la::SparseCSR global = bandCSR(
+      n, 0, [n](long i, long) { return i == n - 1 ? -1.0 : 1.0; });
+  auto a = distFromCSR(global, 0, pg);
+  auto b = DistVector::make(n, pg);
+  b.init([n](long i) { return i == n - 1 ? 1.0 : 0.0; });
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  IdentityPreconditioner m;
+  m.setup(a);
+  auto result = pcg(a, b, x, m, 20, 0.0);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  apgas::at(Place(0), [&] {
+    for (long i = 0; i < n; ++i) {
+      EXPECT_EQ(x.local()[i], 0.0);
+    }
+  });
+}
+
+TEST_F(KrylovSolversTest, GmresSolvesNonsymmetricSystem) {
+  auto pg = PlaceGroup::world();
+  const long n = 48, band = 2;
+  auto a = distFromCSR(nonsymBandCSR(n, band), band, pg);
+  auto b = DistVector::make(n, pg);
+  b.initRandom(17);
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  Ilu0Preconditioner m;
+  m.setup(a);
+  auto result = gmres(a, b, x, m, 8, 20, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(trueResidual(a, b, x), 1e-7);
+}
+
+TEST_F(KrylovSolversTest, GmresHappyBreakdownOnIdentity) {
+  // A = I: the first Arnoldi vector already spans the Krylov space, the
+  // new-basis norm vanishes (happy breakdown) and the cycle's solution
+  // is exact after a single inner step.
+  auto pg = PlaceGroup::world();
+  const long n = 16;
+  const la::SparseCSR eye = bandCSR(n, 0, [](long, long) { return 1.0; });
+  auto a = distFromCSR(eye, 0, pg);
+  auto b = DistVector::make(n, pg);
+  b.initRandom(19);
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  IdentityPreconditioner m;
+  m.setup(a);
+  auto result = gmres(a, b, x, m, 5, 3, 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+  la::Vector bv(n);
+  b.copyTo(bv);
+  apgas::at(Place(0), [&] {
+    for (long i = 0; i < n; ++i) {
+      EXPECT_NEAR(x.local()[i], bv[i], 1e-12);
+    }
+  });
+}
+
+TEST_F(KrylovSolversTest, Ilu0IsExactLuOnTridiagonal) {
+  // On a tridiagonal pattern ILU(0) has no dropped fill, so it IS the LU
+  // factorization: applying the preconditioner solves the system exactly.
+  const long n = 12;
+  const la::SparseCSR a = spdBandCSR(n, 1);
+  const la::Ilu0 f = la::ilu0Factor(a);
+  la::Vector r(n), z(n), az(n);
+  for (long i = 0; i < n; ++i) r[i] = 0.3 + 0.1 * static_cast<double>(i);
+  la::ilu0Solve(f, r, z);
+  la::spmv(a, z.span(), az.span());
+  for (long i = 0; i < n; ++i) {
+    EXPECT_NEAR(az[i], r[i], 1e-10) << "row " << i;
+  }
+}
+
+TEST_F(KrylovSolversTest, Ilu0ThrowsNamingRowOnMissingDiagonal) {
+  // Row 2 has no structural diagonal — unfactorable on its own pattern.
+  la::SparseCSR a(4, 4, {0, 1, 2, 3, 4}, {0, 1, 3, 3},
+                  {2.0, 2.0, 1.0, 2.0});
+  try {
+    static_cast<void>(la::ilu0Factor(a));
+    FAIL() << "ilu0Factor accepted a missing diagonal";
+  } catch (const apgas::ApgasError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(KrylovSolversTest, Ilu0ThrowsOnDegeneratePivot) {
+  // [[1,1],[1,1]]: u11 = 1, l21 = 1, u22 = 1 - 1*1 = 0 — pivot
+  // degenerates at row 1 and ILU(0) has no pivoting to recover.
+  la::SparseCSR a(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {1.0, 1.0, 1.0, 1.0});
+  try {
+    static_cast<void>(la::ilu0Factor(a));
+    FAIL() << "ilu0Factor accepted a zero pivot";
+  } catch (const apgas::ApgasError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(KrylovSolversTest, JacobiPreconditionerRejectsZeroDiagonal) {
+  auto pg = PlaceGroup::world();
+  const long n = 8, band = 1;
+  // Diagonally dominant tridiagonal except row 3, whose diagonal is 0.
+  const la::SparseCSR global = bandCSR(n, band, [](long i, long j) {
+    if (i == j) return i == 3 ? 0.0 : 4.0;
+    return -1.0;
+  });
+  auto a = distFromCSR(global, band, pg);
+  JacobiPreconditioner m;
+  try {
+    m.setup(a);
+    FAIL() << "JacobiPreconditioner accepted a zero diagonal";
+  } catch (const apgas::ApgasError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(KrylovSolversTest, ApplyReplicatedKeepsReplicasConsistent) {
+  // z = M^{-1} r must hold the SAME values at every replica, and agree
+  // with a host-side apply on the same data.
+  auto pg = PlaceGroup::world();
+  const long n = 24, band = 2;
+  auto a = distFromCSR(spdBandCSR(n, band), band, pg);
+  Ilu0Preconditioner m;
+  m.setup(a);
+
+  auto r = DupVector::make(n, pg);
+  r.initRandom(23);
+  auto z = DupVector::make(n, pg);
+  z.init(0.0);
+  applyReplicated(m, r, z);
+
+  la::Vector rv;
+  apgas::at(Place(0), [&] { rv = r.local(); });
+  la::Vector expect(n);
+  m.apply(rv, expect);
+  for (apgas::PlaceId p : pg) {
+    la::Vector zv;
+    apgas::at(Place(p), [&] { zv = z.local(); });
+    ASSERT_EQ(zv.size(), n);
+    for (long i = 0; i < n; ++i) {
+      EXPECT_EQ(zv[i], expect[i]) << "place " << p << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rgml::gml

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "apgas/runtime.h"
 #include "gml/solvers.h"
@@ -136,6 +137,59 @@ TEST_F(SolversTest, JacobiRejectsSparseAndRectangular) {
   auto x2 = DupVector::make(12, pg);
   EXPECT_THROW(static_cast<void>(jacobi(sparse, b2, x2, 5, 1e-9)),
                apgas::ApgasError);
+}
+
+TEST_F(SolversTest, CgNormalBreakdownHoldsFiniteIterate) {
+  // Breakdown regression (solver-level guard): with every entry of A at
+  // 1e-155, the normal-equations products A^T(A p) underflow to exactly
+  // zero while the gradient norm ||A^T b||^2 ~ 2.6e-308 stays positive —
+  // so the curvature p'q is 0 and the unguarded alpha = normR2 / p'q is
+  // Inf, poisoning x with Inf/NaN on the first update. The guard must
+  // stop instead and leave the iterate finite. tolerance 0 is essential:
+  // any normal tolerance would accept the ~1.6e-154 starting residual
+  // and exit before the breakdown is reached.
+  auto pg = PlaceGroup::world();
+  const long m = 8, n = 4;
+  auto a = DistBlockMatrix::makeDense(m, n, 4, 1, 4, 1, pg);
+  a.init([](long, long) { return 1e-155; });
+  auto b = DistVector::make(m, pg);
+  b.init(1.0);
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  auto result = conjugateGradientNormal(a, b, x, 0.0, 3, 0.0);
+  EXPECT_FALSE(result.converged);
+  apgas::at(Place(0), [&] {
+    for (long i = 0; i < n; ++i) {
+      EXPECT_TRUE(std::isfinite(x.local()[i]))
+          << "x[" << i << "] = " << x.local()[i];
+    }
+  });
+}
+
+TEST_F(SolversTest, JacobiRejectsZeroDiagonalNamingRow) {
+  // D^{-1} does not exist when a diagonal entry is zero; the solver must
+  // refuse with a descriptive error naming the offending row rather than
+  // fill x with Inf/NaN.
+  auto pg = PlaceGroup::world();
+  const long n = 8;
+  auto a = DistBlockMatrix::makeDense(n, n, 4, 1, 4, 1, pg);
+  a.init([](long i, long j) {
+    if (i == j) return i == 1 ? 0.0 : 10.0;
+    return 0.5;
+  });
+  auto b = DistVector::make(n, pg);
+  b.init(1.0);
+  auto x = DupVector::make(n, pg);
+  x.init(0.0);
+
+  try {
+    static_cast<void>(jacobi(a, b, x, 10, 1e-9));
+    FAIL() << "jacobi accepted a zero diagonal";
+  } catch (const apgas::ApgasError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(SolversTest, SolversSurviveOnShrunkenGroups) {

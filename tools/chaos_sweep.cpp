@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.h"
 #include "harness/job_pool.h"
 #include "harness/report.h"
 #include "harness/sweeper.h"
@@ -34,6 +35,7 @@ namespace {
 using rgml::harness::AppKind;
 using rgml::harness::ChaosSweeper;
 using rgml::harness::SweepOptions;
+namespace cli = rgml::harness::cli;
 
 void usage(std::ostream& os) {
   os << "chaos_sweep — fault-space sweeper with golden-result divergence "
@@ -146,13 +148,15 @@ int main(int argc, char** argv) {
         }
       }
     } else if (arg == "--iters") {
-      opt.iterations = std::atol(needValue(i));
+      opt.iterations = cli::requireLong("--iters", needValue(i));
     } else if (arg == "--places") {
-      opt.places = static_cast<std::size_t>(std::atol(needValue(i)));
+      opt.places =
+          static_cast<std::size_t>(cli::requireLong("--places", needValue(i)));
     } else if (arg == "--spares") {
-      opt.spares = static_cast<std::size_t>(std::atol(needValue(i)));
+      opt.spares =
+          static_cast<std::size_t>(cli::requireLong("--spares", needValue(i)));
     } else if (arg == "--interval") {
-      opt.checkpointInterval = std::atol(needValue(i));
+      opt.checkpointInterval = cli::requireLong("--interval", needValue(i));
     } else if (arg == "--victims") {
       opt.allVictims = std::string(needValue(i)) == "all";
     } else if (arg == "--midstep") {
@@ -160,14 +164,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--pairs") {
       opt.pairKills = true;
     } else if (arg == "--replication") {
-      const long k = std::atol(needValue(i));
+      const long k = cli::requireLong("--replication", needValue(i));
       if (k < 1) {
         std::cerr << "--replication must be >= 1\n";
         return 2;
       }
       opt.replication = static_cast<int>(k);
     } else if (arg == "--simul") {
-      const long m = std::atol(needValue(i));
+      const long m = cli::requireLong("--simul", needValue(i));
       if (m < 2) {
         std::cerr << "--simul must be >= 2\n";
         return 2;
@@ -190,13 +194,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--lossy-eb") {
-      opt.lossyErrorBound = std::atof(needValue(i));
+      opt.lossyErrorBound = cli::requireDouble("--lossy-eb", needValue(i));
     } else if (arg == "--lossy-tol") {
-      opt.lossyTolerance = std::atof(needValue(i));
+      opt.lossyTolerance = cli::requireDouble("--lossy-tol", needValue(i));
     } else if (arg == "--restore-kills") {
       opt.restoreKills = true;
     } else if (arg == "--tol") {
-      opt.tolerance = std::atof(needValue(i));
+      opt.tolerance = cli::requireDouble("--tol", needValue(i));
     } else if (arg == "--backend") {
       const std::string v = needValue(i);
       if (!rgml::apgas::parseBackend(v, opt.backend)) {
@@ -204,7 +208,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--jobs") {
-      const long jobs = std::atol(needValue(i));
+      const long jobs = cli::requireLong("--jobs", needValue(i));
       if (jobs < 1) {
         std::cerr << "--jobs must be >= 1\n";
         return 2;

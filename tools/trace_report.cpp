@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.h"
 #include "harness/job_pool.h"
 #include "obs/analysis/trace_report.h"
 
@@ -74,15 +75,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics") {
       metricsPath = needValue(i);
     } else if (arg == "--mtbf") {
-      mtbf = std::atof(needValue(i));
+      mtbf = rgml::harness::cli::requireDouble("--mtbf", needValue(i));
     } else if (arg == "--top") {
-      topK = static_cast<std::size_t>(std::atol(needValue(i)));
+      topK = static_cast<std::size_t>(
+          rgml::harness::cli::requireLong("--top", needValue(i)));
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--out") {
       outPath = needValue(i);
     } else if (arg == "--jobs") {
-      const long n = std::atol(needValue(i));
+      const long n = rgml::harness::cli::requireLong("--jobs", needValue(i));
       if (n < 1) {
         std::cerr << "--jobs must be >= 1\n";
         return 2;
