@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "apgas/threads/threads_backend.h"
+#include "obs/flight/forensic_dump.h"
 #include "obs/trace_sink.h"
 
 namespace rgml::apgas {
@@ -28,12 +29,25 @@ Runtime::Runtime(const RuntimeConfig& config)
       heaps_(static_cast<std::size_t>(config.numPlaces)) {
   hereStack_.push_back(0);
   if (backendKind_ == Backend::Threads) {
-    engine_ = std::make_unique<threads::ThreadsBackend>(*this,
-                                                        config.numPlaces);
+    engine_ = std::make_unique<threads::ThreadsBackend>(*this, config);
   }
 }
 
 Runtime::~Runtime() = default;
+
+obs::flight::FlightRecorder* Runtime::flightRecorder() const noexcept {
+  return engine_ ? engine_->flight() : nullptr;
+}
+
+obs::flight::StallWatchdog* Runtime::stallWatchdog() const noexcept {
+  return engine_ ? engine_->watchdog() : nullptr;
+}
+
+std::string Runtime::flightDump() const {
+  const obs::flight::FlightRecorder* rec = flightRecorder();
+  if (rec == nullptr) return {};
+  return obs::flight::forensicJson(*rec, stallWatchdog());
+}
 
 void Runtime::init(const RuntimeConfig& config) {
   if (config.numPlaces < 1) {

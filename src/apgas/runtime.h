@@ -44,6 +44,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -53,6 +54,11 @@
 #include "apgas/place.h"
 #include "apgas/place_group.h"
 #include "apgas/runtime_config.h"
+
+namespace rgml::obs::flight {
+class FlightRecorder;
+class StallWatchdog;
+}  // namespace rgml::obs::flight
 
 namespace rgml::apgas {
 
@@ -111,6 +117,19 @@ class Runtime {
 
   /// Which engine executes this world.
   [[nodiscard]] Backend backend() const noexcept { return backendKind_; }
+
+  // ---- flight recorder (src/obs/flight/) -------------------------------
+  /// The Threads engine's always-on flight recorder / stall watchdog.
+  /// Null on the simulated backend (which is deterministic and offers
+  /// nothing to record) or when RuntimeConfig::flightRecorder is off.
+  [[nodiscard]] obs::flight::FlightRecorder* flightRecorder()
+      const noexcept;
+  [[nodiscard]] obs::flight::StallWatchdog* stallWatchdog() const noexcept;
+
+  /// Forensic bundle (the obs/flight/forensic_dump.h JSON document:
+  /// last-N events per thread, queue-depth series, watchdog verdicts).
+  /// Empty string when no recorder is attached.
+  [[nodiscard]] std::string flightDump() const;
 
   // ---- topology -------------------------------------------------------
   /// Total places ever created (live + dead); ids are 0..numPlaces()-1.

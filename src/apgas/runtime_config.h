@@ -10,6 +10,7 @@
 // and EXPERIMENTS.md "Real-threads backend").
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "apgas/cost_model.h"
@@ -51,6 +52,20 @@ struct RuntimeConfig {
   CostModel costModel;
   bool resilientFinish = false;
   Backend backend = Backend::Simulated;
+
+  // ---- flight recorder (Threads backend only; see src/obs/flight/) ----
+  /// Always-on forensic event recording: per-thread event rings plus
+  /// per-queue progress counters and a stall-watchdog sampler. On by
+  /// default — the off switch exists solely so bench_flight can measure
+  /// the recorder's own overhead (gated <= 5%); everything else runs
+  /// with it on.
+  bool flightRecorder = true;
+  /// Events retained per thread lane (rounded up to a power of two).
+  std::size_t flightRingCapacity = 1024;
+  /// Stall-watchdog sampling period in milliseconds. <= 0 disables the
+  /// sampler thread only: the recorder still records, and tests drive
+  /// StallWatchdog::sampleNow() by hand.
+  double watchdogPeriodMs = 20.0;
 };
 
 }  // namespace rgml::apgas

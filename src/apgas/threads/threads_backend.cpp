@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "apgas/runtime.h"
+#include "obs/flight/flight_recorder.h"
+#include "obs/flight/stall_watchdog.h"
 #include "obs/trace_sink.h"
 
 namespace rgml::apgas::threads {
@@ -38,10 +40,19 @@ ThreadsBackend::ThreadCtx& ThreadsBackend::ctx() const {
   return tls;
 }
 
-ThreadsBackend::ThreadsBackend(Runtime& rt, int numPlaces)
+ThreadsBackend::ThreadsBackend(Runtime& rt, const RuntimeConfig& config)
     : rt_(rt),
       engineId_(nextEngineId.fetch_add(1, std::memory_order_relaxed)),
       t0_(std::chrono::steady_clock::now()) {
+  const int numPlaces = config.numPlaces;
+  if (config.flightRecorder) {
+    flight_ = std::make_unique<obs::flight::FlightRecorder>(
+        numPlaces, config.flightRingCapacity);
+    // The constructing thread doubles as place 0's worker.
+    flight_->bindCurrentThread("p0", 0);
+    watchdog_ = std::make_unique<obs::flight::StallWatchdog>(
+        *flight_, [this] { return now(); }, config.watchdogPeriodMs / 1e3);
+  }
   {
     std::lock_guard<std::mutex> lock(placesMutex_);
     for (int i = 0; i < numPlaces; ++i) places_.emplace_back();
@@ -50,9 +61,11 @@ ThreadsBackend::ThreadsBackend(Runtime& rt, int numPlaces)
   ctx().place = 0;  // the constructing thread serves place 0
   for (PlaceId p = 1; p < numPlaces; ++p) startWorker(p);
   ctrlThread_ = std::thread([this] { ctrlLoop(); });
+  if (watchdog_) watchdog_->start();
 }
 
 ThreadsBackend::~ThreadsBackend() {
+  if (watchdog_) watchdog_->stop();
   shutdown_.store(true, std::memory_order_release);
   std::vector<std::thread> workers;
   {
@@ -113,8 +126,20 @@ std::vector<PlaceId> ThreadsBackend::addPlaces(int n) {
     numPlaces_.store(static_cast<int>(places_.size()),
                      std::memory_order_release);
   }
+  if (flight_) flight_->addPlaces(n);  // before the workers can record
   for (PlaceId p : fresh) startWorker(p);
   return fresh;
+}
+
+void ThreadsBackend::flightEvent(obs::flight::EventKind kind, int queue,
+                                 long depth, double value, double t) const {
+  obs::flight::Event e;
+  e.t = t;
+  e.value = value;
+  e.kind = kind;
+  e.queue = queue;
+  e.depth = depth;
+  flight_->record(e);
 }
 
 // ---- inbox primitives -----------------------------------------------------
@@ -122,13 +147,21 @@ std::vector<PlaceId> ThreadsBackend::addPlaces(int n) {
 bool ThreadsBackend::push(PlaceId p, TaskMsg msg) {
   PlaceState& ps = place(p);
   if (ps.dead.load(std::memory_order_acquire)) return false;
+  if (flight_) msg.enqueuedAt = now();
+  long depth = 0;
   {
     std::lock_guard<std::mutex> lock(ps.inbox.mu);
     if (ps.inbox.poisoned) return false;
     ps.inbox.q.push_back(std::move(msg));
     ++ps.inbox.epoch;
+    depth = static_cast<long>(ps.inbox.q.size());
   }
   ps.inbox.cv.notify_all();
+  if (flight_) {
+    flight_->noteEnqueue(static_cast<int>(p), depth);
+    flightEvent(obs::flight::EventKind::Enqueue, static_cast<int>(p),
+                depth, 0.0, msg.enqueuedAt);
+  }
   return true;
 }
 
@@ -142,11 +175,22 @@ void ThreadsBackend::wake(Inbox& in) {
 
 bool ThreadsBackend::drainOne(Inbox& in) {
   TaskMsg msg;
+  long depth = 0;
   {
     std::lock_guard<std::mutex> lock(in.mu);
     if (in.q.empty()) return false;
     msg = std::move(in.q.front());
     in.q.pop_front();
+    depth = static_cast<long>(in.q.size());
+  }
+  if (flight_) {
+    // drainOne always runs on the inbox owner's thread (the worker, or a
+    // thread blocked in waitFinish/waitAt draining its own place).
+    const int queue = static_cast<int>(ctx().place);
+    flight_->noteDequeue(queue, depth);
+    const double t = now();
+    flightEvent(obs::flight::EventKind::Dequeue, queue, depth,
+                t - msg.enqueuedAt, t);
   }
   execute(msg);
   return true;
@@ -238,8 +282,20 @@ void ThreadsBackend::waitFinish(FinishState& fs, Inbox& own) {
       std::lock_guard<std::mutex> lock(fs.mu);
       if (fs.pending == 0) return;
     }
-    std::unique_lock<std::mutex> lock(own.mu);
-    own.cv.wait(lock, [&] { return own.epoch != epoch || !own.q.empty(); });
+    const double waitStart = flight_ ? now() : 0.0;
+    long depthAfter = 0;
+    {
+      std::unique_lock<std::mutex> lock(own.mu);
+      own.cv.wait(lock,
+                  [&] { return own.epoch != epoch || !own.q.empty(); });
+      depthAfter = static_cast<long>(own.q.size());
+    }
+    if (flight_) {
+      const double t = now();
+      flightEvent(obs::flight::EventKind::InboxWait,
+                  static_cast<int>(ctx().place), depthAfter,
+                  t - waitStart, t);
+    }
   }
 }
 
@@ -252,8 +308,20 @@ void ThreadsBackend::waitAt(AtState& st, Inbox& own) {
       epoch = own.epoch;
     }
     if (st.done.load(std::memory_order_acquire)) return;
-    std::unique_lock<std::mutex> lock(own.mu);
-    own.cv.wait(lock, [&] { return own.epoch != epoch || !own.q.empty(); });
+    const double waitStart = flight_ ? now() : 0.0;
+    long depthAfter = 0;
+    {
+      std::unique_lock<std::mutex> lock(own.mu);
+      own.cv.wait(lock,
+                  [&] { return own.epoch != epoch || !own.q.empty(); });
+      depthAfter = static_cast<long>(own.q.size());
+    }
+    if (flight_) {
+      const double t = now();
+      flightEvent(obs::flight::EventKind::InboxWait,
+                  static_cast<int>(ctx().place), depthAfter,
+                  t - waitStart, t);
+    }
   }
 }
 
@@ -274,12 +342,33 @@ void ThreadsBackend::finish(const std::function<void()>& body) {
     fs->errors.push_back(std::current_exception());
   }
   Inbox& own = place(c.place).inbox;
+  // Flight ack-wait covers the whole close protocol — body returned until
+  // every termination and the final ack have been processed. A fan-out
+  // finish therefore *contains* the close of every finish it spawned
+  // remotely, which is what makes the place-0 serialisation curve
+  // (flight_report) monotone in P rather than a scheduler-noise lottery.
+  double closeBegin = 0.0;
+  if (resilient && flight_) {
+    closeBegin = now();
+    long spawned = 0;
+    {
+      std::lock_guard<std::mutex> lock(fs->mu);
+      spawned = fs->tasks;
+    }
+    flightEvent(obs::flight::EventKind::AckWaitBegin,
+                static_cast<int>(fs->home), spawned, 0.0, closeBegin);
+  }
   waitFinish(*fs, own);
   c.finishStack.pop_back();
   if (resilient) {
     // The finish cannot complete until the control thread has drained
     // every spawn/termination message and acknowledged completion — the
     // paper's place-0 serialisation, now a real blocked wait.
+    long tasks = 0;
+    {
+      std::lock_guard<std::mutex> lock(fs->mu);
+      tasks = fs->tasks;
+    }
     const double before = now();
     AckWaiter waiter;
     ctrlSend(CtrlMsg::Ack, &waiter);
@@ -288,6 +377,11 @@ void ThreadsBackend::finish(const std::function<void()>& body) {
       waiter.cv.wait(lock, [&] { return waiter.done; });
     }
     const double after = now();
+    if (flight_) {
+      flightEvent(obs::flight::EventKind::AckWaitEnd,
+                  static_cast<int>(fs->home), tasks, after - closeBegin,
+                  after);
+    }
     if (auto* sink = obs::TraceSink::current()) {
       obs::TidScope tidScope(obs::osThreadTag());
       const double blocked = after - before;
@@ -295,11 +389,6 @@ void ThreadsBackend::finish(const std::function<void()>& body) {
       static const std::vector<double> kAckBuckets{1e-6, 1e-5, 1e-4, 1e-3,
                                                    1e-2, 0.1,  1.0};
       sink->observeMetric("finish.ack_wait_seconds", kAckBuckets, blocked);
-      long tasks = 0;
-      {
-        std::lock_guard<std::mutex> lock(fs->mu);
-        tasks = fs->tasks;
-      }
       if (blocked > 0.0) {
         sink->span(obs::Category::Finish, "finish.ack", -1,
                    static_cast<int>(fs->home), before, after, 0,
@@ -395,7 +484,17 @@ void ThreadsBackend::at(Place p, const std::function<void()>& body) {
 bool ThreadsBackend::kill(PlaceId p) {
   PlaceState& ps = place(p);
   if (ps.dead.exchange(true, std::memory_order_acq_rel)) return false;
+  // Kill events land in the *calling* thread's lane (kill() is legal
+  // from foreign threads, which auto-register an "ext" lane).
+  if (flight_) {
+    flightEvent(obs::flight::EventKind::Kill, static_cast<int>(p), 0, 0.0,
+                now());
+  }
   rt_.wipeHeap(p);
+  if (flight_) {
+    flightEvent(obs::flight::EventKind::HeapWipe, static_cast<int>(p), 0,
+                0.0, now());
+  }
   stats_.placesKilled.fetch_add(1, std::memory_order_relaxed);
   if (auto* sink = obs::TraceSink::current()) {
     obs::TidScope tidScope(obs::osThreadTag());
@@ -416,6 +515,11 @@ bool ThreadsBackend::kill(PlaceId p) {
     ++ps.inbox.epoch;
   }
   ps.inbox.cv.notify_all();
+  if (flight_) {
+    flight_->markDead(static_cast<int>(p));
+    flightEvent(obs::flight::EventKind::Poison, static_cast<int>(p),
+                static_cast<long>(orphans.size()), 0.0, now());
+  }
   for (TaskMsg& msg : orphans) {
     if (msg.at) {
       msg.at->error =
@@ -491,15 +595,23 @@ void ThreadsBackend::ctrlLoop() {
   // artificial per-message delay is added — the serialisation through
   // this single queue *is* the measured cost.
   obs::TidScope tidScope(obs::osThreadTag());
+  if (flight_) flight_->bindCurrentThread("ctrl", 1 << 20);
   for (;;) {
     CtrlMsg msg;
+    long depth = 0;
     {
       std::unique_lock<std::mutex> lock(ctrlMu_);
       ctrlCv_.wait(lock, [&] { return !ctrlQ_.empty() || ctrlStop_; });
       if (ctrlQ_.empty()) return;
       msg = ctrlQ_.front();
       ctrlQ_.pop_front();
+      depth = static_cast<long>(ctrlQ_.size());
     }
+    // Counters only on this path: a ctrl event pair per bookkeeping
+    // message (2*tasks+2 per resilient finish) would dominate the
+    // recorder's budget, and the watchdog needs just the progress row.
+    // Ack-wait events capture the end-to-end ctrl latency instead.
+    if (flight_) flight_->noteDequeue(obs::flight::kCtrlQueue, depth);
     if (msg.waiter != nullptr) {
       // Notify while holding the waiter's mutex: the waiter lives on the
       // acking thread's stack and is destroyed the moment wait() returns,
@@ -514,11 +626,15 @@ void ThreadsBackend::ctrlLoop() {
 
 void ThreadsBackend::ctrlSend(CtrlMsg::Kind kind, AckWaiter* waiter) {
   stats_.bookkeepingMsgs.fetch_add(1, std::memory_order_relaxed);
+  CtrlMsg msg{kind, waiter};
+  long depth = 0;
   {
     std::lock_guard<std::mutex> lock(ctrlMu_);
-    ctrlQ_.push_back(CtrlMsg{kind, waiter});
+    ctrlQ_.push_back(msg);
+    depth = static_cast<long>(ctrlQ_.size());
   }
   ctrlCv_.notify_all();
+  if (flight_) flight_->noteEnqueue(obs::flight::kCtrlQueue, depth);
 }
 
 void ThreadsBackend::workerLoop(PlaceId p) {
@@ -528,15 +644,27 @@ void ThreadsBackend::workerLoop(PlaceId p) {
   ThreadCtx& c = ctx();
   c.place = p;
   obs::TidScope tidScope(obs::osThreadTag());
+  if (flight_) {
+    flight_->bindCurrentThread("p" + std::to_string(p),
+                               static_cast<int>(p));
+  }
   Inbox& in = place(p).inbox;
   for (;;) {
+    const double waitStart = flight_ ? now() : 0.0;
+    long depthAfter = 0;
     {
       std::unique_lock<std::mutex> lock(in.mu);
       in.cv.wait(lock, [&] {
         return !in.q.empty() || in.poisoned ||
                shutdown_.load(std::memory_order_acquire);
       });
+      depthAfter = static_cast<long>(in.q.size());
       if (in.q.empty()) break;  // poisoned or shut down
+    }
+    if (flight_) {
+      const double t = now();
+      flightEvent(obs::flight::EventKind::InboxWait, static_cast<int>(p),
+                  depthAfter, t - waitStart, t);
     }
     drainOne(in);
   }

@@ -50,10 +50,17 @@
 #include <vector>
 
 #include "apgas/place.h"
+#include "apgas/runtime_config.h"
 
 namespace rgml::obs {
 class TraceSink;
 }
+
+namespace rgml::obs::flight {
+class FlightRecorder;
+class StallWatchdog;
+enum class EventKind : int;
+}  // namespace rgml::obs::flight
 
 namespace rgml::apgas {
 class Runtime;
@@ -65,8 +72,10 @@ namespace rgml::apgas::threads {
 class ThreadsBackend {
  public:
   /// Spawns worker threads for places 1..numPlaces-1 (the constructing
-  /// thread serves place 0) plus the control thread.
-  ThreadsBackend(Runtime& rt, int numPlaces);
+  /// thread serves place 0) plus the control thread — and, unless
+  /// config.flightRecorder is off, the always-on flight recorder with
+  /// its stall-watchdog sampler thread.
+  ThreadsBackend(Runtime& rt, const RuntimeConfig& config);
   ~ThreadsBackend();
 
   ThreadsBackend(const ThreadsBackend&) = delete;
@@ -99,6 +108,16 @@ class ThreadsBackend {
   void snapshotStats(RuntimeStats& out) const;
   void resetStats();
 
+  // ---- observability --------------------------------------------------
+  /// The always-on flight recorder / stall watchdog (null when disabled
+  /// via RuntimeConfig::flightRecorder = false).
+  [[nodiscard]] obs::flight::FlightRecorder* flight() const noexcept {
+    return flight_.get();
+  }
+  [[nodiscard]] obs::flight::StallWatchdog* watchdog() const noexcept {
+    return watchdog_.get();
+  }
+
  private:
   struct FinishState {
     PlaceId home = 0;
@@ -121,6 +140,7 @@ class ThreadsBackend {
     std::shared_ptr<AtState> at;       // non-null for at() shifts
     obs::TraceSink* sink = nullptr;    // spawner's sink, installed to run
     PlaceId target = 0;
+    double enqueuedAt = 0.0;  // flight recorder: dequeue-latency origin
   };
 
   struct Inbox {
@@ -179,6 +199,13 @@ class ThreadsBackend {
   void workerLoop(PlaceId p);
   void startWorker(PlaceId p);
 
+  /// Record one flight event stamped with the caller-supplied timestamp
+  /// (callers on hot paths already hold a now() value — reusing it keeps
+  /// the per-message cost to one clock read). Callers guard on flight_
+  /// so the disabled path costs a single branch.
+  void flightEvent(obs::flight::EventKind kind, int queue, long depth,
+                   double value, double t) const;
+
   Runtime& rt_;
   const std::uint64_t engineId_;
   const std::chrono::steady_clock::time_point t0_;
@@ -188,6 +215,12 @@ class ThreadsBackend {
   mutable std::mutex placesMutex_;
   mutable std::deque<PlaceState> places_;
   mutable AtomicStats stats_;
+
+  /// Always-on observability (null when disabled). watchdog_ references
+  /// *flight_, so it is declared after it (destroyed first); the
+  /// destructor additionally stops the sampler before joining workers.
+  std::unique_ptr<obs::flight::FlightRecorder> flight_;
+  std::unique_ptr<obs::flight::StallWatchdog> watchdog_;
 
   std::mutex ctrlMu_;
   std::condition_variable ctrlCv_;

@@ -119,6 +119,12 @@ void writeJsonReport(const SweepResult& result, std::ostream& os) {
       }
       os << ']';
     }
+    if (!f.flightDump.empty()) {
+      // Raw splice: the dump is itself a JSON document of the shape
+      // {"flight": {...}}, so the entry's "flight" value feeds straight
+      // into analyzeFlight / tools/flight_report.
+      os << ", \"flight\": " << f.flightDump;
+    }
     os << '}';
   }
   os << (result.failures.empty() ? "" : "\n    ") << "],\n";
@@ -198,6 +204,22 @@ std::string toMetricsJson(const SweepResult& result) {
   std::ostringstream os;
   writeMetricsJson(result, os);
   return os.str();
+}
+
+void writeFlightReport(const SweepResult& result, std::ostream& os) {
+  os << "{\"flight_report\": {\"backend\": \""
+     << apgas::toString(result.options.backend) << "\",\n  \"scenarios\": [";
+  bool first = true;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.flightDump.empty()) continue;
+    os << (first ? "\n" : ",\n") << "    {\"app\": \"" << toString(o.app)
+       << "\", \"mode\": \"" << toString(o.schedule.mode)
+       << "\", \"schedule\": \"" << jsonEscape(o.schedule.describe())
+       << "\", \"kind\": \"" << toString(o.kind)
+       << "\",\n     \"flight\": " << o.flightDump << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << "}}\n";
 }
 
 void writeBenchSummary(const SweepResult& result, std::ostream& os) {

@@ -76,6 +76,19 @@ void writeChromeTrace(const SweepResult& result, std::ostream& os);
 void writeMetricsJson(const SweepResult& result, std::ostream& os);
 [[nodiscard]] std::string toMetricsJson(const SweepResult& result);
 
+/// Standalone forensic artifact for --flight-out:
+///
+/// {"flight_report": {"backend": "...",
+///    "scenarios": [ { "app": "...", "mode": "...", "schedule": "...",
+///                     "kind": "...", "flight": {"flight": {...}} } ]}}
+///
+/// One entry per scenario that captured a flight dump (Threads-backend
+/// failures and Unrecoverable outcomes); each "flight" value is the
+/// forensic-dump document verbatim, so tools/flight_report can analyze
+/// any entry directly. Dumps carry wall-clock timestamps, so this file —
+/// unlike the classification report — is NOT byte-stable run-to-run.
+void writeFlightReport(const SweepResult& result, std::ostream& os);
+
 /// BENCH_*.json perf artifact, split for the perf gate:
 ///
 /// {"chaos_sweep_bench": {

@@ -344,6 +344,15 @@ ScenarioOutcome ChaosSweeper::runScenario(AppKind app,
     out.spans = sink.takeSpans();
     out.metrics = sink.metrics();
   }
+  // Forensic attachment: on a Threads-backend failure (or an
+  // unrecoverable-by-design outcome) grab the always-on flight recorder's
+  // dump while the scenario's world is still alive. Simulated sweeps have
+  // no recorder, so the simulated classification report stays untouched.
+  if (options_.backend == apgas::Backend::Threads &&
+      (isFailure(out.kind) || out.kind == OutcomeKind::Unrecoverable) &&
+      Runtime::initialized()) {
+    out.flightDump = Runtime::world().flightDump();
+  }
   return out;
 }
 
@@ -371,11 +380,12 @@ SweepResult ChaosSweeper::run() {
   result.jobsUsed = std::max<std::size_t>(1, options_.jobs);
   if (options_.backend == apgas::Backend::Threads) {
     // Every concurrent Threads-backend world holds places+spares-1 place
-    // workers plus a control thread alive in addition to the sweep job
-    // thread itself; clamp the fan-out so J worlds fit the machine's
-    // thread budget (RGML_JOBS overrides) instead of oversubscribing.
+    // workers plus a control thread and a watchdog sampler alive in
+    // addition to the sweep job thread itself; clamp the fan-out so J
+    // worlds fit the machine's thread budget (RGML_JOBS overrides)
+    // instead of oversubscribing.
     result.jobsUsed = threadBudgetedJobs(
-        result.jobsUsed, options_.places + options_.spares + 1);
+        result.jobsUsed, options_.places + options_.spares + 2);
   }
   for (framework::RestoreMode mode : options_.modes) {
     result.worstRestoreMs[toString(mode)] = 0.0;

@@ -84,6 +84,11 @@ struct ScenarioOutcome {
   /// are identical at any job count.
   std::vector<obs::Span> spans;
   obs::MetricsRegistry metrics;
+  /// Threads-backend failures and Unrecoverable outcomes only: the flight
+  /// recorder's forensic dump ({"flight": ...} JSON — last-N events per
+  /// thread, queue-depth series, watchdog stall verdicts), captured from
+  /// the scenario's world right after classification. Empty otherwise.
+  std::string flightDump;
 };
 
 struct SweepOptions {

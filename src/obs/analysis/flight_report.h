@@ -1,0 +1,92 @@
+// Analysis over flight-recorder forensic dumps (obs/flight/): per-place
+// finish ack-wait and dequeue-latency percentiles, queue-depth series
+// statistics from the watchdog samples, and stall verdicts — the numbers
+// behind the ROADMAP's place-0 finish-bottleneck question.
+//
+// Input is the {"flight": {...}} JSON document written by
+// obs/flight/forensic_dump.h (standalone artifact, bench_flight
+// --flight-out, or one scenario's "flight" attachment in a chaos
+// report). tools/flight_report drives this over one or more files; with
+// several (e.g. P=1/2/4/8 artifacts) it prints the place-0 vs others
+// finish-serialisation curve.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json.h"
+
+namespace rgml::obs::analysis {
+
+struct FlightLatencyStats {
+  int queue = 0;  ///< place index, or -1 for the ctrl queue
+  long count = 0;
+  double p50Us = 0.0;
+  double p99Us = 0.0;
+  double maxUs = 0.0;
+};
+
+struct FlightQueueStats {
+  int queue = 0;
+  long samples = 0;  ///< watchdog samples covering this queue
+  long maxDepth = 0;
+  double meanDepth = 0.0;
+  std::uint64_t enqueues = 0;  ///< final progress counters
+  std::uint64_t dequeues = 0;
+  bool dead = false;
+};
+
+struct FlightAnalysis {
+  int places = 0;
+  std::size_t ringCapacity = 0;
+  long lanes = 0;
+  std::uint64_t eventsRecorded = 0;
+  std::uint64_t eventsRetained = 0;
+  /// ack_wait_end events grouped by finish home place, sorted by place.
+  std::vector<FlightLatencyStats> ackWait;
+  /// dequeue events (queue latency) grouped by queue, sorted by queue.
+  std::vector<FlightLatencyStats> dequeueLatency;
+  /// Queue-depth series stats (watchdog samples) + final counters,
+  /// sorted by queue (ctrl queue -1 first).
+  std::vector<FlightQueueStats> queues;
+  std::vector<std::string> verdicts;  ///< stall verdict details
+};
+
+/// Nearest-rank percentile with upper rounding over an ascending-sorted
+/// sample: sorted[min(n-1, floor(q*n))]. 0 for an empty sample.
+[[nodiscard]] double flightPercentile(const std::vector<double>& sorted,
+                                      double q);
+
+/// Analyze one forensic dump; `root` must contain the "flight" object.
+/// Throws JsonError on malformed input.
+[[nodiscard]] FlightAnalysis analyzeFlight(const JsonValue& root);
+
+/// One point of the place-0 finish-serialisation curve.
+struct FinishCurvePoint {
+  int places = 0;
+  long place0Count = 0;
+  double place0P50Us = 0.0;
+  double place0P99Us = 0.0;
+  double othersMaxP50Us = 0.0;  ///< max over places != 0
+  double othersMaxP99Us = 0.0;
+};
+
+[[nodiscard]] FinishCurvePoint finishCurvePoint(
+    const FlightAnalysis& analysis);
+
+/// Human-readable report (fixed-width tables).
+[[nodiscard]] std::string formatFlightAnalysis(
+    const FlightAnalysis& analysis);
+
+/// Curve table over several dumps (sorted by place count by the caller).
+[[nodiscard]] std::string formatFinishCurve(
+    const std::vector<FinishCurvePoint>& curve);
+
+/// Machine-readable form: {"flight_analysis": {...}}.
+void writeFlightAnalysisJson(const FlightAnalysis& analysis,
+                             std::ostream& os);
+
+}  // namespace rgml::obs::analysis

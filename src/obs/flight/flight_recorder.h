@@ -1,0 +1,214 @@
+// Always-on flight recorder for the real-threads APGAS backend.
+//
+// The span/metrics tracer (obs/trace_sink.h) answers "what did this run
+// do" — but it is opt-in per scenario, allocates per span, and loses its
+// tail when a run hangs or is torn down mid-flight. The flight recorder
+// answers the forensic question instead: *where was every thread when
+// this run stalled, diverged or died*. It is cheap enough to leave on
+// for every Threads-backend world (RuntimeConfig::flightRecorder, on by
+// default; bench_flight proves the overhead budget of <= 5%).
+//
+// Design:
+//
+//   * One fixed-size ring of events per OS thread ("lane"). Each lane
+//     has exactly one producer — the owning thread — so recording is a
+//     wait-free seqlock write with no CAS and no allocation. Foreign
+//     threads (e.g. an external kill() caller) auto-register their own
+//     "ext*" lane on first record, preserving the single-producer
+//     invariant instead of violating it.
+//   * Readers (the stall watchdog, the forensic dump) take validated
+//     snapshots concurrently with writers: every slot carries a seqlock
+//     stamp (2i+1 while slot i is being written, 2i+2 when complete);
+//     a reader accepts a slot only if the stamp reads the same expected
+//     even value before and after copying the payload. Slots hold only
+//     std::atomic fields, so torn reads are impossible and TSan sees a
+//     clean (if racy-by-design) protocol. Overwritten slots are simply
+//     dropped from the snapshot — the ring always yields the validated
+//     most-recent suffix.
+//   * Per-queue progress counters (enqueues / dequeues / depth / dead)
+//     for every place inbox plus the resilient-finish control queue.
+//     These are what the watchdog samples: a stall is "no dequeue
+//     progress while the queue is non-empty", detected from the
+//     counters, never from wall-clock heuristics.
+//
+// Timestamps are supplied by the caller (the backend passes its wall
+// clock; tests pass synthetic values), so the recorder itself introduces
+// no hidden nondeterminism — given deterministic events, the forensic
+// dump is byte-identical regardless of how many jobs ran around it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rgml::obs::flight {
+
+enum class EventKind : int {
+  Enqueue = 0,   ///< task message pushed into a place inbox
+  Dequeue,       ///< task message popped (value = queue latency, seconds)
+  InboxWait,     ///< blocked on the inbox cv (value = blocked seconds)
+  AckWaitBegin,  ///< resilient finish close began: the home starts waiting
+                 ///< for task terminations + the control-thread ack
+                 ///< (depth = tasks spawned so far)
+  AckWaitEnd,    ///< finish fully closed (value = close duration in
+                 ///< seconds since AckWaitBegin, depth = total tasks)
+  CtrlEnqueue,   ///< bookkeeping message pushed to the control queue
+  CtrlDequeue,   ///< control thread popped one (value = queue latency)
+  Kill,          ///< place marked dead
+  HeapWipe,      ///< victim's heap destroyed
+  Poison,        ///< inbox poisoned (depth = orphaned messages)
+};
+
+[[nodiscard]] const char* toString(EventKind kind);
+/// Parses the toString spelling; false for anything else.
+[[nodiscard]] bool parseEventKind(const std::string& name, EventKind& out);
+
+struct Event {
+  double t = 0.0;      ///< caller-supplied timestamp (seconds)
+  double value = 0.0;  ///< kind-specific duration/latency (seconds)
+  EventKind kind = EventKind::Enqueue;
+  int queue = 0;       ///< place index, or kCtrlQueue for the ctrl queue
+  long depth = 0;      ///< queue depth after the operation (kind-specific)
+};
+
+/// The control queue's index in events and progress counters.
+inline constexpr int kCtrlQueue = -1;
+
+/// Fixed-capacity single-producer ring with seqlock-validated concurrent
+/// snapshots. The capacity is rounded up to a power of two.
+class FlightRing {
+ public:
+  explicit FlightRing(std::size_t capacity);
+
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  /// Record one event. Single producer only (the owning thread).
+  void record(const Event& e) noexcept;
+
+  /// Validated copy of the retained suffix, oldest first. Safe to call
+  /// concurrently with record(); slots overwritten or in flight during
+  /// the copy are dropped.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Total events ever recorded (recorded() - capacity() of them may
+  /// have been overwritten).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<double> t{0.0};
+    std::atomic<double> value{0.0};
+    std::atomic<int> kind{0};
+    std::atomic<int> queue{0};
+    std::atomic<long> depth{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Per-world recorder: one lane per thread, one progress-counter row per
+/// place inbox plus the control queue.
+class FlightRecorder {
+ public:
+  struct LaneSnapshot {
+    std::string label;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;  ///< recorded - retained (ring overwrote)
+    std::vector<Event> events;
+  };
+
+  struct ProgressSnapshot {
+    std::uint64_t enqueues = 0;
+    std::uint64_t dequeues = 0;
+    long depth = 0;
+    bool dead = false;
+  };
+
+  FlightRecorder(int places, std::size_t ringCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Register a lane for the calling thread and make it the thread's
+  /// current lane for this recorder. Workers bind "p<i>" (sortKey i),
+  /// the control thread "ctrl"; unbound threads that record are given an
+  /// "ext*" lane automatically.
+  void bindCurrentThread(const std::string& label, int sortKey);
+
+  /// Record into the calling thread's lane (auto-binding if needed).
+  void record(const Event& e);
+
+  [[nodiscard]] int places() const noexcept {
+    return places_.load(std::memory_order_acquire);
+  }
+  /// Grow the progress table for elastically added places.
+  void addPlaces(int n);
+
+  // Progress counters. queue = place index or kCtrlQueue.
+  void noteEnqueue(int queue, long depthAfter) noexcept;
+  void noteDequeue(int queue, long depthAfter) noexcept;
+  /// Mark a place dead (its queue was drained by the kill path).
+  void markDead(int place) noexcept;
+  [[nodiscard]] ProgressSnapshot progress(int queue) const noexcept;
+
+  [[nodiscard]] std::size_t ringCapacity() const noexcept {
+    return ringCapacity_;
+  }
+
+  /// Validated snapshot of every lane, ordered by (sortKey, label) so
+  /// the forensic dump is independent of thread registration races.
+  [[nodiscard]] std::vector<LaneSnapshot> snapshotLanes() const;
+
+ private:
+  struct Lane {
+    std::string label;
+    int sortKey = 0;
+    FlightRing ring;
+    Lane(std::string l, int key, std::size_t cap)
+        : label(std::move(l)), sortKey(key), ring(cap) {}
+  };
+
+  struct Progress {
+    std::atomic<std::uint64_t> enqueues{0};
+    std::atomic<std::uint64_t> dequeues{0};
+    std::atomic<long> depth{0};
+    std::atomic<bool> dead{false};
+  };
+
+  [[nodiscard]] Progress* progressRow(int queue) const noexcept;
+  /// Append `n` rows and publish a fresh lookup table. Caller holds mu_.
+  void growTableLocked(int n);
+
+  const std::uint64_t id_;
+  const std::size_t ringCapacity_;
+  std::atomic<int> places_{0};
+  /// Guards the *structure* of lanes_/progress_/tables_ (growth); the
+  /// elements themselves are atomic and accessed lock-free afterwards.
+  /// deques keep element addresses stable across growth.
+  mutable std::mutex mu_;
+  std::deque<Lane> lanes_;
+  mutable std::deque<Progress> progress_;
+  mutable Progress ctrlProgress_;
+  /// Row-pointer tables, one generation per addPlaces call; every
+  /// generation is retained so a concurrently loaded stale pointer stays
+  /// valid. Readers index table_ without a lock: rows are stable, and
+  /// places_ is published *after* table_ (release) so a reader that sees
+  /// the new count also sees a table covering it.
+  std::deque<std::vector<Progress*>> tables_;
+  std::atomic<Progress* const*> table_{nullptr};
+};
+
+}  // namespace rgml::obs::flight

@@ -1,0 +1,48 @@
+// Forensic dump: the flight recorder + watchdog state as one JSON
+// document, captured when a Threads-backend run stalls, diverges or dies
+// (and on demand by tools/flight_report and bench_flight).
+//
+// Schema:
+//
+// {"flight": {
+//    "places": N, "ring_capacity": N,
+//    "lanes": [                       // sorted: workers p0..pN, ctrl, ext*
+//      { "label": "p0", "recorded": N, "dropped": N,
+//        "events": [                  // validated ring suffix, oldest first
+//          {"t": x, "kind": "enqueue", "queue": N, "depth": N, "value": x},
+//          ... ] } ],
+//    "progress": [                    // live counters at dump time
+//      {"queue": N, "enqueues": N, "dequeues": N, "depth": N, "dead": 0|1},
+//      ...,                           // queue -1 = the ctrl queue
+//    ],
+//    "watchdog": {                    // omitted when no watchdog attached
+//      "period_seconds": x,
+//      "samples": [ {"t": x, "index": N, "rows": [
+//          {"queue": N, "depth": N, "enqueues": N, "dequeues": N,
+//           "dead": 0|1}, ... ]}, ... ],
+//      "verdicts": [ {"t": x, "sample": N, "queue": N, "depth": N,
+//                     "dequeues": N, "detail": "..."}, ... ] } }}
+//
+// Given deterministic recorder contents (synthetic timestamps, explicit
+// lane binding, manual watchdog sampling) the dump is byte-identical —
+// flight_recorder_test asserts so across harness job counts.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/flight/flight_recorder.h"
+#include "obs/flight/stall_watchdog.h"
+
+namespace rgml::obs::flight {
+
+/// Serialise the recorder (and optionally the watchdog) as the document
+/// above. `watchdog` may be null.
+void writeForensicJson(std::ostream& os, const FlightRecorder& recorder,
+                       const StallWatchdog* watchdog);
+
+/// writeForensicJson into a string.
+[[nodiscard]] std::string forensicJson(const FlightRecorder& recorder,
+                                       const StallWatchdog* watchdog);
+
+}  // namespace rgml::obs::flight

@@ -1,0 +1,112 @@
+// Stall watchdog over the flight recorder's progress counters.
+//
+// A sampler (an optional background thread, or explicit sampleNow()
+// calls from tests) periodically snapshots every queue's progress row —
+// enqueues, dequeues, depth, dead — and compares consecutive samples.
+// The stall rule is purely progress-counter based:
+//
+//   a queue is STALLED when its depth was non-zero at two consecutive
+//   samples AND its dequeue counter did not advance between them AND
+//   the place is not dead.
+//
+// That is exactly the observable signature of the PR 8 waitFinish
+// lost-wakeup bug (a thread asleep on its inbox cv while a message sits
+// queued). Deliberately NOT wall-clock based: an idle place (empty
+// inbox) is never flagged no matter how long it sits, and a slow-but-
+// progressing place is never flagged no matter how deep its queue —
+// stall_watchdog_test discriminates both against time-since-last-
+// progress heuristics.
+//
+// Verdicts are per stall *episode*: one verdict when a queue enters the
+// stalled state, re-armed only after it makes progress again. Samples
+// and verdicts are retained (bounded) for the forensic dump.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight/flight_recorder.h"
+
+namespace rgml::obs::flight {
+
+class StallWatchdog {
+ public:
+  struct Row {
+    int queue = 0;  ///< place index, or kCtrlQueue
+    long depth = 0;
+    std::uint64_t enqueues = 0;
+    std::uint64_t dequeues = 0;
+    bool dead = false;
+  };
+
+  struct Sample {
+    double t = 0.0;
+    long index = 0;  ///< 0-based sample number
+    std::vector<Row> rows;  ///< places 0..P-1, then the ctrl queue
+  };
+
+  struct Verdict {
+    double t = 0.0;
+    long sampleIndex = 0;
+    int queue = 0;
+    long depth = 0;
+    std::uint64_t dequeues = 0;  ///< the counter value the queue is stuck at
+    std::string detail;
+  };
+
+  /// `clock` supplies sample timestamps (the backend passes its wall
+  /// clock; tests pass a fake). `periodSeconds` <= 0 disables start().
+  StallWatchdog(FlightRecorder& recorder, std::function<double()> clock,
+                double periodSeconds);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Spawn the background sampler thread (no-op when period <= 0).
+  void start();
+  /// Stop and join the sampler (idempotent; also run by the destructor).
+  void stop();
+
+  /// Take one sample now and evaluate the stall rule against the
+  /// previous sample. Thread-safe; the sampler thread calls this too.
+  Sample sampleNow();
+
+  [[nodiscard]] double periodSeconds() const noexcept { return period_; }
+  [[nodiscard]] std::vector<Sample> samples() const;
+  [[nodiscard]] std::vector<Verdict> verdicts() const;
+
+  /// Samples retained for the forensic dump (older ones are evicted;
+  /// verdicts are never evicted).
+  static constexpr std::size_t kMaxSamples = 512;
+
+ private:
+  void evaluateLocked(const Sample& cur);
+
+  FlightRecorder& rec_;
+  const std::function<double()> clock_;
+  const double period_;
+
+  mutable std::mutex mu_;
+  std::deque<Sample> samples_;
+  long nextIndex_ = 0;
+  bool hasPrev_ = false;
+  Sample prev_;  ///< kept separately so eviction never breaks the rule
+  std::map<int, bool> stalled_;  ///< per-queue episode state
+  std::vector<Verdict> verdicts_;
+
+  std::thread sampler_;
+  std::mutex stopMu_;
+  std::condition_variable stopCv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace rgml::obs::flight

@@ -83,6 +83,11 @@ void usage(std::ostream& os) {
         "                divergence entries in the report\n"
         "  --metrics-out FILE  write folded counters/histograms JSON\n"
         "                (implies trace capture)\n"
+        "  --flight-out FILE  write the flight-recorder forensic bundle\n"
+        "                (threads backend only: one entry per failed or\n"
+        "                unrecoverable scenario with its last-N events per\n"
+        "                thread, queue-depth series and stall verdicts;\n"
+        "                analyze with tools/flight_report)\n"
         "  --no-shrink   skip minimal-reproducer shrinking\n";
 }
 
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
   std::string benchOutPath = "BENCH_sweep.json";
   std::string traceOutPath;
   std::string metricsOutPath;
+  std::string flightOutPath;
 
   auto needValue = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -224,6 +230,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-out") {
       metricsOutPath = needValue(i);
       opt.captureTraces = true;
+    } else if (arg == "--flight-out") {
+      flightOutPath = needValue(i);
     } else if (arg == "--no-shrink") {
       opt.shrinkFailures = false;
     } else {
@@ -235,6 +243,12 @@ int main(int argc, char** argv) {
   if (opt.iterations <= opt.checkpointInterval) {
     std::cerr << "--iters must exceed --interval (no recoverable kill "
                  "points otherwise)\n";
+    return 2;
+  }
+  if (!flightOutPath.empty() &&
+      opt.backend != rgml::apgas::Backend::Threads) {
+    std::cerr << "--flight-out requires --backend threads (the simulated "
+                 "backend has no flight recorder)\n";
     return 2;
   }
 
@@ -265,6 +279,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     rgml::harness::writeMetricsJson(result, metrics);
+  }
+  if (!flightOutPath.empty()) {
+    std::ofstream flight(flightOutPath);
+    if (!flight) {
+      std::cerr << "cannot write " << flightOutPath << '\n';
+      return 2;
+    }
+    rgml::harness::writeFlightReport(result, flight);
   }
 
   // Perf trajectory artifact: a "deterministic" section (simulated facts
